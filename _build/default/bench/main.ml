@@ -1,0 +1,189 @@
+(* Experiment harness + micro-benchmarks.
+
+   With no arguments: regenerate every table and figure of the paper
+   (paper-vs-measured rows) at the current REPRO_SCALE, run the ablation
+   studies, then run one Bechamel micro-benchmark per experiment kernel.
+
+   With arguments: run the named subset, e.g.
+     dune exec bench/main.exe -- table1 fig4
+     dune exec bench/main.exe -- bench            (micro-benchmarks only)
+     dune exec bench/main.exe -- ablate-migration *)
+
+open Bechamel
+open Toolkit
+
+(* {1 Micro-benchmark kernels: one per table/figure} *)
+
+let synthetic_front n =
+  let rng = Numerics.Rng.create 5 in
+  List.init n (fun _ ->
+      let t = Numerics.Rng.float rng in
+      {
+        Moo.Solution.x = [| t |];
+        f = [| t; (1. -. sqrt t) +. (0.05 *. Numerics.Rng.float rng) |];
+        v = 0.;
+      })
+
+let bench_fig1_leaf_eval =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let ratios = Array.make Photo.Enzyme.count 1. in
+  Test.make ~name:"fig1/leaf-steady-state"
+    (Staged.stage (fun () ->
+         ignore (Photo.Steady_state.evaluate ~env ~ratios ())))
+
+let bench_fig2_nitrogen =
+  let vmax = Photo.Enzyme.natural_vmax () in
+  Test.make ~name:"fig2/nitrogen-accounting"
+    (Staged.stage (fun () -> ignore (Photo.Enzyme.raw_nitrogen vmax)))
+
+let bench_table1_metrics =
+  let front = synthetic_front 200 in
+  let objs = List.map (fun s -> s.Moo.Solution.f) front in
+  Test.make ~name:"table1/hypervolume+coverage"
+    (Staged.stage (fun () ->
+         ignore (Moo.Hypervolume.compute ~ref_point:[| 1.1; 1.1 |] objs);
+         ignore (Moo.Coverage.union_front [ front ])))
+
+let bench_table2_yield =
+  let rng = Numerics.Rng.create 7 in
+  let f x = (x.(0) *. x.(1)) +. x.(2) in
+  Test.make ~name:"table2/yield-gamma-200"
+    (Staged.stage (fun () ->
+         ignore (Robustness.Yield.gamma ~rng ~f ~trials:200 [| 1.; 2.; 3. |])))
+
+let bench_fig3_sweep =
+  let front = synthetic_front 500 in
+  Test.make ~name:"fig3/equally-spaced-50"
+    (Staged.stage (fun () -> ignore (Moo.Mine.equally_spaced ~k:50 front)))
+
+let geobacter = lazy (Fba.Geobacter.build ())
+
+let bench_fig4_violation =
+  Test.make ~name:"fig4/stoich-violation"
+    (Staged.stage
+       (let g = Lazy.force geobacter in
+        let v = Array.make 608 0.1 in
+        fun () -> ignore (Fba.Network.violation g.Fba.Geobacter.net v)))
+
+let bench_fig4_repair =
+  Test.make ~name:"fig4/nullspace-repair"
+    (Staged.stage
+       (let g = Lazy.force geobacter in
+        let repair = Fba.Moo_problem.repair g in
+        let rng = Numerics.Rng.create 11 in
+        let v = Array.init 608 (fun _ -> Numerics.Rng.uniform rng (-10.) 10.) in
+        fun () -> ignore (repair v)))
+
+let bench_pmo2_generation =
+  Test.make ~name:"pmo2/nsga2-generation-zdt1"
+    (Staged.stage
+       (let problem = Moo.Benchmarks.zdt1 ~n:20 in
+        let rng = Numerics.Rng.create 1 in
+        let st = Ea.Nsga2.init problem { Ea.Nsga2.default_config with pop_size = 40 } rng in
+        fun () -> Ea.Nsga2.step st 1))
+
+let bench_lp_solve =
+  Test.make ~name:"lp/simplex-20x12"
+    (Staged.stage
+       (let rng = Numerics.Rng.create 3 in
+        let n = 20 and m = 12 in
+        let cols =
+          Array.init n (fun _ ->
+              List.init m (fun i -> (i, Numerics.Rng.uniform rng 0. 1.)))
+        in
+        let spec =
+          {
+            Lp.Simplex.n_rows = m;
+            cols;
+            rhs = Array.make m 10.;
+            obj = Array.init n (fun _ -> Numerics.Rng.uniform rng 0. 1.);
+            lo = Array.make n 0.;
+            up = Array.make n 5.;
+          }
+        in
+        fun () -> ignore (Lp.Simplex.solve spec)))
+
+let run_micro_benchmarks () =
+  Printf.printf "== Micro-benchmarks (Bechamel, monotonic clock) ==\n%!";
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        bench_fig1_leaf_eval;
+        bench_fig2_nitrogen;
+        bench_table1_metrics;
+        bench_table2_yield;
+        bench_fig3_sweep;
+        bench_fig4_violation;
+        bench_fig4_repair;
+        bench_pmo2_generation;
+        bench_lp_solve;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with
+        | Some (t :: _) -> (name, t) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "   %-38s (no estimate)\n" name
+      else if ns > 1e6 then Printf.printf "   %-38s %10.3f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "   %-38s %10.3f us/run\n" name (ns /. 1e3)
+      else Printf.printf "   %-38s %10.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+(* {1 Dispatch} *)
+
+let experiments =
+  [
+    ("fig1", Experiments.Fig1.print);
+    ("fig2", Experiments.Fig2.print);
+    ("table1", Experiments.Table1.print);
+    ("table2", Experiments.Table2.print);
+    ("fig3", Experiments.Fig3.print);
+    ("fig4", Experiments.Fig4.print);
+    ("local", Experiments.Local_analysis.print);
+    ("zhu-check", Experiments.Zhu_check.print);
+    ("temperature", Experiments.Temperature_exp.print);
+    ("optknock", Experiments.Optknock.print);
+    ("control", Experiments.Enzyme_control.print);
+    ("export-data", fun () ->
+       let files = Experiments.Export.all ~dir:"results" in
+       List.iter (Printf.printf "   wrote %s\n") files);
+    ("ablate-migration", Experiments.Ablate.migration);
+    ("ablate-algorithms", Experiments.Ablate.algorithms);
+    ("ablate-operators", Experiments.Ablate.operators);
+    ("ablate-penalty", Experiments.Ablate.penalty);
+    ("bench", run_micro_benchmarks);
+  ]
+
+let run_one name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "   [%s done in %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0)
+  | None ->
+    Printf.eprintf "unknown experiment %S; available: %s\n" name
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+
+let () =
+  let scale =
+    match Experiments.Scale.current () with
+    | Experiments.Scale.Quick -> "quick"
+    | Experiments.Scale.Full -> "full"
+  in
+  Printf.printf
+    "Design of Robust Metabolic Pathways (DAC'11) — experiment harness (scale: %s)\n\n%!"
+    scale;
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as names) -> List.iter run_one names
+  | _ -> List.iter (fun (name, _) -> run_one name) experiments

@@ -1,0 +1,188 @@
+(* Command-line interface to the robust metabolic pathway design library.
+
+     robustpath photo --ci 270 --export low --generations 200
+     robustpath geobacter --generations 60
+     robustpath robust --ci 270 --trials 2000
+     robustpath experiment table1 fig4
+     robustpath list *)
+
+open Cmdliner
+
+let env_of ~ci ~export =
+  let tp_export =
+    match export with
+    | "low" -> Photo.Params.low_export
+    | "high" -> Photo.Params.high_export
+    | s -> (try float_of_string s with _ -> Photo.Params.low_export)
+  in
+  match ci with
+  | 165 -> Photo.Params.past ~tp_export
+  | 490 -> Photo.Params.future ~tp_export
+  | _ -> Photo.Params.present ~tp_export
+
+(* {1 photo} *)
+
+let photo_cmd =
+  let run ci export generations pop seed =
+    let env = env_of ~ci ~export in
+    let problem = Photo.Leaf.problem env in
+    let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
+    let cfg =
+      {
+        Pmo2.Archipelago.default_config with
+        migration_period = Stdlib.max 1 (generations / 4);
+        nsga2 = { Ea.Nsga2.default_config with pop_size = pop };
+      }
+    in
+    let r = Pmo2.Archipelago.run ~seed ~initial:[ natural ] ~generations problem cfg in
+    let u, n = Photo.Leaf.natural_point env in
+    Printf.printf "condition: %s, triose-P export %g mmol/l/s\n" env.Photo.Params.label
+      env.Photo.Params.tp_export;
+    Printf.printf "natural: uptake %.3f, nitrogen %.0f\n" u n;
+    Printf.printf "front (%d points, %d evaluations):\n"
+      (List.length r.Pmo2.Archipelago.front)
+      r.Pmo2.Archipelago.evaluations;
+    List.iter
+      (fun s ->
+        Printf.printf "  uptake %8.3f   nitrogen %10.0f\n" (Photo.Leaf.uptake_of s)
+          (Photo.Leaf.nitrogen_of s))
+      (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front)
+  in
+  let ci =
+    Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (165, 270 or 490 ppm).")
+  in
+  let export =
+    Arg.(value & opt string "low" & info [ "export" ] ~doc:"Triose-P export: low, high, or a rate.")
+  in
+  let generations =
+    Arg.(value & opt int 120 & info [ "generations" ] ~doc:"Generations per island.")
+  in
+  let pop = Arg.(value & opt int 32 & info [ "pop" ] ~doc:"Island population size.") in
+  let seed = Arg.(value & opt int 2011 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
+    Term.(const run $ ci $ export $ generations $ pop $ seed)
+
+(* {1 geobacter} *)
+
+let geobacter_cmd =
+  let run generations pop seed =
+    let g = Fba.Geobacter.build () in
+    let problem = Fba.Moo_problem.problem g in
+    let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
+    let vary = Fba.Moo_problem.flux_variation g () in
+    let cfg =
+      {
+        Pmo2.Archipelago.default_config with
+        migration_period = Stdlib.max 1 (generations / 4);
+        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary };
+      }
+    in
+    let r = Pmo2.Archipelago.run ~seed ~initial:seeds ~generations problem cfg in
+    let feasible = List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front in
+    Printf.printf "front: %d points (%d near-steady-state)\n"
+      (List.length r.Pmo2.Archipelago.front)
+      (List.length feasible);
+    List.iter
+      (fun s ->
+        Printf.printf "  EP %8.3f   BP %.4f\n" (Fba.Moo_problem.ep_of s)
+          (Fba.Moo_problem.bp_of s))
+      (Moo.Mine.equally_spaced ~k:8 feasible)
+  in
+  let generations =
+    Arg.(value & opt int 60 & info [ "generations" ] ~doc:"Generations per island.")
+  in
+  let pop = Arg.(value & opt int 40 & info [ "pop" ] ~doc:"Island population size.") in
+  let seed = Arg.(value & opt int 2011 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "geobacter"
+       ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
+    Term.(const run $ generations $ pop $ seed)
+
+(* {1 robust} *)
+
+let robust_cmd =
+  let run ci export trials =
+    let env = env_of ~ci ~export in
+    let warm = (Photo.Steady_state.natural ~env ()).Photo.Steady_state.y in
+    let uptake ratios =
+      (Photo.Steady_state.evaluate ~y0:warm ~env ~ratios ()).Photo.Steady_state.uptake
+    in
+    let rng = Numerics.Rng.create 42 in
+    let natural = Array.make Photo.Enzyme.count 1. in
+    let g = Robustness.Yield.gamma ~rng ~f:uptake ~trials natural in
+    Printf.printf "natural leaf under %s: nominal %.3f, global yield %.1f%% (%d trials)\n"
+      env.Photo.Params.label g.Robustness.Yield.nominal g.Robustness.Yield.yield_pct trials;
+    let profile = Robustness.Screen.local_analysis ~rng ~f:uptake ~trials:200 natural in
+    List.iter
+      (fun p ->
+        if p.Robustness.Screen.yield_pct < 100. then
+          Printf.printf "  sensitive: %-22s %6.1f%%\n"
+            Photo.Enzyme.names.(p.Robustness.Screen.index)
+            p.Robustness.Screen.yield_pct)
+      profile
+  in
+  let ci = Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (ppm).") in
+  let export =
+    Arg.(value & opt string "low" & info [ "export" ] ~doc:"Triose-P export: low or high.")
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Global ensemble size (paper: 5000).")
+  in
+  Cmd.v
+    (Cmd.info "robust" ~doc:"Robustness screen (Γ yields) of the natural leaf.")
+    Term.(const run $ ci $ export $ trials)
+
+(* {1 experiment} *)
+
+let experiment_cmd =
+  let all =
+    [
+      ("fig1", Experiments.Fig1.print);
+      ("fig2", Experiments.Fig2.print);
+      ("table1", Experiments.Table1.print);
+      ("table2", Experiments.Table2.print);
+      ("fig3", Experiments.Fig3.print);
+      ("fig4", Experiments.Fig4.print);
+      ("local", Experiments.Local_analysis.print);
+      ("zhu-check", Experiments.Zhu_check.print);
+      ("temperature", Experiments.Temperature_exp.print);
+      ("optknock", Experiments.Optknock.print);
+      ("control", Experiments.Enzyme_control.print);
+      ("ablate-migration", Experiments.Ablate.migration);
+      ("ablate-algorithms", Experiments.Ablate.algorithms);
+      ("ablate-operators", Experiments.Ablate.operators);
+      ("ablate-penalty", Experiments.Ablate.penalty);
+    ]
+  in
+  let run names =
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try: %s)\n" name
+            (String.concat ", " (List.map fst all));
+          exit 1)
+      names
+  in
+  let names = Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper (fig1..fig4, table1, table2, ablate-*).")
+    Term.(const run $ names)
+
+let list_cmd =
+  let run () =
+    print_endline "subcommands: photo, geobacter, robust, experiment, list";
+    print_endline
+      "experiments: fig1 fig2 table1 table2 fig3 fig4 local control zhu-check \
+       temperature ablate-migration ablate-algorithms ablate-operators ablate-penalty"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List subcommands and experiments.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "robustpath" ~version:"1.0.0"
+      ~doc:"Design of robust metabolic pathways (DAC'11 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ photo_cmd; geobacter_cmd; robust_cmd; experiment_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/geobacter_tradeoff.ml: Char Ea Fba List Moo Printf

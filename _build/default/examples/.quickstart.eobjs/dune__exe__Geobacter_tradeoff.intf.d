@@ -1,0 +1,1 @@
+examples/geobacter_tradeoff.mli:

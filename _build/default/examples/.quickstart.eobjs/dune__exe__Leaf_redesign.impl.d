@@ -1,0 +1,1 @@
+examples/leaf_redesign.ml: Array Ea Float List Moo Photo Pmo2 Printf String

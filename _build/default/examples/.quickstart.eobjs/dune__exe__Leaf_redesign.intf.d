@@ -1,0 +1,1 @@
+examples/leaf_redesign.mli:

@@ -1,0 +1,1 @@
+examples/mixed_islands.ml: Ea List Moo Pmo2 Printf String

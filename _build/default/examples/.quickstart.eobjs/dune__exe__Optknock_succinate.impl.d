@@ -1,0 +1,1 @@
+examples/optknock_succinate.ml: Fba List Printf String

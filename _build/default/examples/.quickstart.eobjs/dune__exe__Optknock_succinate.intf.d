@@ -1,0 +1,1 @@
+examples/optknock_succinate.mli:

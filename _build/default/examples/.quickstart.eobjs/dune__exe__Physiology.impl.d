@@ -1,0 +1,1 @@
+examples/physiology.ml: Array Float List Photo Printf String

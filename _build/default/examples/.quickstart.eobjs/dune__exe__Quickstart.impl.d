@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ea List Photo Pmo2 Printf Robustpath

@@ -1,0 +1,1 @@
+examples/robustness_screening.ml: Array List Numerics Photo Printf Robustness

@@ -1,0 +1,1 @@
+lib/core/design.ml: Array List Moo Numerics Pmo2 Printf Robustness Stdlib

@@ -1,0 +1,28 @@
+(** Human-readable reports for {!Design.outcome}.
+
+    The formatting is problem-aware when given objective labels and
+    un-negation flags (this library minimizes everything internally, so
+    maximized quantities are stored negated). *)
+
+type objective = {
+  label : string;
+  maximized : bool;  (** true = stored negated, report un-negated *)
+}
+
+val render :
+  objectives:objective array ->
+  Design.outcome ->
+  string
+(** Multi-line text report: front summary, mined trade-offs with yields,
+    the most robust design, evaluation count. *)
+
+val print : objectives:objective array -> Design.outcome -> unit
+(** [render] to stdout. *)
+
+val leaf_objectives : objective array
+(** Labels for the photosynthesis problem: CO2 uptake (maximized),
+    nitrogen (minimized). *)
+
+val geobacter_objectives : objective array
+(** Labels for the Geobacter problem: electron production and biomass
+    production (both maximized). *)

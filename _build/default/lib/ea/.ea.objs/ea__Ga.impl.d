@@ -1,0 +1,1 @@
+lib/ea/ga.ml: Array Float List Numerics Operators

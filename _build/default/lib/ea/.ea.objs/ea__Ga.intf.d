@@ -1,0 +1,1 @@
+lib/ea/ga.mli:

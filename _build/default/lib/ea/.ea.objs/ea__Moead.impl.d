@@ -1,0 +1,1 @@
+lib/ea/moead.ml: Array Moo Numerics Operators

@@ -1,0 +1,1 @@
+lib/ea/moead.mli: Moo Numerics

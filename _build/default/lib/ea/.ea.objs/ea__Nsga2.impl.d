@@ -1,0 +1,1 @@
+lib/ea/nsga2.ml: Array List Moo Numerics Operators Stdlib

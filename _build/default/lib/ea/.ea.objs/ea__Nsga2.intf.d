@@ -1,0 +1,1 @@
+lib/ea/nsga2.mli: Moo Numerics

@@ -1,0 +1,1 @@
+lib/ea/operators.ml: Array Float Numerics

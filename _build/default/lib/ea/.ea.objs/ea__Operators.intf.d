@@ -1,0 +1,1 @@
+lib/ea/operators.mli: Numerics

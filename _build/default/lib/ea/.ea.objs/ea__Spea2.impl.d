@@ -1,0 +1,1 @@
+lib/ea/spea2.ml: Array List Moo Numerics Operators Stdlib

@@ -1,0 +1,1 @@
+lib/ea/spea2.mli: Moo Numerics

@@ -1,0 +1,27 @@
+(** Real-coded variation operators (Deb & Agrawal).
+
+    Both operators clip their results into the [\[lower, upper\]] box. *)
+
+val sbx_crossover :
+  eta:float ->
+  prob:float ->
+  rng:Numerics.Rng.t ->
+  lower:float array ->
+  upper:float array ->
+  float array ->
+  float array ->
+  float array * float array
+(** Simulated binary crossover with distribution index [eta]; applied with
+    probability [prob] (otherwise the parents are copied), and per-gene
+    with probability 0.5 as in the reference implementation. *)
+
+val polynomial_mutation :
+  eta:float ->
+  prob:float ->
+  rng:Numerics.Rng.t ->
+  lower:float array ->
+  upper:float array ->
+  float array ->
+  float array
+(** Polynomial mutation with distribution index [eta]; each gene mutates
+    with probability [prob]. Returns a fresh vector. *)

@@ -1,0 +1,47 @@
+(** SPEA2 (Zitzler, Laumanns & Thiele 2001): strength-Pareto evolutionary
+    algorithm with fine-grained fitness (strength + k-NN density) and an
+    externally truncated archive.
+
+    PMO2 is an archipelago framework "enclosing two optimization
+    algorithms"; SPEA2 is the library's second island algorithm next to
+    NSGA-II.  The interface mirrors {!Nsga2} so islands can host either. *)
+
+type config = {
+  pop_size : int;
+  archive_size : int;
+  crossover_prob : float;
+  eta_c : float;
+  mutation_prob : float option;  (** default [1 / n_var] *)
+  eta_m : float;
+}
+
+val default_config : config
+(** pop 100, archive 100, pc 0.9, eta_c 15, pm 1/n, eta_m 20. *)
+
+type state
+
+val init : ?initial:Moo.Solution.t list -> Moo.Problem.t -> config -> Numerics.Rng.t -> state
+val step : state -> int -> unit
+val front : state -> Moo.Solution.t list
+(** Non-dominated members of the archive. *)
+
+val archive : state -> Moo.Solution.t array
+val evaluations : state -> int
+val generation : state -> int
+
+val select_emigrants : state -> int -> Moo.Solution.t list
+val inject : state -> Moo.Solution.t list -> unit
+
+val run :
+  ?initial:Moo.Solution.t list ->
+  generations:int ->
+  seed:int ->
+  Moo.Problem.t ->
+  config ->
+  Moo.Solution.t list
+
+(** {2 Internals exposed for testing} *)
+
+val fitness : Moo.Solution.t array -> float array
+(** SPEA2 fitness (raw strength-based fitness + density); lower is
+    better, values < 1 are non-dominated. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablate.ml: Array Ea Fba Float List Moo Numerics Pmo2 Printf

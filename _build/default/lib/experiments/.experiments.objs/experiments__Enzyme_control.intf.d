@@ -1,0 +1,1 @@
+lib/experiments/enzyme_control.mli: Photo

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Fig1 Fig2 Fig3 Fig4 Filename Fun List Photo Printf String Sys

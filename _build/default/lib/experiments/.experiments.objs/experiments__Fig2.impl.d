@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Fun List Moo Option Photo Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Float List Numerics Photo Printf Robustness Runs Scale

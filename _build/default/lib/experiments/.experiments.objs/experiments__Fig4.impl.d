@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Ea Fba Float List Moo Numerics Pmo2 Printf Scale Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/local_analysis.ml: Array List Numerics Photo Printf Robustness Runs

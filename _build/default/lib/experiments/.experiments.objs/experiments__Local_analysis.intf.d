@@ -1,0 +1,1 @@
+lib/experiments/local_analysis.mli:

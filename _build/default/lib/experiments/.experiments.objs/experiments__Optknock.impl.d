@@ -1,0 +1,1 @@
+lib/experiments/optknock.ml: Fba Printf

@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Array Ea Hashtbl Moo Photo Pmo2 Printf Scale

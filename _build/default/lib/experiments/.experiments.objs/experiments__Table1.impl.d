@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Ea List Moo Numerics Photo Printf Runs Scale

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array List Moo Numerics Photo Printf Robustness Runs Scale Stdlib

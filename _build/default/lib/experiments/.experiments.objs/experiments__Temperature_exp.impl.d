@@ -1,0 +1,1 @@
+lib/experiments/temperature_exp.ml: List Photo Printf

@@ -1,0 +1,1 @@
+lib/experiments/zhu_check.ml: Array List Photo Printf Scale

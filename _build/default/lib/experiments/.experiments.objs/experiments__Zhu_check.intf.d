@@ -1,0 +1,1 @@
+lib/experiments/zhu_check.mli: Photo

@@ -1,0 +1,131 @@
+let zdt1 n = Moo.Benchmarks.zdt1 ~n
+
+let hv front = Moo.Hypervolume.of_solutions ~ref_point:[| 1.1; 1.1 |] front
+
+let migration () =
+  Printf.printf "== Ablation: migration scheme (ZDT1, 30 variables) ==\n";
+  let problem = zdt1 30 in
+  let base =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = 25;
+      nsga2 = { Ea.Nsga2.default_config with pop_size = 40 };
+    }
+  in
+  let variants =
+    [
+      ("no migration (isolated islands)", { base with Pmo2.Archipelago.migration_prob = 0. });
+      ("paper: broadcast, p=0.5", base);
+      ("broadcast, p=1.0", { base with Pmo2.Archipelago.migration_prob = 1. });
+      ("ring, p=0.5", { base with Pmo2.Archipelago.topology = Pmo2.Topology.Ring });
+      ( "star, p=0.5",
+        {
+          base with
+          Pmo2.Archipelago.topology = Pmo2.Topology.Star;
+          n_islands = 4;
+        } );
+    ]
+  in
+  List.iter
+    (fun (label, cfg) ->
+      let scores =
+        List.map
+          (fun seed ->
+            let r = Pmo2.Archipelago.run ~seed ~generations:150 problem cfg in
+            hv r.Pmo2.Archipelago.front)
+          [ 1; 2; 3 ]
+      in
+      Printf.printf "   %-34s hv = %.4f (min %.4f over 3 seeds)\n" label
+        (Numerics.Stats.mean (Array.of_list scores))
+        (List.fold_left Float.min infinity scores))
+    variants
+
+let operators () =
+  Printf.printf "== Ablation: variation operators (ZDT1, 30 variables) ==\n";
+  let problem = zdt1 30 in
+  let run ~eta_c ~pm_scale =
+    let n = 30 in
+    let cfg =
+      {
+        Ea.Nsga2.default_config with
+        pop_size = 40;
+        eta_c;
+        mutation_prob = Some (pm_scale /. float_of_int n);
+      }
+    in
+    let front = Ea.Nsga2.run ~generations:150 ~seed:1 problem cfg in
+    hv front
+  in
+  List.iter
+    (fun eta_c ->
+      Printf.printf "   eta_c = %4.0f                      hv = %.4f\n" eta_c
+        (run ~eta_c ~pm_scale:1.))
+    [ 2.; 15.; 30. ];
+  List.iter
+    (fun pm_scale ->
+      Printf.printf "   mutation rate = %.1f/n             hv = %.4f\n" pm_scale
+        (run ~eta_c:15. ~pm_scale))
+    [ 0.5; 1.; 3. ]
+
+let penalty () =
+  Printf.printf "== Ablation: Geobacter steady-state pressure (eps band) ==\n";
+  let g = Fba.Geobacter.build () in
+  let seeds_for p =
+    (* Re-evaluate the same LP seeds under each problem variant. *)
+    let raw = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.301 ] in
+    List.map (fun s -> Moo.Solution.evaluate p s.Moo.Solution.x) raw
+  in
+  let vary = Fba.Moo_problem.flux_variation g () in
+  let cfg =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = 10;
+      nsga2 = { Ea.Nsga2.default_config with pop_size = 30; variation = Some vary };
+    }
+  in
+  List.iter
+    (fun eps ->
+      let p = Fba.Moo_problem.problem ~eps g in
+      let r =
+        Pmo2.Archipelago.run ~seed:3 ~initial:(seeds_for p) ~generations:40 p cfg
+      in
+      let feasible = List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front in
+      let best_ep =
+        List.fold_left (fun m s -> Float.max m (Fba.Moo_problem.ep_of s)) neg_infinity feasible
+      in
+      let max_bp =
+        List.fold_left (fun m s -> Float.max m (Fba.Moo_problem.bp_of s)) neg_infinity feasible
+      in
+      Printf.printf
+        "   eps = %-5.2f front=%3d feasible=%3d best EP=%8.2f max BP=%.4f\n" eps
+        (List.length r.Pmo2.Archipelago.front)
+        (List.length feasible) best_ep max_bp)
+    [ 0.01; 0.05; 0.5 ]
+
+let algorithms () =
+  Printf.printf "== Ablation: island algorithm mix (ZDT1, 30 variables) ==\n";
+  let problem = zdt1 30 in
+  let nsga2 = Pmo2.Archipelago.Nsga2 { Ea.Nsga2.default_config with pop_size = 40 } in
+  let spea2 =
+    Pmo2.Archipelago.Spea2
+      { Ea.Spea2.default_config with pop_size = 40; archive_size = 40 }
+  in
+  let base = { Pmo2.Archipelago.default_config with migration_period = 25 } in
+  List.iter
+    (fun (label, algos) ->
+      let cfg = { base with Pmo2.Archipelago.algorithms = algos } in
+      let scores =
+        List.map
+          (fun seed ->
+            let r = Pmo2.Archipelago.run ~seed ~generations:150 problem cfg in
+            hv r.Pmo2.Archipelago.front)
+          [ 1; 2; 3 ]
+      in
+      Printf.printf "   %-28s hv = %.4f (min %.4f over 3 seeds)\n" label
+        (Numerics.Stats.mean (Array.of_list scores))
+        (List.fold_left Float.min infinity scores))
+    [
+      ("2x NSGA-II (paper)", [ nsga2; nsga2 ]);
+      ("NSGA-II + SPEA2", [ nsga2; spea2 ]);
+      ("2x SPEA2", [ spea2; spea2 ]);
+    ]

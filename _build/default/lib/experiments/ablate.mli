@@ -1,0 +1,19 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+    migration scheme (PMO2's contribution over isolated islands),
+    variation-operator settings, and the steady-state pressure (ε band)
+    of the Geobacter formulation. *)
+
+val migration : unit -> unit
+(** Hypervolume on a 30-variable ZDT1 for: no migration, the paper's
+    broadcast at p = 0.5, always-migrate, ring and star topologies. *)
+
+val operators : unit -> unit
+(** SBX distribution index and mutation-rate sweep on ZDT1. *)
+
+val penalty : unit -> unit
+(** ε-band sweep for the Geobacter steady-state pressure: front size,
+    best electron production among feasible solutions, violation. *)
+
+val algorithms : unit -> unit
+(** Island-algorithm mix: two NSGA-II islands (the paper's reference
+    setup) vs an NSGA-II + SPEA2 archipelago vs two SPEA2 islands. *)

@@ -1,0 +1,91 @@
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then invalid_arg (dir ^ " is not a directory")
+
+let write_tsv ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "\t" header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "\t" row);
+          output_char oc '\n')
+        rows)
+
+let fig1 ~dir =
+  ensure_dir dir;
+  let path = Filename.concat dir "fig1.tsv" in
+  let rows =
+    List.concat_map
+      (fun (s : Fig1.series) ->
+        List.map
+          (fun (uptake, nitrogen) ->
+            [
+              Printf.sprintf "%g" s.Fig1.env.Photo.Params.ci;
+              Printf.sprintf "%g" s.Fig1.env.Photo.Params.tp_export;
+              Printf.sprintf "%.4f" uptake;
+              Printf.sprintf "%.1f" nitrogen;
+            ])
+          s.Fig1.points)
+      (Fig1.compute ())
+  in
+  write_tsv ~path ~header:[ "ci_ppm"; "tp_export"; "uptake"; "nitrogen" ] rows;
+  path
+
+let fig2 ~dir =
+  ensure_dir dir;
+  let path = Filename.concat dir "fig2.tsv" in
+  let rows =
+    List.concat_map
+      (fun (c : Fig2.candidate) ->
+        Array.to_list
+          (Array.mapi
+             (fun i r ->
+               [ c.Fig2.label; Photo.Enzyme.names.(i); Printf.sprintf "%.4f" r ])
+             c.Fig2.ratios))
+      (Fig2.compute ())
+  in
+  write_tsv ~path ~header:[ "candidate"; "enzyme"; "ratio" ] rows;
+  path
+
+let fig3 ~dir =
+  ensure_dir dir;
+  let path = Filename.concat dir "fig3.tsv" in
+  let rows =
+    List.map
+      (fun (p : Fig3.point) ->
+        [
+          Printf.sprintf "%.4f" p.Fig3.uptake;
+          Printf.sprintf "%.1f" p.Fig3.nitrogen;
+          Printf.sprintf "%.2f" p.Fig3.yield_pct;
+        ])
+      (Fig3.compute ())
+  in
+  write_tsv ~path ~header:[ "uptake"; "nitrogen"; "yield_pct" ] rows;
+  path
+
+let fig4 ~dir =
+  ensure_dir dir;
+  let path = Filename.concat dir "fig4.tsv" in
+  let r = Fig4.compute () in
+  let rows =
+    List.map
+      (fun (ep, bp) -> [ "lp"; Printf.sprintf "%.4f" ep; Printf.sprintf "%.5f" bp; "" ])
+      r.Fig4.lp_front
+    @ List.map
+        (fun (p : Fig4.point) ->
+          [
+            "pmo2-" ^ p.Fig4.label;
+            Printf.sprintf "%.4f" p.Fig4.ep;
+            Printf.sprintf "%.5f" p.Fig4.bp;
+            Printf.sprintf "%.4f" p.Fig4.violation;
+          ])
+        r.Fig4.points
+  in
+  write_tsv ~path ~header:[ "source"; "electron_production"; "biomass_production"; "violation" ] rows;
+  path
+
+let all ~dir = [ fig1 ~dir; fig2 ~dir; fig3 ~dir; fig4 ~dir ]

@@ -1,0 +1,32 @@
+type series = {
+  env : Photo.Params.env;
+  points : (float * float) list;
+  natural : float * float;
+}
+
+let compute () =
+  List.map
+    (fun env ->
+      let front = Runs.leaf_front ~env in
+      let picks = Moo.Mine.equally_spaced ~k:12 front in
+      let points =
+        List.sort compare
+          (List.map (fun s -> (Photo.Leaf.uptake_of s, Photo.Leaf.nitrogen_of s)) picks)
+      in
+      { env; points; natural = Photo.Leaf.natural_point env })
+    Photo.Params.six_conditions
+
+let print () =
+  Printf.printf "== Figure 1: CO2 uptake vs protein-nitrogen Pareto fronts ==\n";
+  Printf.printf
+    "Paper operating point: uptake 15.486 +/- 10%% umol m^-2 s^-1, N 208330 +/- 10%% mg/l\n";
+  List.iter
+    (fun s ->
+      let u, n = s.natural in
+      Printf.printf "-- %s, triose-P export %.0f mmol/l/s (natural: %.3f, %.0f)\n"
+        s.env.Photo.Params.label s.env.Photo.Params.tp_export u n;
+      List.iter
+        (fun (uptake, nitrogen) ->
+          Printf.printf "   uptake %7.3f   nitrogen %9.0f\n" uptake nitrogen)
+        s.points)
+    (compute ())

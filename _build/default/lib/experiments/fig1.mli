@@ -1,0 +1,12 @@
+(** Figure 1 — Pareto fronts of CO2 uptake vs total protein-nitrogen in
+    the six Ci × triose-P-export conditions, with the natural operating
+    box (uptake 15.486 ± 10%, nitrogen 208 330 ± 10%). *)
+
+type series = {
+  env : Photo.Params.env;
+  points : (float * float) list;  (** (uptake, nitrogen), uptake-sorted *)
+  natural : float * float;
+}
+
+val compute : unit -> series list
+val print : unit -> unit

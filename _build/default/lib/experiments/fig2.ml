@@ -1,0 +1,58 @@
+type candidate = {
+  label : string;
+  uptake : float;
+  nitrogen : float;
+  nitrogen_frac : float;
+  ratios : float array;
+}
+
+let mine_candidate ~front ~natural_uptake ~min_uptake_frac =
+  let ok s = Photo.Leaf.uptake_of s >= min_uptake_frac *. natural_uptake in
+  let candidates = List.filter ok front in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best s ->
+           if Photo.Leaf.nitrogen_of s < Photo.Leaf.nitrogen_of best then s else best)
+         first rest)
+
+let compute () =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let front = Runs.leaf_front ~env in
+  let natural_uptake, natural_n = Photo.Leaf.natural_point env in
+  let to_candidate label s =
+    let n = Photo.Leaf.nitrogen_of s in
+    {
+      label;
+      uptake = Photo.Leaf.uptake_of s;
+      nitrogen = n;
+      nitrogen_frac = n /. natural_n;
+      ratios = Array.copy s.Moo.Solution.x;
+    }
+  in
+  let b =
+    mine_candidate ~front ~natural_uptake ~min_uptake_frac:0.975
+    |> Option.map (to_candidate "B")
+  in
+  let a2 =
+    mine_candidate ~front ~natural_uptake ~min_uptake_frac:1.10
+    |> Option.map (to_candidate "A2")
+  in
+  List.filter_map Fun.id [ b; a2 ]
+
+let print () =
+  Printf.printf "== Figure 2: candidate-B enzyme ratios vs the natural leaf ==\n";
+  Printf.printf "Paper: B keeps the natural uptake with 47%% of the nitrogen (99 g/l vs 208 g/l);\n";
+  Printf.printf "       A2 reaches 110%% uptake with 50%% of the nitrogen.\n";
+  let candidates = compute () in
+  if candidates = [] then Printf.printf "   (front too sparse at this scale)\n";
+  List.iter
+    (fun c ->
+      Printf.printf "-- %s: uptake %.3f, nitrogen %.0f (%.1f%% of natural)\n" c.label
+        c.uptake c.nitrogen (100. *. c.nitrogen_frac);
+      Array.iteri
+        (fun i r -> Printf.printf "   %-22s %6.3fx\n" Photo.Enzyme.names.(i) r)
+        c.ratios)
+    candidates

@@ -1,0 +1,108 @@
+type point = { label : string; ep : float; bp : float; violation : float }
+
+type result = {
+  lp_front : (float * float) list;
+  points : point list;
+  initial_violation : float;
+  best_violation : float;
+}
+
+let labels = [| "A"; "B"; "C"; "D"; "E" |]
+
+let compute () =
+  let b = Scale.budgets (Scale.current ()) in
+  let g = Fba.Geobacter.build () in
+  let net = g.Fba.Geobacter.net in
+  (* Exact trade-off by epsilon-constraint LP. *)
+  let levels = [ 0.283; 0.287; 0.291; 0.295; 0.300 ] in
+  let lp_front =
+    Fba.Analysis.epsilon_constraint ~t:net ~primary:g.Fba.Geobacter.ep
+      ~secondary:g.Fba.Geobacter.bp ~levels
+  in
+  (* PMO2 over the 608 fluxes, seeded from FBA vertices, with the
+     flux-space variation operator. *)
+  let problem = Fba.Moo_problem.problem g in
+  let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
+  let vary = Fba.Moo_problem.flux_variation g () in
+  let cfg =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = Stdlib.max 10 (b.Scale.geo_generations / 4);
+      nsga2 =
+        {
+          Ea.Nsga2.default_config with
+          pop_size = b.Scale.geo_pop;
+          variation = Some vary;
+        };
+    }
+  in
+  let r =
+    Pmo2.Archipelago.run ~seed:2011 ~initial:seeds ~generations:b.Scale.geo_generations
+      problem cfg
+  in
+  let feasible =
+    List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front
+  in
+  let spread = Moo.Mine.equally_spaced ~k:5 feasible in
+  let sorted =
+    List.sort (fun a b -> compare (Fba.Moo_problem.ep_of a) (Fba.Moo_problem.ep_of b)) spread
+  in
+  let points =
+    List.mapi
+      (fun i s ->
+        {
+          label = (if i < Array.length labels then labels.(i) else string_of_int i);
+          ep = Fba.Moo_problem.ep_of s;
+          bp = Fba.Moo_problem.bp_of s;
+          violation = Fba.Network.violation net s.Moo.Solution.x;
+        })
+      sorted
+  in
+  (* The violation-reduction story (the paper's 1/26): an unseeded run in
+     the paper's raw formulation — random flux vectors, standard
+     operators, constrained dominance pressing ‖S·v‖ down. *)
+  let pen = Fba.Moo_problem.problem ~eps:0. g in
+  let rng = Numerics.Rng.create 2011 in
+  let st =
+    Ea.Nsga2.init pen
+      {
+        Ea.Nsga2.default_config with
+        pop_size = b.Scale.geo_pop;
+        (* a denser mutation rate converges faster on the 608-d flux space *)
+        mutation_prob = Some (3. /. 608.);
+      }
+      rng
+  in
+  let best_violation_of () =
+    Array.fold_left
+      (fun m s -> Float.min m s.Moo.Solution.v)
+      infinity (Ea.Nsga2.population st)
+  in
+  let initial_violation = best_violation_of () in
+  Ea.Nsga2.step st (40 * b.Scale.geo_generations);
+  let best_violation = best_violation_of () in
+  { lp_front; points; initial_violation; best_violation }
+
+let paper =
+  [ ("A", 158.14, 0.300); ("B", 159.36, 0.298); ("C", 159.38, 0.297);
+    ("D", 160.70, 0.284); ("E", 160.90, 0.283) ]
+
+let print () =
+  Printf.printf "== Figure 4: Geobacter — electron vs biomass production ==\n";
+  let r = compute () in
+  Printf.printf "Exact LP trade-off (epsilon-constraint sweep):\n";
+  List.iter (fun (ep, bp) -> Printf.printf "   EP %8.3f  BP %.4f\n" ep bp) r.lp_front;
+  Printf.printf "PMO2 trade-off points (A-E):\n";
+  List.iter
+    (fun p ->
+      Printf.printf "   %s: EP %8.3f  BP %.4f  ||S.v|| %.3f\n" p.label p.ep p.bp
+        p.violation)
+    r.points;
+  Printf.printf "paper:\n";
+  List.iter (fun (l, ep, bp) -> Printf.printf "   %s: EP %8.2f  BP %.3f\n" l ep bp) paper;
+  Printf.printf
+    "Constraint-violation pressure (unseeded run, raw formulation):\n\
+     best initial ||S.v|| = %.3e -> best evolved = %.3e (reduction to 1/%.1f;\n\
+     the paper reports ~1/26 on its scale).\n"
+    r.initial_violation r.best_violation
+    (r.initial_violation /. Float.max 1e-9 r.best_violation)

@@ -1,0 +1,16 @@
+(** Figure 4 — Geobacter sulfurreducens: the biomass-production vs
+    electron-production Pareto front (five labeled trade-off points A–E),
+    plus the steady-state violation-reduction story of Section 3.2 (the
+    paper reports a drop to ~1/26 of the initial guess). *)
+
+type point = { label : string; ep : float; bp : float; violation : float }
+
+type result = {
+  lp_front : (float * float) list;   (** exact LP sweep (EP, BP) *)
+  points : point list;               (** A–E from the PMO2 run *)
+  initial_violation : float;  (** best ‖S·v‖ in a random initial population *)
+  best_violation : float;     (** best ‖S·v‖ after the unseeded penalty run *)
+}
+
+val compute : unit -> result
+val print : unit -> unit

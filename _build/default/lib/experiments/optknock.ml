@@ -1,0 +1,18 @@
+let print () =
+  Printf.printf "== OptKnock comparison: growth-coupled succinate (E. coli core) ==\n";
+  let m = Fba.Ecoli_core.build () in
+  let net = m.Fba.Ecoli_core.net in
+  let describe label removed =
+    match
+      Fba.Knockout.growth_coupled ~t:net ~target:m.Fba.Ecoli_core.ex_succinate
+        ~biomass:m.Fba.Ecoli_core.biomass ~removed
+    with
+    | None -> Printf.printf "   %-12s lethal\n" label
+    | Some c ->
+      let lo, hi = c.Fba.Knockout.target_at_growth in
+      Printf.printf "   %-12s growth %.3f, succinate at optimum [%.2f, %.2f]%s\n" label
+        c.Fba.Knockout.biomass_opt lo hi
+        (if lo > 1e-6 then "  <- growth-coupled" else "")
+  in
+  describe "wild type" [];
+  describe "dPFL dLDH" [ m.Fba.Ecoli_core.pfl; m.Fba.Ecoli_core.ldh ]

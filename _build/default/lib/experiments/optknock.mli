@@ -1,0 +1,6 @@
+(** OptKnock comparison experiment (§3.2 cites Burgard et al. 2003):
+    growth-coupled succinate production in the E. coli core by reaction
+    deletion — the single-organism, single-objective strain-design
+    approach the paper's multi-objective formulation generalizes. *)
+
+val print : unit -> unit

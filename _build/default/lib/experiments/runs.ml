@@ -1,0 +1,49 @@
+let pmo2_config (b : Scale.budgets) =
+  {
+    Pmo2.Archipelago.default_config with
+    migration_period = b.Scale.migration_period;
+    nsga2 = { Ea.Nsga2.default_config with pop_size = b.Scale.pop_size };
+  }
+
+let cache : (string, Moo.Solution.t list * int) Hashtbl.t = Hashtbl.create 8
+
+let key (env : Photo.Params.env) =
+  Printf.sprintf "%s/tp=%g/%s" env.Photo.Params.label env.Photo.Params.tp_export
+    (match Scale.current () with Scale.Quick -> "quick" | Scale.Full -> "full")
+
+let leaf_front_with_evals ~env =
+  let k = key env in
+  match Hashtbl.find_opt cache k with
+  | Some v -> v
+  | None ->
+    let b = Scale.budgets (Scale.current ()) in
+    let problem = Photo.Leaf.problem env in
+    (* Seed with the natural leaf so the front always brackets the
+       operating point. *)
+    let natural =
+      Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.)
+    in
+    let r =
+      Pmo2.Archipelago.run ~seed:2011 ~initial:[ natural ] ~generations:b.Scale.generations
+        problem (pmo2_config b)
+    in
+    let v = (r.Pmo2.Archipelago.front, r.Pmo2.Archipelago.evaluations) in
+    Hashtbl.replace cache k v;
+    v
+
+let leaf_front ~env = fst (leaf_front_with_evals ~env)
+
+let warm_cache : (string, float array) Hashtbl.t = Hashtbl.create 8
+
+let uptake_property ~env =
+  let k = key env in
+  let warm =
+    match Hashtbl.find_opt warm_cache k with
+    | Some y -> y
+    | None ->
+      let y = (Photo.Steady_state.natural ~env ()).Photo.Steady_state.y in
+      Hashtbl.replace warm_cache k y;
+      y
+  in
+  fun ratios ->
+    (Photo.Steady_state.evaluate ~y0:warm ~env ~ratios ()).Photo.Steady_state.uptake

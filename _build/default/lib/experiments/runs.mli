@@ -1,0 +1,18 @@
+(** Memoized optimization runs shared by the experiments.
+
+    Several tables/figures read the same Pareto fronts; this module runs
+    PMO2 once per (environment, scale) and caches the result for the
+    lifetime of the process. *)
+
+val leaf_front : env:Photo.Params.env -> Moo.Solution.t list
+(** PMO2 front of the leaf-design problem under [env] at the current
+    scale (memoized). *)
+
+val leaf_front_with_evals : env:Photo.Params.env -> Moo.Solution.t list * int
+(** Front plus the number of objective evaluations spent producing it. *)
+
+val uptake_property : env:Photo.Params.env -> float array -> float
+(** CO2 uptake of an enzyme-ratio vector (the robustness property). *)
+
+val pmo2_config : Scale.budgets -> Pmo2.Archipelago.config
+(** The paper's archipelago configuration at a given budget. *)

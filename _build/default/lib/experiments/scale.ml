@@ -1,0 +1,44 @@
+type t = Quick | Full
+
+let current () =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some ("full" | "FULL" | "Full") -> Full
+  | _ -> Quick
+
+type budgets = {
+  pop_size : int;
+  generations : int;
+  migration_period : int;
+  moead_generations : int;
+  yield_trials : int;
+  sweep_points : int;
+  sweep_trials : int;
+  geo_generations : int;
+  geo_pop : int;
+}
+
+let budgets = function
+  | Quick ->
+    {
+      pop_size = 32;
+      generations = 120;
+      migration_period = 40;
+      moead_generations = 240; (* matches 2 islands × 120 generations *)
+      yield_trials = 400;
+      sweep_points = 24;
+      sweep_trials = 120;
+      geo_generations = 60;
+      geo_pop = 40;
+    }
+  | Full ->
+    {
+      pop_size = 100;
+      generations = 1000;
+      migration_period = 200;
+      moead_generations = 2000;
+      yield_trials = 5000;
+      sweep_points = 50;
+      sweep_trials = 500;
+      geo_generations = 400;
+      geo_pop = 100;
+    }

@@ -1,0 +1,24 @@
+(** Budget presets for the experiment harness.
+
+    [Quick] reproduces every table/figure shape in minutes on a laptop;
+    [Full] approaches the paper's budgets (hours).  The scale is read from
+    the [REPRO_SCALE] environment variable ("quick" | "full"), defaulting
+    to [Quick]. *)
+
+type t = Quick | Full
+
+val current : unit -> t
+
+type budgets = {
+  pop_size : int;
+  generations : int;
+  migration_period : int;
+  moead_generations : int;   (** matched evaluation budget for Table 1 *)
+  yield_trials : int;        (** global robustness ensemble *)
+  sweep_points : int;        (** Figure 3 front sweep *)
+  sweep_trials : int;
+  geo_generations : int;     (** Figure 4 archipelago run *)
+  geo_pop : int;
+}
+
+val budgets : t -> budgets

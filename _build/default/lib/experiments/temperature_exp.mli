@@ -1,0 +1,4 @@
+(** Temperature response of the natural leaf and of a re-engineered
+    design (extension experiment; the paper works at 25 °C). *)
+
+val print : unit -> unit

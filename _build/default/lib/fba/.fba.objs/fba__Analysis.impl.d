@@ -1,0 +1,1 @@
+lib/fba/analysis.ml: Array Float List Lp Network Sparse

@@ -1,0 +1,1 @@
+lib/fba/analysis.mli: Network

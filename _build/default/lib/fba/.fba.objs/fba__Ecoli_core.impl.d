@@ -1,0 +1,1 @@
+lib/fba/ecoli_core.ml: Network

@@ -1,0 +1,1 @@
+lib/fba/geobacter.ml: Array List Network Numerics Printf

@@ -1,0 +1,1 @@
+lib/fba/geobacter.mli: Network

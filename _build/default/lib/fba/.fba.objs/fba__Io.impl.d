@@ -1,0 +1,1 @@
+lib/fba/io.ml: Array Buffer Float Fun Hashtbl List Network Printf String

@@ -1,0 +1,1 @@
+lib/fba/io.mli: Network

@@ -1,0 +1,1 @@
+lib/fba/knockout.ml: Analysis Array Float List Network

@@ -1,0 +1,1 @@
+lib/fba/knockout.mli: Network

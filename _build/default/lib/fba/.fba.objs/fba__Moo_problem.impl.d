@@ -1,0 +1,1 @@
+lib/fba/moo_problem.ml: Analysis Array Float Geobacter List Moo Network Numerics Printf Sparse

@@ -1,0 +1,1 @@
+lib/fba/moo_problem.mli: Geobacter Moo Numerics

@@ -1,0 +1,1 @@
+lib/fba/network.ml: Array Hashtbl List Sparse

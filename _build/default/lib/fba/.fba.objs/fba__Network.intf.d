@@ -1,0 +1,1 @@
+lib/fba/network.mli: Sparse

@@ -1,0 +1,1 @@
+lib/fba/sampler.ml: Array Float Fun Geobacter List Moo_problem Network Numerics Printf Sparse

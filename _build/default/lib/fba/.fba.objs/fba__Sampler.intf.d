@@ -1,0 +1,1 @@
+lib/fba/sampler.mli: Geobacter

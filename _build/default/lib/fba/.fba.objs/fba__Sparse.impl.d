@@ -1,0 +1,1 @@
+lib/fba/sparse.ml: Array Hashtbl List Numerics

@@ -1,0 +1,1 @@
+lib/fba/sparse.mli: Numerics

@@ -1,0 +1,72 @@
+type solution = { objective : float; fluxes : float array }
+
+exception Infeasible_model of string
+
+let spec_of ~t ~obj =
+  let n = Network.n_reactions t in
+  let m = Network.n_metabolites t in
+  let s = Network.stoichiometric_matrix t in
+  let cols = Array.init n (fun j -> Sparse.column s j) in
+  let lo = Array.make n 0. and up = Array.make n 0. in
+  Array.iteri
+    (fun j (l, u) ->
+      lo.(j) <- l;
+      up.(j) <- u)
+    (Network.bounds t);
+  { Lp.Simplex.n_rows = m; cols; rhs = Array.make m 0.; obj; lo; up }
+
+let solve_spec spec =
+  match Lp.Simplex.solve spec with
+  | Lp.Simplex.Optimal { x; objective } -> { objective; fluxes = x }
+  | Lp.Simplex.Infeasible -> raise (Infeasible_model "LP infeasible")
+  | Lp.Simplex.Unbounded -> raise (Infeasible_model "LP unbounded")
+
+let fba_multi ~t ~objective =
+  let n = Network.n_reactions t in
+  let obj = Array.make n 0. in
+  List.iter
+    (fun (j, w) ->
+      assert (0 <= j && j < n);
+      obj.(j) <- obj.(j) +. w)
+    objective;
+  solve_spec (spec_of ~t ~obj)
+
+let fba ~t ~objective = fba_multi ~t ~objective:[ (objective, 1.) ]
+
+let fva ~t ~reactions =
+  List.map
+    (fun j ->
+      let n = Network.n_reactions t in
+      let obj_max = Array.make n 0. in
+      obj_max.(j) <- 1.;
+      let hi = (solve_spec (spec_of ~t ~obj:obj_max)).objective in
+      let obj_min = Array.make n 0. in
+      obj_min.(j) <- -1.;
+      let lo = -.(solve_spec (spec_of ~t ~obj:obj_min)).objective in
+      (j, (lo, hi)))
+    reactions
+
+let epsilon_constraint ~t ~primary ~secondary ~levels =
+  let saved = Network.bounds t in
+  let restore () =
+    Array.iteri (fun j (l, u) -> Network.set_bounds t j l u) saved
+  in
+  let results =
+    List.filter_map
+      (fun level ->
+        let l, u = saved.(secondary) in
+        if level > u then None
+        else begin
+          Network.set_bounds t secondary (Float.max l level) u;
+          let r =
+            match fba ~t ~objective:primary with
+            | sol -> Some (sol.objective, level)
+            | exception Infeasible_model _ -> None
+          in
+          Network.set_bounds t secondary l u;
+          r
+        end)
+      levels
+  in
+  restore ();
+  results

@@ -1,0 +1,24 @@
+(** Flux-balance analysis on top of the simplex solver (the COBRA-toolbox
+    functionality the paper leans on). *)
+
+type solution = { objective : float; fluxes : float array }
+
+exception Infeasible_model of string
+
+val fba : t:Network.t -> objective:int -> solution
+(** Maximize the flux through reaction [objective] subject to [S·v = 0]
+    and the network's bounds. *)
+
+val fba_multi : t:Network.t -> objective:(int * float) list -> solution
+(** Maximize a weighted combination of fluxes. *)
+
+val fva : t:Network.t -> reactions:int list -> (int * (float * float)) list
+(** Flux variability: min and max achievable steady-state flux for each
+    listed reaction. *)
+
+val epsilon_constraint :
+  t:Network.t -> primary:int -> secondary:int -> levels:float list ->
+  (float * float) list
+(** Exact Pareto front sweep by LP: for each level [b], maximize
+    [primary] subject to [secondary ≥ b]; returns
+    [(primary*, level)] pairs for feasible levels. *)

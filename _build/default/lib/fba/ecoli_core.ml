@@ -1,0 +1,93 @@
+type model = {
+  net : Network.t;
+  glucose_uptake : int;
+  biomass : int;
+  ex_succinate : int;
+  ex_lactate : int;
+  ex_ethanol : int;
+  ex_acetate : int;
+  ex_formate : int;
+  ldh : int;
+  adhe : int;
+  pta : int;
+  pfl : int;
+}
+
+let metabolites =
+  [|
+    "glc"; "g6p"; "pep"; "pyr"; "accoa"; "nadh"; "atp"; "co2"; "formate";
+    "acetate"; "etoh"; "lactate"; "succinate"; "oaa"; "mal"; "fum";
+  |]
+
+let m_glc = 0
+let m_g6p = 1
+let m_pep = 2
+let m_pyr = 3
+let m_accoa = 4
+let m_nadh = 5
+let m_atp = 6
+let m_co2 = 7
+let m_for = 8
+let m_ac = 9
+let m_etoh = 10
+let m_lac = 11
+let m_succ = 12
+let m_oaa = 13
+let m_mal = 14
+let m_fum = 15
+
+let build () =
+  let net = Network.create ~metabolites () in
+  let add name stoich lb ub = Network.add_reaction net ~name ~stoich ~lb ~ub in
+  let glucose_uptake = add "EX_glc" [ (m_glc, 1.) ] 0. 10. in
+  (* PTS transport: glucose phosphorylation at the expense of PEP — the
+     coupling that makes succinate yield a real design problem. *)
+  let _pts = add "PTS" [ (m_glc, -1.); (m_pep, -1.); (m_g6p, 1.); (m_pyr, 1.) ] 0. 1000. in
+  (* Lumped glycolysis (g6p → 2 PEP). *)
+  let _glyc =
+    add "GLYC" [ (m_g6p, -1.); (m_pep, 2.); (m_nadh, 2.); (m_atp, 2.) ] 0. 1000.
+  in
+  let _pyk = add "PYK" [ (m_pep, -1.); (m_pyr, 1.); (m_atp, 1.) ] 0. 1000. in
+  (* Anaplerosis to the reductive TCA branch. *)
+  let _ppc = add "PPC" [ (m_pep, -1.); (m_co2, -1.); (m_oaa, 1.) ] 0. 1000. in
+  let _mdh = add "MDH" [ (m_oaa, -1.); (m_nadh, -1.); (m_mal, 1.) ] 0. 1000. in
+  let _fum = add "FUM" [ (m_mal, -1.); (m_fum, 1.) ] 0. 1000. in
+  let _frd = add "FRD" [ (m_fum, -1.); (m_nadh, -1.); (m_succ, 1.) ] 0. 1000. in
+  (* Pyruvate fates. *)
+  let pfl = add "PFL" [ (m_pyr, -1.); (m_accoa, 1.); (m_for, 1.) ] 0. 1000. in
+  let _pdh =
+    add "PDH" [ (m_pyr, -1.); (m_accoa, 1.); (m_nadh, 1.); (m_co2, 1.) ] 0. 1000.
+  in
+  let ldh = add "LDH" [ (m_pyr, -1.); (m_nadh, -1.); (m_lac, 1.) ] 0. 1000. in
+  let adhe = add "ADHE" [ (m_accoa, -1.); (m_nadh, -2.); (m_etoh, 1.) ] 0. 1000. in
+  let pta = add "PTA_ACK" [ (m_accoa, -1.); (m_ac, 1.); (m_atp, 1.) ] 0. 1000. in
+  (* Biomass and maintenance. *)
+  let biomass =
+    add "BIOMASS"
+      [ (m_accoa, -1.); (m_oaa, -0.3); (m_pep, -0.5); (m_atp, -3.) ]
+      0. 1000.
+  in
+  let _atpm = add "ATPM" [ (m_atp, -1.) ] 0.5 1000. in
+  (* Exchanges. *)
+  let ex_succinate = add "EX_succ" [ (m_succ, -1.) ] 0. 1000. in
+  let ex_lactate = add "EX_lac" [ (m_lac, -1.) ] 0. 1000. in
+  let ex_ethanol = add "EX_etoh" [ (m_etoh, -1.) ] 0. 1000. in
+  let ex_acetate = add "EX_ac" [ (m_ac, -1.) ] 0. 1000. in
+  let ex_formate = add "EX_for" [ (m_for, -1.) ] 0. 1000. in
+  let _ex_co2 = add "EX_co2" [ (m_co2, -1.) ] (-1000.) 1000. in
+  {
+    net;
+    glucose_uptake;
+    biomass;
+    ex_succinate;
+    ex_lactate;
+    ex_ethanol;
+    ex_acetate;
+    ex_formate;
+    ldh;
+    adhe;
+    pta;
+    pfl;
+  }
+
+let succinate_candidates m = [ m.ldh; m.adhe; m.pta; m.pfl ]

@@ -1,0 +1,37 @@
+(** A small named E. coli core network (glucose fermentation) for
+    knockout studies.
+
+    The paper cites OptKnock (Burgard et al. 2003), whose flagship case
+    study re-routes E. coli fermentation toward succinate by deleting
+    competing byproduct branches.  This module provides a compact,
+    hand-checkable version of that setting: glycolysis to PEP/pyruvate,
+    the fermentative branches (lactate, ethanol, acetate, formate), the
+    reductive succinate branch, a biomass drain and the corresponding
+    exchanges — ~30 reactions over ~25 metabolites.
+
+    Stoichiometry is simplified but redox- and carbon-consistent: each
+    fermentative fate balances the NADH produced by glycolysis
+    differently, which is exactly the degree of freedom knockouts
+    exploit. *)
+
+type model = {
+  net : Network.t;
+  glucose_uptake : int;
+  biomass : int;
+  ex_succinate : int;
+  ex_lactate : int;
+  ex_ethanol : int;
+  ex_acetate : int;
+  ex_formate : int;
+  ldh : int;        (** lactate dehydrogenase — a classic OptKnock target *)
+  adhe : int;       (** alcohol dehydrogenase *)
+  pta : int;        (** phosphotransacetylase (acetate branch) *)
+  pfl : int;        (** pyruvate formate-lyase *)
+}
+
+val build : unit -> model
+(** Deterministic; glucose uptake bounded at 10 mmol/gDW/h. *)
+
+val succinate_candidates : model -> int list
+(** The byproduct-branch reactions OptKnock would consider deleting when
+    maximizing succinate: [ldh; adhe; pta; pfl]. *)

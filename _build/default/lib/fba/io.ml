@@ -1,0 +1,102 @@
+exception Parse_error of int * string
+
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let bound_to_string v =
+  if v = infinity then "inf" else if v = neg_infinity then "-inf" else float_to_string v
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# robustpath network format v1\n";
+  Array.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "metabolite %s\n" m))
+    (Network.metabolite_names net);
+  let names = Network.metabolite_names net in
+  for j = 0 to Network.n_reactions net - 1 do
+    let r = Network.reaction net j in
+    let terms =
+      List.map
+        (fun (i, c) -> Printf.sprintf "%s*%s" (float_to_string c) names.(i))
+        (List.sort compare r.Network.stoich)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "reaction %s %s %s %s\n" r.Network.name
+         (bound_to_string r.Network.lb) (bound_to_string r.Network.ub)
+         (String.concat " + " terms))
+  done;
+  Buffer.contents buf
+
+let parse_bound lineno s =
+  match s with
+  | "inf" | "+inf" -> infinity
+  | "-inf" -> neg_infinity
+  | _ -> (
+    try float_of_string s
+    with _ -> raise (Parse_error (lineno, "bad bound: " ^ s)))
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let metabolites = ref [] in
+  let reactions = ref [] in
+  List.iteri
+    (fun k raw ->
+      let lineno = k + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match split_ws line with
+        | "metabolite" :: [ name ] -> metabolites := name :: !metabolites
+        | "reaction" :: name :: lb :: ub :: rest ->
+          let lb = parse_bound lineno lb and ub = parse_bound lineno ub in
+          let terms =
+            List.filter (fun t -> t <> "+") rest
+            |> List.map (fun t ->
+                   match String.index_opt t '*' with
+                   | None -> raise (Parse_error (lineno, "bad term: " ^ t))
+                   | Some i ->
+                     let c = String.sub t 0 i in
+                     let m = String.sub t (i + 1) (String.length t - i - 1) in
+                     let c =
+                       try float_of_string c
+                       with _ -> raise (Parse_error (lineno, "bad coefficient: " ^ c))
+                     in
+                     (m, c))
+          in
+          reactions := (lineno, name, lb, ub, terms) :: !reactions
+        | _ -> raise (Parse_error (lineno, "unrecognized record: " ^ line)))
+    lines;
+  let metabolites = Array.of_list (List.rev !metabolites) in
+  if Array.length metabolites = 0 then raise (Parse_error (0, "no metabolites"));
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i m -> Hashtbl.replace index m i) metabolites;
+  let net = Network.create ~metabolites () in
+  List.iter
+    (fun (lineno, name, lb, ub, terms) ->
+      let stoich =
+        List.map
+          (fun (m, c) ->
+            match Hashtbl.find_opt index m with
+            | Some i -> (i, c)
+            | None -> raise (Parse_error (lineno, "unknown metabolite: " ^ m)))
+          terms
+      in
+      ignore (Network.add_reaction net ~name ~stoich ~lb ~ub))
+    (List.rev !reactions);
+  net
+
+let save ~path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,24 @@
+(** Plain-text serialization of stoichiometric networks.
+
+    A simple line-oriented format (one logical record per line, [#]
+    comments), so models can be exported, diffed and re-imported without
+    an SBML stack:
+
+    {v
+    # robustpath network format v1
+    metabolite <name>
+    reaction <name> <lb> <ub> <coeff>*<metabolite> [+ <coeff>*<metabolite> ...]
+    v}
+
+    Coefficients are signed floats; metabolites must be declared before
+    use.  Round-trips exactly (up to float printing at 17 significant
+    digits). *)
+
+exception Parse_error of int * string
+(** (line number, message). *)
+
+val to_string : Network.t -> string
+val of_string : string -> Network.t
+
+val save : path:string -> Network.t -> unit
+val load : path:string -> Network.t

@@ -1,0 +1,91 @@
+type knockout = {
+  removed : int list;
+  target_flux : float;
+  biomass_flux : float;
+}
+
+let with_biomass_floor ~t ~biomass ~min_biomass f =
+  let lb, ub = (Network.bounds t).(biomass) in
+  assert (min_biomass <= ub);
+  Network.set_bounds t biomass (Float.max lb min_biomass) ub;
+  let restore () = Network.set_bounds t biomass lb ub in
+  match f () with
+  | v ->
+    restore ();
+    v
+  | exception e ->
+    restore ();
+    raise e
+
+let solve_with_removed ~t ~target ~biomass ~min_biomass removed =
+  let saved = List.map (fun j -> (j, (Network.bounds t).(j))) removed in
+  List.iter (fun j -> Network.set_bounds t j 0. 0.) removed;
+  let restore () = List.iter (fun (j, (lb, ub)) -> Network.set_bounds t j lb ub) saved in
+  let result =
+    with_biomass_floor ~t ~biomass ~min_biomass (fun () ->
+        match Analysis.fba ~t ~objective:target with
+        | sol -> Some { removed; target_flux = sol.Analysis.objective;
+                        biomass_flux = sol.Analysis.fluxes.(biomass) }
+        | exception Analysis.Infeasible_model _ -> None)
+  in
+  restore ();
+  result
+
+let baseline ~t ~target ~biomass ~min_biomass =
+  match solve_with_removed ~t ~target ~biomass ~min_biomass [] with
+  | Some k -> k
+  | None -> invalid_arg "Knockout.baseline: wild type infeasible under biomass floor"
+
+let ranked results =
+  List.sort (fun a b -> compare b.target_flux a.target_flux) results
+
+let single ~t ~target ~biomass ~min_biomass ~candidates =
+  List.iter (fun j -> assert (j <> target && j <> biomass)) candidates;
+  ranked
+    (List.filter_map
+       (fun j -> solve_with_removed ~t ~target ~biomass ~min_biomass [ j ])
+       candidates)
+
+let pairs ~t ~target ~biomass ~min_biomass ~candidates =
+  List.iter (fun j -> assert (j <> target && j <> biomass)) candidates;
+  let rec all_pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> [ x; y ]) rest @ all_pairs rest
+  in
+  ranked
+    (List.filter_map
+       (fun pair -> solve_with_removed ~t ~target ~biomass ~min_biomass pair)
+       (all_pairs candidates))
+
+type coupling = {
+  removed_reactions : int list;
+  biomass_opt : float;
+  target_at_growth : float * float;
+}
+
+let growth_coupled ~t ~target ~biomass ~removed =
+  let saved = List.map (fun j -> (j, (Network.bounds t).(j))) removed in
+  List.iter (fun j -> Network.set_bounds t j 0. 0.) removed;
+  let bio_saved = (Network.bounds t).(biomass) in
+  let restore () =
+    List.iter (fun (j, (lb, ub)) -> Network.set_bounds t j lb ub) saved;
+    let lb, ub = bio_saved in
+    Network.set_bounds t biomass lb ub
+  in
+  let result =
+    match Analysis.fba ~t ~objective:biomass with
+    | exception Analysis.Infeasible_model _ -> None
+    | growth when growth.Analysis.objective < 1e-9 -> None
+    | growth ->
+      let mu = growth.Analysis.objective in
+      (* Fix growth (with a hair of slack for LP tolerances) and bound the
+         target flux. *)
+      Network.set_bounds t biomass (0.999 *. mu) (snd bio_saved);
+      (match Analysis.fva ~t ~reactions:[ target ] with
+       | [ (_, window) ] ->
+         Some { removed_reactions = removed; biomass_opt = mu; target_at_growth = window }
+       | _ -> None
+       | exception Analysis.Infeasible_model _ -> None)
+  in
+  restore ();
+  result

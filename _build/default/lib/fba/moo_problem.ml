@@ -1,0 +1,128 @@
+type mode = Penalty | Projected
+
+(* Cached least-squares projector onto the null space of S:
+   v' = v − Sᵀ (S Sᵀ + λI)⁻¹ S v  with a small Tikhonov term because the
+   decoy loops make some rows of S linearly dependent. *)
+let projector (g : Geobacter.model) =
+  let s = Network.stoichiometric_matrix g.net in
+  let m = Sparse.rows s in
+  let dense = Sparse.to_dense s in
+  let gram = Numerics.Matrix.matmul dense (Numerics.Matrix.transpose dense) in
+  for i = 0 to m - 1 do
+    Numerics.Matrix.set gram i i (Numerics.Matrix.get gram i i +. 1e-9)
+  done;
+  let lu = Numerics.Lu.factor gram in
+  fun v ->
+    let sv = Sparse.mv s v in
+    let y = Numerics.Lu.solve lu sv in
+    let correction = Sparse.tmv s y in
+    Array.mapi (fun j vj -> vj -. correction.(j)) v
+
+let clip_bounds (g : Geobacter.model) v =
+  let b = Network.bounds g.net in
+  Array.mapi
+    (fun j vj ->
+      let lo, hi = b.(j) in
+      Float.min hi (Float.max lo vj))
+    v
+
+let repair_fn (g : Geobacter.model) =
+  let project = projector g in
+  fun v -> clip_bounds g (project v)
+
+let repair g = repair_fn g
+
+let relaxed_violation (g : Geobacter.model) ~eps v =
+  Float.max 0. (Network.violation g.net v -. eps)
+
+let problem ?(mode = Penalty) ?(eps = 0.005) (g : Geobacter.model) =
+  let bounds = Network.bounds g.net in
+  let lower = Array.map fst bounds in
+  let upper = Array.map snd bounds in
+  let name =
+    Printf.sprintf "geobacter/%s"
+      (match mode with Penalty -> "penalty" | Projected -> "projected")
+  in
+  match mode with
+  | Penalty ->
+    Moo.Problem.make ~name ~n_obj:2 ~lower ~upper
+      ~violation:(relaxed_violation g ~eps)
+      (fun v -> [| -.v.(g.ep); -.v.(g.bp) |])
+  | Projected ->
+    let rep = repair_fn g in
+    Moo.Problem.make ~name ~n_obj:2 ~lower ~upper
+      ~violation:(fun v -> relaxed_violation g ~eps (rep v))
+      (fun v ->
+        let v' = rep v in
+        [| -.v'.(g.ep); -.v'.(g.bp) |])
+
+let flux_variation (g : Geobacter.model) ?(sigma = 0.01) () =
+  let project = projector g in
+  let bounds = Network.bounds g.net in
+  let n = Array.length bounds in
+  let scale =
+    Array.map
+      (fun (lo, hi) ->
+        let span = Float.min (hi -. lo) 200. in
+        sigma *. span)
+      bounds
+  in
+  fun rng p1 p2 ->
+    let child () =
+      (* Whole-arithmetic blend: steady-state flux sets are convex, so a
+         blend of two near-feasible parents stays near-feasible. *)
+      let t = Numerics.Rng.uniform rng (-0.1) 1.1 in
+      let c = Array.init n (fun i -> (t *. p1.(i)) +. ((1. -. t) *. p2.(i))) in
+      (* Sparse Gaussian perturbation: a handful of fluxes move. *)
+      let k = 1 + Numerics.Rng.int rng 4 in
+      for _ = 1 to k do
+        let j = Numerics.Rng.int rng n in
+        c.(j) <- c.(j) +. Numerics.Rng.gaussian ~sigma:scale.(j) rng
+      done;
+      (* A couple of project/clip rounds keep the residual violation small
+         enough for the epsilon-feasibility band. *)
+      let c = ref c in
+      for _ = 1 to 3 do
+        c := clip_bounds g (project !c)
+      done;
+      !c
+    in
+    (child (), child ())
+
+let ep_of (s : Moo.Solution.t) = -.s.Moo.Solution.f.(0)
+let bp_of (s : Moo.Solution.t) = -.s.Moo.Solution.f.(1)
+
+let seeds ?mode ?eps (g : Geobacter.model) ~levels =
+  let p = problem ?mode ?eps g in
+  let saved = Network.bounds g.net in
+  let out =
+    List.filter_map
+      (fun level ->
+        let l, u = saved.(g.bp) in
+        if level > u then None
+        else begin
+          Network.set_bounds g.net g.bp (Float.max l level) u;
+          let r =
+            match Analysis.fba ~t:g.net ~objective:g.ep with
+            | sol -> Some (Moo.Solution.evaluate p sol.Analysis.fluxes)
+            | exception Analysis.Infeasible_model _ -> None
+          in
+          Network.set_bounds g.net g.bp l u;
+          r
+        end)
+      levels
+  in
+  Array.iteri (fun j (l, u) -> Network.set_bounds g.net j l u) saved;
+  out
+
+let initial_guess_violation (g : Geobacter.model) ~seed =
+  let rng = Numerics.Rng.create seed in
+  let b = Network.bounds g.net in
+  let v =
+    Array.map
+      (fun (lo, hi) ->
+        let hi' = Float.min hi 1000. and lo' = Float.max lo (-1000.) in
+        Numerics.Rng.uniform rng lo' hi')
+      b
+  in
+  Network.violation g.net v

@@ -1,0 +1,54 @@
+(** The paper's Geobacter design problem as a {!Moo.Problem}: maximize
+    electron production and biomass production over the 608 reaction
+    fluxes, steering the search toward steady state ([‖S·v‖ → 0]) under
+    the network's biological bounds (Section 3.2).
+
+    Two evaluation modes:
+    - [Penalty] — the paper's formulation: candidates are raw flux
+      vectors; [‖S·v‖] is the constraint violation and Deb's constrained
+      dominance rewards less-violating solutions.  An [eps] tolerance
+      treats candidates with [‖S·v‖ ≤ eps] as feasible so a trade-off
+      front can form among near-steady solutions.
+    - [Projected] — a repair formulation: each candidate is first
+      projected onto the null space of S (least squares) and clipped back
+      into the flux bounds, so reported solutions are near-steady-state. *)
+
+type mode = Penalty | Projected
+
+val problem : ?mode:mode -> ?eps:float -> Geobacter.model -> Moo.Problem.t
+(** [eps] defaults to [0.005] (in [‖S·v‖₂] units — tight enough that
+    the ε-band cannot materially distort the small biomass flux). *)
+
+val repair : Geobacter.model -> float array -> float array
+(** Null-space projection followed by bound clipping. *)
+
+val flux_variation :
+  Geobacter.model ->
+  ?sigma:float ->
+  unit ->
+  Numerics.Rng.t ->
+  float array ->
+  float array ->
+  float array * float array
+(** Variation operator for flux spaces, to plug into
+    [Ea.Nsga2.config.variation]: whole-arithmetic blend of the parents
+    (steady-state flux sets are convex, so blends preserve feasibility),
+    Gaussian perturbation of a few fluxes (relative scale [sigma],
+    default 0.01), then one null-space projection and bound clip. *)
+
+val seeds : ?mode:mode -> ?eps:float -> Geobacter.model -> levels:float list -> Moo.Solution.t list
+(** FBA-derived seed solutions: for each biomass level, the LP solution
+    maximizing electron production with that biomass lower bound —
+    evaluated against {!problem} so they can seed the optimizer.  The
+    paper enforces the FBA constraints as search-space boundaries; seeding
+    from FBA vertices plays that role here. *)
+
+val ep_of : Moo.Solution.t -> float
+(** Electron production of a solution (un-negated objective 0). *)
+
+val bp_of : Moo.Solution.t -> float
+(** Biomass production (un-negated objective 1). *)
+
+val initial_guess_violation : Geobacter.model -> seed:int -> float
+(** [‖S·v‖] of a random flux vector inside the bounds — the paper's
+    "initial guess" violation baseline. *)

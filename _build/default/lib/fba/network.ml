@@ -1,0 +1,71 @@
+type reaction = {
+  name : string;
+  stoich : (int * float) list;
+  lb : float;
+  ub : float;
+}
+
+type t = {
+  metabolites : string array;
+  mutable reactions : reaction array;
+  mutable n : int; (* used slots in [reactions] *)
+  index : (string, int) Hashtbl.t;
+  mutable cache : Sparse.t option;
+}
+
+let create ~metabolites () =
+  assert (Array.length metabolites > 0);
+  {
+    metabolites;
+    reactions = Array.make 16 { name = ""; stoich = []; lb = 0.; ub = 0. };
+    n = 0;
+    index = Hashtbl.create 64;
+    cache = None;
+  }
+
+let n_metabolites net = Array.length net.metabolites
+let n_reactions net = net.n
+let metabolite_names net = net.metabolites
+
+let add_reaction net ~name ~stoich ~lb ~ub =
+  assert (lb <= ub);
+  assert (not (Hashtbl.mem net.index name));
+  List.iter (fun (i, _) -> assert (0 <= i && i < n_metabolites net)) stoich;
+  if net.n = Array.length net.reactions then begin
+    let bigger = Array.make (2 * net.n) net.reactions.(0) in
+    Array.blit net.reactions 0 bigger 0 net.n;
+    net.reactions <- bigger
+  end;
+  net.reactions.(net.n) <- { name; stoich; lb; ub };
+  Hashtbl.add net.index name net.n;
+  net.cache <- None;
+  net.n <- net.n + 1;
+  net.n - 1
+
+let reaction net j =
+  assert (0 <= j && j < net.n);
+  net.reactions.(j)
+
+let reaction_index net name = Hashtbl.find net.index name
+
+let bounds net = Array.init net.n (fun j -> (net.reactions.(j).lb, net.reactions.(j).ub))
+
+let set_bounds net j lb ub =
+  assert (0 <= j && j < net.n);
+  assert (lb <= ub);
+  net.reactions.(j) <- { (net.reactions.(j)) with lb; ub }
+
+let stoichiometric_matrix net =
+  match net.cache with
+  | Some s -> s
+  | None ->
+    let s = Sparse.create ~rows:(n_metabolites net) ~cols:net.n in
+    for j = 0 to net.n - 1 do
+      List.iter (fun (i, v) -> Sparse.set s i j v) net.reactions.(j).stoich
+    done;
+    net.cache <- Some s;
+    s
+
+let violation net v = Sparse.residual_norm2 (stoichiometric_matrix net) v
+
+let mass_balance_residual net v = Sparse.mv (stoichiometric_matrix net) v

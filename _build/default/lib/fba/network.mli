@@ -1,0 +1,39 @@
+(** Stoichiometric metabolic networks for constraint-based modeling.
+
+    A network holds named metabolites, reactions with sparse stoichiometry
+    and flux bounds, and exposes the stoichiometric matrix S (metabolites ×
+    reactions).  Steady-state flux vectors satisfy [S·v = 0] with
+    [lb ≤ v ≤ ub]; exchange fluxes model transport across the boundary. *)
+
+type reaction = {
+  name : string;
+  stoich : (int * float) list;  (** (metabolite index, coefficient) *)
+  lb : float;
+  ub : float;
+}
+
+type t
+
+val create : metabolites:string array -> unit -> t
+val add_reaction : t -> name:string -> stoich:(int * float) list -> lb:float -> ub:float -> int
+(** Returns the reaction's index. *)
+
+val n_metabolites : t -> int
+val n_reactions : t -> int
+val metabolite_names : t -> string array
+val reaction : t -> int -> reaction
+val reaction_index : t -> string -> int
+(** Raises [Not_found] for unknown names. *)
+
+val bounds : t -> (float * float) array
+val set_bounds : t -> int -> float -> float -> unit
+
+val stoichiometric_matrix : t -> Sparse.t
+(** Built once and cached; [S.(i).(j)] = coefficient of metabolite [i] in
+    reaction [j]. Invalidated by [add_reaction]. *)
+
+val violation : t -> float array -> float
+(** [‖S·v‖₂] of a flux vector. *)
+
+val mass_balance_residual : t -> float array -> float array
+(** Per-metabolite residual [S·v]. *)

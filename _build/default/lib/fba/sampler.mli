@@ -1,0 +1,27 @@
+(** Uniform sampling of the steady-state flux polytope
+    {v | S·v = 0, lb ≤ v ≤ ub} by hit-and-run.
+
+    From a steady-state point, each step draws a random direction inside
+    the null space of S (tangent to the polytope face the start sits on —
+    bound constraints active at the start stay active), computes the
+    feasible segment against the remaining box bounds, and jumps to a
+    uniform point on it.  Give an interior start to sample the full flux
+    cone; an LP vertex or face point samples that face — the standard
+    COBRA approach to characterizing flux variability beyond FVA. *)
+
+type t
+
+val create : ?seed:int -> Geobacter.model -> start:float array -> t
+(** [start] must be (near-)steady-state; it is projected once onto the
+    null space.  Raises [Invalid_argument] if the projected start
+    violates the bounds by more than 1e-6. *)
+
+val step : t -> float array
+(** One hit-and-run step; returns the new sample (also retained as the
+    chain's state). *)
+
+val sample : t -> n:int -> ?thin:int -> unit -> float array list
+(** [n] samples, keeping every [thin]-th step (default 5). *)
+
+val mean_flux : float array list -> float array
+(** Componentwise mean over samples. *)

@@ -1,0 +1,55 @@
+type t = {
+  r : int;
+  c : int;
+  cols : (int, float) Hashtbl.t array; (* per column: row -> value *)
+}
+
+let create ~rows ~cols =
+  assert (rows > 0 && cols > 0);
+  { r = rows; c = cols; cols = Array.init cols (fun _ -> Hashtbl.create 4) }
+
+let rows m = m.r
+let cols m = m.c
+
+let set m i j v =
+  assert (0 <= i && i < m.r && 0 <= j && j < m.c);
+  if v = 0. then Hashtbl.remove m.cols.(j) i else Hashtbl.replace m.cols.(j) i v
+
+let get m i j =
+  assert (0 <= i && i < m.r && 0 <= j && j < m.c);
+  match Hashtbl.find_opt m.cols.(j) i with Some v -> v | None -> 0.
+
+let nnz m = Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 m.cols
+
+let column m j =
+  Hashtbl.fold (fun i v acc -> (i, v) :: acc) m.cols.(j) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter_col m j f = Hashtbl.iter f m.cols.(j)
+
+let mv m x =
+  assert (Array.length x = m.c);
+  let out = Array.make m.r 0. in
+  for j = 0 to m.c - 1 do
+    let xj = x.(j) in
+    if xj <> 0. then Hashtbl.iter (fun i v -> out.(i) <- out.(i) +. (v *. xj)) m.cols.(j)
+  done;
+  out
+
+let tmv m x =
+  assert (Array.length x = m.r);
+  Array.init m.c (fun j ->
+      Hashtbl.fold (fun i v acc -> acc +. (v *. x.(i))) m.cols.(j) 0.)
+
+let to_dense m =
+  let d = Numerics.Matrix.zeros m.r m.c in
+  for j = 0 to m.c - 1 do
+    Hashtbl.iter (fun i v -> Numerics.Matrix.set d i j v) m.cols.(j)
+  done;
+  d
+
+let residual_norm2 m x =
+  let r = mv m x in
+  let acc = ref 0. in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) r;
+  sqrt !acc

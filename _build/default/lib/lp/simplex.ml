@@ -1,0 +1,315 @@
+type column = (int * float) list
+
+type spec = {
+  n_rows : int;
+  cols : column array;
+  rhs : float array;
+  obj : float array;
+  lo : float array;
+  up : float array;
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+type status = Basic | At_lower | At_upper | Free_nb
+
+(* Numerical tolerances: [tol_d] for reduced costs, [tol_p] for pivots,
+   [tol_f] for feasibility of the phase-1 objective. *)
+let tol_d = 1e-9
+let tol_p = 1e-10
+let tol_f = 1e-7
+
+type state = {
+  m : int;                    (* rows *)
+  n_total : int;              (* structural + artificial variables *)
+  cols : column array;        (* columns for all variables *)
+  rhs : float array;
+  lo : float array;           (* mutable bound arrays (artificials get pinned) *)
+  up : float array;
+  status : status array;
+  basis : int array;          (* basis.(i) = variable basic in row i *)
+  binv : Numerics.Matrix.t;   (* dense basis inverse *)
+  x : float array;            (* current values of all variables *)
+}
+
+(* Apply B⁻¹ to a sparse column. *)
+let binv_times_col st col =
+  let w = Array.make st.m 0. in
+  List.iter
+    (fun (i, v) ->
+      if v <> 0. then
+        for r = 0 to st.m - 1 do
+          w.(r) <- w.(r) +. (Numerics.Matrix.get st.binv r i *. v)
+        done)
+    col;
+  w
+
+(* Recompute the values of the basic variables from the nonbasic ones:
+   x_B = B⁻¹ (b − N x_N). *)
+let recompute_basics st =
+  let resid = Array.copy st.rhs in
+  for j = 0 to st.n_total - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | At_lower | At_upper | Free_nb ->
+      let xj = st.x.(j) in
+      if xj <> 0. then List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. xj)) st.cols.(j)
+  done;
+  for r = 0 to st.m - 1 do
+    let acc = ref 0. in
+    for i = 0 to st.m - 1 do
+      acc := !acc +. (Numerics.Matrix.get st.binv r i *. resid.(i))
+    done;
+    st.x.(st.basis.(r)) <- !acc
+  done
+
+(* Rebuild B⁻¹ from scratch (numerical refresh). *)
+let refactor st =
+  let b = Numerics.Matrix.zeros st.m st.m in
+  Array.iteri
+    (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) st.cols.(j))
+    st.basis;
+  let inv = Numerics.Lu.inverse (Numerics.Lu.factor b) in
+  for i = 0 to st.m - 1 do
+    for j = 0 to st.m - 1 do
+      Numerics.Matrix.set st.binv i j (Numerics.Matrix.get inv i j)
+    done
+  done
+
+(* Reduced cost of variable [j] given simplex multipliers [y]. *)
+let reduced_cost st c y j =
+  let d = ref c.(j) in
+  List.iter (fun (i, v) -> d := !d -. (y.(i) *. v)) st.cols.(j);
+  !d
+
+let multipliers st c =
+  let cb = Array.init st.m (fun r -> c.(st.basis.(r))) in
+  Numerics.Matrix.tmv st.binv cb
+
+(* One phase of the simplex loop with objective [c] (maximization).
+   Returns [`Optimal] or [`Unbounded]. *)
+let optimize ?(max_iter = 50_000) st c =
+  let iter = ref 0 in
+  let stall = ref 0 in
+  let last_obj = ref neg_infinity in
+  let result = ref None in
+  while !result = None do
+    incr iter;
+    if !iter > max_iter then failwith "Simplex.optimize: iteration limit exceeded";
+    if !iter mod 128 = 0 then begin
+      refactor st;
+      recompute_basics st
+    end;
+    let y = multipliers st c in
+    (* Entering variable: Dantzig pricing, Bland's rule once stalled. *)
+    let bland = !stall > 256 in
+    let entering = ref (-1) in
+    let best = ref tol_d in
+    (try
+       for j = 0 to st.n_total - 1 do
+         let viol =
+           match st.status.(j) with
+           | Basic -> 0.
+           | At_lower ->
+             let d = reduced_cost st c y j in
+             if d > tol_d then d else 0.
+           | At_upper ->
+             let d = reduced_cost st c y j in
+             if d < -.tol_d then -.d else 0.
+           | Free_nb ->
+             let d = reduced_cost st c y j in
+             Float.abs d |> fun a -> if a > tol_d then a else 0.
+         in
+         if viol > 0. then
+           if bland then begin
+             entering := j;
+             raise Exit
+           end
+           else if viol > !best then begin
+             best := viol;
+             entering := j
+           end
+       done
+     with Exit -> ());
+    if !entering < 0 then result := Some `Optimal
+    else begin
+      let j = !entering in
+      let dj = reduced_cost st c (multipliers st c) j in
+      let dir =
+        match st.status.(j) with
+        | At_lower -> 1.
+        | At_upper -> -1.
+        | Free_nb -> if dj > 0. then 1. else -1.
+        | Basic -> assert false
+      in
+      let w = binv_times_col st st.cols.(j) in
+      (* Ratio test: the entering variable moves by [dir * t], t >= 0. *)
+      let t_flip =
+        if st.lo.(j) > neg_infinity && st.up.(j) < infinity then st.up.(j) -. st.lo.(j)
+        else infinity
+      in
+      let t_best = ref t_flip in
+      let leave_row = ref (-1) in
+      let leave_to_upper = ref false in
+      for r = 0 to st.m - 1 do
+        let delta = -.dir *. w.(r) in
+        if Float.abs delta > tol_p then begin
+          let k = st.basis.(r) in
+          let xk = st.x.(k) in
+          if delta > 0. then begin
+            if st.up.(k) < infinity then begin
+              let t = Float.max 0. ((st.up.(k) -. xk) /. delta) in
+              if t < !t_best -. 1e-12 || (t <= !t_best && !leave_row >= 0 && Float.abs w.(r) > Float.abs w.(!leave_row)) then begin
+                t_best := t;
+                leave_row := r;
+                leave_to_upper := true
+              end
+            end
+          end
+          else if st.lo.(k) > neg_infinity then begin
+            let t = Float.max 0. ((xk -. st.lo.(k)) /. -.delta) in
+            if t < !t_best -. 1e-12 || (t <= !t_best && !leave_row >= 0 && Float.abs w.(r) > Float.abs w.(!leave_row)) then begin
+              t_best := t;
+              leave_row := r;
+              leave_to_upper := false
+            end
+          end
+        end
+      done;
+      if !t_best = infinity then result := Some `Unbounded
+      else begin
+        let t = !t_best in
+        if !leave_row < 0 then begin
+          (* Bound flip: the entering variable runs to its opposite bound. *)
+          st.x.(j) <- (if dir > 0. then st.up.(j) else st.lo.(j));
+          st.status.(j) <- (if dir > 0. then At_upper else At_lower);
+          recompute_basics st
+        end
+        else begin
+          let r = !leave_row in
+          let k = st.basis.(r) in
+          (* Update the basis inverse by the eta pivot on row r. *)
+          let wr = w.(r) in
+          for i = 0 to st.m - 1 do
+            if i <> r && w.(i) <> 0. then begin
+              let factor = w.(i) /. wr in
+              for cidx = 0 to st.m - 1 do
+                Numerics.Matrix.set st.binv i cidx
+                  (Numerics.Matrix.get st.binv i cidx
+                  -. (factor *. Numerics.Matrix.get st.binv r cidx))
+              done
+            end
+          done;
+          for cidx = 0 to st.m - 1 do
+            Numerics.Matrix.set st.binv r cidx (Numerics.Matrix.get st.binv r cidx /. wr)
+          done;
+          st.basis.(r) <- j;
+          st.status.(j) <- Basic;
+          st.x.(j) <- st.x.(j) +. (dir *. t);
+          st.status.(k) <- (if !leave_to_upper then At_upper else At_lower);
+          st.x.(k) <- (if !leave_to_upper then st.up.(k) else st.lo.(k));
+          recompute_basics st
+        end;
+        (* Stall detection for the Bland fallback. *)
+        let obj = ref 0. in
+        for v = 0 to st.n_total - 1 do
+          obj := !obj +. (c.(v) *. st.x.(v))
+        done;
+        if !obj > !last_obj +. 1e-12 then begin
+          last_obj := !obj;
+          stall := 0
+        end
+        else incr stall
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(max_iter = 50_000) spec =
+  let m = spec.n_rows in
+  let n = Array.length spec.cols in
+  assert (Array.length spec.rhs = m);
+  assert (Array.length spec.obj = n && Array.length spec.lo = n && Array.length spec.up = n);
+  let n_total = n + m in
+  let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
+  let up = Array.append (Array.copy spec.up) (Array.make m infinity) in
+  let status = Array.make n_total At_lower in
+  let x = Array.make n_total 0. in
+  (* Start every structural variable at its bound nearest zero. *)
+  for j = 0 to n - 1 do
+    assert (lo.(j) <= up.(j));
+    if lo.(j) > neg_infinity && 0. <= lo.(j) then begin
+      x.(j) <- lo.(j);
+      status.(j) <- At_lower
+    end
+    else if up.(j) < infinity && 0. >= up.(j) then begin
+      x.(j) <- up.(j);
+      status.(j) <- At_upper
+    end
+    else if lo.(j) > neg_infinity then begin
+      (* lo < 0 <= up, start at zero?  Pick a bound so the variable is
+         properly nonbasic: use the lower bound when finite. *)
+      x.(j) <- lo.(j);
+      status.(j) <- At_lower
+    end
+    else if up.(j) < infinity then begin
+      x.(j) <- up.(j);
+      status.(j) <- At_upper
+    end
+    else begin
+      x.(j) <- 0.;
+      status.(j) <- Free_nb
+    end
+  done;
+  (* Residual determines the artificial columns' signs. *)
+  let resid = Array.copy spec.rhs in
+  for j = 0 to n - 1 do
+    if x.(j) <> 0. then
+      List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. x.(j))) spec.cols.(j)
+  done;
+  let art_sign = Array.map (fun r -> if r >= 0. then 1. else -1.) resid in
+  let cols =
+    Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, art_sign.(i)) ]))
+  in
+  let basis = Array.init m (fun i -> n + i) in
+  let binv =
+    Numerics.Matrix.init m m (fun i j -> if i = j then art_sign.(i) else 0.)
+  in
+  for i = 0 to m - 1 do
+    status.(n + i) <- Basic;
+    x.(n + i) <- Float.abs resid.(i)
+  done;
+  let st = { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status; basis; binv; x } in
+  (* Phase 1: minimize the sum of artificials. *)
+  let c1 = Array.init n_total (fun j -> if j >= n then -1. else 0.) in
+  (match optimize ~max_iter st c1 with
+   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+   | `Optimal -> ());
+  let infeas = ref 0. in
+  for i = 0 to m - 1 do
+    infeas := !infeas +. x.(n + i)
+  done;
+  if !infeas > tol_f then Infeasible
+  else begin
+    (* Pin the artificials at zero for phase 2. *)
+    for i = 0 to m - 1 do
+      st.up.(n + i) <- 0.;
+      if st.status.(n + i) <> Basic then begin
+        st.status.(n + i) <- At_lower;
+        st.x.(n + i) <- 0.
+      end
+    done;
+    let c2 = Array.init n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
+    match optimize ~max_iter st c2 with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let xs = Array.sub st.x 0 n in
+      let objective = ref 0. in
+      for j = 0 to n - 1 do
+        objective := !objective +. (spec.obj.(j) *. xs.(j))
+      done;
+      Optimal { x = xs; objective = !objective }
+  end

@@ -1,0 +1,28 @@
+(** Bounded-variable revised simplex over equality constraints.
+
+    Solves:  maximize c·x  subject to  A x = b,  lo ≤ x ≤ up
+    where bounds may be infinite.  The implementation keeps an explicit
+    dense basis inverse updated by eta pivots, uses Dantzig pricing with a
+    Bland's-rule fallback against cycling, and a two-phase start with
+    artificial variables. *)
+
+type column = (int * float) list
+(** Sparse column: [(row index, coefficient)] pairs. *)
+
+type spec = {
+  n_rows : int;
+  cols : column array;   (** one sparse column per variable *)
+  rhs : float array;     (** length [n_rows] *)
+  obj : float array;     (** maximize [obj·x] *)
+  lo : float array;      (** lower bounds, may be [neg_infinity] *)
+  up : float array;      (** upper bounds, may be [infinity] *)
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_iter:int -> spec -> outcome
+(** Solve the LP. [max_iter] bounds total pivots (default [50_000]);
+    exceeding it raises [Failure]. *)

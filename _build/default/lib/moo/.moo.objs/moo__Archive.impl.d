@@ -1,0 +1,1 @@
+lib/moo/archive.ml: Array Dominance List Solution

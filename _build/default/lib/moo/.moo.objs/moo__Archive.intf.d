@@ -1,0 +1,1 @@
+lib/moo/archive.mli: Solution

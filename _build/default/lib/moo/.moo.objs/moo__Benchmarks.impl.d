@@ -1,0 +1,1 @@
+lib/moo/benchmarks.ml: Array Float List Problem

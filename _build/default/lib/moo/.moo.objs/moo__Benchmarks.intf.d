@@ -1,0 +1,1 @@
+lib/moo/benchmarks.mli: Problem

@@ -1,0 +1,1 @@
+lib/moo/coverage.ml: Dominance List Solution

@@ -1,0 +1,1 @@
+lib/moo/coverage.mli: Solution

@@ -1,0 +1,1 @@
+lib/moo/dominance.ml: Array List Solution

@@ -1,0 +1,1 @@
+lib/moo/dominance.mli: Solution

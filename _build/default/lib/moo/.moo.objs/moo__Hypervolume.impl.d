@@ -1,0 +1,1 @@
+lib/moo/hypervolume.ml: Array Dominance Float List Solution

@@ -1,0 +1,1 @@
+lib/moo/hypervolume.mli: Solution

@@ -1,0 +1,1 @@
+lib/moo/indicators.ml: Array Float List Numerics Solution

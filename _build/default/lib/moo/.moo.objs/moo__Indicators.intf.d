@@ -1,0 +1,1 @@
+lib/moo/indicators.mli: Solution

@@ -1,0 +1,1 @@
+lib/moo/mine.ml: Array Float List Numerics Solution Stdlib

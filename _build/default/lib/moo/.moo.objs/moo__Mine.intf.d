@@ -1,0 +1,1 @@
+lib/moo/mine.mli: Solution

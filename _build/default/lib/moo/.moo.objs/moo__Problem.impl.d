@@ -1,0 +1,1 @@
+lib/moo/problem.ml: Array Float Numerics

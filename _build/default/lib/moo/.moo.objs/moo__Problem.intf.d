@@ -1,0 +1,1 @@
+lib/moo/problem.mli: Numerics

@@ -1,0 +1,1 @@
+lib/moo/scalarize.mli:

@@ -1,0 +1,1 @@
+lib/moo/solution.ml: Array Float Format Numerics Problem

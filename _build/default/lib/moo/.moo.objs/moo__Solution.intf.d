@@ -1,0 +1,1 @@
+lib/moo/solution.mli: Format Problem

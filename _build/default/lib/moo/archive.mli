@@ -1,0 +1,26 @@
+(** A non-dominated archive of solutions.
+
+    The archive keeps only mutually non-dominated solutions (under
+    constrained domination) and optionally enforces a capacity bound by
+    dropping the most crowded members (crowding distance in objective
+    space). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Unbounded by default. *)
+
+val size : t -> int
+val to_list : t -> Solution.t list
+val to_array : t -> Solution.t array
+
+val add : t -> Solution.t -> bool
+(** [add a s] inserts [s] if no archived solution dominates it, removing
+    any members it dominates; returns [true] if [s] was inserted.
+    Duplicates in objective space are rejected. *)
+
+val add_all : t -> Solution.t list -> unit
+val merge : t -> t -> t
+(** Fresh archive holding the non-dominated union (capacity of the first). *)
+
+val clear : t -> unit

@@ -1,0 +1,24 @@
+let union_front fronts = Dominance.non_dominated (List.concat fronts)
+
+let member ?(tol = 1e-9) s set =
+  List.exists (fun m -> Solution.equal_objectives ~tol m s) set
+
+let intersection_size ?tol front union =
+  List.length (List.filter (fun s -> member ?tol s union) front)
+
+let gp ?tol front union =
+  if union = [] then 0.
+  else float_of_int (intersection_size ?tol front union) /. float_of_int (List.length union)
+
+let rp ?tol front union =
+  if front = [] then 0.
+  else float_of_int (intersection_size ?tol front union) /. float_of_int (List.length front)
+
+type report = { points : int; gp : float; rp : float }
+
+let analyze fronts =
+  let union = union_front fronts in
+  List.map
+    (fun front ->
+      { points = List.length front; gp = gp front union; rp = rp front union })
+    fronts

@@ -1,0 +1,54 @@
+type relation = Dominates | Dominated | Incomparable | Equal
+
+let compare_objectives fa fb =
+  assert (Array.length fa = Array.length fb);
+  let a_better = ref false and b_better = ref false in
+  Array.iteri
+    (fun i x ->
+      if x < fb.(i) then a_better := true
+      else if x > fb.(i) then b_better := true)
+    fa;
+  match !a_better, !b_better with
+  | true, false -> Dominates
+  | false, true -> Dominated
+  | true, true -> Incomparable
+  | false, false -> Equal
+
+let constrained a b =
+  let open Solution in
+  if a.v <= 0. && b.v > 0. then Dominates
+  else if a.v > 0. && b.v <= 0. then Dominated
+  else if a.v > 0. && b.v > 0. then
+    if a.v < b.v then Dominates else if a.v > b.v then Dominated else Equal
+  else compare_objectives a.f b.f
+
+let dominates a b = constrained a b = Dominates
+
+let non_dominated sols =
+  let keep s =
+    not
+      (List.exists
+         (fun o -> o != s && (dominates o s))
+         sols)
+  in
+  let nd = List.filter keep sols in
+  (* Collapse exact duplicates in objective space. *)
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      if List.exists (fun o -> Solution.equal_objectives o s) acc then dedup acc rest
+      else dedup (s :: acc) rest
+  in
+  dedup [] nd
+
+let non_dominated_objectives fs =
+  let dominates_f a b = compare_objectives a b = Dominates in
+  let keep f = not (List.exists (fun o -> o != f && dominates_f o f) fs) in
+  let nd = List.filter keep fs in
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | f :: rest ->
+      if List.exists (fun o -> o = f) acc then dedup acc rest
+      else dedup (f :: acc) rest
+  in
+  dedup [] nd

@@ -1,0 +1,66 @@
+let dist a b = Numerics.Vec.dist2 a b
+
+let nearest_distance point set =
+  List.fold_left (fun m q -> Float.min m (dist point q)) infinity set
+
+let generational_distance ~reference front =
+  match front with
+  | [] -> infinity
+  | _ ->
+    let total = List.fold_left (fun acc p -> acc +. nearest_distance p reference) 0. front in
+    total /. float_of_int (List.length front)
+
+let inverted_generational_distance ~reference front =
+  generational_distance ~reference:front reference
+
+let spacing front =
+  let arr = Array.of_list front in
+  let n = Array.length arr in
+  if n < 3 then 0.
+  else begin
+    (* Schott's original metric uses the L1 nearest-neighbor distance. *)
+    let d1 a b =
+      let acc = ref 0. in
+      Array.iteri (fun i ai -> acc := !acc +. Float.abs (ai -. b.(i))) a;
+      !acc
+    in
+    let nn =
+      Array.mapi
+        (fun i p ->
+          let best = ref infinity in
+          Array.iteri (fun j q -> if i <> j then best := Float.min !best (d1 p q)) arr;
+          !best)
+        arr
+    in
+    Numerics.Stats.stddev nn
+  end
+
+let epsilon_additive ~reference front =
+  match front, reference with
+  | [], _ -> infinity
+  | _, [] -> 0.
+  | _ ->
+    (* For each reference point r, the best (smallest) over front points p
+       of the worst (largest) componentwise excess p_i - r_i; ε is the
+       worst over reference points. *)
+    List.fold_left
+      (fun eps r ->
+        let best =
+          List.fold_left
+            (fun b p ->
+              let worst = ref neg_infinity in
+              Array.iteri
+                (fun i pi ->
+                  let e = pi -. r.(i) in
+                  if e > !worst then worst := e)
+                p;
+              Float.min b !worst)
+            infinity front
+        in
+        Float.max eps best)
+      neg_infinity reference
+
+let of_solutions indicator ~reference front =
+  indicator
+    ~reference:(List.map (fun s -> s.Solution.f) reference)
+    (List.map (fun s -> s.Solution.f) front)

@@ -1,0 +1,25 @@
+(** Front-quality indicators beyond hypervolume and coverage: generational
+    distance, inverted generational distance, Schott's spacing and the
+    additive ε-indicator.  All take raw objective vectors (minimization)
+    and are used by the ablation studies and tests. *)
+
+val generational_distance : reference:float array list -> float array list -> float
+(** GD: mean Euclidean distance from each front point to its nearest
+    reference point (0 = front lies on the reference). *)
+
+val inverted_generational_distance : reference:float array list -> float array list -> float
+(** IGD: mean distance from each reference point to the nearest front
+    point — penalizes holes in coverage. *)
+
+val spacing : float array list -> float
+(** Schott's spacing: standard deviation of nearest-neighbor distances
+    within the front (0 = perfectly even). Returns 0 for fronts with
+    fewer than 3 points. *)
+
+val epsilon_additive : reference:float array list -> float array list -> float
+(** Additive ε-indicator: the smallest ε such that every reference point
+    is weakly dominated by some front point shifted by ε. *)
+
+val of_solutions : (reference:float array list -> float array list -> float) ->
+  reference:Solution.t list -> Solution.t list -> float
+(** Adapter applying an indicator to solution lists. *)

@@ -1,0 +1,38 @@
+(** Trade-off mining over a Pareto front (Section 2.2 of the paper).
+
+    The ideal point used throughout is the {e Pareto Relative Minimum}
+    (PRM): the componentwise minimum actually achieved by the front, so no
+    knowledge of the true per-objective optima is needed. *)
+
+val ideal_point : Solution.t list -> float array
+(** PRM: componentwise minimum of the front's objectives.
+    Requires a non-empty front. *)
+
+val nadir_point : Solution.t list -> float array
+(** Componentwise maximum of the front's objectives. *)
+
+val closest_to_ideal : ?normalize:bool -> Solution.t list -> Solution.t
+(** The front member minimizing the Euclidean distance to the ideal point;
+    with [normalize] (default [true]) objectives are first rescaled by the
+    front's ranges so incommensurable units weigh equally. *)
+
+val shadow_minima : Solution.t list -> Solution.t array
+(** [shadow_minima front] returns, per objective [k], the member attaining
+    the lowest value of objective [k]. *)
+
+val equally_spaced : k:int -> Solution.t list -> Solution.t list
+(** [k] members spaced uniformly in (normalized) arc length along the
+    front, ordered by the first objective.  Returns the whole front when it
+    has at most [k] members. *)
+
+val knee : Solution.t list -> Solution.t
+(** The knee of a (2-objective) front: the member with the maximum
+    perpendicular distance to the line joining the front's extreme points
+    (objectives normalized to the front's ranges first).  A common
+    automatic trade-off selector alongside {!closest_to_ideal}.
+    Requires a non-empty front with 2 objectives. *)
+
+val tradeoff_weight : Solution.t list -> Solution.t -> float
+(** Marginal-rate-of-substitution score of a front member: how much of
+    objective 1 one gives up per unit of objective 0 gained, relative to
+    its neighbors on the (2-objective) front; larger = stronger knee. *)

@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  n_var : int;
+  n_obj : int;
+  lower : float array;
+  upper : float array;
+  eval : float array -> float array;
+  violation : (float array -> float) option;
+}
+
+let make ?violation ~name ~n_obj ~lower ~upper eval =
+  let n_var = Array.length lower in
+  assert (n_var > 0);
+  assert (Array.length upper = n_var);
+  Array.iteri (fun i lo -> assert (lo <= upper.(i))) lower;
+  assert (n_obj >= 1);
+  { name; n_var; n_obj; lower; upper; eval; violation }
+
+let clip p x =
+  assert (Array.length x = p.n_var);
+  Array.mapi (fun i xi -> Float.min p.upper.(i) (Float.max p.lower.(i) xi)) x
+
+let random_solution p rng =
+  Array.init p.n_var (fun i -> Numerics.Rng.uniform rng p.lower.(i) p.upper.(i))
+
+let violation_of p x = match p.violation with None -> 0. | Some v -> v x

@@ -1,0 +1,38 @@
+(** Multi-objective optimization problems.
+
+    All objectives are {e minimized}.  Problems that naturally maximize a
+    quantity (CO2 uptake, electron production, ...) negate it in their
+    [eval] function and un-negate for reporting.  An optional [violation]
+    function returns a non-negative infeasibility measure (0 = feasible);
+    algorithms use Deb's constrained-domination rule with it. *)
+
+type t = {
+  name : string;
+  n_var : int;
+  n_obj : int;
+  lower : float array;  (** per-variable lower bounds, length [n_var] *)
+  upper : float array;  (** per-variable upper bounds, length [n_var] *)
+  eval : float array -> float array;
+      (** maps a decision vector to its objective vector (minimized) *)
+  violation : (float array -> float) option;
+      (** optional constraint violation, [>= 0.], [0.] when feasible *)
+}
+
+val make :
+  ?violation:(float array -> float) ->
+  name:string ->
+  n_obj:int ->
+  lower:float array ->
+  upper:float array ->
+  (float array -> float array) ->
+  t
+(** Build a problem; checks bound arrays agree in length and order. *)
+
+val clip : t -> float array -> float array
+(** Project a decision vector into the box. *)
+
+val random_solution : t -> Numerics.Rng.t -> float array
+(** Uniform draw inside the box. *)
+
+val violation_of : t -> float array -> float
+(** Violation of a decision vector ([0.] when the problem has none). *)

@@ -1,0 +1,16 @@
+type t = { x : float array; f : float array; v : float }
+
+let evaluate p x =
+  let x = Problem.clip p x in
+  let f = p.Problem.eval x in
+  assert (Array.length f = p.Problem.n_obj);
+  { x; f; v = Problem.violation_of p x }
+
+let feasible s = s.v <= 0.
+
+let equal_objectives ?(tol = 1e-12) a b =
+  Array.length a.f = Array.length b.f
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.f b.f
+
+let pp ppf s =
+  Format.fprintf ppf "f=%a v=%g" Numerics.Vec.pp s.f s.v

@@ -1,0 +1,92 @@
+type t = { lu : Matrix.t; perm : int array; sign : float }
+
+exception Singular
+
+let pivot_tolerance = 1e-13
+
+let factor a =
+  let n = Matrix.rows a in
+  assert (n = Matrix.cols a);
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the largest magnitude entry in column k. *)
+    let piv = ref k in
+    let best = ref (Float.abs (Matrix.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Matrix.get lu i k) in
+      if v > !best then begin
+        best := v;
+        piv := i
+      end
+    done;
+    if !best < pivot_tolerance then raise Singular;
+    if !piv <> k then begin
+      Matrix.swap_rows lu k !piv;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := -. !sign
+    end;
+    let pivval = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let m = Matrix.get lu i k /. pivval in
+      Matrix.set lu i k m;
+      if m <> 0. then
+        for j = k + 1 to n - 1 do
+          Matrix.set lu i j (Matrix.get lu i j -. (m *. Matrix.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Matrix.rows lu in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get lu i i
+  done;
+  x
+
+let solve_matrix a b = solve (factor a) b
+
+let det { lu; sign; _ } =
+  let n = Matrix.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get lu i i
+  done;
+  !d
+
+let inverse ({ lu; _ } as f) =
+  let n = Matrix.rows lu in
+  let inv = Matrix.zeros n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0. in
+    e.(j) <- 1.;
+    let x = solve f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j x.(i)
+    done
+  done;
+  inv
+
+let refine a f b x =
+  let r = Vec.sub b (Matrix.mv a x) in
+  let dx = solve f r in
+  Vec.add x dx

@@ -1,0 +1,26 @@
+(** LU factorization with partial pivoting, and derived solvers. *)
+
+type t
+(** A factorization [P·A = L·U] of a square matrix. *)
+
+exception Singular
+(** Raised when the matrix is numerically singular (zero pivot). *)
+
+val factor : Matrix.t -> t
+(** Factor a square matrix. Raises {!Singular} if a pivot underflows. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_matrix : Matrix.t -> Vec.t -> Vec.t
+(** One-shot [A x = b]; factors then solves. *)
+
+val det : t -> float
+(** Determinant from the factorization. *)
+
+val inverse : t -> Matrix.t
+(** Dense inverse (column-by-column solve). *)
+
+val refine : Matrix.t -> t -> Vec.t -> Vec.t -> Vec.t
+(** [refine a lu b x] performs one step of iterative refinement of the
+    solution [x] of [A x = b]. *)

@@ -1,0 +1,214 @@
+type rhs = float -> Vec.t -> Vec.t
+
+type stats = { steps : int; rejected : int; evals : int }
+
+type result = { t : float; y : Vec.t; stats : stats }
+
+exception Step_underflow of float
+
+let rk4 ~f ~t0 ~y0 ~dt ~steps =
+  let n = Array.length y0 in
+  let y = Array.copy y0 in
+  let t = ref t0 in
+  for _ = 1 to steps do
+    let k1 = f !t y in
+    let k2 = f (!t +. (dt /. 2.)) (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k1.(i)))) in
+    let k3 = f (!t +. (dt /. 2.)) (Array.init n (fun i -> y.(i) +. (dt /. 2. *. k2.(i)))) in
+    let k4 = f (!t +. dt) (Array.init n (fun i -> y.(i) +. (dt *. k3.(i)))) in
+    for i = 0 to n - 1 do
+      y.(i) <- y.(i) +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+    done;
+    t := !t +. dt
+  done;
+  { t = !t; y; stats = { steps; rejected = 0; evals = 4 * steps } }
+
+(* Dormand–Prince 5(4) Butcher tableau. *)
+let dp_c = [| 0.; 0.2; 0.3; 0.8; 8. /. 9.; 1.; 1. |]
+
+let dp_a =
+  [|
+    [||];
+    [| 0.2 |];
+    [| 3. /. 40.; 9. /. 40. |];
+    [| 44. /. 45.; -56. /. 15.; 32. /. 9. |];
+    [| 19372. /. 6561.; -25360. /. 2187.; 64448. /. 6561.; -212. /. 729. |];
+    [| 9017. /. 3168.; -355. /. 33.; 46732. /. 5247.; 49. /. 176.; -5103. /. 18656. |];
+    [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.; -2187. /. 6784.; 11. /. 84. |];
+  |]
+
+let dp_b5 = [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.; -2187. /. 6784.; 11. /. 84.; 0. |]
+
+let dp_b4 =
+  [|
+    5179. /. 57600.; 0.; 7571. /. 16695.; 393. /. 640.; -92097. /. 339200.; 187. /. 2100.; 1. /. 40.;
+  |]
+
+let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
+    ?(max_steps = 1_000_000) ?observer ~f ~t0 ~t1 ~y0 () =
+  let n = Array.length y0 in
+  assert (t1 >= t0);
+  let span = t1 -. t0 in
+  let h_max = match h_max with Some h -> h | None -> span in
+  let h = ref (match h0 with Some h -> h | None -> Float.min h_max (span /. 100.)) in
+  let t = ref t0 in
+  let y = ref (Array.copy y0) in
+  let evals = ref 0 in
+  let accepted = ref 0 in
+  let rejected = ref 0 in
+  let k = Array.make 7 [||] in
+  let stage_y = Array.make n 0. in
+  while !t < t1 do
+    if !accepted + !rejected > max_steps then raise (Step_underflow !t);
+    let h_cur = Float.min !h (t1 -. !t) in
+    if h_cur < h_min then raise (Step_underflow !t);
+    (* Evaluate the seven stages. *)
+    for s = 0 to 6 do
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        for j = 0 to s - 1 do
+          acc := !acc +. (dp_a.(s).(j) *. k.(j).(i))
+        done;
+        stage_y.(i) <- !y.(i) +. (h_cur *. !acc)
+      done;
+      k.(s) <- f (!t +. (dp_c.(s) *. h_cur)) (Array.copy stage_y);
+      incr evals
+    done;
+    (* 5th-order solution and embedded error estimate. *)
+    let y5 = Array.make n 0. in
+    let err = ref 0. in
+    for i = 0 to n - 1 do
+      let s5 = ref 0. and s4 = ref 0. in
+      for s = 0 to 6 do
+        s5 := !s5 +. (dp_b5.(s) *. k.(s).(i));
+        s4 := !s4 +. (dp_b4.(s) *. k.(s).(i))
+      done;
+      y5.(i) <- !y.(i) +. (h_cur *. !s5);
+      let e = h_cur *. (!s5 -. !s4) in
+      let sc = atol +. (rtol *. Float.max (Float.abs !y.(i)) (Float.abs y5.(i))) in
+      let r = e /. sc in
+      err := !err +. (r *. r)
+    done;
+    let err = sqrt (!err /. float_of_int n) in
+    if err <= 1. || h_cur <= h_min *. 2. then begin
+      t := !t +. h_cur;
+      y := y5;
+      incr accepted;
+      (match observer with Some obs -> obs !t !y | None -> ())
+    end
+    else incr rejected;
+    (* Standard controller with safety factor and growth limits. *)
+    let fac =
+      if err = 0. then 5. else Float.min 5. (Float.max 0.2 (0.9 *. (err ** (-0.2))))
+    in
+    h := Float.min h_max (Float.max h_min (h_cur *. fac))
+  done;
+  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
+
+let numeric_jacobian f t y =
+  let n = Array.length y in
+  let f0 = f t y in
+  let jac = Matrix.zeros n n in
+  let yp = Array.copy y in
+  for j = 0 to n - 1 do
+    let h = 1e-7 *. Float.max 1. (Float.abs y.(j)) in
+    yp.(j) <- y.(j) +. h;
+    let fj = f t yp in
+    yp.(j) <- y.(j);
+    for i = 0 to n - 1 do
+      Matrix.set jac i j ((fj.(i) -. f0.(i)) /. h)
+    done
+  done;
+  jac
+
+(* One backward-Euler step via damped Newton: solve y' = y + h f(t+h, y'). *)
+let backward_euler_step f t y h =
+  let n = Array.length y in
+  let ynext = Array.copy y in
+  let max_newton = 12 in
+  let rec iterate it evals =
+    let fy = f (t +. h) ynext in
+    let residual = Array.init n (fun i -> ynext.(i) -. y.(i) -. (h *. fy.(i))) in
+    let rnorm = Vec.norm_inf residual in
+    let scale = 1. +. Vec.norm_inf ynext in
+    if rnorm <= 1e-10 *. scale then Some (ynext, evals + 1)
+    else if it >= max_newton then None
+    else begin
+      let jac = numeric_jacobian f (t +. h) ynext in
+      (* Newton matrix M = I - h J. *)
+      let m = Matrix.init n n (fun i j -> (if i = j then 1. else 0.) -. (h *. Matrix.get jac i j)) in
+      match Lu.factor m with
+      | exception Lu.Singular -> None
+      | lu ->
+        let dy = Lu.solve lu residual in
+        for i = 0 to n - 1 do
+          ynext.(i) <- ynext.(i) -. dy.(i)
+        done;
+        iterate (it + 1) (evals + 1 + n)
+    end
+  in
+  iterate 0 0
+
+let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
+    ?(max_steps = 200_000) ~f ~t0 ~t1 ~y0 () =
+  let n = Array.length y0 in
+  assert (t1 >= t0);
+  let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
+  let t = ref t0 in
+  let y = ref (Array.copy y0) in
+  let accepted = ref 0 and rejected = ref 0 and evals = ref 0 in
+  while !t < t1 do
+    if !accepted + !rejected > max_steps then raise (Step_underflow !t);
+    let h_cur = Float.min !h (t1 -. !t) in
+    if h_cur < h_min then raise (Step_underflow !t);
+    (* Error estimation by step doubling: one full step vs two half steps. *)
+    let full = backward_euler_step f !t !y h_cur in
+    let halves =
+      match backward_euler_step f !t !y (h_cur /. 2.) with
+      | None -> None
+      | Some (ymid, e1) -> (
+        match backward_euler_step f (!t +. (h_cur /. 2.)) ymid (h_cur /. 2.) with
+        | None -> None
+        | Some (yend, e2) -> Some (yend, e1 + e2))
+    in
+    match full, halves with
+    | Some (y1, e1), Some (y2, e2) ->
+      evals := !evals + e1 + e2;
+      let err = ref 0. in
+      for i = 0 to n - 1 do
+        let sc = atol +. (rtol *. Float.max (Float.abs y1.(i)) (Float.abs y2.(i))) in
+        let r = (y2.(i) -. y1.(i)) /. sc in
+        err := !err +. (r *. r)
+      done;
+      let err = sqrt (!err /. float_of_int n) in
+      if err <= 1. then begin
+        t := !t +. h_cur;
+        (* Local extrapolation: the two-half-step solution is more accurate. *)
+        y := y2;
+        incr accepted;
+        h := h_cur *. Float.min 3. (Float.max 0.3 (0.9 /. Float.max 1e-8 (sqrt err)))
+      end
+      else begin
+        incr rejected;
+        h := h_cur *. 0.5
+      end
+    | _ ->
+      (* Newton failed to converge: retry with a smaller step. *)
+      incr rejected;
+      h := h_cur *. 0.25
+  done;
+  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
+
+let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
+    ?(t_max = 5000.) ~f ~y0 () =
+  let rec advance t y =
+    let rate =
+      let dy = f t y in
+      Vec.norm_inf dy /. (Vec.norm_inf y +. 1.)
+    in
+    if rate <= tol then Ok y
+    else if t >= t_max then Error y
+    else
+      let res = dopri5 ~rtol ~atol ~f ~t0:t ~t1:(t +. window) ~y0:y () in
+      advance res.t res.y
+  in
+  advance 0. (Array.copy y0)

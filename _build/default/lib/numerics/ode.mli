@@ -1,0 +1,79 @@
+(** Initial-value problem integrators.
+
+    Three integrators are provided:
+    - {!rk4}: classic fixed-step 4th-order Runge–Kutta;
+    - {!dopri5}: adaptive embedded Dormand–Prince 5(4) with PI-free step
+      control — the workhorse for the kinetic model;
+    - {!implicit_euler}: adaptive semi-implicit method (backward Euler with a
+      damped Newton solve and numeric Jacobian) for stiff regimes.
+
+    A right-hand side is a function [f t y] returning dy/dt as a fresh
+    vector. *)
+
+type rhs = float -> Vec.t -> Vec.t
+
+type stats = {
+  steps : int;       (** accepted steps *)
+  rejected : int;    (** rejected attempts *)
+  evals : int;       (** rhs evaluations *)
+}
+
+type result = { t : float; y : Vec.t; stats : stats }
+
+exception Step_underflow of float
+(** Raised when the adaptive controllers drive the step below the minimum
+    step size; carries the time at which it happened. *)
+
+val rk4 : f:rhs -> t0:float -> y0:Vec.t -> dt:float -> steps:int -> result
+(** Fixed-step RK4 for [steps] steps of size [dt]. *)
+
+val dopri5 :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  ?observer:(float -> Vec.t -> unit) ->
+  f:rhs ->
+  t0:float ->
+  t1:float ->
+  y0:Vec.t ->
+  unit ->
+  result
+(** Adaptive Dormand–Prince 5(4) from [t0] to [t1].
+    Defaults: [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000].
+    [observer] is called after every accepted step. *)
+
+val implicit_euler :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?max_steps:int ->
+  f:rhs ->
+  t0:float ->
+  t1:float ->
+  y0:Vec.t ->
+  unit ->
+  result
+(** Adaptive backward Euler with step-doubling error estimation; intended
+    for stiff systems where {!dopri5} needs prohibitively small steps. *)
+
+val numeric_jacobian : rhs -> float -> Vec.t -> Matrix.t
+(** Forward-difference Jacobian of the rhs at [(t, y)]. *)
+
+val steady_state :
+  ?rtol:float ->
+  ?atol:float ->
+  ?window:float ->
+  ?tol:float ->
+  ?t_max:float ->
+  f:rhs ->
+  y0:Vec.t ->
+  unit ->
+  (Vec.t, Vec.t) Stdlib.result
+(** Integrate in windows of duration [window] until the relative rate of
+    change [‖f‖ / (‖y‖ + 1)] falls below [tol] (default 1e-7) or [t_max]
+    is exceeded. Returns [Ok y_ss] on convergence, [Error y_last]
+    otherwise. *)

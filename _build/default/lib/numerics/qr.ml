@@ -1,0 +1,81 @@
+type t = { v : Matrix.t (* Householder vectors in-place, R in upper part *); beta : float array; m : int; n : int }
+
+exception Rank_deficient
+
+let factor a =
+  let m = Matrix.rows a and n = Matrix.cols a in
+  assert (m >= n);
+  let v = Matrix.copy a in
+  let beta = Array.make n 0. in
+  for k = 0 to n - 1 do
+    (* Build the Householder reflector annihilating column k below the diagonal. *)
+    let normx = ref 0. in
+    for i = k to m - 1 do
+      let x = Matrix.get v i k in
+      normx := !normx +. (x *. x)
+    done;
+    let normx = sqrt !normx in
+    if normx > 0. then begin
+      let x0 = Matrix.get v k k in
+      let alpha = if x0 >= 0. then -.normx else normx in
+      let v0 = x0 -. alpha in
+      (* Normalize so that the reflector's leading component is 1. *)
+      if Float.abs v0 > 0. then begin
+        for i = k + 1 to m - 1 do
+          Matrix.set v i k (Matrix.get v i k /. v0)
+        done;
+        beta.(k) <- -.v0 /. alpha;
+        Matrix.set v k k alpha;
+        (* Apply the reflector to the trailing columns. *)
+        for j = k + 1 to n - 1 do
+          let s = ref (Matrix.get v k j) in
+          for i = k + 1 to m - 1 do
+            s := !s +. (Matrix.get v i k *. Matrix.get v i j)
+          done;
+          let s = beta.(k) *. !s in
+          Matrix.set v k j (Matrix.get v k j -. s);
+          for i = k + 1 to m - 1 do
+            Matrix.set v i j (Matrix.get v i j -. (s *. Matrix.get v i k))
+          done
+        done
+      end
+    end
+  done;
+  { v; beta; m; n }
+
+let r { v; n; _ } =
+  Matrix.init n n (fun i j -> if j >= i then Matrix.get v i j else 0.)
+
+let qt_apply { v; beta; m; n } b =
+  assert (Array.length b = m);
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    if beta.(k) <> 0. then begin
+      let s = ref y.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (Matrix.get v i k *. y.(i))
+      done;
+      let s = beta.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to m - 1 do
+        y.(i) <- y.(i) -. (s *. Matrix.get v i k)
+      done
+    end
+  done;
+  y
+
+let solve_least_squares ({ v; n; _ } as f) b =
+  let y = qt_apply f b in
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let rii = Matrix.get v i i in
+    if Float.abs rii < 1e-13 then raise Rank_deficient;
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get v i j *. x.(j))
+    done;
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let least_squares a b = solve_least_squares (factor a) b

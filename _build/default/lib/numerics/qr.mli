@@ -1,0 +1,22 @@
+(** Householder QR factorization and linear least squares. *)
+
+type t
+(** Factorization [A = Q·R] of an [m×n] matrix with [m >= n]. *)
+
+exception Rank_deficient
+
+val factor : Matrix.t -> t
+(** Factor a tall (or square) matrix. *)
+
+val r : t -> Matrix.t
+(** The upper-triangular factor (n×n). *)
+
+val qt_apply : t -> Vec.t -> Vec.t
+(** [qt_apply f b] computes [Qᵀ b] (length m). *)
+
+val solve_least_squares : t -> Vec.t -> Vec.t
+(** Minimum-residual solution of [A x = b]. Raises {!Rank_deficient} if a
+    diagonal entry of R underflows. *)
+
+val least_squares : Matrix.t -> Vec.t -> Vec.t
+(** One-shot least squares. *)

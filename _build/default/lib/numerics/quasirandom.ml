@@ -1,0 +1,28 @@
+let primes =
+  [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71;
+     73; 79; 83; 89; 97 |]
+
+type t = { bases : int array; mutable index : int }
+
+let create ~dim =
+  assert (dim >= 1 && dim <= Array.length primes);
+  { bases = Array.sub primes 0 dim; index = 0 }
+
+(* Radical inverse of i in the given base. *)
+let halton ~base i =
+  assert (i >= 1 && base >= 2);
+  let rec go i f acc =
+    if i = 0 then acc
+    else
+      let f = f /. float_of_int base in
+      go (i / base) f (acc +. (f *. float_of_int (i mod base)))
+  in
+  go i 1. 0.
+
+let next t =
+  t.index <- t.index + 1;
+  Array.map (fun base -> halton ~base t.index) t.bases
+
+let skip t n =
+  assert (n >= 0);
+  t.index <- t.index + n

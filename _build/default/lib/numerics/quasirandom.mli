@@ -1,0 +1,21 @@
+(** Low-discrepancy (Halton) sequences for quasi-Monte-Carlo sampling.
+
+    A d-dimensional Halton point set covers the unit cube far more evenly
+    than pseudo-random draws, which reduces the variance of Monte-Carlo
+    estimates such as the robustness yield Γ. *)
+
+type t
+
+val create : dim:int -> t
+(** Halton generator over the first [dim] prime bases; [dim <= 25]. *)
+
+val next : t -> float array
+(** The next point in (0, 1)^dim. *)
+
+val skip : t -> int -> unit
+(** Discard [n] points (burn-in — the first Halton points are strongly
+    correlated across dimensions). *)
+
+val halton : base:int -> int -> float
+(** [halton ~base i] — the i-th element (i >= 1) of the van der Corput
+    sequence in the given base. *)

@@ -1,0 +1,71 @@
+exception No_convergence
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo in
+  let fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    assert (flo *. fhi < 0.);
+    let rec go lo hi flo it =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo <= tol || it >= max_iter then mid
+      else
+        let fm = f mid in
+        if fm = 0. then mid
+        else if flo *. fm < 0. then go lo mid flo (it + 1)
+        else go mid hi fm (it + 1)
+    in
+    go lo hi flo 0
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~x0 () =
+  let rec go x it =
+    if it >= max_iter then raise No_convergence
+    else
+      let fx = f x in
+      if Float.abs fx <= tol then x
+      else
+        let d = df x in
+        if d = 0. then raise No_convergence
+        else go (x -. (fx /. d)) (it + 1)
+  in
+  go x0 0
+
+let newton_nd ?(tol = 1e-10) ?(max_iter = 100) ~f ~x0 () =
+  let n = Array.length x0 in
+  let jacobian x =
+    let f0 = f x in
+    let jac = Matrix.zeros n n in
+    let xp = Array.copy x in
+    for j = 0 to n - 1 do
+      let h = 1e-7 *. Float.max 1. (Float.abs x.(j)) in
+      xp.(j) <- x.(j) +. h;
+      let fj = f xp in
+      xp.(j) <- x.(j);
+      for i = 0 to n - 1 do
+        Matrix.set jac i j ((fj.(i) -. f0.(i)) /. h)
+      done
+    done;
+    (jac, f0)
+  in
+  let rec go x it =
+    if it >= max_iter then raise No_convergence
+    else
+      let jac, fx = jacobian x in
+      let fnorm = Vec.norm_inf fx in
+      if fnorm <= tol then x
+      else
+        match Lu.factor jac with
+        | exception Lu.Singular -> raise No_convergence
+        | lu ->
+          let dx = Lu.solve lu fx in
+          (* Halving line search: accept the first step that reduces ‖f‖. *)
+          let rec backtrack alpha tries =
+            let xn = Array.init n (fun i -> x.(i) -. (alpha *. dx.(i))) in
+            if Vec.norm_inf (f xn) < fnorm || tries >= 20 then xn
+            else backtrack (alpha /. 2.) (tries + 1)
+          in
+          go (backtrack 1. 0) (it + 1)
+  in
+  go (Array.copy x0) 0

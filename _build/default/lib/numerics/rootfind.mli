@@ -1,0 +1,21 @@
+(** Scalar and multi-dimensional root finding. *)
+
+exception No_convergence
+
+val bisect : ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Root of a continuous scalar function on a sign-changing bracket.
+    Requires [f lo] and [f hi] of opposite signs. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) -> x0:float -> unit -> float
+(** Scalar Newton iteration. Raises {!No_convergence} on stagnation. *)
+
+val newton_nd :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(Vec.t -> Vec.t) ->
+  x0:Vec.t ->
+  unit ->
+  Vec.t
+(** Damped Newton for systems [f x = 0] with a forward-difference Jacobian
+    and halving line search on ‖f‖. *)

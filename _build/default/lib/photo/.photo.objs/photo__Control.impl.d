@@ -1,0 +1,1 @@
+lib/photo/control.ml: Array Enzyme Float List Steady_state

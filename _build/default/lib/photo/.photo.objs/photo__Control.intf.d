@@ -1,0 +1,1 @@
+lib/photo/control.mli: Params

@@ -1,0 +1,1 @@
+lib/photo/enzyme.ml: Array

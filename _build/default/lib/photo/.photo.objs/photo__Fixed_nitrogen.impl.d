@@ -1,0 +1,1 @@
+lib/photo/fixed_nitrogen.ml: Array Ea Enzyme Float Params Steady_state

@@ -1,0 +1,1 @@
+lib/photo/fixed_nitrogen.mli: Params

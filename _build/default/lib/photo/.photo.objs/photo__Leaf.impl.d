@@ -1,0 +1,1 @@
+lib/photo/leaf.ml: Array Enzyme Moo Params Printf Steady_state

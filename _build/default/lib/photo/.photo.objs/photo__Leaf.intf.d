@@ -1,0 +1,1 @@
+lib/photo/leaf.mli: Moo Params

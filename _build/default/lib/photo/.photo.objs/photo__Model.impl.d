@@ -1,0 +1,1 @@
+lib/photo/model.ml: Array Enzyme Float Params State

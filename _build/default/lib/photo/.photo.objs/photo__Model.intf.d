@@ -1,0 +1,1 @@
+lib/photo/model.mli: Numerics Params

@@ -1,0 +1,1 @@
+lib/photo/params.mli:

@@ -1,0 +1,1 @@
+lib/photo/response.ml: Array Enzyme List Params Printf Steady_state

@@ -1,0 +1,1 @@
+lib/photo/response.mli: Params

@@ -1,0 +1,1 @@
+lib/photo/simulate.ml: Array Enzyme Float List Model Numerics Params State

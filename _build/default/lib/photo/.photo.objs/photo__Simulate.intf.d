@@ -1,0 +1,1 @@
+lib/photo/simulate.mli: Params

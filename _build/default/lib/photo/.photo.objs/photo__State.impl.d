@@ -1,0 +1,1 @@
+lib/photo/state.ml: Array Float Params

@@ -1,0 +1,1 @@
+lib/photo/steady_state.ml: Array Enzyme Float Model Numerics Params State

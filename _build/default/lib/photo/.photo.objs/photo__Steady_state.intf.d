@@ -1,0 +1,1 @@
+lib/photo/steady_state.mli: Model Params

@@ -1,0 +1,1 @@
+lib/photo/temperature.ml: Array Enzyme List Params Steady_state

@@ -1,0 +1,1 @@
+lib/photo/temperature.mli: Params

@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  mw_kda : float;
+  kcat : float;
+  vmax_natural : float;
+}
+
+(* Molecular weights and catalytic numbers are literature-plausible values;
+   natural activities are calibrated so the natural steady state sits at
+   the paper's operating point (see DESIGN.md, substitutions). *)
+let all =
+  [|
+    { name = "Rubisco"; mw_kda = 550.; kcat = 3.5; vmax_natural = 3.7 };
+    { name = "PGA Kinase"; mw_kda = 50.; kcat = 240.; vmax_natural = 4.0 };
+    { name = "GAP DH"; mw_kda = 150.; kcat = 90.; vmax_natural = 4.0 };
+    { name = "FBP Aldolase"; mw_kda = 160.; kcat = 10.; vmax_natural = 0.8 };
+    { name = "FBPase"; mw_kda = 160.; kcat = 25.; vmax_natural = 0.6 };
+    { name = "Transketolase"; mw_kda = 150.; kcat = 40.; vmax_natural = 0.7 };
+    { name = "Aldolase"; mw_kda = 160.; kcat = 10.; vmax_natural = 0.5 };
+    { name = "SBPase"; mw_kda = 66.; kcat = 20.; vmax_natural = 0.3 };
+    { name = "PRK"; mw_kda = 80.; kcat = 300.; vmax_natural = 3.0 };
+    { name = "ADPGPP"; mw_kda = 210.; kcat = 20.; vmax_natural = 0.25 };
+    { name = "PGCAPase"; mw_kda = 40.; kcat = 100.; vmax_natural = 2.4 };
+    { name = "GCEA Kinase"; mw_kda = 45.; kcat = 50.; vmax_natural = 1.6 };
+    { name = "GOA Oxidase"; mw_kda = 150.; kcat = 20.; vmax_natural = 2.0 };
+    { name = "GSAT"; mw_kda = 90.; kcat = 30.; vmax_natural = 1.6 };
+    { name = "HPR reductas"; mw_kda = 95.; kcat = 200.; vmax_natural = 2.0 };
+    { name = "GGAT"; mw_kda = 98.; kcat = 30.; vmax_natural = 1.6 };
+    { name = "GDC"; mw_kda = 1000.; kcat = 10.; vmax_natural = 1.2 };
+    { name = "Cytolic FBP aldolase"; mw_kda = 160.; kcat = 10.; vmax_natural = 0.5 };
+    { name = "Cytolic FBPase"; mw_kda = 150.; kcat = 20.; vmax_natural = 0.4 };
+    { name = "UDPGP"; mw_kda = 110.; kcat = 300.; vmax_natural = 1.0 };
+    { name = "SPS"; mw_kda = 120.; kcat = 30.; vmax_natural = 0.5 };
+    { name = "SPP"; mw_kda = 55.; kcat = 100.; vmax_natural = 0.8 };
+    { name = "F26BPase"; mw_kda = 90.; kcat = 30.; vmax_natural = 0.1 };
+  |]
+
+let count = Array.length all
+
+let () = assert (count = 23)
+
+let names = Array.map (fun e -> e.name) all
+
+let idx_rubisco = 0
+let idx_pga_kinase = 1
+let idx_gapdh = 2
+let idx_fbp_aldolase = 3
+let idx_fbpase = 4
+let idx_transketolase = 5
+let idx_aldolase = 6
+let idx_sbpase = 7
+let idx_prk = 8
+let idx_adpgpp = 9
+let idx_pgcapase = 10
+let idx_gcea_kinase = 11
+let idx_goa_oxidase = 12
+let idx_gsat = 13
+let idx_hpr_reductase = 14
+let idx_ggat = 15
+let idx_gdc = 16
+let idx_cyt_fbp_aldolase = 17
+let idx_cyt_fbpase = 18
+let idx_udpgp = 19
+let idx_sps = 20
+let idx_spp = 21
+let idx_f26bpase = 22
+
+let natural_vmax () = Array.map (fun e -> e.vmax_natural) all
+
+let vmax_of_ratios r =
+  assert (Array.length r = count);
+  Array.mapi (fun i ri -> ri *. all.(i).vmax_natural) r
+
+let raw_nitrogen vmax =
+  assert (Array.length vmax = count);
+  let acc = ref 0. in
+  Array.iteri
+    (fun i v ->
+      (* v (mM/s) / kcat (1/s) = mM of sites; × MW (mg/µmol·10³) → mg/l. *)
+      acc := !acc +. (v /. all.(i).kcat *. all.(i).mw_kda *. 1000.))
+    vmax;
+  !acc

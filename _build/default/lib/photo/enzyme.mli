@@ -1,0 +1,60 @@
+(** The 23 controllable enzymes of the C3 carbon-metabolism model
+    (the enzyme list of the paper's Figure 2, in the same order).
+
+    Enzyme amounts are expressed as maximal activities (Vmax, mM s⁻¹ on a
+    stromal/cytosolic volume basis).  The protein-nitrogen cost of an
+    activity x is [x · MW / kcat] (the paper's formula
+    Σ xᵢ·MWᵢ·(catalytic number)ᵢ⁻¹), rescaled by a single calibration
+    factor so the natural leaf totals the paper's 208 330 mg l⁻¹. *)
+
+type t = {
+  name : string;
+  mw_kda : float;        (** molecular weight, kDa *)
+  kcat : float;          (** catalytic number, s⁻¹ *)
+  vmax_natural : float;  (** natural leaf maximal activity, mM s⁻¹ *)
+}
+
+(* 23. *)
+val count : int
+
+val all : t array
+(** The enzyme table, indexed by the [idx_*] constants below. *)
+
+val names : string array
+
+(* Indices into [all] and into decision vectors. *)
+
+val idx_rubisco : int
+val idx_pga_kinase : int
+val idx_gapdh : int
+val idx_fbp_aldolase : int
+val idx_fbpase : int
+val idx_transketolase : int
+(* SBP aldolase *)
+val idx_aldolase : int
+val idx_sbpase : int
+val idx_prk : int
+val idx_adpgpp : int
+val idx_pgcapase : int
+val idx_gcea_kinase : int
+val idx_goa_oxidase : int
+val idx_gsat : int
+val idx_hpr_reductase : int
+val idx_ggat : int
+val idx_gdc : int
+val idx_cyt_fbp_aldolase : int
+val idx_cyt_fbpase : int
+val idx_udpgp : int
+val idx_sps : int
+val idx_spp : int
+val idx_f26bpase : int
+
+val natural_vmax : unit -> float array
+(** Fresh copy of the natural Vmax vector (length {!count}). *)
+
+val vmax_of_ratios : float array -> float array
+(** [vmax_of_ratios r] scales the natural activities componentwise:
+    decision vectors in this library are ratios to the natural leaf. *)
+
+val raw_nitrogen : float array -> float
+(** Unscaled Σ vmaxᵢ·MWᵢ/kcatᵢ (mg l⁻¹ of protein) for a Vmax vector. *)

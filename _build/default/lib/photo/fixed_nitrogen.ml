@@ -1,0 +1,43 @@
+let ratios_of_weights ?(kinetics = Params.default) ~target_nitrogen w =
+  assert (Array.length w = Enzyme.count);
+  assert (target_nitrogen > 0.);
+  (* Nitrogen is linear in the ratios, so a single scale factor enforces
+     the budget exactly. *)
+  let weights = Array.map (fun wi -> Float.max 1e-6 wi) w in
+  let n_of r =
+    Enzyme.raw_nitrogen (Enzyme.vmax_of_ratios r) *. kinetics.Params.nitrogen_scale
+  in
+  let base = n_of weights in
+  Array.map (fun wi -> wi *. target_nitrogen /. base) weights
+
+type result = {
+  ratios : float array;
+  uptake : float;
+  natural_uptake : float;
+  gain_pct : float;
+  evaluations : int;
+}
+
+let optimize ?(kinetics = Params.default) ?(generations = 80) ?(seed = 2011) ~env () =
+  let natural = Steady_state.natural ~kinetics ~env () in
+  let target_nitrogen = natural.Steady_state.nitrogen in
+  let warm = natural.Steady_state.y in
+  let n = Enzyme.count in
+  let objective w =
+    let ratios = ratios_of_weights ~kinetics ~target_nitrogen w in
+    let r = Steady_state.evaluate ~kinetics ~y0:warm ~env ~ratios () in
+    if r.Steady_state.converged then r.Steady_state.uptake
+    else Float.min r.Steady_state.uptake 0.
+  in
+  let ga =
+    Ea.Ga.maximize ~generations ~seed ~lower:(Array.make n 0.05)
+      ~upper:(Array.make n 3.) objective
+  in
+  let ratios = ratios_of_weights ~kinetics ~target_nitrogen ga.Ea.Ga.best_x in
+  {
+    ratios;
+    uptake = ga.Ea.Ga.best_f;
+    natural_uptake = natural.Steady_state.uptake;
+    gain_pct = 100. *. ((ga.Ea.Ga.best_f /. natural.Steady_state.uptake) -. 1.);
+    evaluations = ga.Ea.Ga.evaluations;
+  }

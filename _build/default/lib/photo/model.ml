@@ -1,0 +1,202 @@
+type fluxes = {
+  vc : float;
+  vo : float;
+  v_pgak : float;
+  v_gapdh : float;
+  v_fbpald : float;
+  v_fbpase : float;
+  v_tk1 : float;
+  v_tk2 : float;
+  v_sbald : float;
+  v_sbpase : float;
+  v_prk : float;
+  v_adpgpp : float;
+  v_pgcapase : float;
+  v_goaox : float;
+  v_ggat : float;
+  v_gsat : float;
+  v_gdc : float;
+  v_hprred : float;
+  v_gceak : float;
+  v_export : float;
+  v_cald : float;
+  v_cfbpase : float;
+  v_udpgp : float;
+  v_sps : float;
+  v_spp : float;
+  v_f26bpase : float;
+  v_f2k : float;
+  v_serleak : float;  (* serine drain to amino-acid metabolism *)
+  v_stdeg : float;    (* starch phosphorylase (re-seeding influx) *)
+  v_g6pdh : float;    (* oxidative pentose-phosphate shunt *)
+  v_scav_hp : float;  (* Pi-starvation phosphatase on hexose-P *)
+  v_scav_tp : float;  (* Pi-starvation phosphatase on triose-P *)
+  v_scav_pp : float;  (* Pi-starvation phosphatase on pentose-P *)
+  v_light : float;
+  pi : float;
+}
+
+(* Saturation term, guarded against (numerically) negative pools. *)
+let mm s km = let s = Float.max 0. s in s /. (s +. km)
+
+let fluxes (k : Params.kinetics) (env : Params.env) ~vmax y =
+  assert (Array.length vmax = Enzyme.count);
+  let v i = vmax.(i) in
+  let pi = State.stromal_pi k y in
+  let atp = Float.max 0. y.(State.atp) in
+  let adp = Float.max 0. (k.adenylate_total -. atp) in
+  let gap = k.frac_gap *. y.(State.tp) in
+  let dhap = k.frac_dhap *. y.(State.tp) in
+  let f6p = k.frac_f6p *. y.(State.hp) in
+  let g1p = k.frac_g1p *. y.(State.hp) in
+  let ru5p = k.frac_ru5p *. y.(State.pp) in
+  let gapc = k.frac_gap *. y.(State.tpc) in
+  let dhapc = k.frac_dhap *. y.(State.tpc) in
+  let f6pc = k.frac_f6p *. y.(State.hpc) in
+  let g1pc = k.frac_g1p *. y.(State.hpc) in
+  (* Rubisco: CO2 saturation in ppm units with O2 competition folded into
+     kc_eff; oxygenation keyed to the compensation point. *)
+  let vc =
+    v Enzyme.idx_rubisco *. (env.ci /. (env.ci +. k.kc_eff)) *. mm y.(State.rubp) k.km_rubp
+  in
+  let vo = 2. *. k.gamma_star /. env.ci *. vc in
+  let v_pgak =
+    v Enzyme.idx_pga_kinase *. mm y.(State.pga) k.km_pga_pgak *. mm atp k.km_atp_pgak
+  in
+  let v_gapdh = v Enzyme.idx_gapdh *. mm y.(State.dpga) k.km_dpga in
+  let v_fbpald = v Enzyme.idx_fbp_aldolase *. mm gap k.km_gap_ald *. mm dhap k.km_dhap_ald in
+  let v_fbpase =
+    v Enzyme.idx_fbpase
+    *. (Float.max 0. y.(State.fbp) /. (y.(State.fbp) +. (k.km_fbp *. (1. +. (f6p /. k.ki_f6p_fbpase)))))
+  in
+  let v_tk1 = v Enzyme.idx_transketolase *. mm f6p k.km_f6p_tk *. mm gap k.km_gap_tk in
+  let v_tk2 = v Enzyme.idx_transketolase *. mm y.(State.s7p) k.km_s7p_tk *. mm gap k.km_gap_tk in
+  let v_sbald = v Enzyme.idx_aldolase *. mm dhap k.km_dhap_sbald *. mm y.(State.e4p) k.km_e4p_sbald in
+  let v_sbpase =
+    v Enzyme.idx_sbpase
+    *. (Float.max 0. y.(State.sbp)
+        /. (y.(State.sbp) +. (k.km_sbp *. (1. +. (pi /. k.ki_pi_sbpase)))))
+  in
+  let v_prk =
+    v Enzyme.idx_prk
+    *. (ru5p /. (ru5p +. (k.km_ru5p *. (1. +. (y.(State.pga) /. k.ki_pga_prk)))))
+    *. mm atp k.km_atp_prk
+  in
+  let adpgpp_activation =
+    let r = y.(State.pga) /. pi in
+    r /. (r +. k.ka_adpgpp)
+  in
+  let v_adpgpp =
+    v Enzyme.idx_adpgpp *. mm g1p k.km_g1p_adpgpp *. mm atp k.km_atp_adpgpp
+    *. adpgpp_activation
+  in
+  let v_pgcapase = v Enzyme.idx_pgcapase *. mm y.(State.pgca) k.km_pgca in
+  let v_goaox = v Enzyme.idx_goa_oxidase *. mm y.(State.gca) k.km_gca in
+  let v_ggat = v Enzyme.idx_ggat *. mm y.(State.goa) k.km_goa_ggat in
+  let v_gsat =
+    v Enzyme.idx_gsat *. mm y.(State.goa) k.km_goa_gsat *. mm y.(State.ser) k.km_ser_gsat
+  in
+  let v_gdc = v Enzyme.idx_gdc *. mm y.(State.gly) k.km_gly_gdc in
+  let v_hprred = v Enzyme.idx_hpr_reductase *. mm y.(State.hpr) k.km_hpr in
+  let v_gceak =
+    v Enzyme.idx_gcea_kinase *. mm y.(State.gcea) k.km_gcea *. mm atp k.km_atp_gceak
+  in
+  (* Translocator: not one of the 23 decision enzymes — its capacity is an
+     environmental condition; cytosolic triose-P accumulation exerts
+     back-pressure. *)
+  let v_export =
+    (* Sigmoidal (Hill-2) saturation: the antiporter only runs once the
+       stromal triose-P pool is charged, and cytosolic accumulation exerts
+       back-pressure.  This reflects the Pi-exchange coupling of the real
+       translocator and keeps the autocatalytic cycle from being drained
+       through a linear low-TP leak. *)
+    let t = Float.max 0. y.(State.tp) in
+    env.tp_export
+    *. (t *. t /. ((t *. t) +. (k.km_tp_export *. k.km_tp_export)))
+    *. (k.ki_tpc_export /. (k.ki_tpc_export +. Float.max 0. y.(State.tpc)))
+  in
+  let v_cald =
+    v Enzyme.idx_cyt_fbp_aldolase *. mm gapc k.km_gap_cald *. mm dhapc k.km_dhap_cald
+  in
+  let v_cfbpase =
+    v Enzyme.idx_cyt_fbpase
+    *. (Float.max 0. y.(State.fbpc)
+        /. (y.(State.fbpc) +. (k.km_fbp_cyt *. (1. +. (y.(State.f26bp) /. k.ki_f26bp)))))
+  in
+  let v_udpgp =
+    (* Product inhibition keeps the near-equilibrium UDPGP step from
+       accumulating UDP-glucose without bound when SPS lags. *)
+    v Enzyme.idx_udpgp *. mm g1pc k.km_g1p_udpgp
+    *. (k.ki_udpg /. (k.ki_udpg +. Float.max 0. y.(State.udpg)))
+  in
+  let v_sps = v Enzyme.idx_sps *. mm f6pc k.km_f6p_sps *. mm y.(State.udpg) k.km_udpg_sps in
+  let v_spp = v Enzyme.idx_spp *. mm y.(State.sucp) k.km_sucp in
+  let v_f26bpase = v Enzyme.idx_f26bpase *. mm y.(State.f26bp) k.km_f26bp in
+  let v_f2k = k.v_f2k *. mm f6pc k.km_f6p_f2k in
+  let v_serleak = k.ser_leak *. Float.max 0. y.(State.ser) in
+  (* Starch remobilization and the oxidative pentose-phosphate shunt:
+     small fixed background fluxes that keep the autocatalytic cycle
+     re-seedable (the bare cycle has an absorbing extinct state). *)
+  let v_stdeg = k.v_starch_deg *. mm pi 0.5 in
+  let g6p = k.frac_g6p *. y.(State.hp) in
+  let v_g6pdh = k.v_g6pdh *. mm g6p k.km_g6pdh in
+  (* Pi-starvation safety valve: nonspecific phosphatase activity that
+     liberates phosphate from the large sugar-phosphate pools when free Pi
+     collapses, as vacuolar scavenging does in vivo.  Negligible at
+     physiological Pi. *)
+  let starvation = k.ki_scavenge /. (k.ki_scavenge +. pi) in
+  let v_scav_hp = k.k_scavenge *. starvation *. Float.max 0. y.(State.hp) in
+  let v_scav_tp = k.k_scavenge *. starvation *. Float.max 0. y.(State.tp) in
+  let v_scav_pp = k.k_scavenge *. starvation *. Float.max 0. y.(State.pp) in
+  let v_light = k.v_light *. mm adp k.km_adp_light *. mm pi k.km_pi_light in
+  {
+    vc; vo; v_pgak; v_gapdh; v_fbpald; v_fbpase; v_tk1; v_tk2; v_sbald; v_sbpase;
+    v_prk; v_adpgpp; v_pgcapase; v_goaox; v_ggat; v_gsat; v_gdc; v_hprred; v_gceak;
+    v_export; v_cald; v_cfbpase; v_udpgp; v_sps; v_spp; v_f26bpase; v_f2k; v_serleak;
+    v_stdeg; v_g6pdh; v_scav_hp; v_scav_tp; v_scav_pp; v_light; pi;
+  }
+
+let rhs k env ~vmax =
+  fun _t y ->
+    let f = fluxes k env ~vmax y in
+    let dy = Array.make State.n 0. in
+    dy.(State.rubp) <- f.v_prk -. f.vc -. f.vo;
+    dy.(State.pga) <- (2. *. f.vc) +. f.vo +. f.v_gceak -. f.v_pgak;
+    dy.(State.dpga) <- f.v_pgak -. f.v_gapdh;
+    dy.(State.tp) <-
+      f.v_gapdh -. (2. *. f.v_fbpald) -. f.v_tk1 -. f.v_tk2 -. f.v_sbald -. f.v_export
+      -. f.v_scav_tp;
+    dy.(State.fbp) <- f.v_fbpald -. f.v_fbpase;
+    dy.(State.hp) <-
+      f.v_fbpase +. f.v_stdeg -. f.v_tk1 -. f.v_adpgpp -. f.v_g6pdh -. f.v_scav_hp;
+    dy.(State.e4p) <- f.v_tk1 -. f.v_sbald;
+    dy.(State.sbp) <- f.v_sbald -. f.v_sbpase;
+    dy.(State.s7p) <- f.v_sbpase -. f.v_tk2;
+    dy.(State.pp) <- f.v_tk1 +. (2. *. f.v_tk2) +. f.v_g6pdh -. f.v_prk -. f.v_scav_pp;
+    dy.(State.atp) <- f.v_light -. f.v_pgak -. f.v_prk -. f.v_adpgpp -. f.v_gceak;
+    dy.(State.pgca) <- f.vo -. f.v_pgcapase;
+    dy.(State.gca) <- f.v_pgcapase -. f.v_goaox;
+    dy.(State.goa) <- f.v_goaox -. f.v_ggat -. f.v_gsat;
+    dy.(State.gly) <- f.v_ggat +. f.v_gsat -. (2. *. f.v_gdc);
+    dy.(State.ser) <- f.v_gdc -. f.v_gsat -. f.v_serleak;
+    dy.(State.hpr) <- f.v_gsat -. f.v_hprred;
+    dy.(State.gcea) <- f.v_hprred -. f.v_gceak;
+    dy.(State.tpc) <- f.v_export -. (2. *. f.v_cald);
+    dy.(State.fbpc) <- f.v_cald -. f.v_cfbpase;
+    dy.(State.hpc) <- f.v_cfbpase -. f.v_udpgp -. f.v_sps;
+    dy.(State.udpg) <- f.v_udpgp -. f.v_sps;
+    dy.(State.sucp) <- f.v_sps -. f.v_spp;
+    dy.(State.f26bp) <- f.v_f2k -. f.v_f26bpase;
+    dy
+
+let assimilation (k : Params.kinetics) f =
+  (f.vc -. f.v_gdc -. k.day_respiration) *. k.flux_to_uptake
+
+let carbon_balance f =
+  (* Carbon enters via carboxylation and leaves via GDC decarboxylation,
+     starch (6 C per ADPGPP flux), sucrose export (3 C per exported
+     triose) and the serine drain (3 C).  At steady state the interior
+     pools are constant so these must balance. *)
+  f.vc +. (6. *. f.v_stdeg) -. f.v_gdc -. f.v_g6pdh -. (6. *. f.v_adpgpp)
+  -. (3. *. f.v_export) -. (3. *. f.v_serleak) -. (6. *. f.v_scav_hp)
+  -. (3. *. f.v_scav_tp) -. (5. *. f.v_scav_pp)

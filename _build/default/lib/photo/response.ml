@@ -1,0 +1,21 @@
+let natural_ratios () = Array.make Enzyme.count 1.
+
+let a_ci_curve ?kinetics ?ratios ~tp_export ~ci_values () =
+  let ratios = match ratios with Some r -> r | None -> natural_ratios () in
+  List.map
+    (fun ci ->
+      assert (ci > 0.);
+      let env = { Params.label = Printf.sprintf "ci=%g" ci; ci; tp_export } in
+      let r = Steady_state.evaluate ?kinetics ~env ~ratios () in
+      (ci, r.Steady_state.uptake))
+    ci_values
+
+let export_response ?kinetics ?ratios ~ci ~export_values () =
+  let ratios = match ratios with Some r -> r | None -> natural_ratios () in
+  List.map
+    (fun tp_export ->
+      assert (tp_export >= 0.);
+      let env = { Params.label = Printf.sprintf "export=%g" tp_export; ci; tp_export } in
+      let r = Steady_state.evaluate ?kinetics ~env ~ratios () in
+      (tp_export, r.Steady_state.uptake))
+    export_values

@@ -1,0 +1,21 @@
+(** Physiological response curves of a leaf design. *)
+
+val a_ci_curve :
+  ?kinetics:Params.kinetics ->
+  ?ratios:float array ->
+  tp_export:float ->
+  ci_values:float list ->
+  unit ->
+  (float * float) list
+(** [(ci, net assimilation)] pairs — the classic A/Ci curve.  Defaults to
+    the natural leaf. *)
+
+val export_response :
+  ?kinetics:Params.kinetics ->
+  ?ratios:float array ->
+  ci:float ->
+  export_values:float list ->
+  unit ->
+  (float * float) list
+(** Uptake as a function of the triose-P export capacity (sink
+    limitation). *)

@@ -1,0 +1,54 @@
+type report = {
+  converged : bool;
+  y : float array;
+  fluxes : Model.fluxes;
+  uptake : float;
+  nitrogen : float;
+}
+
+let nitrogen_of ~kinetics ratios =
+  let vmax = Enzyme.vmax_of_ratios ratios in
+  Enzyme.raw_nitrogen vmax *. kinetics.Params.nitrogen_scale
+
+let evaluate ?(kinetics = Params.default) ?y0 ?(t_max = 400.) ~env ~ratios () =
+  assert (Array.length ratios = Enzyme.count);
+  let vmax = Enzyme.vmax_of_ratios ratios in
+  let f = Model.rhs kinetics env ~vmax in
+  let y0 = match y0 with Some y -> Array.copy y | None -> State.initial () in
+  let finish converged y =
+    let fl = Model.fluxes kinetics env ~vmax y in
+    {
+      converged;
+      y;
+      fluxes = fl;
+      uptake = Model.assimilation kinetics fl;
+      nitrogen = nitrogen_of ~kinetics ratios;
+    }
+  in
+  (* Converged when the net assimilation is stable across two successive
+     integration windows (small persistent ATP/Pi oscillations are
+     physiological and irrelevant to the reported uptake) and the state
+     rate is modest. *)
+  let window = 20. in
+  let assim y = Model.assimilation kinetics (Model.fluxes kinetics env ~vmax y) in
+  let rec advance t y prev_a stable =
+    let a = assim y in
+    let tol_a = 2e-4 *. (Float.abs a +. 1.) in
+    let state_rate =
+      let dy = f t y in
+      Numerics.Vec.norm_inf dy /. (Numerics.Vec.norm_inf y +. 1.)
+    in
+    let stable = if Float.abs (a -. prev_a) <= tol_a && state_rate < 2e-3 then stable + 1 else 0 in
+    if stable >= 2 then finish true y
+    else if t >= t_max then finish false y
+    else
+      match
+        Numerics.Ode.dopri5 ~rtol:2e-4 ~atol:1e-7 ~f ~t0:t ~t1:(t +. window) ~y0:y ()
+      with
+      | r -> advance r.Numerics.Ode.t r.Numerics.Ode.y a stable
+      | exception Numerics.Ode.Step_underflow _ -> finish false y
+  in
+  advance 0. y0 infinity 0
+
+let natural ?kinetics ~env () =
+  evaluate ?kinetics ~env ~ratios:(Array.make Enzyme.count 1.) ()

@@ -1,0 +1,25 @@
+(** Steady-state evaluation of a leaf design. *)
+
+type report = {
+  converged : bool;
+  y : float array;       (** final metabolite state *)
+  fluxes : Model.fluxes;
+  uptake : float;        (** net CO2 assimilation, µmol m⁻² s⁻¹ *)
+  nitrogen : float;      (** protein-nitrogen, mg l⁻¹ (paper units) *)
+}
+
+val evaluate :
+  ?kinetics:Params.kinetics ->
+  ?y0:float array ->
+  ?t_max:float ->
+  env:Params.env ->
+  ratios:float array ->
+  unit ->
+  report
+(** Integrate the kinetic model to steady state for the enzyme-activity
+    ratio vector [ratios] (1.0 = natural) and report uptake and nitrogen.
+    Designs whose integration fails (pathological enzyme vectors) are
+    reported with [converged = false] and the last reachable state. *)
+
+val natural : ?kinetics:Params.kinetics -> env:Params.env -> unit -> report
+(** The natural leaf (all ratios 1). *)

@@ -1,0 +1,1 @@
+lib/pmo2/archipelago.ml: Array Domain Ea Island List Moo Numerics Topology

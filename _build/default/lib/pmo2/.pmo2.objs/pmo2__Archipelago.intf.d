@@ -1,0 +1,1 @@
+lib/pmo2/archipelago.mli: Ea Moo Topology

@@ -1,0 +1,1 @@
+lib/pmo2/island.ml: Ea Moo

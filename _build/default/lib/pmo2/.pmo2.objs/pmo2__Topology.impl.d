@@ -1,0 +1,1 @@
+lib/pmo2/topology.ml: Fun List

@@ -1,0 +1,132 @@
+type algorithm =
+  | Nsga2 of Ea.Nsga2.config
+  | Spea2 of Ea.Spea2.config
+
+type config = {
+  n_islands : int;
+  migration_period : int;
+  migration_prob : float;
+  migrants : int;
+  topology : Topology.t;
+  nsga2 : Ea.Nsga2.config;
+  algorithms : algorithm list;
+  archive_capacity : int option;
+  parallel : bool;
+}
+
+let default_config =
+  {
+    n_islands = 2;
+    migration_period = 200;
+    migration_prob = 0.5;
+    migrants = 5;
+    topology = Topology.All_to_all;
+    nsga2 = Ea.Nsga2.default_config;
+    algorithms = [];
+    archive_capacity = None;
+    parallel = false;
+  }
+
+let paper_config ~generations_hint =
+  assert (generations_hint >= 1);
+  default_config
+
+type state = {
+  config : config;
+  rng : Numerics.Rng.t; (* drives migration decisions *)
+  islands : Island.t array;
+  edges : (int * int) list;
+  arch : Moo.Archive.t;
+  mutable gens : int;
+}
+
+let init ?(seed = 42) ?(initial = []) problem config =
+  assert (config.n_islands >= 1);
+  assert (config.migration_period >= 1);
+  assert (config.migration_prob >= 0. && config.migration_prob <= 1.);
+  let master = Numerics.Rng.create seed in
+  let migration_rng = Numerics.Rng.split master in
+  let algo_of i =
+    match config.algorithms with
+    | [] -> Nsga2 config.nsga2
+    | algos -> List.nth algos (i mod List.length algos)
+  in
+  let islands =
+    Array.init config.n_islands (fun i ->
+        let rng = Numerics.Rng.split master in
+        match algo_of i with
+        | Nsga2 cfg -> Island.nsga2 ~initial problem cfg rng
+        | Spea2 cfg -> Island.spea2 ~initial problem cfg rng)
+  in
+  {
+    config;
+    rng = migration_rng;
+    islands;
+    edges = Topology.edges config.topology ~n:config.n_islands;
+    arch = Moo.Archive.create ?capacity:config.archive_capacity ();
+    gens = 0;
+  }
+
+let collect st =
+  Array.iter (fun isl -> Moo.Archive.add_all st.arch (Island.front isl)) st.islands
+
+let step_epoch st =
+  (* Between migrations the islands are independent — the paper's
+     coarse-grained parallelism maps directly onto one domain per island.
+     Results are identical to the sequential schedule because every island
+     carries its own random stream and the domains join before any
+     exchange. *)
+  if st.config.parallel && Array.length st.islands > 1 then begin
+    let workers =
+      Array.map
+        (fun isl -> Domain.spawn (fun () -> Island.step isl st.config.migration_period))
+        st.islands
+    in
+    Array.iter Domain.join workers
+  end
+  else Array.iter (fun isl -> Island.step isl st.config.migration_period) st.islands;
+  st.gens <- st.gens + st.config.migration_period;
+  (* Each directed edge fires with the configured probability; emigrants
+     are non-dominated members of the source island's first front. *)
+  let deliveries =
+    List.filter_map
+      (fun (src, dst) ->
+        if Numerics.Rng.bernoulli st.rng st.config.migration_prob then
+          Some (dst, Island.emigrants st.islands.(src) st.config.migrants)
+        else None)
+      st.edges
+  in
+  List.iter (fun (dst, sols) -> Island.inject st.islands.(dst) sols) deliveries;
+  collect st
+
+let islands_fronts st = Array.to_list (Array.map Island.front st.islands)
+
+let island_names st = Array.to_list (Array.map Island.name st.islands)
+
+let archive st = st.arch
+
+let evaluations st =
+  Array.fold_left (fun acc isl -> acc + Island.evaluations isl) 0 st.islands
+
+let generations_done st = st.gens
+
+type result = {
+  front : Moo.Solution.t list;
+  per_island : Moo.Solution.t list list;
+  evaluations : int;
+  explored : int;
+}
+
+let run ?seed ?initial ~generations problem config =
+  let st = init ?seed ?initial problem config in
+  collect st;
+  let epochs = (generations + config.migration_period - 1) / config.migration_period in
+  for _ = 1 to epochs do
+    step_epoch st
+  done;
+  {
+    front = Moo.Dominance.non_dominated (Moo.Archive.to_list st.arch);
+    per_island = islands_fronts st;
+    evaluations = evaluations st;
+    explored = evaluations st;
+  }

@@ -1,0 +1,68 @@
+(** PMO2: Parallel Multi-Objective Optimization by an archipelago of
+    islands exchanging non-dominated candidates.
+
+    The paper's reference configuration is two NSGA-II islands exchanging
+    solutions every 200 generations with an all-to-all (broadcast) scheme
+    at migration probability 0.5; {!default_config} reproduces it.  The
+    framework also "encloses two optimization algorithms": islands may run
+    NSGA-II or SPEA2 (see [algorithms]). *)
+
+type algorithm =
+  | Nsga2 of Ea.Nsga2.config
+  | Spea2 of Ea.Spea2.config
+
+type config = {
+  n_islands : int;
+  migration_period : int;  (** generations between exchanges *)
+  migration_prob : float;  (** probability each edge fires at an epoch *)
+  migrants : int;          (** emigrants offered per firing edge *)
+  topology : Topology.t;
+  nsga2 : Ea.Nsga2.config; (** algorithm for every island when [algorithms = []] *)
+  algorithms : algorithm list;
+      (** per-island algorithm assignments, cycled when shorter than
+          [n_islands]; empty = all islands run NSGA-II with [nsga2] *)
+  archive_capacity : int option;  (** capacity of the merged archive *)
+  parallel : bool;
+      (** evolve islands on separate domains between migrations (the
+          paper's coarse-grained parallelism); identical results to the
+          sequential schedule, since islands only interact at epochs.
+          Requires the problem's [eval] to be safe to call from multiple
+          domains — every problem in this library is. *)
+}
+
+val default_config : config
+
+val paper_config : generations_hint:int -> config
+(** The DAC'11 configuration (2 islands, broadcast, period 200, p = 0.5);
+    [generations_hint] only checks the period makes sense. *)
+
+type state
+
+val init : ?seed:int -> ?initial:Moo.Solution.t list -> Moo.Problem.t -> config -> state
+(* [initial] seeds part of every island's starting population. *)
+
+val step_epoch : state -> unit
+(** Run one migration period on every island, then exchange. *)
+
+val islands_fronts : state -> Moo.Solution.t list list
+val island_names : state -> string list
+val archive : state -> Moo.Archive.t
+val evaluations : state -> int
+val generations_done : state -> int
+
+type result = {
+  front : Moo.Solution.t list;        (** merged non-dominated front *)
+  per_island : Moo.Solution.t list list;
+  evaluations : int;
+  explored : int;  (** total candidate solutions evaluated *)
+}
+
+val run :
+  ?seed:int ->
+  ?initial:Moo.Solution.t list ->
+  generations:int ->
+  Moo.Problem.t ->
+  config ->
+  result
+(** Run for (at least) [generations] generations per island, migrating
+    every [migration_period] generations. *)

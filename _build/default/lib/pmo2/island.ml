@@ -1,0 +1,37 @@
+type t = {
+  step : int -> unit;
+  front : unit -> Moo.Solution.t list;
+  emigrants : int -> Moo.Solution.t list;
+  inject : Moo.Solution.t list -> unit;
+  evaluations : unit -> int;
+  name : string;
+}
+
+let nsga2 ?initial problem config rng =
+  let st = Ea.Nsga2.init ?initial problem config rng in
+  {
+    step = (fun n -> Ea.Nsga2.step st n);
+    front = (fun () -> Ea.Nsga2.front st);
+    emigrants = (fun k -> Ea.Nsga2.select_emigrants st k);
+    inject = (fun sols -> Ea.Nsga2.inject st sols);
+    evaluations = (fun () -> Ea.Nsga2.evaluations st);
+    name = "nsga2";
+  }
+
+let spea2 ?initial problem config rng =
+  let st = Ea.Spea2.init ?initial problem config rng in
+  {
+    step = (fun n -> Ea.Spea2.step st n);
+    front = (fun () -> Ea.Spea2.front st);
+    emigrants = (fun k -> Ea.Spea2.select_emigrants st k);
+    inject = (fun sols -> Ea.Spea2.inject st sols);
+    evaluations = (fun () -> Ea.Spea2.evaluations st);
+    name = "spea2";
+  }
+
+let step t n = t.step n
+let front t = t.front ()
+let emigrants t k = t.emigrants k
+let inject t sols = t.inject sols
+let evaluations t = t.evaluations ()
+let name t = t.name

@@ -1,0 +1,23 @@
+(** A virtual island: a population evolved by some multi-objective
+    algorithm, able to emit emigrants and absorb immigrants.
+
+    The abstraction is what lets PMO2 mix algorithms across the
+    archipelago (the paper: "different niches ... evolved by different
+    algorithms"). *)
+
+type t
+
+val nsga2 :
+  ?initial:Moo.Solution.t list -> Moo.Problem.t -> Ea.Nsga2.config -> Numerics.Rng.t -> t
+
+val spea2 :
+  ?initial:Moo.Solution.t list -> Moo.Problem.t -> Ea.Spea2.config -> Numerics.Rng.t -> t
+
+val step : t -> int -> unit
+(** Advance by n generations. *)
+
+val front : t -> Moo.Solution.t list
+val emigrants : t -> int -> Moo.Solution.t list
+val inject : t -> Moo.Solution.t list -> unit
+val evaluations : t -> int
+val name : t -> string

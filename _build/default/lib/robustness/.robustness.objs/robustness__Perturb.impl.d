@@ -1,0 +1,1 @@
+lib/robustness/perturb.ml: Array List Numerics

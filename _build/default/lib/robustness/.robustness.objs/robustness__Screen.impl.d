@@ -1,0 +1,1 @@
+lib/robustness/screen.ml: Array Float List Moo Perturb Yield

@@ -1,0 +1,1 @@
+lib/robustness/screen.mli: Moo Numerics Yield

@@ -1,0 +1,1 @@
+lib/robustness/yield.ml: Array Float Numerics Perturb

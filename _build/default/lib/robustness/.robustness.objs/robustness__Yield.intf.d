@@ -1,0 +1,1 @@
+lib/robustness/yield.mli: Numerics

@@ -1,0 +1,19 @@
+let factor rng ~delta = 1. +. Numerics.Rng.uniform rng (-.delta) delta
+
+let global rng ~delta x =
+  assert (delta >= 0. && delta < 1.);
+  Array.map (fun xi -> xi *. factor rng ~delta) x
+
+let local rng ~delta ~index x =
+  assert (delta >= 0. && delta < 1.);
+  assert (0 <= index && index < Array.length x);
+  let y = Array.copy x in
+  y.(index) <- y.(index) *. factor rng ~delta;
+  y
+
+let ensemble rng ~delta ~trials ?index x =
+  assert (trials > 0);
+  List.init trials (fun _ ->
+      match index with
+      | None -> global rng ~delta x
+      | Some index -> local rng ~delta ~index x)

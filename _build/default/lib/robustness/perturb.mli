@@ -1,0 +1,20 @@
+(** Perturbation ensembles for robustness analysis (Section 2.3).
+
+    A perturbation multiplies components of a design vector by independent
+    uniform factors in [\[1 − δ, 1 + δ\]]; the paper fixes δ = 10%. *)
+
+val global : Numerics.Rng.t -> delta:float -> float array -> float array
+(** Perturb every component (the paper's global analysis). *)
+
+val local : Numerics.Rng.t -> delta:float -> index:int -> float array -> float array
+(** Perturb a single component (the paper's local, one-enzyme-at-a-time
+    analysis). *)
+
+val ensemble :
+  Numerics.Rng.t ->
+  delta:float ->
+  trials:int ->
+  ?index:int ->
+  float array ->
+  float array list
+(** [trials] perturbed copies; [index] switches from global to local. *)

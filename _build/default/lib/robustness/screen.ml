@@ -1,0 +1,48 @@
+type entry = {
+  solution : Moo.Solution.t;
+  yield : Yield.result;
+}
+
+let screen_solutions ~rng ~f ?delta ?eps_frac ?trials sols =
+  List.map
+    (fun s ->
+      { solution = s; yield = Yield.gamma ~rng ~f ?delta ?eps_frac ?trials s.Moo.Solution.x })
+    sols
+
+let front_sweep ~rng ~f ?delta ?eps_frac ?trials ~k front =
+  screen_solutions ~rng ~f ?delta ?eps_frac ?trials (Moo.Mine.equally_spaced ~k front)
+
+type local_profile = { index : int; yield_pct : float }
+
+let local_analysis ~rng ~f ?delta ?eps_frac ?(trials = 200) x =
+  List.init (Array.length x) (fun index ->
+      let y = Yield.gamma ~rng ~f ?delta ?eps_frac ~trials ~index x in
+      { index; yield_pct = y.Yield.yield_pct })
+
+let max_yield = function
+  | [] -> invalid_arg "Screen.max_yield: empty"
+  | e :: rest ->
+    List.fold_left
+      (fun best e ->
+        if e.yield.Yield.yield_pct > best.yield.Yield.yield_pct then e else best)
+      e rest
+
+type worst_case = {
+  nominal : float;
+  worst : float;
+  drop_pct : float;
+}
+
+let worst_of ~rng ~f ?(delta = 0.10) ?(trials = 1000) x =
+  assert (trials > 0);
+  let nominal = f x in
+  let worst = ref nominal in
+  for _ = 1 to trials do
+    let v = f (Perturb.global rng ~delta x) in
+    if v < !worst then worst := v
+  done;
+  {
+    nominal;
+    worst = !worst;
+    drop_pct = 100. *. (nominal -. !worst) /. Float.max 1e-12 (Float.abs nominal);
+  }

@@ -1,0 +1,65 @@
+(** Robustness screening of Pareto-front solutions: the paper's Table 2
+    yields, the 50-point front sweep, and the Figure 3 Pareto-surface
+    (robustness vs the two functional objectives).
+
+    The property function is supplied by the caller (for the leaf problem
+    it is the CO2 uptake of an enzyme-ratio vector), so the screen is
+    generic over problems. *)
+
+type entry = {
+  solution : Moo.Solution.t;
+  yield : Yield.result;
+}
+
+val screen_solutions :
+  rng:Numerics.Rng.t ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  Moo.Solution.t list ->
+  entry list
+(** Global-analysis yield of each solution's decision vector. *)
+
+val front_sweep :
+  rng:Numerics.Rng.t ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  k:int ->
+  Moo.Solution.t list ->
+  entry list
+(** Yield of [k] equally spaced Pareto points (the Figure 3 surface). *)
+
+type local_profile = { index : int; yield_pct : float }
+
+val local_analysis :
+  rng:Numerics.Rng.t ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  float array ->
+  local_profile list
+(** Per-component yields (the paper's local analysis, 200 trials per
+    component by default). *)
+
+val max_yield : entry list -> entry
+(** The entry with the highest yield; raises [Invalid_argument] on []. *)
+
+type worst_case = {
+  nominal : float;
+  worst : float;       (** worst property value seen in the ensemble *)
+  drop_pct : float;    (** 100·(nominal − worst)/|nominal| *)
+}
+
+val worst_of :
+  rng:Numerics.Rng.t ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?trials:int ->
+  float array ->
+  worst_case
+(** Worst-case complement to the yield Γ: the largest property loss over
+    a global perturbation ensemble (default 10%, 1000 trials). *)

@@ -1,0 +1,39 @@
+(** The robustness condition ρ and the yield Γ (Eqs. 3–4 of the paper).
+
+    For a property function [f] (e.g. CO2 uptake of an enzyme partition),
+    a perturbed design x' preserves the property of x when
+    |f(x) − f(x')| ≤ ε; the paper expresses ε as a percentage of the
+    nominal value.  The yield Γ is the fraction of an ensemble that
+    preserves the property. *)
+
+val rho : f:(float array -> float) -> eps:float -> float array -> float array -> bool
+(** [rho ~f ~eps x x'] — the robustness condition with an {e absolute}
+    threshold [eps]. *)
+
+val rho_relative : f:(float array -> float) -> eps_frac:float -> float array -> float array -> bool
+(** Threshold expressed as a fraction of [|f x|] (the paper's "ε = 5% of
+    the nominal uptake rate"). *)
+
+type result = {
+  nominal : float;       (** f(x) *)
+  yield_pct : float;     (** Γ·100 *)
+  trials : int;
+  survivors : int;
+}
+
+val gamma :
+  ?sampler:[ `Pseudo | `Quasi ] ->
+  rng:Numerics.Rng.t ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  ?index:int ->
+  float array ->
+  result
+(** Monte-Carlo yield of a design.  Defaults follow the paper: [delta]
+    10% perturbation, [eps_frac] 5%, [trials] 5000 for the global
+    analysis ([index = None]); pass [trials:200] with [index] for the
+    local per-component analysis.  [sampler:`Quasi] draws the
+    perturbation factors from a Halton low-discrepancy sequence instead
+    of the pseudo-random stream — same estimator, lower variance. *)

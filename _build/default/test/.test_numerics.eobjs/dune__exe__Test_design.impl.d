@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Array Ea Float List Moo Photo Pmo2 Robustpath String

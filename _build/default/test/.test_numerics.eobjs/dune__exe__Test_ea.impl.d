@@ -1,0 +1,1 @@
+test/test_ea.ml: Alcotest Array Ea Float List Moo Numerics Printf QCheck QCheck_alcotest

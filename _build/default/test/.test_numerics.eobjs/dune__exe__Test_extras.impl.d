@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Ea Fba Float List Moo Numerics Photo Pmo2 Printf String

@@ -1,0 +1,1 @@
+test/test_extras2.ml: Alcotest Array Fba Float Lazy List Moo Numerics Photo Printf Robustness String

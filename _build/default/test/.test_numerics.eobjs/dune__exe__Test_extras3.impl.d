@@ -1,0 +1,1 @@
+test/test_extras3.ml: Alcotest Array Ea Fba Filename Float Fun List Numerics Photo Printf Sys

@@ -1,0 +1,1 @@
+test/test_extras4.ml: Alcotest Float List Moo Numerics Photo Printf

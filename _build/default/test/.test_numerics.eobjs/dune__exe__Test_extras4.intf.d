@@ -1,0 +1,1 @@
+test/test_extras4.mli:

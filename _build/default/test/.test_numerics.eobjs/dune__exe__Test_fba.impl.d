@@ -1,0 +1,1 @@
+test/test_fba.ml: Alcotest Array Fba Float Lazy List Moo Numerics Printf

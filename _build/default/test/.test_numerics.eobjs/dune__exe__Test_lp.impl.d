@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Lp Numerics QCheck QCheck_alcotest

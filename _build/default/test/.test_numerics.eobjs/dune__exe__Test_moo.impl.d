@@ -1,0 +1,1 @@
+test/test_moo.ml: Alcotest Array Float List Moo Numerics Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_photo.ml: Alcotest Array Float List Moo Numerics Photo Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pmo2.ml: Alcotest Array Ea List Moo Pmo2 Printf

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Float List Moo Numerics QCheck QCheck_alcotest Robustness

@@ -1,0 +1,1 @@
+test/test_verification.ml: Alcotest Array Fba Float List Lp Moo Numerics Printf

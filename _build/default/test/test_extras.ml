@@ -1,0 +1,304 @@
+(* Tests for the extension modules: SPEA2, heterogeneous islands,
+   metabolic control analysis, response curves, knockout screening. *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let schaffer = Moo.Benchmarks.schaffer
+
+let zdt1 n = Moo.Benchmarks.zdt1 ~n
+
+(* {1 SPEA2} *)
+
+let test_spea2_fitness_nondominated_below_one () =
+  let sols =
+    [|
+      { Moo.Solution.x = [||]; f = [| 1.; 3. |]; v = 0. };
+      { Moo.Solution.x = [||]; f = [| 3.; 1. |]; v = 0. };
+      { Moo.Solution.x = [||]; f = [| 4.; 4. |]; v = 0. };
+    |]
+  in
+  let fit = Ea.Spea2.fitness sols in
+  Alcotest.(check bool) "nd below 1" true (fit.(0) < 1. && fit.(1) < 1.);
+  Alcotest.(check bool) "dominated above 1" true (fit.(2) >= 1.)
+
+let test_spea2_fitness_strength_accumulates () =
+  (* A chain: the worst is dominated by both others and must have the
+     highest raw fitness. *)
+  let sols =
+    [|
+      { Moo.Solution.x = [||]; f = [| 1.; 1. |]; v = 0. };
+      { Moo.Solution.x = [||]; f = [| 2.; 2. |]; v = 0. };
+      { Moo.Solution.x = [||]; f = [| 3.; 3. |]; v = 0. };
+    |]
+  in
+  let fit = Ea.Spea2.fitness sols in
+  Alcotest.(check bool) "ordering" true (fit.(0) < fit.(1) && fit.(1) < fit.(2))
+
+let test_spea2_converges_schaffer () =
+  let front = Ea.Spea2.run ~generations:60 ~seed:1 schaffer Ea.Spea2.default_config in
+  Alcotest.(check bool) "non-empty" true (front <> []);
+  List.iter
+    (fun s ->
+      let x = s.Moo.Solution.x.(0) in
+      if x < -0.3 || x > 2.3 then Alcotest.failf "off front: x=%g" x)
+    front
+
+let test_spea2_zdt1_quality () =
+  let cfg = { Ea.Spea2.default_config with pop_size = 60; archive_size = 60 } in
+  let front = Ea.Spea2.run ~generations:120 ~seed:1 (zdt1 8) cfg in
+  let hv = Moo.Hypervolume.of_solutions ~ref_point:[| 1.1; 1.1 |] front in
+  Alcotest.(check bool) (Printf.sprintf "hv=%.4f >= 0.82" hv) true (hv >= 0.82)
+
+let test_spea2_archive_bounded () =
+  let cfg = { Ea.Spea2.default_config with pop_size = 20; archive_size = 15 } in
+  let rng = Numerics.Rng.create 2 in
+  let st = Ea.Spea2.init (zdt1 6) cfg rng in
+  Ea.Spea2.step st 10;
+  Alcotest.(check bool) "archive within bound" true
+    (Array.length (Ea.Spea2.archive st) <= 15)
+
+let test_spea2_truncation_keeps_extremes () =
+  (* Feed a dense line front through environmental selection: the two
+     extreme points must survive truncation. *)
+  let cfg = { Ea.Spea2.default_config with pop_size = 40; archive_size = 10 } in
+  let rng = Numerics.Rng.create 3 in
+  let line =
+    List.init 40 (fun i ->
+        let t = float_of_int i /. 39. in
+        { Moo.Solution.x = [| t |]; f = [| t; 1. -. t |]; v = 0. })
+  in
+  let st = Ea.Spea2.init ~initial:line (zdt1 6) cfg rng in
+  ignore st;
+  (* The init path evaluates random solutions for the rest; instead test
+     truncation directly through inject on a fresh state. *)
+  let st2 = Ea.Spea2.init (zdt1 6) cfg rng in
+  Ea.Spea2.inject st2 line;
+  let arch = Ea.Spea2.archive st2 in
+  Alcotest.(check bool) "bounded" true (Array.length arch <= 10);
+  let f0s = Array.map (fun s -> s.Moo.Solution.f.(0)) arch in
+  Alcotest.(check bool) "extremes kept" true
+    (Array.exists (fun f -> f <= 0.026) f0s && Array.exists (fun f -> f >= 0.974) f0s)
+
+let test_spea2_deterministic () =
+  let a = Ea.Spea2.run ~generations:20 ~seed:5 schaffer Ea.Spea2.default_config in
+  let b = Ea.Spea2.run ~generations:20 ~seed:5 schaffer Ea.Spea2.default_config in
+  Alcotest.(check int) "same size" (List.length a) (List.length b)
+
+let test_spea2_seeding () =
+  let opt = Moo.Solution.evaluate schaffer [| 1. |] in
+  let front = Ea.Spea2.run ~initial:[ opt ] ~generations:3 ~seed:6 schaffer Ea.Spea2.default_config in
+  Alcotest.(check bool) "seed region present" true
+    (List.exists (fun s -> Float.abs (s.Moo.Solution.x.(0) -. 1.) < 0.5) front)
+
+(* {1 Heterogeneous islands} *)
+
+let test_island_wrappers () =
+  let rng = Numerics.Rng.create 7 in
+  let n = Pmo2.Island.nsga2 schaffer { Ea.Nsga2.default_config with pop_size = 12 } rng in
+  let s = Pmo2.Island.spea2 schaffer { Ea.Spea2.default_config with pop_size = 12; archive_size = 12 } rng in
+  Alcotest.(check string) "nsga2 name" "nsga2" (Pmo2.Island.name n);
+  Alcotest.(check string) "spea2 name" "spea2" (Pmo2.Island.name s);
+  Pmo2.Island.step n 3;
+  Pmo2.Island.step s 3;
+  Alcotest.(check bool) "fronts non-empty" true
+    (Pmo2.Island.front n <> [] && Pmo2.Island.front s <> []);
+  Alcotest.(check bool) "evaluations counted" true
+    (Pmo2.Island.evaluations n > 0 && Pmo2.Island.evaluations s > 0)
+
+let test_mixed_archipelago () =
+  let cfg =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = 10;
+      algorithms =
+        [
+          Pmo2.Archipelago.Nsga2 { Ea.Nsga2.default_config with pop_size = 16 };
+          Pmo2.Archipelago.Spea2
+            { Ea.Spea2.default_config with pop_size = 16; archive_size = 16 };
+        ];
+    }
+  in
+  let st = Pmo2.Archipelago.init ~seed:8 schaffer cfg in
+  Alcotest.(check (list string)) "one of each" [ "nsga2"; "spea2" ]
+    (Pmo2.Archipelago.island_names st);
+  Pmo2.Archipelago.step_epoch st;
+  let r = Pmo2.Archipelago.run ~seed:8 ~generations:30 schaffer cfg in
+  Alcotest.(check bool) "mixed front" true (r.Pmo2.Archipelago.front <> [])
+
+let test_mixed_zdt1_quality () =
+  let cfg =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = 15;
+      algorithms =
+        [
+          Pmo2.Archipelago.Nsga2 { Ea.Nsga2.default_config with pop_size = 24 };
+          Pmo2.Archipelago.Spea2
+            { Ea.Spea2.default_config with pop_size = 24; archive_size = 24 };
+        ];
+    }
+  in
+  let r = Pmo2.Archipelago.run ~seed:9 ~generations:90 (zdt1 8) cfg in
+  let hv = Moo.Hypervolume.of_solutions ~ref_point:[| 1.1; 1.1 |] r.Pmo2.Archipelago.front in
+  Alcotest.(check bool) (Printf.sprintf "hv=%.4f" hv) true (hv >= 0.82)
+
+(* {1 Control analysis} *)
+
+let env = Photo.Params.present ~tp_export:Photo.Params.low_export
+
+let test_control_influential_enzymes () =
+  let coeffs = Photo.Control.flux_control ~env ~ratios:(Array.make 23 1.) () in
+  let top = Photo.Control.ranking coeffs in
+  let top4 = List.filteri (fun i _ -> i < 4) top in
+  let names = List.map (fun c -> c.Photo.Control.name) top4 in
+  (* The paper: Rubisco, SBPase, ADPGPP and FBP aldolase are the most
+     influential enzymes; require at least two of them in our top four. *)
+  let influential = [ "Rubisco"; "SBPase"; "ADPGPP"; "FBP Aldolase" ] in
+  let hits = List.length (List.filter (fun n -> List.mem n influential) names) in
+  Alcotest.(check bool)
+    (Printf.sprintf "top4 = %s" (String.concat ", " names))
+    true (hits >= 2)
+
+let test_control_summation () =
+  let coeffs = Photo.Control.flux_control ~env ~ratios:(Array.make 23 1.) () in
+  let s = Photo.Control.summation coeffs in
+  (* Flux-control summation theorem: Σ C_i ≈ 1 (within model noise). *)
+  Alcotest.(check bool) (Printf.sprintf "sum=%.3f in [0.5, 1.5]" s) true
+    (s > 0.5 && s < 1.5)
+
+let test_control_sucrose_enzymes_small () =
+  (* The paper: the sucrose/starch pathway enzymes do not affect uptake at
+     natural levels. *)
+  let coeffs = Photo.Control.flux_control ~env ~ratios:(Array.make 23 1.) () in
+  let c i = Float.abs coeffs.(i).Photo.Control.control in
+  Alcotest.(check bool) "SPS weak" true (c Photo.Enzyme.idx_sps < 0.1);
+  Alcotest.(check bool) "SPP weak" true (c Photo.Enzyme.idx_spp < 0.1)
+
+(* {1 Response curves} *)
+
+let test_a_ci_monotone () =
+  let curve = Photo.Response.a_ci_curve ~tp_export:1. ~ci_values:[ 165.; 270.; 490. ] () in
+  match curve with
+  | [ (_, a1); (_, a2); (_, a3) ] ->
+    Alcotest.(check bool) "A rises with Ci" true (a1 < a2 && a2 < a3)
+  | _ -> Alcotest.fail "curve shape"
+
+let test_a_ci_matches_conditions () =
+  let curve = Photo.Response.a_ci_curve ~tp_export:1. ~ci_values:[ 270. ] () in
+  match curve with
+  | [ (_, a) ] -> check_float ~tol:0.05 "matches natural point" 15.486 a
+  | _ -> Alcotest.fail "curve shape"
+
+let test_export_response_saturates () =
+  let resp =
+    Photo.Response.export_response ~ci:270. ~export_values:[ 0.25; 1.; 3. ] ()
+  in
+  match resp with
+  | [ (_, a_low); (_, a_mid); (_, a_high) ] ->
+    Alcotest.(check bool) "sink limitation at low export" true (a_low <= a_mid +. 0.2);
+    Alcotest.(check bool) "saturating" true (a_high -. a_mid < a_mid -. a_low +. 2.)
+  | _ -> Alcotest.fail "resp shape"
+
+(* {1 Knockout screening} *)
+
+(* A branched toy network where knocking out a byproduct branch
+   redirects flux to the target:
+     EX_A -> A ; A -> B ; A -> C ; B -> target (EX_B) ; C -> waste (EX_C)
+   with biomass drawing on B.  Removing A->C increases EX_B. *)
+let branched () =
+  let net = Fba.Network.create ~metabolites:[| "A"; "B"; "C" |] () in
+  let _ = Fba.Network.add_reaction net ~name:"EX_A" ~stoich:[ (0, 1.) ] ~lb:0. ~ub:10. in
+  let a2b = Fba.Network.add_reaction net ~name:"A2B" ~stoich:[ (0, -1.); (1, 1.) ] ~lb:0. ~ub:4. in
+  let a2c = Fba.Network.add_reaction net ~name:"A2C" ~stoich:[ (0, -1.); (2, 1.) ] ~lb:0. ~ub:100. in
+  (* A second, less direct route to B so the A2B cap is not absolute. *)
+  let c2b = Fba.Network.add_reaction net ~name:"C2B" ~stoich:[ (2, -1.); (1, 1.) ] ~lb:0. ~ub:2. in
+  let ex_b = Fba.Network.add_reaction net ~name:"EX_B" ~stoich:[ (1, -1.) ] ~lb:0. ~ub:100. in
+  let ex_c = Fba.Network.add_reaction net ~name:"EX_C" ~stoich:[ (2, -1.) ] ~lb:0. ~ub:100. in
+  let biomass = Fba.Network.add_reaction net ~name:"BIO" ~stoich:[ (1, -0.5) ] ~lb:0. ~ub:100. in
+  (net, a2b, a2c, c2b, ex_b, ex_c, biomass)
+
+let test_knockout_baseline () =
+  let net, _, _, _, ex_b, _, biomass = branched () in
+  let k = Fba.Knockout.baseline ~t:net ~target:ex_b ~biomass ~min_biomass:1. in
+  Alcotest.(check bool) "biomass floor respected" true (k.Fba.Knockout.biomass_flux >= 1. -. 1e-6);
+  Alcotest.(check bool) "positive target" true (k.Fba.Knockout.target_flux > 0.)
+
+let test_knockout_single_improves () =
+  let net, _, _, _, ex_b, ex_c, biomass = branched () in
+  let base = Fba.Knockout.baseline ~t:net ~target:ex_b ~biomass ~min_biomass:0.5 in
+  let kos =
+    Fba.Knockout.single ~t:net ~target:ex_b ~biomass ~min_biomass:0.5 ~candidates:[ ex_c ]
+  in
+  match kos with
+  | [ k ] ->
+    (* Closing the waste exit forces C through C2B into the target. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "knockout %.3f >= baseline %.3f" k.Fba.Knockout.target_flux
+         base.Fba.Knockout.target_flux)
+      true
+      (k.Fba.Knockout.target_flux >= base.Fba.Knockout.target_flux)
+  | _ -> Alcotest.fail "one knockout expected"
+
+let test_knockout_lethal_dropped () =
+  let net, a2b, _, c2b, ex_b, _, biomass = branched () in
+  (* Removing both routes to B kills the biomass floor → dropped. *)
+  let kos =
+    Fba.Knockout.pairs ~t:net ~target:ex_b ~biomass ~min_biomass:0.5
+      ~candidates:[ a2b; c2b ]
+  in
+  Alcotest.(check int) "lethal pair dropped" 0 (List.length kos)
+
+let test_knockout_restores_bounds () =
+  let net, _, a2c, _, ex_b, _, biomass = branched () in
+  let before = Fba.Network.bounds net in
+  ignore (Fba.Knockout.single ~t:net ~target:ex_b ~biomass ~min_biomass:0.5 ~candidates:[ a2c ]);
+  let after = Fba.Network.bounds net in
+  Array.iteri
+    (fun j (lb, ub) ->
+      let lb', ub' = after.(j) in
+      check_float (Printf.sprintf "lb %d" j) lb lb';
+      check_float (Printf.sprintf "ub %d" j) ub ub')
+    before
+
+let () =
+  Alcotest.run "extras"
+    [
+      ( "spea2",
+        [
+          Alcotest.test_case "fitness nd < 1" `Quick test_spea2_fitness_nondominated_below_one;
+          Alcotest.test_case "fitness ordering" `Quick test_spea2_fitness_strength_accumulates;
+          Alcotest.test_case "schaffer convergence" `Quick test_spea2_converges_schaffer;
+          Alcotest.test_case "zdt1 quality" `Slow test_spea2_zdt1_quality;
+          Alcotest.test_case "archive bounded" `Quick test_spea2_archive_bounded;
+          Alcotest.test_case "truncation keeps extremes" `Quick test_spea2_truncation_keeps_extremes;
+          Alcotest.test_case "deterministic" `Quick test_spea2_deterministic;
+          Alcotest.test_case "seeding" `Quick test_spea2_seeding;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "wrappers" `Quick test_island_wrappers;
+          Alcotest.test_case "mixed archipelago" `Quick test_mixed_archipelago;
+          Alcotest.test_case "mixed zdt1 quality" `Slow test_mixed_zdt1_quality;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "influential enzymes" `Slow test_control_influential_enzymes;
+          Alcotest.test_case "summation theorem" `Slow test_control_summation;
+          Alcotest.test_case "sucrose enzymes weak" `Slow test_control_sucrose_enzymes_small;
+        ] );
+      ( "response",
+        [
+          Alcotest.test_case "A/Ci monotone" `Slow test_a_ci_monotone;
+          Alcotest.test_case "matches conditions" `Slow test_a_ci_matches_conditions;
+          Alcotest.test_case "export saturation" `Slow test_export_response_saturates;
+        ] );
+      ( "knockout",
+        [
+          Alcotest.test_case "baseline" `Quick test_knockout_baseline;
+          Alcotest.test_case "single improves" `Quick test_knockout_single_improves;
+          Alcotest.test_case "lethal dropped" `Quick test_knockout_lethal_dropped;
+          Alcotest.test_case "bounds restored" `Quick test_knockout_restores_bounds;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Tests for the fourth extension batch: knee-point mining and leaf
+   temperature dependence. *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let sol f = { Moo.Solution.x = [||]; f; v = 0. }
+
+(* {1 Knee detection} *)
+
+let test_knee_obvious () =
+  (* An L-shaped front: the corner is the knee. *)
+  let front =
+    [ sol [| 0.; 1. |]; sol [| 0.02; 0.5 |]; sol [| 0.05; 0.05 |]; sol [| 0.5; 0.02 |];
+      sol [| 1.; 0. |] ]
+  in
+  let k = Moo.Mine.knee front in
+  Alcotest.(check bool) "corner found" true
+    (Numerics.Vec.approx_equal k.Moo.Solution.f [| 0.05; 0.05 |])
+
+let test_knee_on_line_returns_member () =
+  (* A straight front has no distinguished knee; any member is fine, but
+     the call must not fail. *)
+  let front = List.init 5 (fun i -> sol [| float_of_int i; float_of_int (4 - i) |]) in
+  let k = Moo.Mine.knee front in
+  Alcotest.(check bool) "is a member" true (List.memq k front)
+
+let test_knee_singleton () =
+  let s = sol [| 1.; 2. |] in
+  Alcotest.(check bool) "singleton returned" true (Moo.Mine.knee [ s ] == s)
+
+let test_knee_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mine.knee: empty front") (fun () ->
+      ignore (Moo.Mine.knee []))
+
+let test_tradeoff_weight_ranks_knee () =
+  let corner = sol [| 0.05; 0.05 |] in
+  let front =
+    [ sol [| 0.; 1. |]; corner; sol [| 1.; 0. |] ]
+  in
+  let w_corner = Moo.Mine.tradeoff_weight front corner in
+  let w_end = Moo.Mine.tradeoff_weight front (List.hd front) in
+  Alcotest.(check bool)
+    (Printf.sprintf "corner %.3f > end %.3f" w_corner w_end)
+    true (w_corner > w_end)
+
+(* {1 Temperature} *)
+
+let env = Photo.Params.present ~tp_export:Photo.Params.low_export
+
+let test_vmax_scale_reference () =
+  check_float ~tol:1e-12 "unity at 25C" 1. (Photo.Temperature.vmax_scale 25.)
+
+let test_vmax_scale_monotone_below_peak () =
+  Alcotest.(check bool) "rises 10->25" true
+    (Photo.Temperature.vmax_scale 10. < Photo.Temperature.vmax_scale 25.);
+  Alcotest.(check bool) "collapses at 45" true
+    (Photo.Temperature.vmax_scale 45. < Photo.Temperature.vmax_scale 30.)
+
+let test_kinetics_at_trends () =
+  let cold = Photo.Temperature.kinetics_at 15. in
+  let hot = Photo.Temperature.kinetics_at 35. in
+  Alcotest.(check bool) "kc_eff rises with T" true
+    (hot.Photo.Params.kc_eff > cold.Photo.Params.kc_eff);
+  Alcotest.(check bool) "gamma_star rises with T" true
+    (hot.Photo.Params.gamma_star > cold.Photo.Params.gamma_star)
+
+let test_uptake_at_reference_matches () =
+  let a = Photo.Temperature.uptake_at ~env ~t_c:25. () in
+  check_float ~tol:0.05 "calibration preserved" 15.486 a
+
+let test_temperature_peak () =
+  let a20 = Photo.Temperature.uptake_at ~env ~t_c:20. () in
+  let a30 = Photo.Temperature.uptake_at ~env ~t_c:30. () in
+  let a42 = Photo.Temperature.uptake_at ~env ~t_c:42. () in
+  Alcotest.(check bool) "rises to 30" true (a30 > a20);
+  Alcotest.(check bool) "collapses past 40" true (a42 < a20)
+
+let test_optimum_in_range () =
+  let topt, aopt = Photo.Temperature.optimum ~env () in
+  Alcotest.(check bool) (Printf.sprintf "T_opt %.1f in (25, 40)" topt) true
+    (topt > 25. && topt < 40.);
+  Alcotest.(check bool) "peak above calibration value" true (aopt > 15.486)
+
+let () =
+  Alcotest.run "extras4"
+    [
+      ( "knee",
+        [
+          Alcotest.test_case "obvious corner" `Quick test_knee_obvious;
+          Alcotest.test_case "straight front" `Quick test_knee_on_line_returns_member;
+          Alcotest.test_case "singleton" `Quick test_knee_singleton;
+          Alcotest.test_case "empty raises" `Quick test_knee_empty_raises;
+          Alcotest.test_case "tradeoff weight" `Quick test_tradeoff_weight_ranks_knee;
+        ] );
+      ( "temperature",
+        [
+          Alcotest.test_case "scale unity at 25C" `Quick test_vmax_scale_reference;
+          Alcotest.test_case "scale shape" `Quick test_vmax_scale_monotone_below_peak;
+          Alcotest.test_case "kinetic trends" `Quick test_kinetics_at_trends;
+          Alcotest.test_case "calibration preserved" `Slow test_uptake_at_reference_matches;
+          Alcotest.test_case "peaked response" `Slow test_temperature_peak;
+          Alcotest.test_case "optimum location" `Slow test_optimum_in_range;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for the sparse stoichiometry, FBA toolbox and the synthetic
+   Geobacter model. *)
+
+let check_float ?(tol = 1e-7) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* {1 Sparse} *)
+
+let test_sparse_set_get () =
+  let m = Fba.Sparse.create ~rows:3 ~cols:3 in
+  Fba.Sparse.set m 0 1 2.5;
+  check_float "set/get" 2.5 (Fba.Sparse.get m 0 1);
+  check_float "default zero" 0. (Fba.Sparse.get m 2 2);
+  Fba.Sparse.set m 0 1 0.;
+  Alcotest.(check int) "zero removes" 0 (Fba.Sparse.nnz m)
+
+let test_sparse_mv () =
+  let m = Fba.Sparse.create ~rows:2 ~cols:3 in
+  Fba.Sparse.set m 0 0 1.;
+  Fba.Sparse.set m 0 2 2.;
+  Fba.Sparse.set m 1 1 (-1.);
+  let y = Fba.Sparse.mv m [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "mv" true (Numerics.Vec.approx_equal y [| 7.; -2. |])
+
+let test_sparse_tmv_matches_dense () =
+  let rng = Numerics.Rng.create 31 in
+  let m = Fba.Sparse.create ~rows:6 ~cols:9 in
+  for _ = 1 to 20 do
+    Fba.Sparse.set m (Numerics.Rng.int rng 6) (Numerics.Rng.int rng 9)
+      (Numerics.Rng.uniform rng (-2.) 2.)
+  done;
+  let x = Array.init 6 (fun _ -> Numerics.Rng.uniform rng (-1.) 1.) in
+  let dense = Fba.Sparse.to_dense m in
+  Alcotest.(check bool) "tmv = dense tmv" true
+    (Numerics.Vec.approx_equal ~tol:1e-10 (Fba.Sparse.tmv m x) (Numerics.Matrix.tmv dense x))
+
+let test_sparse_column () =
+  let m = Fba.Sparse.create ~rows:4 ~cols:2 in
+  Fba.Sparse.set m 3 0 1.;
+  Fba.Sparse.set m 1 0 (-1.);
+  (match Fba.Sparse.column m 0 with
+   | [ (1, a); (3, b) ] ->
+     check_float "sorted col a" (-1.) a;
+     check_float "sorted col b" 1. b
+   | _ -> Alcotest.fail "column structure");
+  Alcotest.(check (list (pair int (float 0.)))) "empty col" [] (Fba.Sparse.column m 1)
+
+let test_sparse_residual () =
+  let m = Fba.Sparse.create ~rows:2 ~cols:2 in
+  Fba.Sparse.set m 0 0 1.;
+  Fba.Sparse.set m 1 1 1.;
+  check_float "norm" 5. (Fba.Sparse.residual_norm2 m [| 3.; 4. |])
+
+(* {1 Network} *)
+
+let toy_network () =
+  (* A → B → ∅ with an uptake bound of 10. *)
+  let net = Fba.Network.create ~metabolites:[| "A"; "B" |] () in
+  let ex_a = Fba.Network.add_reaction net ~name:"EX_A" ~stoich:[ (0, 1.) ] ~lb:0. ~ub:10. in
+  let conv = Fba.Network.add_reaction net ~name:"A2B" ~stoich:[ (0, -1.); (1, 1.) ] ~lb:0. ~ub:100. in
+  let ex_b = Fba.Network.add_reaction net ~name:"EX_B" ~stoich:[ (1, -1.) ] ~lb:0. ~ub:100. in
+  (net, ex_a, conv, ex_b)
+
+let test_network_build () =
+  let net, _, _, _ = toy_network () in
+  Alcotest.(check int) "metabolites" 2 (Fba.Network.n_metabolites net);
+  Alcotest.(check int) "reactions" 3 (Fba.Network.n_reactions net);
+  Alcotest.(check int) "lookup" 1 (Fba.Network.reaction_index net "A2B")
+
+let test_network_violation () =
+  let net, _, _, _ = toy_network () in
+  check_float "balanced" 0. (Fba.Network.violation net [| 5.; 5.; 5. |]);
+  Alcotest.(check bool) "unbalanced" true (Fba.Network.violation net [| 5.; 0.; 0. |] > 0.)
+
+let test_network_set_bounds () =
+  let net, ex_a, _, _ = toy_network () in
+  Fba.Network.set_bounds net ex_a 0. 3.;
+  let lb, ub = (Fba.Network.bounds net).(ex_a) in
+  check_float "lb" 0. lb;
+  check_float "ub" 3. ub
+
+let test_network_duplicate_name_rejected () =
+  let net, _, _, _ = toy_network () in
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       ignore (Fba.Network.add_reaction net ~name:"A2B" ~stoich:[] ~lb:0. ~ub:1.);
+       false
+     with Assert_failure _ -> true)
+
+(* {1 FBA} *)
+
+let test_fba_toy_chain () =
+  let net, _, _, ex_b = toy_network () in
+  let sol = Fba.Analysis.fba ~t:net ~objective:ex_b in
+  check_float ~tol:1e-6 "throughput = uptake bound" 10. sol.Fba.Analysis.objective;
+  check_float ~tol:1e-6 "steady" 0. (Fba.Network.violation net sol.Fba.Analysis.fluxes)
+
+let test_fba_branch_chooses_better () =
+  (* A can go to B (worth 1) or C (worth 0): maximize EX_B. *)
+  let net = Fba.Network.create ~metabolites:[| "A"; "B"; "C" |] () in
+  let _ = Fba.Network.add_reaction net ~name:"EX_A" ~stoich:[ (0, 1.) ] ~lb:0. ~ub:4. in
+  let _ = Fba.Network.add_reaction net ~name:"A2B" ~stoich:[ (0, -1.); (1, 1.) ] ~lb:0. ~ub:100. in
+  let _ = Fba.Network.add_reaction net ~name:"A2C" ~stoich:[ (0, -1.); (2, 1.) ] ~lb:0. ~ub:100. in
+  let ex_b = Fba.Network.add_reaction net ~name:"EX_B" ~stoich:[ (1, -1.) ] ~lb:0. ~ub:100. in
+  let _ = Fba.Network.add_reaction net ~name:"EX_C" ~stoich:[ (2, -1.) ] ~lb:0. ~ub:100. in
+  let sol = Fba.Analysis.fba ~t:net ~objective:ex_b in
+  check_float ~tol:1e-6 "all carbon to B" 4. sol.Fba.Analysis.objective
+
+let test_fva_toy () =
+  let net, ex_a, conv, _ = toy_network () in
+  (* Force some throughput so the chain is active: EX_B >= 2. *)
+  Fba.Network.set_bounds net 2 2. 100.;
+  (match Fba.Analysis.fva ~t:net ~reactions:[ ex_a; conv ] with
+   | [ (_, (lo_a, hi_a)); (_, (lo_c, hi_c)) ] ->
+     check_float ~tol:1e-6 "uptake min" 2. lo_a;
+     check_float ~tol:1e-6 "uptake max" 10. hi_a;
+     check_float ~tol:1e-6 "conv min" 2. lo_c;
+     check_float ~tol:1e-6 "conv max" 10. hi_c
+   | _ -> Alcotest.fail "fva shape")
+
+let test_fba_infeasible_detected () =
+  let net = Fba.Network.create ~metabolites:[| "A" |] () in
+  (* A is produced at >= 1 but nothing consumes it: no steady state. *)
+  let r = Fba.Network.add_reaction net ~name:"SRC" ~stoich:[ (0, 1.) ] ~lb:1. ~ub:2. in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fba.Analysis.fba ~t:net ~objective:r);
+       false
+     with Fba.Analysis.Infeasible_model _ -> true)
+
+(* {1 Geobacter model} *)
+
+let model = lazy (Fba.Geobacter.build ())
+
+let test_geobacter_scale () =
+  let g = Lazy.force model in
+  Alcotest.(check int) "608 reactions" 608 (Fba.Network.n_reactions g.Fba.Geobacter.net);
+  Alcotest.(check bool) "hundreds of metabolites" true
+    (Fba.Network.n_metabolites g.Fba.Geobacter.net > 300)
+
+let test_geobacter_atpm_fixed () =
+  let g = Lazy.force model in
+  let lb, ub = (Fba.Network.bounds g.Fba.Geobacter.net).(g.Fba.Geobacter.atpm) in
+  check_float "lb 0.45" 0.45 lb;
+  check_float "ub 0.45" 0.45 ub
+
+let test_geobacter_deterministic () =
+  let a = Fba.Geobacter.build () in
+  let b = Fba.Geobacter.build () in
+  Alcotest.(check int) "same size" (Fba.Network.n_reactions a.Fba.Geobacter.net)
+    (Fba.Network.n_reactions b.Fba.Geobacter.net);
+  let ra = Fba.Network.reaction a.Fba.Geobacter.net 300 in
+  let rb = Fba.Network.reaction b.Fba.Geobacter.net 300 in
+  Alcotest.(check string) "same decoys" ra.Fba.Network.name rb.Fba.Network.name
+
+let test_geobacter_ep_window () =
+  let g = Lazy.force model in
+  let sol = Fba.Analysis.fba ~t:g.Fba.Geobacter.net ~objective:g.Fba.Geobacter.ep in
+  (* The paper's Figure 4 window: EP between ~158 and ~162. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "max EP %.2f in window" sol.Fba.Analysis.objective)
+    true
+    (sol.Fba.Analysis.objective > 155. && sol.Fba.Analysis.objective < 165.)
+
+let test_geobacter_bp_window () =
+  let g = Lazy.force model in
+  let sol = Fba.Analysis.fba ~t:g.Fba.Geobacter.net ~objective:g.Fba.Geobacter.bp in
+  check_float ~tol:1e-3 "max BP = nh4 cap" 0.301 sol.Fba.Analysis.objective
+
+let test_geobacter_tradeoff_slope () =
+  let g = Lazy.force model in
+  let sweep =
+    Fba.Analysis.epsilon_constraint ~t:g.Fba.Geobacter.net ~primary:g.Fba.Geobacter.ep
+      ~secondary:g.Fba.Geobacter.bp ~levels:[ 0.283; 0.300 ]
+  in
+  match sweep with
+  | [ (ep_lo_bp, _); (ep_hi_bp, _) ] ->
+    Alcotest.(check bool) "EP falls as BP rises" true (ep_lo_bp > ep_hi_bp);
+    let slope = (ep_lo_bp -. ep_hi_bp) /. (0.300 -. 0.283) in
+    (* Paper's A–E points imply ~160 electrons per biomass unit. *)
+    Alcotest.(check bool) (Printf.sprintf "slope %.0f in [100, 250]" slope) true
+      (slope > 100. && slope < 250.)
+  | _ -> Alcotest.fail "sweep failed"
+
+(* {1 Geobacter MOO wrapper} *)
+
+let test_problem_dimensions () =
+  let g = Lazy.force model in
+  let p = Fba.Moo_problem.problem g in
+  Alcotest.(check int) "608 vars" 608 p.Moo.Problem.n_var;
+  Alcotest.(check int) "2 objectives" 2 p.Moo.Problem.n_obj
+
+let test_seeds_feasible_and_ordered () =
+  let g = Lazy.force model in
+  let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.301 ] in
+  Alcotest.(check int) "two seeds" 2 (List.length seeds);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "feasible" true (s.Moo.Solution.v <= 1e-9);
+      Alcotest.(check bool) "EP in window" true
+        (Fba.Moo_problem.ep_of s > 155. && Fba.Moo_problem.ep_of s < 165.))
+    seeds
+
+let test_repair_reduces_violation () =
+  let g = Lazy.force model in
+  let rng = Numerics.Rng.create 41 in
+  let p = Fba.Moo_problem.problem g in
+  let raw = Moo.Problem.random_solution p rng in
+  let before = Fba.Network.violation g.Fba.Geobacter.net raw in
+  let after = Fba.Network.violation g.Fba.Geobacter.net (Fba.Moo_problem.repair g raw) in
+  Alcotest.(check bool)
+    (Printf.sprintf "repair %.3g -> %.3g" before after)
+    true (after < before /. 10.)
+
+let test_flux_variation_keeps_near_feasible () =
+  let g = Lazy.force model in
+  let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.301 ] in
+  match seeds with
+  | [ a; b ] ->
+    let vary = Fba.Moo_problem.flux_variation g () in
+    let rng = Numerics.Rng.create 42 in
+    for _ = 1 to 20 do
+      let c1, c2 = vary rng a.Moo.Solution.x b.Moo.Solution.x in
+      let v1 = Fba.Network.violation g.Fba.Geobacter.net c1 in
+      let v2 = Fba.Network.violation g.Fba.Geobacter.net c2 in
+      if v1 > 0.5 || v2 > 0.5 then Alcotest.failf "child violation too big: %g %g" v1 v2
+    done
+  | _ -> Alcotest.fail "seeds missing"
+
+let test_initial_guess_violation_large () =
+  let g = Lazy.force model in
+  Alcotest.(check bool) "initial guess far from steady state" true
+    (Fba.Moo_problem.initial_guess_violation g ~seed:1 > 1e3)
+
+let () =
+  Alcotest.run "fba"
+    [
+      ( "sparse",
+        [
+          Alcotest.test_case "set/get" `Quick test_sparse_set_get;
+          Alcotest.test_case "mv" `Quick test_sparse_mv;
+          Alcotest.test_case "tmv vs dense" `Quick test_sparse_tmv_matches_dense;
+          Alcotest.test_case "column" `Quick test_sparse_column;
+          Alcotest.test_case "residual norm" `Quick test_sparse_residual;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "build" `Quick test_network_build;
+          Alcotest.test_case "violation" `Quick test_network_violation;
+          Alcotest.test_case "set bounds" `Quick test_network_set_bounds;
+          Alcotest.test_case "duplicate name" `Quick test_network_duplicate_name_rejected;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "toy chain fba" `Quick test_fba_toy_chain;
+          Alcotest.test_case "branch selection" `Quick test_fba_branch_chooses_better;
+          Alcotest.test_case "fva" `Quick test_fva_toy;
+          Alcotest.test_case "infeasible detected" `Quick test_fba_infeasible_detected;
+        ] );
+      ( "geobacter",
+        [
+          Alcotest.test_case "scale" `Quick test_geobacter_scale;
+          Alcotest.test_case "atpm fixed at 0.45" `Quick test_geobacter_atpm_fixed;
+          Alcotest.test_case "deterministic" `Quick test_geobacter_deterministic;
+          Alcotest.test_case "max EP window" `Slow test_geobacter_ep_window;
+          Alcotest.test_case "max BP window" `Slow test_geobacter_bp_window;
+          Alcotest.test_case "trade-off slope" `Slow test_geobacter_tradeoff_slope;
+        ] );
+      ( "moo-wrapper",
+        [
+          Alcotest.test_case "dimensions" `Quick test_problem_dimensions;
+          Alcotest.test_case "fba seeds" `Slow test_seeds_feasible_and_ordered;
+          Alcotest.test_case "repair reduces violation" `Quick test_repair_reduces_violation;
+          Alcotest.test_case "variation near-feasible" `Slow test_flux_variation_keeps_near_feasible;
+          Alcotest.test_case "initial guess violation" `Quick test_initial_guess_violation_large;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the bounded-variable simplex and the LP problem builder. *)
+
+let check_float ?(tol = 1e-7) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let solve_expect_optimal p =
+  match Lp.Problem.solve p with
+  | Lp.Problem.Optimal { x; objective } -> (x, objective)
+  | Lp.Problem.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Problem.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_max () =
+  (* max 3x + 2y, x+y <= 4, x+3y <= 6, x,y >= 0 → (4,0), obj 12. *)
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 3.;
+  Lp.Problem.set_objective p 1 2.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 4.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 3.) ] Lp.Problem.Le 6.;
+  let rx, robj = solve_expect_optimal p in
+  check_float "objective" 12. robj;
+  check_float "x" 4. rx.(0);
+  check_float "y" 0. rx.(1)
+
+let test_basic_min () =
+  (* min x + y, x + 2y >= 3, 3x + y >= 3 → (0.6, 1.2), obj 1.8. *)
+  let p = Lp.Problem.make ~sense:Lp.Problem.Minimize ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.set_objective p 1 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 2.) ] Lp.Problem.Ge 3.;
+  Lp.Problem.add_row p [ (0, 3.); (1, 1.) ] Lp.Problem.Ge 3.;
+  let rx, robj = solve_expect_optimal p in
+  check_float "objective" 1.8 robj;
+  check_float "x" 0.6 rx.(0);
+  check_float "y" 1.2 rx.(1)
+
+let test_equality_negative_bounds () =
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 (-1.) 2.;
+  Lp.Problem.set_bounds p 1 0. 5.;
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Eq 1.;
+  let rx, robj = solve_expect_optimal p in
+  check_float "x at its best" 1. rx.(0);
+  check_float "objective" 1. robj
+
+let test_upper_bounds_bind () =
+  (* max x + y with x <= 1.5, y <= 2.5 and x + y <= 10: box binds. *)
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. 1.5;
+  Lp.Problem.set_bounds p 1 0. 2.5;
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.set_objective p 1 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 10.;
+  let _rx, robj = solve_expect_optimal p in
+  check_float "objective" 4. robj
+
+let test_infeasible () =
+  let p = Lp.Problem.make ~n_vars:1 () in
+  Lp.Problem.set_bounds p 0 0. 1.;
+  Lp.Problem.add_row p [ (0, 1.) ] Lp.Problem.Eq 5.;
+  (match Lp.Problem.solve p with
+   | Lp.Problem.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, -1.) ] Lp.Problem.Le 1.;
+  (match Lp.Problem.solve p with
+   | Lp.Problem.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+let test_free_variable () =
+  (* min x with x free and x >= -7 via a Ge row: answer -7. *)
+  let p = Lp.Problem.make ~sense:Lp.Problem.Minimize ~n_vars:1 () in
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.add_row p [ (0, 1.) ] Lp.Problem.Ge (-7.);
+  let _rx, robj = solve_expect_optimal p in
+  check_float "free var floor" (-7.) robj
+
+let test_degenerate () =
+  (* Degenerate vertex: several constraints meet at the optimum. *)
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 1.;
+  Lp.Problem.set_objective p 1 1.;
+  Lp.Problem.add_row p [ (0, 1.) ] Lp.Problem.Le 1.;
+  Lp.Problem.add_row p [ (1, 1.) ] Lp.Problem.Le 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 2.;
+  let _rx, robj = solve_expect_optimal p in
+  check_float "objective" 2. robj
+
+let test_fixed_variable () =
+  (* A variable fixed by equal bounds participates correctly. *)
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0.45 0.45;
+  Lp.Problem.set_bounds p 1 0. 10.;
+  Lp.Problem.set_objective p 1 1.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 3.;
+  let rx, robj = solve_expect_optimal p in
+  check_float "fixed var kept" 0.45 rx.(0);
+  check_float "objective" 2.55 robj
+
+let test_diet_problem () =
+  (* A classic small diet problem with known optimum.
+     min 0.6 x1 + 1.0 x2
+     s.t. 10 x1 + 4 x2 >= 20 ; 5 x1 + 5 x2 >= 20 ; 2 x1 + 6 x2 >= 12 ; x >= 0
+     Optimum at intersection of rows 1 and 2: x1 = 2/3·... solve:
+     10x1+4x2=20 & 5x1+5x2=20 → x1 = 2/3, x2 = 10/3, cost 0.4+10/3 ≈ 3.7333
+     vs rows 2&3: 5x1+5x2=20 & 2x1+6x2=12 → x1=3, x2=1, cost 2.8. Check
+     feasibility of (3,1) in row 1: 34 >= 20 ✓, so optimum is 2.8. *)
+  let p = Lp.Problem.make ~sense:Lp.Problem.Minimize ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 0.6;
+  Lp.Problem.set_objective p 1 1.0;
+  Lp.Problem.add_row p [ (0, 10.); (1, 4.) ] Lp.Problem.Ge 20.;
+  Lp.Problem.add_row p [ (0, 5.); (1, 5.) ] Lp.Problem.Ge 20.;
+  Lp.Problem.add_row p [ (0, 2.); (1, 6.) ] Lp.Problem.Ge 12.;
+  let _rx, robj = solve_expect_optimal p in
+  check_float ~tol:1e-6 "diet optimum" 2.8 robj
+
+let test_larger_random_consistency () =
+  (* Random feasible LPs: the simplex optimum must satisfy all rows and
+     bounds, and the objective must match c·x. *)
+  let rng = Numerics.Rng.create 77 in
+  for _ = 1 to 20 do
+    let n = 3 + Numerics.Rng.int rng 5 in
+    let m = 2 + Numerics.Rng.int rng 4 in
+    let p = Lp.Problem.make ~n_vars:n () in
+    for j = 0 to n - 1 do
+      Lp.Problem.set_bounds p j 0. (1. +. Numerics.Rng.uniform rng 0. 9.);
+      Lp.Problem.set_objective p j (Numerics.Rng.uniform rng (-1.) 2.)
+    done;
+    let rows = ref [] in
+    for _ = 1 to m do
+      let coeffs = List.init n (fun j -> (j, Numerics.Rng.uniform rng 0. 1.)) in
+      let rhs = 1. +. Numerics.Rng.uniform rng 0. 10. in
+      rows := (coeffs, rhs) :: !rows;
+      Lp.Problem.add_row p coeffs Lp.Problem.Le rhs
+    done;
+    match Lp.Problem.solve p with
+    | Lp.Problem.Optimal { x; objective = _ } ->
+      (* feasibility of rows *)
+      List.iter
+        (fun (coeffs, rhs) ->
+          let lhs = List.fold_left (fun acc (j, c) -> acc +. (c *. x.(j))) 0. coeffs in
+          if lhs > rhs +. 1e-6 then Alcotest.failf "row violated: %g > %g" lhs rhs)
+        !rows;
+      Array.iteri
+        (fun j xj ->
+          if j < n && (xj < -1e-9 || xj > 10. +. 1e-6) then
+            Alcotest.failf "bound violated: x%d = %g" j xj)
+        x
+    | Lp.Problem.Infeasible -> Alcotest.fail "random Le problem must be feasible (0 works)"
+    | Lp.Problem.Unbounded -> Alcotest.fail "bounded box cannot be unbounded"
+  done
+
+let prop_simplex_weak_duality =
+  (* For max c·x, A x <= b, 0 <= x <= u: any feasible point's objective is
+     a lower bound on the optimum. We test with the origin (always
+     feasible for b >= 0). *)
+  QCheck.Test.make ~name:"optimum beats origin" ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let n = 2 + Numerics.Rng.int rng 4 in
+      let p = Lp.Problem.make ~n_vars:n () in
+      for j = 0 to n - 1 do
+        Lp.Problem.set_bounds p j 0. 5.;
+        Lp.Problem.set_objective p j (Numerics.Rng.uniform rng 0. 1.)
+      done;
+      for _ = 1 to 3 do
+        let coeffs = List.init n (fun j -> (j, Numerics.Rng.uniform rng 0. 1.)) in
+        Lp.Problem.add_row p coeffs Lp.Problem.Le (1. +. Numerics.Rng.uniform rng 0. 5.)
+      done;
+      match Lp.Problem.solve p with
+      | Lp.Problem.Optimal { objective; _ } -> objective >= -1e-9
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic maximization" `Quick test_basic_max;
+          Alcotest.test_case "basic minimization" `Quick test_basic_min;
+          Alcotest.test_case "equality + negative bounds" `Quick test_equality_negative_bounds;
+          Alcotest.test_case "upper bounds bind" `Quick test_upper_bounds_bind;
+          Alcotest.test_case "infeasible detected" `Quick test_infeasible;
+          Alcotest.test_case "unbounded detected" `Quick test_unbounded;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+          Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+          Alcotest.test_case "diet problem" `Quick test_diet_problem;
+          Alcotest.test_case "random LPs stay feasible" `Quick test_larger_random_consistency;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_simplex_weak_duality ]);
+    ]

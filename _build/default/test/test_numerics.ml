@@ -1,0 +1,543 @@
+(* Unit and property tests for the numerics substrate. *)
+
+let feq ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if not (feq ~tol expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* {1 Rng} *)
+
+let test_rng_determinism () =
+  let a = Numerics.Rng.create 7 and b = Numerics.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Numerics.Rng.bits64 a) (Numerics.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Numerics.Rng.create 1 and b = Numerics.Rng.create 2 in
+  Alcotest.(check bool) "different streams" false
+    (Numerics.Rng.bits64 a = Numerics.Rng.bits64 b)
+
+let test_rng_float_range () =
+  let r = Numerics.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Numerics.Rng.float r in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_rng_uniform_bounds () =
+  let r = Numerics.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Numerics.Rng.uniform r (-3.) 5. in
+    if x < -3. || x >= 5. then Alcotest.failf "uniform out of range: %g" x
+  done
+
+let test_rng_uniform_mean () =
+  let r = Numerics.Rng.create 5 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Numerics.Rng.uniform r 0. 10.
+  done;
+  check_float ~tol:0.1 "mean of U(0,10)" 5.0 (!acc /. float_of_int n)
+
+let test_rng_int_range () =
+  let r = Numerics.Rng.create 6 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Numerics.Rng.int r 7 in
+    if k < 0 || k >= 7 then Alcotest.failf "int out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun k c ->
+      if c < 8_000 || c > 12_000 then Alcotest.failf "bucket %d skewed: %d" k c)
+    counts
+
+let test_rng_gaussian_moments () =
+  let r = Numerics.Rng.create 8 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Numerics.Rng.gaussian ~mu:2. ~sigma:3. r) in
+  check_float ~tol:0.05 "gaussian mean" 2.0 (Numerics.Stats.mean xs);
+  check_float ~tol:0.1 "gaussian sd" 3.0 (Numerics.Stats.stddev xs)
+
+let test_rng_split_independence () =
+  let master = Numerics.Rng.create 9 in
+  let a = Numerics.Rng.split master in
+  let b = Numerics.Rng.split master in
+  (* The two split streams should differ from each other. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.bits64 a = Numerics.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let test_rng_shuffle_permutation () =
+  let r = Numerics.Rng.create 10 in
+  let a = Array.init 50 (fun i -> i) in
+  Numerics.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_indices () =
+  let r = Numerics.Rng.create 11 in
+  for _ = 1 to 100 do
+    let s = Numerics.Rng.sample_indices r ~n:20 ~k:8 in
+    Alcotest.(check int) "k samples" 8 (Array.length s);
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= 20 then Alcotest.failf "index out of range: %d" i;
+        if Hashtbl.mem seen i then Alcotest.fail "duplicate index";
+        Hashtbl.add seen i ())
+      s
+  done
+
+let test_rng_bernoulli_bias () =
+  let r = Numerics.Rng.create 12 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Numerics.Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_float ~tol:0.01 "bernoulli(0.3)" 0.3 (float_of_int !hits /. float_of_int n)
+
+(* {1 Vec} *)
+
+let test_vec_arith () =
+  let x = [| 1.; 2.; 3. |] and y = [| 4.; 5.; 6. |] in
+  Alcotest.(check bool) "add" true (Numerics.Vec.approx_equal (Numerics.Vec.add x y) [| 5.; 7.; 9. |]);
+  Alcotest.(check bool) "sub" true (Numerics.Vec.approx_equal (Numerics.Vec.sub y x) [| 3.; 3.; 3. |]);
+  Alcotest.(check bool) "mul" true (Numerics.Vec.approx_equal (Numerics.Vec.mul x y) [| 4.; 10.; 18. |]);
+  Alcotest.(check bool) "scale" true (Numerics.Vec.approx_equal (Numerics.Vec.scale 2. x) [| 2.; 4.; 6. |])
+
+let test_vec_dot_norms () =
+  let x = [| 3.; 4. |] in
+  check_float "dot" 25. (Numerics.Vec.dot x x);
+  check_float "norm2" 5. (Numerics.Vec.norm2 x);
+  check_float "norm1" 7. (Numerics.Vec.norm1 x);
+  check_float "norm_inf" 4. (Numerics.Vec.norm_inf x);
+  check_float "dist2" 5. (Numerics.Vec.dist2 x [| 0.; 0. |])
+
+let test_vec_axpy () =
+  let x = [| 1.; 1. |] and y = [| 1.; 2. |] in
+  Numerics.Vec.axpy 3. x y;
+  Alcotest.(check bool) "axpy" true (Numerics.Vec.approx_equal y [| 4.; 5. |])
+
+let test_vec_clamp_lerp () =
+  let lo = [| 0.; 0. |] and hi = [| 1.; 1. |] in
+  Alcotest.(check bool) "clamp" true
+    (Numerics.Vec.approx_equal (Numerics.Vec.clamp ~lo ~hi [| -1.; 2. |]) [| 0.; 1. |]);
+  Alcotest.(check bool) "lerp mid" true
+    (Numerics.Vec.approx_equal (Numerics.Vec.lerp [| 0.; 0. |] [| 2.; 4. |] 0.5) [| 1.; 2. |])
+
+let test_vec_stats () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  check_float "sum" 10. (Numerics.Vec.sum x);
+  check_float "mean" 2.5 (Numerics.Vec.mean x);
+  check_float "min" 1. (Numerics.Vec.min x);
+  check_float "max" 4. (Numerics.Vec.max x)
+
+(* {1 Matrix} *)
+
+let test_matrix_identity () =
+  let i3 = Numerics.Matrix.identity 3 in
+  let x = [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "I x = x" true (Numerics.Vec.approx_equal (Numerics.Matrix.mv i3 x) x)
+
+let test_matrix_matmul () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Numerics.Matrix.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Numerics.Matrix.matmul a b in
+  let expected = Numerics.Matrix.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |] in
+  Alcotest.(check bool) "matmul" true (Numerics.Matrix.approx_equal c expected)
+
+let test_matrix_transpose () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Numerics.Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Numerics.Matrix.rows t);
+  Alcotest.(check int) "cols" 2 (Numerics.Matrix.cols t);
+  check_float "t(0,1)" 4. (Numerics.Matrix.get t 0 1);
+  Alcotest.(check bool) "double transpose" true
+    (Numerics.Matrix.approx_equal a (Numerics.Matrix.transpose t))
+
+let test_matrix_mv_tmv () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let x = [| 1.; 1. |] in
+  Alcotest.(check bool) "mv" true
+    (Numerics.Vec.approx_equal (Numerics.Matrix.mv a x) [| 3.; 7.; 11. |]);
+  let y = [| 1.; 1.; 1. |] in
+  Alcotest.(check bool) "tmv" true
+    (Numerics.Vec.approx_equal (Numerics.Matrix.tmv a y) [| 9.; 12. |])
+
+let test_matrix_rows_ops () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Numerics.Matrix.swap_rows a 0 1;
+  Alcotest.(check bool) "swap" true
+    (Numerics.Vec.approx_equal (Numerics.Matrix.row a 0) [| 3.; 4. |]);
+  Numerics.Matrix.set_row a 0 [| 9.; 9. |];
+  check_float "set_row" 9. (Numerics.Matrix.get a 0 1)
+
+let test_matrix_norms () =
+  let a = Numerics.Matrix.of_arrays [| [| 3.; 4. |]; [| 0.; 0. |] |] in
+  check_float "frobenius" 5. (Numerics.Matrix.norm_frobenius a);
+  check_float "inf norm" 7. (Numerics.Matrix.norm_inf a)
+
+(* {1 Lu} *)
+
+let random_system rng n =
+  let a =
+    Numerics.Matrix.init n n (fun _ _ -> Numerics.Rng.uniform rng (-5.) 5.)
+  in
+  (* Diagonal dominance guarantees a well-conditioned system. *)
+  for i = 0 to n - 1 do
+    Numerics.Matrix.set a i i (Numerics.Matrix.get a i i +. 10.)
+  done;
+  let x = Array.init n (fun _ -> Numerics.Rng.uniform rng (-2.) 2.) in
+  (a, x)
+
+let test_lu_solve () =
+  let rng = Numerics.Rng.create 21 in
+  for n = 1 to 12 do
+    let a, x = random_system rng n in
+    let b = Numerics.Matrix.mv a x in
+    let solved = Numerics.Lu.solve_matrix a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "solve n=%d" n)
+      true
+      (Numerics.Vec.approx_equal ~tol:1e-8 x solved)
+  done
+
+let test_lu_det () =
+  let a = Numerics.Matrix.of_arrays [| [| 2.; 0. |]; [| 0.; 3. |] |] in
+  check_float "diag det" 6. (Numerics.Lu.det (Numerics.Lu.factor a));
+  let b = Numerics.Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_float "swap det" (-1.) (Numerics.Lu.det (Numerics.Lu.factor b))
+
+let test_lu_inverse () =
+  let rng = Numerics.Rng.create 22 in
+  let a, _ = random_system rng 6 in
+  let inv = Numerics.Lu.inverse (Numerics.Lu.factor a) in
+  let prod = Numerics.Matrix.matmul a inv in
+  Alcotest.(check bool) "A A⁻¹ = I" true
+    (Numerics.Matrix.approx_equal ~tol:1e-8 prod (Numerics.Matrix.identity 6))
+
+let test_lu_singular () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Numerics.Lu.Singular (fun () ->
+      ignore (Numerics.Lu.factor a))
+
+let test_lu_refine () =
+  let rng = Numerics.Rng.create 23 in
+  let a, x = random_system rng 8 in
+  let b = Numerics.Matrix.mv a x in
+  let f = Numerics.Lu.factor a in
+  let x0 = Numerics.Lu.solve f b in
+  let x1 = Numerics.Lu.refine a f b x0 in
+  let r1 = Numerics.Vec.norm2 (Numerics.Vec.sub b (Numerics.Matrix.mv a x1)) in
+  Alcotest.(check bool) "refined residual tiny" true (r1 <= 1e-8)
+
+(* {1 Qr} *)
+
+let test_qr_square_solve () =
+  let rng = Numerics.Rng.create 24 in
+  let a, x = random_system rng 5 in
+  let b = Numerics.Matrix.mv a x in
+  let solved = Numerics.Qr.least_squares a b in
+  Alcotest.(check bool) "qr square" true (Numerics.Vec.approx_equal ~tol:1e-8 x solved)
+
+let test_qr_overdetermined () =
+  (* Fit y = 2 + 3 t by least squares on noisy-free samples: exact. *)
+  let ts = [| 0.; 1.; 2.; 3.; 4. |] in
+  let a = Numerics.Matrix.init 5 2 (fun i j -> if j = 0 then 1. else ts.(i)) in
+  let b = Array.map (fun t -> 2. +. (3. *. t)) ts in
+  let coef = Numerics.Qr.least_squares a b in
+  check_float ~tol:1e-10 "intercept" 2. coef.(0);
+  check_float ~tol:1e-10 "slope" 3. coef.(1)
+
+let test_qr_residual_orthogonal () =
+  (* In least squares the residual is orthogonal to the column space. *)
+  let rng = Numerics.Rng.create 25 in
+  let a = Numerics.Matrix.init 8 3 (fun _ _ -> Numerics.Rng.uniform rng (-1.) 1.) in
+  let b = Array.init 8 (fun _ -> Numerics.Rng.uniform rng (-1.) 1.) in
+  let x = Numerics.Qr.least_squares a b in
+  let r = Numerics.Vec.sub b (Numerics.Matrix.mv a x) in
+  let atr = Numerics.Matrix.tmv a r in
+  Alcotest.(check bool) "Aᵀr = 0" true (Numerics.Vec.norm_inf atr <= 1e-8)
+
+let test_qr_rank_deficient () =
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 1. |]; [| 1.; 1. |]; [| 1.; 1. |] |] in
+  Alcotest.check_raises "rank deficient" Numerics.Qr.Rank_deficient (fun () ->
+      ignore (Numerics.Qr.least_squares a [| 1.; 2.; 3. |]))
+
+(* {1 Ode} *)
+
+let test_rk4_exponential () =
+  (* y' = -y, y(0)=1 → y(1) = e⁻¹ *)
+  let f _t y = [| -.y.(0) |] in
+  let r = Numerics.Ode.rk4 ~f ~t0:0. ~y0:[| 1. |] ~dt:0.01 ~steps:100 in
+  check_float ~tol:1e-8 "e^-1" (exp (-1.)) r.Numerics.Ode.y.(0)
+
+let test_dopri5_harmonic () =
+  (* y'' = -y as a system; energy must be conserved over 10 periods. *)
+  let f _t y = [| y.(1); -.y.(0) |] in
+  let t1 = 20. *. Float.pi in
+  let r = Numerics.Ode.dopri5 ~rtol:1e-9 ~atol:1e-12 ~f ~t0:0. ~y0:[| 1.; 0. |] ~t1 () in
+  check_float ~tol:1e-5 "cos back to 1" 1. r.Numerics.Ode.y.(0);
+  check_float ~tol:1e-5 "sin back to 0" 0. r.Numerics.Ode.y.(1)
+
+let test_dopri5_adapts () =
+  let f _t y = [| -.y.(0) |] in
+  let r = Numerics.Ode.dopri5 ~f ~t0:0. ~y0:[| 1. |] ~t1:5. () in
+  Alcotest.(check bool) "takes steps" true (r.Numerics.Ode.stats.steps > 5);
+  check_float ~tol:1e-4 "value" (exp (-5.)) r.Numerics.Ode.y.(0)
+
+let test_dopri5_observer () =
+  let count = ref 0 in
+  let f _t y = [| -.y.(0) |] in
+  let r =
+    Numerics.Ode.dopri5 ~observer:(fun _ _ -> incr count) ~f ~t0:0. ~y0:[| 1. |] ~t1:1. ()
+  in
+  Alcotest.(check int) "observer per accepted step" r.Numerics.Ode.stats.steps !count
+
+let test_implicit_euler_stiff () =
+  (* Very stiff linear decay: λ = -1000.  Explicit RK4 at dt=0.01 would
+     explode; backward Euler must stay stable and accurate. *)
+  let f _t y = [| -1000. *. y.(0) |] in
+  let r = Numerics.Ode.implicit_euler ~f ~t0:0. ~y0:[| 1. |] ~t1:0.1 () in
+  check_float ~tol:1e-4 "decayed to ~0" 0. r.Numerics.Ode.y.(0)
+
+let test_implicit_matches_explicit () =
+  let f _t y = [| y.(1); -.y.(0) -. (0.5 *. y.(1)) |] in
+  let a = Numerics.Ode.dopri5 ~rtol:1e-8 ~atol:1e-10 ~f ~t0:0. ~y0:[| 1.; 0. |] ~t1:2. () in
+  let b = Numerics.Ode.implicit_euler ~rtol:1e-6 ~atol:1e-9 ~f ~t0:0. ~y0:[| 1.; 0. |] ~t1:2. () in
+  Alcotest.(check bool) "integrators agree" true
+    (Numerics.Vec.approx_equal ~tol:5e-3 a.Numerics.Ode.y b.Numerics.Ode.y)
+
+let test_numeric_jacobian () =
+  (* f(y) = A y has Jacobian A. *)
+  let a = Numerics.Matrix.of_arrays [| [| 1.; 2. |]; [| -3.; 0.5 |] |] in
+  let f _t y = Numerics.Matrix.mv a y in
+  let jac = Numerics.Ode.numeric_jacobian f 0. [| 0.3; -0.7 |] in
+  Alcotest.(check bool) "jacobian of linear map" true
+    (Numerics.Matrix.approx_equal ~tol:1e-5 a jac)
+
+let test_steady_state_relaxation () =
+  (* y' = 1 - y relaxes to 1. *)
+  let f _t y = [| 1. -. y.(0) |] in
+  match Numerics.Ode.steady_state ~f ~y0:[| 0. |] () with
+  | Ok y -> check_float ~tol:1e-4 "steady state" 1. y.(0)
+  | Error _ -> Alcotest.fail "did not converge"
+
+let test_steady_state_timeout () =
+  (* A constant-derivative system never reaches steady state. *)
+  let f _t _y = [| 1. |] in
+  match Numerics.Ode.steady_state ~t_max:10. ~f ~y0:[| 0. |] () with
+  | Ok _ -> Alcotest.fail "should not converge"
+  | Error y -> Alcotest.(check bool) "advanced" true (y.(0) > 5.)
+
+(* {1 Rootfind} *)
+
+let test_bisect () =
+  let root = Numerics.Rootfind.bisect ~f:(fun x -> (x *. x) -. 2.) ~lo:0. ~hi:2. () in
+  check_float ~tol:1e-10 "sqrt 2" (sqrt 2.) root
+
+let test_newton_scalar () =
+  let root =
+    Numerics.Rootfind.newton
+      ~f:(fun x -> (x *. x *. x) -. 8.)
+      ~df:(fun x -> 3. *. x *. x)
+      ~x0:3. ()
+  in
+  check_float ~tol:1e-9 "cube root 8" 2. root
+
+let test_newton_no_convergence () =
+  Alcotest.check_raises "flat derivative" Numerics.Rootfind.No_convergence (fun () ->
+      ignore
+        (Numerics.Rootfind.newton ~f:(fun _ -> 1.) ~df:(fun _ -> 0.) ~x0:0. ()))
+
+let test_newton_nd () =
+  (* Intersection of a circle and a line: x² + y² = 4, x = y. *)
+  let f v = [| (v.(0) *. v.(0)) +. (v.(1) *. v.(1)) -. 4.; v.(0) -. v.(1) |] in
+  let x = Numerics.Rootfind.newton_nd ~f ~x0:[| 1.; 0.5 |] () in
+  check_float ~tol:1e-8 "x" (sqrt 2.) x.(0);
+  check_float ~tol:1e-8 "y" (sqrt 2.) x.(1)
+
+(* {1 Stats} *)
+
+let test_stats_basic () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Numerics.Stats.mean xs);
+  check_float ~tol:1e-9 "variance" (32. /. 7.) (Numerics.Stats.variance xs);
+  check_float "min" 2. (Numerics.Stats.minimum xs);
+  check_float "max" 9. (Numerics.Stats.maximum xs)
+
+let test_stats_median_quantile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "median" 2.5 (Numerics.Stats.median xs);
+  check_float "q0" 1. (Numerics.Stats.quantile xs 0.);
+  check_float "q1" 4. (Numerics.Stats.quantile xs 1.);
+  check_float "q25" 1.75 (Numerics.Stats.quantile xs 0.25)
+
+let test_stats_summary () =
+  let s = Numerics.Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.Numerics.Stats.n;
+  check_float "mean" 2. s.Numerics.Stats.mean;
+  check_float "median" 2. s.Numerics.Stats.median
+
+let test_stats_histogram () =
+  let h = Numerics.Stats.histogram ~bins:2 [| 0.; 0.1; 0.9; 1.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+let test_stats_pearson () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  check_float ~tol:1e-12 "perfect correlation" 1. (Numerics.Stats.pearson xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_float ~tol:1e-12 "anti correlation" (-1.) (Numerics.Stats.pearson xs zs)
+
+(* {1 Properties} *)
+
+let vec_pair =
+  QCheck.make
+    ~print:(fun (x, y) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat ";" (List.map string_of_float (Array.to_list x)))
+        (String.concat ";" (List.map string_of_float (Array.to_list y))))
+    QCheck.Gen.(
+      let n = 1 -- 8 in
+      n >>= fun n ->
+      let g = array_size (return n) (float_range (-100.) 100.) in
+      pair g g)
+
+let prop_dot_symmetric =
+  QCheck.Test.make ~name:"dot is symmetric" ~count:200 vec_pair (fun (x, y) ->
+      feq ~tol:1e-6 (Numerics.Vec.dot x y) (Numerics.Vec.dot y x))
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"norm triangle inequality" ~count:200 vec_pair (fun (x, y) ->
+      Numerics.Vec.norm2 (Numerics.Vec.add x y)
+      <= Numerics.Vec.norm2 x +. Numerics.Vec.norm2 y +. 1e-9)
+
+let prop_lu_residual =
+  QCheck.Test.make ~name:"lu solve has small residual" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let n = 1 + Numerics.Rng.int rng 10 in
+      let a, x = random_system rng n in
+      let b = Numerics.Matrix.mv a x in
+      let solved = Numerics.Lu.solve_matrix a b in
+      Numerics.Vec.dist2 x solved <= 1e-6)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in p" ~count:200
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 20) (float_range (-50.) 50.))
+    (fun xs ->
+      let q25 = Numerics.Stats.quantile xs 0.25 in
+      let q75 = Numerics.Stats.quantile xs 0.75 in
+      q25 <= q75 +. 1e-12)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves elements" ~count:100
+    QCheck.(pair small_int (array_of_size (QCheck.Gen.int_range 0 30) int))
+    (fun (seed, a) ->
+      let rng = Numerics.Rng.create seed in
+      let b = Array.copy a in
+      Numerics.Rng.shuffle rng b;
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      sa = sb)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "numerics"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "int range+balance" `Quick test_rng_int_range;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample indices" `Quick test_rng_sample_indices;
+          Alcotest.test_case "bernoulli bias" `Quick test_rng_bernoulli_bias;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_vec_arith;
+          Alcotest.test_case "dot and norms" `Quick test_vec_dot_norms;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "clamp and lerp" `Quick test_vec_clamp_lerp;
+          Alcotest.test_case "aggregate stats" `Quick test_vec_stats;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "identity" `Quick test_matrix_identity;
+          Alcotest.test_case "matmul" `Quick test_matrix_matmul;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "mv and tmv" `Quick test_matrix_mv_tmv;
+          Alcotest.test_case "row operations" `Quick test_matrix_rows_ops;
+          Alcotest.test_case "norms" `Quick test_matrix_norms;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve random systems" `Quick test_lu_solve;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "singular raises" `Quick test_lu_singular;
+          Alcotest.test_case "iterative refinement" `Quick test_lu_refine;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "square solve" `Quick test_qr_square_solve;
+          Alcotest.test_case "line fit" `Quick test_qr_overdetermined;
+          Alcotest.test_case "residual orthogonality" `Quick test_qr_residual_orthogonal;
+          Alcotest.test_case "rank deficient raises" `Quick test_qr_rank_deficient;
+        ] );
+      ( "ode",
+        [
+          Alcotest.test_case "rk4 exponential" `Quick test_rk4_exponential;
+          Alcotest.test_case "dopri5 harmonic" `Quick test_dopri5_harmonic;
+          Alcotest.test_case "dopri5 adapts" `Quick test_dopri5_adapts;
+          Alcotest.test_case "dopri5 observer" `Quick test_dopri5_observer;
+          Alcotest.test_case "implicit euler stiff" `Quick test_implicit_euler_stiff;
+          Alcotest.test_case "integrators agree" `Quick test_implicit_matches_explicit;
+          Alcotest.test_case "numeric jacobian" `Quick test_numeric_jacobian;
+          Alcotest.test_case "steady state" `Quick test_steady_state_relaxation;
+          Alcotest.test_case "steady state timeout" `Quick test_steady_state_timeout;
+        ] );
+      ( "rootfind",
+        [
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "newton scalar" `Quick test_newton_scalar;
+          Alcotest.test_case "newton stagnation" `Quick test_newton_no_convergence;
+          Alcotest.test_case "newton nd" `Quick test_newton_nd;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic moments" `Quick test_stats_basic;
+          Alcotest.test_case "median and quantiles" `Quick test_stats_median_quantile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "pearson" `Quick test_stats_pearson;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_dot_symmetric;
+            prop_triangle_inequality;
+            prop_lu_residual;
+            prop_quantile_monotone;
+            prop_shuffle_preserves_multiset;
+          ] );
+    ]
