@@ -74,6 +74,27 @@ let bench_fig4_repair =
         let v = Array.init 608 (fun _ -> Numerics.Rng.uniform rng (-10.) 10.) in
         fun () -> ignore (repair v)))
 
+(* Cost of the fault-tolerance wrapper on the hot kernel: the same
+   fig1/leaf-steady-state evaluation routed through Guard, plus the bare
+   wrapper on a trivial objective to expose the fixed per-call overhead. *)
+let bench_guard_overhead =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let ratios = Array.make Photo.Enzyme.count 1. in
+  let guard = Runtime.Guard.create () in
+  let leaf r =
+    let rep = Photo.Steady_state.evaluate ~env ~ratios:r () in
+    [| -.rep.Photo.Steady_state.uptake; rep.Photo.Steady_state.nitrogen |]
+  in
+  let guarded_leaf = Runtime.Guard.wrap guard ~n_obj:2 leaf in
+  Test.make ~name:"guard-overhead/leaf-steady-state"
+    (Staged.stage (fun () -> ignore (guarded_leaf ratios)))
+
+let bench_guard_overhead_bare =
+  let guard = Runtime.Guard.create () in
+  let trivial = Runtime.Guard.wrap guard ~n_obj:2 (fun x -> [| x.(0); x.(1) |]) in
+  Test.make ~name:"guard-overhead/trivial-objective"
+    (Staged.stage (fun () -> ignore (trivial [| 1.; 2. |])))
+
 let bench_pmo2_generation =
   Test.make ~name:"pmo2/nsga2-generation-zdt1"
     (Staged.stage
@@ -115,6 +136,8 @@ let run_micro_benchmarks () =
         bench_fig3_sweep;
         bench_fig4_violation;
         bench_fig4_repair;
+        bench_guard_overhead;
+        bench_guard_overhead_bare;
         bench_pmo2_generation;
         bench_lp_solve;
       ]

@@ -8,6 +8,47 @@
 
 open Cmdliner
 
+(* User mistakes (bad flag values, missing/corrupt/mismatched checkpoint
+   files) surface as clean one-line errors, not uncaught exceptions. *)
+let with_user_errors f =
+  try f () with
+  | Invalid_argument msg | Runtime.Checkpoint.Corrupt msg ->
+    Printf.eprintf "robustpath: %s\n" msg;
+    exit 2
+
+(* Checkpoint/resume flags, shared by the optimization subcommands. *)
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Save the archipelago state to $(docv) while running.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) migration epochs (default 1).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by --checkpoint.  The seed, problem and \
+           configuration flags must match the original run; the result is then identical \
+           to the uninterrupted run.")
+
+let report_faults telemetry r =
+  let s = Runtime.Guard.stats telemetry in
+  if Runtime.Guard.failures s > 0 then
+    Printf.printf "guarded evaluations: %d penalized (%d raised, %d non-finite) of %d\n"
+      (Runtime.Guard.failures s) s.Runtime.Guard.exceptions s.Runtime.Guard.non_finite
+      s.Runtime.Guard.evaluations;
+  if r.Pmo2.Archipelago.failures > 0 then
+    Printf.printf "island crashes absorbed by the supervisor: %d\n"
+      r.Pmo2.Archipelago.failures
+
 let env_of ~ci ~export =
   let tp_export =
     match export with
@@ -23,9 +64,11 @@ let env_of ~ci ~export =
 (* {1 photo} *)
 
 let photo_cmd =
-  let run ci export generations pop seed =
+  let run ci export generations pop seed checkpoint checkpoint_every resume =
+    with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
-    let problem = Photo.Leaf.problem env in
+    let telemetry = Runtime.Guard.create () in
+    let problem = Runtime.Guard.wrap_problem telemetry (Photo.Leaf.problem env) in
     let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
     let cfg =
       {
@@ -34,7 +77,10 @@ let photo_cmd =
         nsga2 = { Ea.Nsga2.default_config with pop_size = pop };
       }
     in
-    let r = Pmo2.Archipelago.run ~seed ~initial:[ natural ] ~generations problem cfg in
+    let r =
+      Pmo2.Archipelago.run ~seed ~initial:[ natural ] ?checkpoint ~checkpoint_every
+        ?resume ~generations problem cfg
+    in
     let u, n = Photo.Leaf.natural_point env in
     Printf.printf "condition: %s, triose-P export %g mmol/l/s\n" env.Photo.Params.label
       env.Photo.Params.tp_export;
@@ -46,7 +92,8 @@ let photo_cmd =
       (fun s ->
         Printf.printf "  uptake %8.3f   nitrogen %10.0f\n" (Photo.Leaf.uptake_of s)
           (Photo.Leaf.nitrogen_of s))
-      (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front)
+      (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front);
+    report_faults telemetry r
   in
   let ci =
     Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (165, 270 or 490 ppm).")
@@ -61,14 +108,18 @@ let photo_cmd =
   let seed = Arg.(value & opt int 2011 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
-    Term.(const run $ ci $ export $ generations $ pop $ seed)
+    Term.(
+      const run $ ci $ export $ generations $ pop $ seed $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
-  let run generations pop seed =
+  let run generations pop seed checkpoint checkpoint_every resume =
+    with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
-    let problem = Fba.Moo_problem.problem g in
+    let telemetry = Runtime.Guard.create () in
+    let problem = Runtime.Guard.wrap_problem telemetry (Fba.Moo_problem.problem g) in
     let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
     let vary = Fba.Moo_problem.flux_variation g () in
     let cfg =
@@ -78,7 +129,10 @@ let geobacter_cmd =
         nsga2 = { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary };
       }
     in
-    let r = Pmo2.Archipelago.run ~seed ~initial:seeds ~generations problem cfg in
+    let r =
+      Pmo2.Archipelago.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every ?resume
+        ~generations problem cfg
+    in
     let feasible = List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front in
     Printf.printf "front: %d points (%d near-steady-state)\n"
       (List.length r.Pmo2.Archipelago.front)
@@ -87,7 +141,8 @@ let geobacter_cmd =
       (fun s ->
         Printf.printf "  EP %8.3f   BP %.4f\n" (Fba.Moo_problem.ep_of s)
           (Fba.Moo_problem.bp_of s))
-      (Moo.Mine.equally_spaced ~k:8 feasible)
+      (Moo.Mine.equally_spaced ~k:8 feasible);
+    report_faults telemetry r
   in
   let generations =
     Arg.(value & opt int 60 & info [ "generations" ] ~doc:"Generations per island.")
@@ -97,7 +152,9 @@ let geobacter_cmd =
   Cmd.v
     (Cmd.info "geobacter"
        ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
-    Term.(const run $ generations $ pop $ seed)
+    Term.(
+      const run $ generations $ pop $ seed $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
 
 (* {1 robust} *)
 

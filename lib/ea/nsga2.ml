@@ -217,6 +217,29 @@ let front st =
 let evaluations st = st.evals
 let generation st = st.gen
 
+type snapshot = {
+  snap_pop : Moo.Solution.t array;
+  snap_evals : int;
+  snap_gen : int;
+  snap_rng : int64;
+}
+
+let snapshot st =
+  {
+    snap_pop = Array.copy st.pop;
+    snap_evals = st.evals;
+    snap_gen = st.gen;
+    snap_rng = Numerics.Rng.state st.rng;
+  }
+
+let restore st snap =
+  st.pop <- Array.copy snap.snap_pop;
+  st.evals <- snap.snap_evals;
+  st.gen <- snap.snap_gen;
+  Numerics.Rng.set_state st.rng snap.snap_rng;
+  (* Ranks and crowding are pure functions of the population. *)
+  recompute_metrics st
+
 let select_emigrants st k =
   let f = front st in
   let arr = Array.of_list f in

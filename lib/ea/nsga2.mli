@@ -33,6 +33,22 @@ val front : state -> Moo.Solution.t list
 val evaluations : state -> int
 val generation : state -> int
 
+type snapshot = {
+  snap_pop : Moo.Solution.t array;
+  snap_evals : int;
+  snap_gen : int;
+  snap_rng : int64;
+}
+(** Pure-data capture of the evolving state (population, counters, RNG
+    stream); marshalable, so checkpointable. *)
+
+val snapshot : state -> snapshot
+
+val restore : state -> snapshot -> unit
+(** Overwrite [state] with a previously captured snapshot.  Ranks and
+    crowding are recomputed (they are derived data), so evolution after
+    [restore] is bit-identical to evolution after {!snapshot}. *)
+
 val select_emigrants : state -> int -> Moo.Solution.t list
 (** Up to [k] distinct members of the first front (crowding-diverse). *)
 

@@ -192,6 +192,30 @@ let front st = Moo.Dominance.non_dominated (Array.to_list st.arch)
 let evaluations st = st.evals
 let generation st = st.gen
 
+type snapshot = {
+  snap_pop : Moo.Solution.t array;
+  snap_arch : Moo.Solution.t array;
+  snap_evals : int;
+  snap_gen : int;
+  snap_rng : int64;
+}
+
+let snapshot st =
+  {
+    snap_pop = Array.copy st.pop;
+    snap_arch = Array.copy st.arch;
+    snap_evals = st.evals;
+    snap_gen = st.gen;
+    snap_rng = Numerics.Rng.state st.rng;
+  }
+
+let restore st snap =
+  st.pop <- Array.copy snap.snap_pop;
+  st.arch <- Array.copy snap.snap_arch;
+  st.evals <- snap.snap_evals;
+  st.gen <- snap.snap_gen;
+  Numerics.Rng.set_state st.rng snap.snap_rng
+
 let select_emigrants st k =
   let f = Array.of_list (front st) in
   if Array.length f <= k then Array.to_list f

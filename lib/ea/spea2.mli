@@ -29,6 +29,21 @@ val archive : state -> Moo.Solution.t array
 val evaluations : state -> int
 val generation : state -> int
 
+type snapshot = {
+  snap_pop : Moo.Solution.t array;
+  snap_arch : Moo.Solution.t array;
+  snap_evals : int;
+  snap_gen : int;
+  snap_rng : int64;
+}
+(** Pure-data capture of population, archive, counters and RNG stream. *)
+
+val snapshot : state -> snapshot
+
+val restore : state -> snapshot -> unit
+(** Overwrite [state] with a captured snapshot; evolution afterwards is
+    bit-identical to evolution from the capture point. *)
+
 val select_emigrants : state -> int -> Moo.Solution.t list
 val inject : state -> Moo.Solution.t list -> unit
 

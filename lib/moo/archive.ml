@@ -62,6 +62,13 @@ let add a s =
 
 let add_all a sols = List.iter (fun s -> ignore (add a s)) sols
 
+let restore a sols =
+  (* Checkpoint restore: reinstall members wholesale, preserving order, so
+     a resumed run's archive is bit-identical to the uninterrupted one
+     (add-order affects member order and hence downstream tie-breaks). *)
+  a.members <- sols;
+  prune a
+
 let merge a b =
   let out = create ?capacity:a.capacity () in
   add_all out (to_list a);

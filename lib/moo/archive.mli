@@ -20,6 +20,13 @@ val add : t -> Solution.t -> bool
     Duplicates in objective space are rejected. *)
 
 val add_all : t -> Solution.t list -> unit
+
+val restore : t -> Solution.t list -> unit
+(** [restore a sols] replaces the members wholesale, preserving list order
+    (checkpoint restore).  The list is trusted to be mutually
+    non-dominated — no dominance filtering is applied — but capacity is
+    still enforced. *)
+
 val merge : t -> t -> t
 (** Fresh archive holding the non-dominated union (capacity of the first). *)
 

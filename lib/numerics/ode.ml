@@ -198,6 +198,51 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
   done;
   { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
 
+(* {1 Fallback chain} *)
+
+type tier = Adaptive | Adaptive_tight | Stiff
+
+let tier_name = function
+  | Adaptive -> "dopri5"
+  | Adaptive_tight -> "dopri5-tight"
+  | Stiff -> "implicit-euler"
+
+let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
+    ?(max_steps = 1_000_000) ~f ~t0 ~t1 ~y0 () =
+  let span = t1 -. t0 in
+  let finite r = Array.for_all Float.is_finite r.y in
+  let attempt tier run =
+    match run () with
+    | r when finite r -> Some (r, tier)
+    | _ -> None
+    | exception Step_underflow _ -> None
+  in
+  let tiers =
+    [
+      (* Tier 1: the workhorse, exactly as requested. *)
+      (fun () ->
+        attempt Adaptive (fun () ->
+            dopri5 ~rtol ~atol ?h0 ~h_min ?h_max ~max_steps ~f ~t0 ~t1 ~y0 ()));
+      (* Tier 2: same integrator with tightened step bounds — a small
+         forced initial step, a capped maximum step, a lower step floor and
+         a doubled step budget rescue marginally stiff transients. *)
+      (fun () ->
+        attempt Adaptive_tight (fun () ->
+            dopri5 ~rtol ~atol ~h0:(span *. 1e-6) ~h_min:(h_min *. 1e-3)
+              ~h_max:(span /. 10.) ~max_steps:(2 * max_steps) ~f ~t0 ~t1 ~y0 ()));
+      (* Tier 3: semi-implicit integrator for genuinely stiff regimes. *)
+      (fun () ->
+        attempt Stiff (fun () ->
+            implicit_euler ~rtol:(Float.max rtol 1e-6) ~atol ~h_min:(h_min *. 1e-3)
+              ~f ~t0 ~t1 ~y0 ()));
+    ]
+  in
+  let rec try_tiers = function
+    | [] -> raise (Step_underflow t0)
+    | tier :: rest -> ( match tier () with Some out -> out | None -> try_tiers rest)
+  in
+  try_tiers tiers
+
 let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
     ?(t_max = 5000.) ~f ~y0 () =
   let rec advance t y =
@@ -208,7 +253,8 @@ let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
     if rate <= tol then Ok y
     else if t >= t_max then Error y
     else
-      let res = dopri5 ~rtol ~atol ~f ~t0:t ~t1:(t +. window) ~y0:y () in
-      advance res.t res.y
+      match integrate_fallback ~rtol ~atol ~f ~t0:t ~t1:(t +. window) ~y0:y () with
+      | res, _tier -> advance res.t res.y
+      | exception Step_underflow _ -> Error y
   in
   advance 0. (Array.copy y0)

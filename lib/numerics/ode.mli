@@ -63,6 +63,35 @@ val implicit_euler :
 val numeric_jacobian : rhs -> float -> Vec.t -> Matrix.t
 (** Forward-difference Jacobian of the rhs at [(t, y)]. *)
 
+type tier =
+  | Adaptive        (** {!dopri5} with the caller's settings *)
+  | Adaptive_tight  (** {!dopri5} with tightened step bounds *)
+  | Stiff           (** {!implicit_euler} rescue *)
+(** Which member of the fallback chain produced a result. *)
+
+val tier_name : tier -> string
+
+val integrate_fallback :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  f:rhs ->
+  t0:float ->
+  t1:float ->
+  y0:Vec.t ->
+  unit ->
+  result * tier
+(** Integrate from [t0] to [t1] through a three-tier fallback chain:
+    {!dopri5} as configured, then {!dopri5} with tightened step bounds
+    (forced small initial step, capped maximum step, doubled step budget),
+    then {!implicit_euler}.  A tier that raises {!Step_underflow} or
+    returns a non-finite state hands over to the next; the returned
+    {!tier} reports which one succeeded.  Raises {!Step_underflow} only
+    when every tier fails. *)
+
 val steady_state :
   ?rtol:float ->
   ?atol:float ->

@@ -6,6 +6,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy r = { state = r.state }
 
+let state r = r.state
+
+let set_state r s = r.state <- s
+
+let of_state s = { state = s }
+
 (* SplitMix64 step: advance by the golden gamma then mix (Steele et al.). *)
 let bits64 r =
   r.state <- Int64.add r.state golden_gamma;

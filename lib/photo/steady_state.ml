@@ -4,18 +4,27 @@ type report = {
   fluxes : Model.fluxes;
   uptake : float;
   nitrogen : float;
+  solver_tier : Numerics.Ode.tier;
 }
 
 let nitrogen_of ~kinetics ratios =
   let vmax = Enzyme.vmax_of_ratios ratios in
   Enzyme.raw_nitrogen vmax *. kinetics.Params.nitrogen_scale
 
+let tier_rank = function
+  | Numerics.Ode.Adaptive -> 0
+  | Numerics.Ode.Adaptive_tight -> 1
+  | Numerics.Ode.Stiff -> 2
+
+let deeper a b = if tier_rank b > tier_rank a then b else a
+
 let evaluate ?(kinetics = Params.default) ?y0 ?(t_max = 400.) ~env ~ratios () =
-  assert (Array.length ratios = Enzyme.count);
+  if Array.length ratios <> Enzyme.count then
+    invalid_arg "Steady_state.evaluate: ratios length";
   let vmax = Enzyme.vmax_of_ratios ratios in
   let f = Model.rhs kinetics env ~vmax in
   let y0 = match y0 with Some y -> Array.copy y | None -> State.initial () in
-  let finish converged y =
+  let finish converged tier y =
     let fl = Model.fluxes kinetics env ~vmax y in
     {
       converged;
@@ -23,6 +32,7 @@ let evaluate ?(kinetics = Params.default) ?y0 ?(t_max = 400.) ~env ~ratios () =
       fluxes = fl;
       uptake = Model.assimilation kinetics fl;
       nitrogen = nitrogen_of ~kinetics ratios;
+      solver_tier = tier;
     }
   in
   (* Converged when the net assimilation is stable across two successive
@@ -31,7 +41,7 @@ let evaluate ?(kinetics = Params.default) ?y0 ?(t_max = 400.) ~env ~ratios () =
      rate is modest. *)
   let window = 20. in
   let assim y = Model.assimilation kinetics (Model.fluxes kinetics env ~vmax y) in
-  let rec advance t y prev_a stable =
+  let rec advance t y prev_a stable tier =
     let a = assim y in
     let tol_a = 2e-4 *. (Float.abs a +. 1.) in
     let state_rate =
@@ -39,16 +49,20 @@ let evaluate ?(kinetics = Params.default) ?y0 ?(t_max = 400.) ~env ~ratios () =
       Numerics.Vec.norm_inf dy /. (Numerics.Vec.norm_inf y +. 1.)
     in
     let stable = if Float.abs (a -. prev_a) <= tol_a && state_rate < 2e-3 then stable + 1 else 0 in
-    if stable >= 2 then finish true y
-    else if t >= t_max then finish false y
+    if stable >= 2 then finish true tier y
+    else if t >= t_max then finish false tier y
     else
+      (* On [Step_underflow] the chain has already tried tightened dopri5
+         and implicit Euler; the design is pathological and is reported
+         unconverged at the last reachable state. *)
       match
-        Numerics.Ode.dopri5 ~rtol:2e-4 ~atol:1e-7 ~f ~t0:t ~t1:(t +. window) ~y0:y ()
+        Numerics.Ode.integrate_fallback ~rtol:2e-4 ~atol:1e-7 ~f ~t0:t ~t1:(t +. window)
+          ~y0:y ()
       with
-      | r -> advance r.Numerics.Ode.t r.Numerics.Ode.y a stable
-      | exception Numerics.Ode.Step_underflow _ -> finish false y
+      | r, t' -> advance r.Numerics.Ode.t r.Numerics.Ode.y a stable (deeper tier t')
+      | exception Numerics.Ode.Step_underflow _ -> finish false tier y
   in
-  advance 0. y0 infinity 0
+  advance 0. y0 infinity 0 Numerics.Ode.Adaptive
 
 let natural ?kinetics ~env () =
   evaluate ?kinetics ~env ~ratios:(Array.make Enzyme.count 1.) ()

@@ -6,6 +6,9 @@ type report = {
   fluxes : Model.fluxes;
   uptake : float;        (** net CO2 assimilation, µmol m⁻² s⁻¹ *)
   nitrogen : float;      (** protein-nitrogen, mg l⁻¹ (paper units) *)
+  solver_tier : Numerics.Ode.tier;
+      (** deepest fallback tier the integration needed ({!Numerics.Ode.Adaptive}
+          when plain dopri5 sufficed throughout) *)
 }
 
 val evaluate :

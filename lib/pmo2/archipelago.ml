@@ -28,22 +28,31 @@ let default_config =
   }
 
 let paper_config ~generations_hint =
-  assert (generations_hint >= 1);
+  if generations_hint < 1 then
+    invalid_arg "Archipelago.paper_config: generations_hint must be >= 1";
   default_config
+
+let log_src = Logs.Src.create "pmo2.archipelago" ~doc:"Island-model supervisor"
+
+module Log = (val Logs.src_log log_src)
 
 type state = {
   config : config;
+  problem : Moo.Problem.t;
   rng : Numerics.Rng.t; (* drives migration decisions *)
   islands : Island.t array;
   edges : (int * int) list;
   arch : Moo.Archive.t;
   mutable gens : int;
+  mutable failures : int; (* island crashes caught by the supervisor *)
 }
 
 let init ?(seed = 42) ?(initial = []) problem config =
-  assert (config.n_islands >= 1);
-  assert (config.migration_period >= 1);
-  assert (config.migration_prob >= 0. && config.migration_prob <= 1.);
+  if config.n_islands < 1 then invalid_arg "Archipelago.init: n_islands must be >= 1";
+  if config.migration_period < 1 then
+    invalid_arg "Archipelago.init: migration_period must be >= 1";
+  if not (config.migration_prob >= 0. && config.migration_prob <= 1.) then
+    invalid_arg "Archipelago.init: migration_prob must be in [0, 1]";
   let master = Numerics.Rng.create seed in
   let migration_rng = Numerics.Rng.split master in
   let algo_of i =
@@ -60,32 +69,73 @@ let init ?(seed = 42) ?(initial = []) problem config =
   in
   {
     config;
+    problem;
     rng = migration_rng;
     islands;
     edges = Topology.edges config.topology ~n:config.n_islands;
     arch = Moo.Archive.create ?capacity:config.archive_capacity ();
     gens = 0;
+    failures = 0;
   }
 
 let collect st =
   Array.iter (fun isl -> Moo.Archive.add_all st.arch (Island.front isl)) st.islands
 
+(* {1 Supervised epochs} *)
+
+(* Step one island, catching everything a crashing objective or algorithm
+   can throw (interrupts and heap exhaustion still escape). *)
+let try_step isl period =
+  match Island.step isl period with
+  | () -> None
+  | exception ((Sys.Break | Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e -> Some (Printexc.to_string e)
+
 let step_epoch st =
+  let period = st.config.migration_period in
+  (* Pre-epoch snapshots are the supervisor's recovery points: a crashed
+     island is rolled back to exactly this state. *)
+  let snaps = Array.map Island.snapshot st.islands in
   (* Between migrations the islands are independent — the paper's
      coarse-grained parallelism maps directly onto one domain per island.
      Results are identical to the sequential schedule because every island
      carries its own random stream and the domains join before any
-     exchange. *)
-  if st.config.parallel && Array.length st.islands > 1 then begin
-    let workers =
-      Array.map
-        (fun isl -> Domain.spawn (fun () -> Island.step isl st.config.migration_period))
-        st.islands
-    in
-    Array.iter Domain.join workers
-  end
-  else Array.iter (fun isl -> Island.step isl st.config.migration_period) st.islands;
-  st.gens <- st.gens + st.config.migration_period;
+     exchange.  Failures are caught inside each domain so one crashing
+     island can no longer kill the join. *)
+  let outcomes =
+    if st.config.parallel && Array.length st.islands > 1 then begin
+      let workers =
+        Array.map (fun isl -> Domain.spawn (fun () -> try_step isl period)) st.islands
+      in
+      Array.map Domain.join workers
+    end
+    else Array.map (fun isl -> try_step isl period) st.islands
+  in
+  (* Graceful degradation: roll a crashed island back and re-run it
+     sequentially (rescues parallelism-induced failures); a second crash is
+     deterministic, so roll back again and sit the epoch out. *)
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | None -> ()
+      | Some msg ->
+        st.failures <- st.failures + 1;
+        Log.warn (fun m ->
+            m "island %d (%s) crashed during epoch at gen %d: %s; retrying sequentially" i
+              (Island.name st.islands.(i))
+              st.gens msg);
+        Island.restore st.islands.(i) snaps.(i);
+        (match try_step st.islands.(i) period with
+        | None -> ()
+        | Some msg ->
+          st.failures <- st.failures + 1;
+          Log.err (fun m ->
+              m "island %d (%s) crashed again: %s; skipping this epoch" i
+                (Island.name st.islands.(i))
+                msg);
+          Island.restore st.islands.(i) snaps.(i)))
+    outcomes;
+  st.gens <- st.gens + period;
   (* Each directed edge fires with the configured probability; emigrants
      are non-dominated members of the source island's first front. *)
   let deliveries =
@@ -110,23 +160,107 @@ let evaluations st =
 
 let generations_done st = st.gens
 
+let island_failures st = st.failures
+
+(* {1 Checkpointing} *)
+
+let checkpoint_magic = "robustpath-archipelago-checkpoint v1"
+
+type snapshot = {
+  snap_problem : string;
+  snap_period : int;
+  snap_n_islands : int;
+  snap_islands : Island.snapshot array;
+  snap_rng : int64;
+  snap_archive : Moo.Solution.t list;
+  snap_gens : int;
+  snap_failures : int;
+}
+
+let snapshot st =
+  {
+    snap_problem = st.problem.Moo.Problem.name;
+    snap_period = st.config.migration_period;
+    snap_n_islands = Array.length st.islands;
+    snap_islands = Array.map Island.snapshot st.islands;
+    snap_rng = Numerics.Rng.state st.rng;
+    snap_archive = Moo.Archive.to_list st.arch;
+    snap_gens = st.gens;
+    snap_failures = st.failures;
+  }
+
+let restore st snap =
+  if snap.snap_period <> st.config.migration_period then
+    invalid_arg
+      (Printf.sprintf
+         "Archipelago.restore: checkpoint was taken at migration period %d, config says %d"
+         snap.snap_period st.config.migration_period);
+  if snap.snap_n_islands <> Array.length st.islands then
+    invalid_arg
+      (Printf.sprintf "Archipelago.restore: snapshot has %d islands, state has %d"
+         snap.snap_n_islands (Array.length st.islands));
+  Array.iteri
+    (fun i isl_snap ->
+      if Island.snapshot_algo isl_snap <> Island.name st.islands.(i) then
+        invalid_arg
+          (Printf.sprintf "Archipelago.restore: island %d is %s but snapshot holds %s" i
+             (Island.name st.islands.(i))
+             (Island.snapshot_algo isl_snap));
+      Island.restore st.islands.(i) isl_snap)
+    snap.snap_islands;
+  Numerics.Rng.set_state st.rng snap.snap_rng;
+  Moo.Archive.restore st.arch snap.snap_archive;
+  st.gens <- snap.snap_gens;
+  st.failures <- snap.snap_failures
+
+let save st path = Runtime.Checkpoint.save ~magic:checkpoint_magic ~path (snapshot st)
+
+let load ?seed problem config path =
+  let snap : snapshot = Runtime.Checkpoint.load ~magic:checkpoint_magic ~path in
+  if snap.snap_problem <> problem.Moo.Problem.name then
+    invalid_arg
+      (Printf.sprintf "Archipelago.load: checkpoint is for problem %S, not %S"
+         snap.snap_problem problem.Moo.Problem.name);
+  let st = init ?seed problem config in
+  restore st snap;
+  st
+
 type result = {
   front : Moo.Solution.t list;
   per_island : Moo.Solution.t list list;
   evaluations : int;
   explored : int;
+  failures : int;
 }
 
-let run ?seed ?initial ~generations problem config =
-  let st = init ?seed ?initial problem config in
-  collect st;
+let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?resume ~generations problem
+    config =
+  if checkpoint_every < 1 then invalid_arg "Archipelago.run: checkpoint_every must be >= 1";
+  let st =
+    match resume with
+    | Some path ->
+      let st = load ?seed problem config path in
+      Log.info (fun m ->
+          m "resumed from %s at generation %d (%d evaluations so far)" path st.gens
+            (evaluations st));
+      st
+    | None ->
+      let st = init ?seed ?initial problem config in
+      collect st;
+      st
+  in
   let epochs = (generations + config.migration_period - 1) / config.migration_period in
-  for _ = 1 to epochs do
-    step_epoch st
+  let done_epochs = st.gens / config.migration_period in
+  for e = done_epochs + 1 to epochs do
+    step_epoch st;
+    match checkpoint with
+    | Some path when e mod checkpoint_every = 0 || e = epochs -> save st path
+    | _ -> ()
   done;
   {
     front = Moo.Dominance.non_dominated (Moo.Archive.to_list st.arch);
     per_island = islands_fronts st;
     evaluations = evaluations st;
     explored = evaluations st;
+    failures = st.failures;
   }

@@ -39,10 +39,20 @@ val paper_config : generations_hint:int -> config
 type state
 
 val init : ?seed:int -> ?initial:Moo.Solution.t list -> Moo.Problem.t -> config -> state
-(* [initial] seeds part of every island's starting population. *)
+(** [initial] seeds part of every island's starting population.  Raises
+    [Invalid_argument] on a malformed config (so validation survives
+    [-noassert] release builds). *)
 
 val step_epoch : state -> unit
-(** Run one migration period on every island, then exchange. *)
+(** Run one migration period on every island, then exchange.
+
+    Epochs are supervised: each island is snapshotted before the epoch,
+    and an island whose step raises (a crashing objective, a solver
+    failure that escaped its guard) is caught, logged on {!log_src},
+    rolled back to its snapshot and retried sequentially; a second failure
+    rolls back again and skips the island for this epoch.  A crash
+    therefore degrades one island's progress instead of killing the run,
+    in both parallel and sequential schedules. *)
 
 val islands_fronts : state -> Moo.Solution.t list list
 val island_names : state -> string list
@@ -50,19 +60,56 @@ val archive : state -> Moo.Archive.t
 val evaluations : state -> int
 val generations_done : state -> int
 
+val island_failures : state -> int
+(** Island crashes caught (and recovered from) by the epoch supervisor. *)
+
+val log_src : Logs.src
+(** Log source ["pmo2.archipelago"]: supervisor warnings, checkpoint
+    activity. *)
+
+(** {2 Checkpointing}
+
+    A checkpoint captures everything the run needs to continue
+    bit-for-bit: every island's population (and archive, for SPEA2),
+    evaluation/generation counters, all RNG stream states, the merged
+    archive in insertion order, and the supervisor's failure count.  The
+    file is an atomic {!Runtime.Checkpoint} (magic line + marshalled
+    pure-data snapshot); the problem and config are {e not} stored — a
+    resume must supply the same ones it was saved under (the problem name
+    and island layout are validated). *)
+
+val save : state -> string -> unit
+
+val load : ?seed:int -> Moo.Problem.t -> config -> string -> state
+(** Rebuild a runnable state from a checkpoint.  Raises
+    {!Runtime.Checkpoint.Corrupt} on an unreadable file and
+    [Invalid_argument] when the checkpoint does not match the supplied
+    problem/config (different problem name, island count or algorithms). *)
+
 type result = {
   front : Moo.Solution.t list;        (** merged non-dominated front *)
   per_island : Moo.Solution.t list list;
   evaluations : int;
   explored : int;  (** total candidate solutions evaluated *)
+  failures : int;  (** island crashes absorbed by the supervisor *)
 }
 
 val run :
   ?seed:int ->
   ?initial:Moo.Solution.t list ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
   generations:int ->
   Moo.Problem.t ->
   config ->
   result
 (** Run for (at least) [generations] generations per island, migrating
-    every [migration_period] generations. *)
+    every [migration_period] generations.
+
+    With [checkpoint], the state is saved to that path every
+    [checkpoint_every] epochs (default 1) and after the final epoch.  With
+    [resume], the run continues from the given checkpoint instead of
+    initializing — completed epochs are skipped and the result is
+    bit-identical to the uninterrupted run with the same seed, problem and
+    config. *)

@@ -1,3 +1,7 @@
+type snapshot =
+  | Nsga2_snapshot of Ea.Nsga2.snapshot
+  | Spea2_snapshot of Ea.Spea2.snapshot
+
 type t = {
   step : int -> unit;
   front : unit -> Moo.Solution.t list;
@@ -5,6 +9,8 @@ type t = {
   inject : Moo.Solution.t list -> unit;
   evaluations : unit -> int;
   name : string;
+  snapshot : unit -> snapshot;
+  restore : snapshot -> unit;
 }
 
 let nsga2 ?initial problem config rng =
@@ -16,6 +22,11 @@ let nsga2 ?initial problem config rng =
     inject = (fun sols -> Ea.Nsga2.inject st sols);
     evaluations = (fun () -> Ea.Nsga2.evaluations st);
     name = "nsga2";
+    snapshot = (fun () -> Nsga2_snapshot (Ea.Nsga2.snapshot st));
+    restore =
+      (function
+      | Nsga2_snapshot snap -> Ea.Nsga2.restore st snap
+      | Spea2_snapshot _ -> invalid_arg "Island.restore: spea2 snapshot on nsga2 island");
   }
 
 let spea2 ?initial problem config rng =
@@ -27,6 +38,11 @@ let spea2 ?initial problem config rng =
     inject = (fun sols -> Ea.Spea2.inject st sols);
     evaluations = (fun () -> Ea.Spea2.evaluations st);
     name = "spea2";
+    snapshot = (fun () -> Spea2_snapshot (Ea.Spea2.snapshot st));
+    restore =
+      (function
+      | Spea2_snapshot snap -> Ea.Spea2.restore st snap
+      | Nsga2_snapshot _ -> invalid_arg "Island.restore: nsga2 snapshot on spea2 island");
   }
 
 let step t n = t.step n
@@ -35,3 +51,7 @@ let emigrants t k = t.emigrants k
 let inject t sols = t.inject sols
 let evaluations t = t.evaluations ()
 let name t = t.name
+let snapshot t = t.snapshot ()
+let restore t snap = t.restore snap
+
+let snapshot_algo = function Nsga2_snapshot _ -> "nsga2" | Spea2_snapshot _ -> "spea2"

@@ -7,6 +7,13 @@
 
 type t
 
+type snapshot =
+  | Nsga2_snapshot of Ea.Nsga2.snapshot
+  | Spea2_snapshot of Ea.Spea2.snapshot
+(** Pure-data capture of an island's evolving state; marshalable.  Used
+    both for epoch-level crash recovery (restore to the pre-epoch state)
+    and for archipelago checkpoints. *)
+
 val nsga2 :
   ?initial:Moo.Solution.t list -> Moo.Problem.t -> Ea.Nsga2.config -> Numerics.Rng.t -> t
 
@@ -21,3 +28,13 @@ val emigrants : t -> int -> Moo.Solution.t list
 val inject : t -> Moo.Solution.t list -> unit
 val evaluations : t -> int
 val name : t -> string
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the island's state with a captured snapshot.  Raises
+    [Invalid_argument] when the snapshot's algorithm does not match the
+    island's. *)
+
+val snapshot_algo : snapshot -> string
+(** ["nsga2"] or ["spea2"]. *)

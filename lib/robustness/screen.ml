@@ -34,7 +34,7 @@ type worst_case = {
 }
 
 let worst_of ~rng ~f ?(delta = 0.10) ?(trials = 1000) x =
-  assert (trials > 0);
+  if trials <= 0 then invalid_arg "Screen.worst_of: trials must be > 0";
   let nominal = f x in
   let worst = ref nominal in
   for _ = 1 to trials do

@@ -1,0 +1,30 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let save ~magic ~path value =
+  (* Write-then-rename so a crash mid-checkpoint never clobbers the
+     previous good checkpoint with a truncated file. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      Marshal.to_channel oc value []);
+  Sys.rename tmp path
+
+let load ~magic ~path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open checkpoint %s: %s" path msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line = try input_line ic with End_of_file -> "" in
+      if line <> magic then
+        corrupt "checkpoint %s: bad magic %S (expected %S)" path line magic;
+      try Marshal.from_channel ic
+      with End_of_file | Failure _ -> corrupt "checkpoint %s: truncated or corrupt" path)

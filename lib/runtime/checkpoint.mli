@@ -1,0 +1,20 @@
+(** Atomic checkpoint files.
+
+    A checkpoint is a one-line magic string (carrying a format version)
+    followed by the OCaml [Marshal] encoding of a pure-data value.  Writes
+    go to [path ^ ".tmp"] and are renamed into place, so an interrupted
+    save never corrupts the previous checkpoint.
+
+    The payload must be closure-free (plain records, arrays, variants,
+    scalars); readers must expect the exact type that was written — the
+    magic string is the caller's versioning handle for that contract. *)
+
+exception Corrupt of string
+(** Missing file, wrong magic, or truncated payload. *)
+
+val save : magic:string -> path:string -> 'a -> unit
+
+val load : magic:string -> path:string -> 'a
+(** Raises {!Corrupt} when the file is unreadable, the magic line differs,
+    or the payload is truncated.  Unsafe in the usual [Marshal] sense:
+    the ['a] the caller expects must match what was saved. *)

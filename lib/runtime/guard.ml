@@ -1,0 +1,77 @@
+type stats = {
+  evaluations : int;
+  exceptions : int;
+  non_finite : int;
+}
+
+let failures s = s.exceptions + s.non_finite
+
+type t = {
+  penalty : float;
+  evaluations : int Atomic.t;
+  exceptions : int Atomic.t;
+  non_finite : int Atomic.t;
+}
+
+let log_src = Logs.Src.create "runtime.guard" ~doc:"Guarded objective evaluation"
+
+module Log = (val Logs.src_log log_src)
+
+let create ?(penalty = 1e12) () =
+  if not (Float.is_finite penalty) then invalid_arg "Guard.create: penalty must be finite";
+  {
+    penalty;
+    evaluations = Atomic.make 0;
+    exceptions = Atomic.make 0;
+    non_finite = Atomic.make 0;
+  }
+
+let penalty t = t.penalty
+
+let stats t =
+  {
+    evaluations = Atomic.get t.evaluations;
+    exceptions = Atomic.get t.exceptions;
+    non_finite = Atomic.get t.non_finite;
+  }
+
+let reset t =
+  Atomic.set t.evaluations 0;
+  Atomic.set t.exceptions 0;
+  Atomic.set t.non_finite 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d evaluations, %d exceptions, %d non-finite" s.evaluations
+    s.exceptions s.non_finite
+
+(* Interrupts must escape the guard — a penalty objective is no answer to
+   Ctrl-C — and nothing sane can be done about heap exhaustion either. *)
+let fatal = function Sys.Break | Out_of_memory | Stack_overflow -> true | _ -> false
+
+let wrap t ~n_obj f x =
+  Atomic.incr t.evaluations;
+  match f x with
+  | exception e when not (fatal e) ->
+    Atomic.incr t.exceptions;
+    Log.debug (fun m -> m "objective raised %s; penalized" (Printexc.to_string e));
+    Array.make n_obj t.penalty
+  | fv ->
+    if Array.for_all Float.is_finite fv then fv
+    else begin
+      Atomic.incr t.non_finite;
+      Array.map (fun v -> if Float.is_finite v then v else t.penalty) fv
+    end
+
+let wrap_scalar t f x =
+  match f x with
+  | exception e when not (fatal e) ->
+    Atomic.incr t.exceptions;
+    t.penalty
+  | v -> if Float.is_finite v then v else (Atomic.incr t.non_finite; t.penalty)
+
+let wrap_problem t p =
+  {
+    p with
+    Moo.Problem.eval = wrap t ~n_obj:p.Moo.Problem.n_obj p.Moo.Problem.eval;
+    violation = Option.map (wrap_scalar t) p.Moo.Problem.violation;
+  }

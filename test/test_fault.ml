@@ -1,0 +1,363 @@
+(* Tests for the fault-tolerance stack: ODE fallback chain, guarded
+   objectives, deterministic fault injection, supervised islands, and
+   checkpoint/resume. *)
+
+(* {1 A stiff test problem}
+
+   y' = lambda (cos t - y) with lambda = 1e6: the solution hugs cos t, but
+   an explicit integrator is stability-limited to steps ~ 2/lambda, so a
+   bounded step budget forces dopri5 into [Step_underflow] while implicit
+   Euler strolls through. *)
+
+let lambda = 1e6
+
+let stiff_f t y = [| lambda *. (cos t -. y.(0)) |]
+
+let test_dopri5_underflows_on_stiff () =
+  Alcotest.check_raises "dopri5 exhausts its step budget"
+    (Numerics.Ode.Step_underflow 0.)
+    (fun () ->
+      match
+        Numerics.Ode.dopri5 ~max_steps:2000 ~f:stiff_f ~t0:0. ~t1:1. ~y0:[| 0. |] ()
+      with
+      | _ -> ()
+      | exception Numerics.Ode.Step_underflow _ ->
+        (* Normalize the payload: we only care that it underflowed. *)
+        raise (Numerics.Ode.Step_underflow 0.))
+
+let test_fallback_rescues_stiff () =
+  let r, tier =
+    Numerics.Ode.integrate_fallback ~max_steps:2000 ~f:stiff_f ~t0:0. ~t1:1.
+      ~y0:[| 0. |] ()
+  in
+  (match tier with
+  | Numerics.Ode.Stiff -> ()
+  | t -> Alcotest.failf "expected implicit-Euler tier, got %s" (Numerics.Ode.tier_name t));
+  Alcotest.(check bool) "finite steady state" true (Float.is_finite r.Numerics.Ode.y.(0));
+  Alcotest.(check (float 1e-2)) "tracks cos t" (cos 1.) r.Numerics.Ode.y.(0)
+
+let test_fallback_prefers_first_tier () =
+  (* A benign problem must not be kicked down the chain. *)
+  let f _ y = [| -.y.(0) |] in
+  let r, tier = Numerics.Ode.integrate_fallback ~f ~t0:0. ~t1:1. ~y0:[| 1. |] () in
+  (match tier with
+  | Numerics.Ode.Adaptive -> ()
+  | t -> Alcotest.failf "expected plain dopri5, got %s" (Numerics.Ode.tier_name t));
+  Alcotest.(check (float 1e-5)) "exp decay" (exp (-1.)) r.Numerics.Ode.y.(0)
+
+let test_ode_steady_state_survives_stiffness () =
+  (* The windowed steady-state driver now rides the fallback chain instead
+     of propagating Step_underflow. *)
+  match Numerics.Ode.steady_state ~tol:1e-6 ~t_max:50. ~f:stiff_f ~y0:[| 0. |] () with
+  | Ok _ | Error _ -> ()
+
+(* {1 Guard} *)
+
+let test_guard_penalizes_exceptions () =
+  let g = Runtime.Guard.create ~penalty:1e9 () in
+  let f x = if x.(0) > 0.5 then failwith "solver blew up" else [| x.(0); 1. |] in
+  let wrapped = Runtime.Guard.wrap g ~n_obj:2 f in
+  Alcotest.(check (array (float 0.))) "clean pass-through" [| 0.2; 1. |] (wrapped [| 0.2 |]);
+  Alcotest.(check (array (float 0.))) "penalized" [| 1e9; 1e9 |] (wrapped [| 0.9 |]);
+  let s = Runtime.Guard.stats g in
+  Alcotest.(check int) "evaluations" 2 s.Runtime.Guard.evaluations;
+  Alcotest.(check int) "exceptions" 1 s.Runtime.Guard.exceptions;
+  Alcotest.(check int) "failures" 1 (Runtime.Guard.failures s)
+
+let test_guard_sanitizes_non_finite () =
+  let g = Runtime.Guard.create ~penalty:1e9 () in
+  let wrapped = Runtime.Guard.wrap g ~n_obj:3 (fun _ -> [| nan; 2.; infinity |]) in
+  Alcotest.(check (array (float 0.))) "NaN and inf replaced, finite kept" [| 1e9; 2.; 1e9 |]
+    (wrapped [| 0. |]);
+  let s = Runtime.Guard.stats g in
+  Alcotest.(check int) "non-finite counted" 1 s.Runtime.Guard.non_finite;
+  Runtime.Guard.reset g;
+  Alcotest.(check int) "reset" 0 (Runtime.Guard.stats g).Runtime.Guard.evaluations
+
+let test_guard_problem_wrapping () =
+  let p =
+    Moo.Problem.make ~name:"raising" ~n_obj:2 ~lower:[| 0. |] ~upper:[| 1. |]
+      ~violation:(fun _ -> nan)
+      (fun _ -> failwith "boom")
+  in
+  let g = Runtime.Guard.create () in
+  let gp = Runtime.Guard.wrap_problem g p in
+  let s = Moo.Solution.evaluate gp [| 0.5 |] in
+  Alcotest.(check bool) "objectives finite" true (Array.for_all Float.is_finite s.Moo.Solution.f);
+  Alcotest.(check bool) "violation finite" true (Float.is_finite s.Moo.Solution.v)
+
+let test_guard_rejects_non_finite_penalty () =
+  Alcotest.(check bool) "invalid penalty refused" true
+    (match Runtime.Guard.create ~penalty:infinity () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* {1 Fault injection} *)
+
+let test_fault_decide_is_pure () =
+  let cfg = { Runtime.Fault.default with fraction = 0.5; seed = 3 } in
+  let rng = Numerics.Rng.create 1 in
+  for _ = 1 to 50 do
+    let x = Array.init 4 (fun _ -> Numerics.Rng.float rng) in
+    let a = Runtime.Fault.decide cfg x and b = Runtime.Fault.decide cfg x in
+    Alcotest.(check bool) "same x, same decision" true (a = b)
+  done
+
+let test_fault_fraction_bounds () =
+  let rng = Numerics.Rng.create 2 in
+  let xs = Array.init 2000 (fun _ -> Array.init 3 (fun _ -> Numerics.Rng.float rng)) in
+  let count frac =
+    let cfg = { Runtime.Fault.default with fraction = frac } in
+    Array.fold_left
+      (fun acc x -> if Runtime.Fault.decide cfg x <> None then acc + 1 else acc)
+      0 xs
+  in
+  Alcotest.(check int) "fraction 0 never fires" 0 (count 0.);
+  Alcotest.(check int) "fraction 1 always fires" 2000 (count 1.);
+  let hits = float_of_int (count 0.3) /. 2000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction 0.3 fires ~30%% (got %.3f)" hits)
+    true
+    (hits > 0.25 && hits < 0.35)
+
+let test_fault_modes_behave () =
+  let raise_cfg = { Runtime.Fault.default with fraction = 1.; modes = [ Runtime.Fault.Raise ] } in
+  let nan_cfg = { raise_cfg with modes = [ Runtime.Fault.Nan ] } in
+  let stall_cfg = { raise_cfg with modes = [ Runtime.Fault.Stall ]; stall_iters = 100 } in
+  let f x = [| x.(0) |] in
+  Alcotest.(check bool) "raise mode raises" true
+    (match Runtime.Fault.wrap raise_cfg ~n_obj:1 f [| 0.5 |] with
+    | exception Runtime.Fault.Injected -> true
+    | _ -> false);
+  Alcotest.(check bool) "nan mode poisons" true
+    (Float.is_nan (Runtime.Fault.wrap nan_cfg ~n_obj:1 f [| 0.5 |]).(0));
+  Alcotest.(check (array (float 0.))) "stall mode still answers" [| 0.5 |]
+    (Runtime.Fault.wrap stall_cfg ~n_obj:1 f [| 0.5 |]);
+  Alcotest.(check bool) "malformed fraction refused" true
+    (match Runtime.Fault.decide { raise_cfg with fraction = 2. } [| 0. |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* {1 Archipelago under injected faults} *)
+
+let small_config =
+  {
+    Pmo2.Archipelago.default_config with
+    migration_period = 10;
+    nsga2 = { Ea.Nsga2.default_config with pop_size = 20 };
+  }
+
+let faulty_zdt1 ~guard ~fraction ~seed =
+  let cfg =
+    {
+      Runtime.Fault.fraction;
+      seed;
+      modes = [ Runtime.Fault.Raise; Runtime.Fault.Nan; Runtime.Fault.Stall ];
+      stall_iters = 500;
+    }
+  in
+  Runtime.Guard.wrap_problem guard (Runtime.Fault.wrap_problem cfg (Moo.Benchmarks.zdt1 ~n:8))
+
+let objs r =
+  List.sort compare
+    (List.map (fun s -> Array.to_list s.Moo.Solution.f) r.Pmo2.Archipelago.front)
+
+let test_run_completes_under_faults () =
+  (* Acceptance criterion: 5% injected faults, run completes without
+     raising, telemetry reports them, the front holds no NaN/inf. *)
+  let guard = Runtime.Guard.create () in
+  let problem = faulty_zdt1 ~guard ~fraction:0.05 ~seed:17 in
+  let r = Pmo2.Archipelago.run ~seed:4 ~generations:30 problem small_config in
+  let s = Runtime.Guard.stats guard in
+  Alcotest.(check bool) "faults actually fired" true (Runtime.Guard.failures s > 0);
+  Alcotest.(check bool) "front non-empty" true (r.Pmo2.Archipelago.front <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "front objectives finite" true
+        (Array.for_all Float.is_finite s.Moo.Solution.f))
+    r.Pmo2.Archipelago.front
+
+let test_faulted_run_deterministic_parallel_and_sequential () =
+  (* Same seed + same fault fraction must give the identical final front,
+     parallel and sequential: injection is a pure hash of (seed, x), so it
+     commutes with evaluation order. *)
+  let run ~parallel =
+    let guard = Runtime.Guard.create () in
+    let problem = faulty_zdt1 ~guard ~fraction:0.05 ~seed:17 in
+    Pmo2.Archipelago.run ~seed:4 ~generations:30 problem
+      { small_config with Pmo2.Archipelago.parallel }
+  in
+  let a = run ~parallel:false and b = run ~parallel:false in
+  Alcotest.(check bool) "sequential repeatable" true (objs a = objs b);
+  let c = run ~parallel:true in
+  Alcotest.(check bool) "parallel identical to sequential" true (objs a = objs c)
+
+let test_supervisor_absorbs_island_crash () =
+  (* Unguarded objective that starts throwing after the initial
+     populations are built: every epoch crashes, the supervisor rolls the
+     islands back, and the run still finishes with the initial fronts. *)
+  let calls = ref 0 in
+  let base = Moo.Benchmarks.zdt1 ~n:6 in
+  let problem =
+    {
+      base with
+      Moo.Problem.eval =
+        (fun x ->
+          incr calls;
+          if !calls > 50 then failwith "flaky backend";
+          base.Moo.Problem.eval x);
+    }
+  in
+  let r = Pmo2.Archipelago.run ~seed:5 ~generations:20 problem small_config in
+  Alcotest.(check bool) "crashes were absorbed" true (r.Pmo2.Archipelago.failures > 0);
+  Alcotest.(check bool) "front survives" true (r.Pmo2.Archipelago.front <> [])
+
+(* {1 Checkpoint / resume} *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "robustpath" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_kill_and_resume_bit_for_bit () =
+  let problem = Moo.Benchmarks.zdt1 ~n:8 in
+  let full = Pmo2.Archipelago.run ~seed:21 ~generations:40 problem small_config in
+  with_temp_file (fun path ->
+      (* "Kill" after two of the four epochs: run half the generations with
+         checkpointing on, then resume from disk for the full budget. *)
+      let _half =
+        Pmo2.Archipelago.run ~seed:21 ~checkpoint:path ~generations:20 problem
+          small_config
+      in
+      let resumed =
+        Pmo2.Archipelago.run ~seed:21 ~resume:path ~generations:40 problem small_config
+      in
+      Alcotest.(check bool) "identical fronts" true (objs full = objs resumed);
+      Alcotest.(check int) "identical evaluation counts" full.Pmo2.Archipelago.evaluations
+        resumed.Pmo2.Archipelago.evaluations;
+      let hv r =
+        Moo.Hypervolume.of_solutions ~ref_point:[| 1.1; 7. |] r.Pmo2.Archipelago.front
+      in
+      Alcotest.(check (float 0.)) "identical hypervolume" (hv full) (hv resumed))
+
+let test_resume_spea2_and_mixed_islands () =
+  let problem = Moo.Benchmarks.zdt1 ~n:6 in
+  let cfg =
+    {
+      small_config with
+      Pmo2.Archipelago.algorithms =
+        [
+          Pmo2.Archipelago.Nsga2 { Ea.Nsga2.default_config with pop_size = 20 };
+          Pmo2.Archipelago.Spea2
+            { Ea.Spea2.default_config with pop_size = 20; archive_size = 20 };
+        ];
+    }
+  in
+  let full = Pmo2.Archipelago.run ~seed:9 ~generations:30 problem cfg in
+  with_temp_file (fun path ->
+      let _ = Pmo2.Archipelago.run ~seed:9 ~checkpoint:path ~generations:10 problem cfg in
+      let resumed = Pmo2.Archipelago.run ~seed:9 ~resume:path ~generations:30 problem cfg in
+      Alcotest.(check bool) "mixed-island resume identical" true (objs full = objs resumed))
+
+let test_checkpoint_validation () =
+  let problem = Moo.Benchmarks.zdt1 ~n:6 in
+  with_temp_file (fun path ->
+      let st = Pmo2.Archipelago.init ~seed:3 problem small_config in
+      Pmo2.Archipelago.step_epoch st;
+      Pmo2.Archipelago.save st path;
+      (* Same file, different problem: refused. *)
+      Alcotest.(check bool) "wrong problem refused" true
+        (match Pmo2.Archipelago.load Moo.Benchmarks.schaffer small_config path with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      (* Same file, different island layout: refused. *)
+      Alcotest.(check bool) "wrong island count refused" true
+        (match
+           Pmo2.Archipelago.load problem
+             { small_config with Pmo2.Archipelago.n_islands = 3 }
+             path
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      (* Good load restores counters exactly. *)
+      let st' = Pmo2.Archipelago.load problem small_config path in
+      Alcotest.(check int) "generation counter restored" 10
+        (Pmo2.Archipelago.generations_done st');
+      Alcotest.(check int) "evaluation counter restored"
+        (Pmo2.Archipelago.evaluations st)
+        (Pmo2.Archipelago.evaluations st'))
+
+let test_corrupt_checkpoint_detected () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      Alcotest.(check bool) "bad magic detected" true
+        (match
+           Pmo2.Archipelago.load (Moo.Benchmarks.zdt1 ~n:6) small_config path
+         with
+        | exception Runtime.Checkpoint.Corrupt _ -> true
+        | _ -> false))
+
+(* {1 Precondition validation (must survive -noassert)} *)
+
+let test_invalid_arg_preconditions () =
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  expect_invalid "init: zero islands" (fun () ->
+      Pmo2.Archipelago.init (Moo.Benchmarks.zdt1 ~n:4)
+        { small_config with Pmo2.Archipelago.n_islands = 0 });
+  expect_invalid "init: zero period" (fun () ->
+      Pmo2.Archipelago.init (Moo.Benchmarks.zdt1 ~n:4)
+        { small_config with Pmo2.Archipelago.migration_period = 0 });
+  expect_invalid "init: bad probability" (fun () ->
+      Pmo2.Archipelago.init (Moo.Benchmarks.zdt1 ~n:4)
+        { small_config with Pmo2.Archipelago.migration_prob = 1.5 });
+  expect_invalid "paper_config: bad hint" (fun () ->
+      Pmo2.Archipelago.paper_config ~generations_hint:0);
+  expect_invalid "worst_of: zero trials" (fun () ->
+      let rng = Numerics.Rng.create 1 in
+      Robustness.Screen.worst_of ~rng ~f:(fun x -> x.(0)) ~trials:0 [| 1. |])
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "ode-fallback",
+        [
+          Alcotest.test_case "dopri5 underflows on stiff" `Quick test_dopri5_underflows_on_stiff;
+          Alcotest.test_case "chain rescues stiff" `Quick test_fallback_rescues_stiff;
+          Alcotest.test_case "benign stays tier 1" `Quick test_fallback_prefers_first_tier;
+          Alcotest.test_case "steady_state survives" `Quick test_ode_steady_state_survives_stiffness;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "penalizes exceptions" `Quick test_guard_penalizes_exceptions;
+          Alcotest.test_case "sanitizes non-finite" `Quick test_guard_sanitizes_non_finite;
+          Alcotest.test_case "wraps problems" `Quick test_guard_problem_wrapping;
+          Alcotest.test_case "penalty must be finite" `Quick test_guard_rejects_non_finite_penalty;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "decision is pure" `Quick test_fault_decide_is_pure;
+          Alcotest.test_case "fraction bounds" `Quick test_fault_fraction_bounds;
+          Alcotest.test_case "modes behave" `Quick test_fault_modes_behave;
+        ] );
+      ( "archipelago",
+        [
+          Alcotest.test_case "completes under 5% faults" `Quick test_run_completes_under_faults;
+          Alcotest.test_case "faulted run deterministic" `Slow
+            test_faulted_run_deterministic_parallel_and_sequential;
+          Alcotest.test_case "supervisor absorbs crashes" `Quick
+            test_supervisor_absorbs_island_crash;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "kill and resume bit-for-bit" `Quick test_kill_and_resume_bit_for_bit;
+          Alcotest.test_case "mixed islands resume" `Quick test_resume_spea2_and_mixed_islands;
+          Alcotest.test_case "validation" `Quick test_checkpoint_validation;
+          Alcotest.test_case "corrupt file detected" `Quick test_corrupt_checkpoint_detected;
+        ] );
+      ( "preconditions",
+        [ Alcotest.test_case "invalid_arg everywhere" `Quick test_invalid_arg_preconditions ] );
+    ]
