@@ -1,0 +1,56 @@
+(* Static analysis gate for the robustpath tree.
+
+     robustlint lib bin            # text report, exit 1 on findings
+     robustlint --json lib         # machine-readable
+     robustlint --source-root .. --treat-as-lib test/lint_fixtures
+
+   Reads the .cmt files dune produces; run it from the build context root
+   (the @lint alias does) so compiled locations resolve. *)
+
+open Cmdliner
+
+let run json treat_as_lib source_root dirs =
+  let dirs = match dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let missing = List.filter (fun d -> not (Sys.file_exists d)) dirs in
+  if missing <> [] then begin
+    Printf.eprintf "robustlint: no such directory: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let r = Lint.Driver.run ~force_lib:treat_as_lib ~source_root dirs in
+  if r.Lint.Driver.units = 0 then begin
+    Printf.eprintf
+      "robustlint: no .cmt files under %s — build first (dune build) and run from the \
+       build context root\n"
+      (String.concat " " dirs);
+    exit 2
+  end;
+  if json then Lint.Driver.print_json Format.std_formatter r
+  else Lint.Driver.print_text Format.std_formatter r;
+  if r.Lint.Driver.findings <> [] then exit 1
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a JSON object.")
+
+let treat_as_lib_arg =
+  Arg.(
+    value & flag
+    & info [ "treat-as-lib" ]
+        ~doc:"Apply the library-only rules (R5/R6/R7) to every file regardless of path.")
+
+let source_root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "source-root" ] ~docv:"DIR"
+        ~doc:
+          "Resolve the build-root-relative paths recorded in .cmt files against $(docv) \
+           when scanning for suppression comments.")
+
+let dirs_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
+
+let () =
+  let info =
+    Cmd.info "robustlint" ~version:"1.0.0"
+      ~doc:"Determinism and numerical-safety lint over robustpath's typed trees."
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ json_arg $ treat_as_lib_arg $ source_root_arg $ dirs_arg)))

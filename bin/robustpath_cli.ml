@@ -39,12 +39,15 @@ let resume_arg =
            configuration flags must match the original run; the result is then identical \
            to the uninterrupted run.")
 
-let report_faults telemetry r =
-  let s = Runtime.Guard.stats telemetry in
-  if Runtime.Guard.failures s > 0 then
-    Printf.printf "guarded evaluations: %d penalized (%d raised, %d non-finite) of %d\n"
-      (Runtime.Guard.failures s) s.Runtime.Guard.exceptions s.Runtime.Guard.non_finite
-      s.Runtime.Guard.evaluations;
+let report_faults r =
+  Array.iteri
+    (fun i s ->
+      if Runtime.Guard.failures s > 0 then
+        Printf.printf "island %d: %d evaluations penalized (%d raised, %d non-finite) of %d\n"
+          i
+          (Runtime.Guard.failures s)
+          s.Runtime.Guard.exceptions s.Runtime.Guard.non_finite s.Runtime.Guard.evaluations)
+    r.Pmo2.Archipelago.guard_stats;
   if r.Pmo2.Archipelago.failures > 0 then
     Printf.printf "island crashes absorbed by the supervisor: %d\n"
       r.Pmo2.Archipelago.failures
@@ -54,7 +57,8 @@ let env_of ~ci ~export =
     match export with
     | "low" -> Photo.Params.low_export
     | "high" -> Photo.Params.high_export
-    | s -> (try float_of_string s with _ -> Photo.Params.low_export)
+    | s -> (
+      match float_of_string_opt s with Some v -> v | None -> Photo.Params.low_export)
   in
   match ci with
   | 165 -> Photo.Params.past ~tp_export
@@ -67,14 +71,14 @@ let photo_cmd =
   let run ci export generations pop seed checkpoint checkpoint_every resume =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
-    let telemetry = Runtime.Guard.create () in
-    let problem = Runtime.Guard.wrap_problem telemetry (Photo.Leaf.problem env) in
+    let problem = Photo.Leaf.problem env in
     let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
     let cfg =
       {
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
         nsga2 = { Ea.Nsga2.default_config with pop_size = pop };
+        guard_penalty = Some 1e12;
       }
     in
     let r =
@@ -93,7 +97,7 @@ let photo_cmd =
         Printf.printf "  uptake %8.3f   nitrogen %10.0f\n" (Photo.Leaf.uptake_of s)
           (Photo.Leaf.nitrogen_of s))
       (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front);
-    report_faults telemetry r
+    report_faults r
   in
   let ci =
     Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (165, 270 or 490 ppm).")
@@ -118,8 +122,7 @@ let geobacter_cmd =
   let run generations pop seed checkpoint checkpoint_every resume =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
-    let telemetry = Runtime.Guard.create () in
-    let problem = Runtime.Guard.wrap_problem telemetry (Fba.Moo_problem.problem g) in
+    let problem = Fba.Moo_problem.problem g in
     let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
     let vary = Fba.Moo_problem.flux_variation g () in
     let cfg =
@@ -127,6 +130,7 @@ let geobacter_cmd =
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
         nsga2 = { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary };
+        guard_penalty = Some 1e12;
       }
     in
     let r =
@@ -142,7 +146,7 @@ let geobacter_cmd =
         Printf.printf "  EP %8.3f   BP %.4f\n" (Fba.Moo_problem.ep_of s)
           (Fba.Moo_problem.bp_of s))
       (Moo.Mine.equally_spaced ~k:8 feasible);
-    report_faults telemetry r
+    report_faults r
   in
   let generations =
     Arg.(value & opt int 60 & info [ "generations" ] ~doc:"Generations per island.")
@@ -155,6 +159,21 @@ let geobacter_cmd =
     Term.(
       const run $ generations $ pop $ seed $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg)
+
+(* {1 inspect} *)
+
+let inspect_cmd =
+  let run path =
+    with_user_errors @@ fun () ->
+    Format.printf "%a@?" Pmo2.Archipelago.pp_info (Pmo2.Archipelago.inspect path)
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT") in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Print a checkpoint's metadata (problem, progress, per-island telemetry) without \
+          resuming it.  Exits 2 on a missing or corrupt file.")
+    Term.(const run $ path)
 
 (* {1 robust} *)
 
@@ -230,7 +249,7 @@ let experiment_cmd =
 
 let list_cmd =
   let run () =
-    print_endline "subcommands: photo, geobacter, robust, experiment, list";
+    print_endline "subcommands: photo, geobacter, robust, inspect, experiment, list";
     print_endline
       "experiments: fig1 fig2 table1 table2 fig3 fig4 local control zhu-check \
        temperature ablate-migration ablate-algorithms ablate-operators ablate-penalty"
@@ -242,4 +261,7 @@ let () =
     Cmd.info "robustpath" ~version:"1.0.0"
       ~doc:"Design of robust metabolic pathways (DAC'11 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ photo_cmd; geobacter_cmd; robust_cmd; experiment_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ photo_cmd; geobacter_cmd; robust_cmd; inspect_cmd; experiment_cmd; list_cmd ]))

@@ -26,8 +26,10 @@ type result = {
 
 let maximize ?(config = default_config) ~generations ~seed ~lower ~upper f =
   let n = Array.length lower in
-  assert (Array.length upper = n && n > 0);
-  assert (config.pop_size >= 4 && config.elites >= 0 && config.elites < config.pop_size);
+  if not (Array.length upper = n && n > 0) then
+    invalid_arg "Ea.Ga.maximize: bounds must be non-empty and of equal length";
+  if not (config.pop_size >= 4 && config.elites >= 0 && config.elites < config.pop_size) then
+    invalid_arg "Ea.Ga.maximize: need pop_size >= 4 and 0 <= elites < pop_size";
   let rng = Numerics.Rng.create seed in
   let pm =
     match config.mutation_prob with Some pm -> pm | None -> 1. /. float_of_int n
@@ -44,7 +46,7 @@ let maximize ?(config = default_config) ~generations ~seed ~lower ~upper f =
   let fit = Array.map eval pop in
   let order () =
     let idx = Array.init config.pop_size (fun i -> i) in
-    Array.sort (fun a b -> compare fit.(b) fit.(a)) idx;
+    Array.sort (fun a b -> Float.compare fit.(b) fit.(a)) idx;
     idx
   in
   let history = ref [] in

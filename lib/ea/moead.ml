@@ -64,8 +64,9 @@ let update_ideal st s =
     s.Moo.Solution.f
 
 let init problem config rng =
-  assert (config.pop_size >= 4);
-  assert (config.neighbors >= 2 && config.neighbors <= config.pop_size);
+  if config.pop_size < 4 then invalid_arg "Ea.Moead.init: need pop_size >= 4";
+  if not (config.neighbors >= 2 && config.neighbors <= config.pop_size) then
+    invalid_arg "Ea.Moead.init: need 2 <= neighbors <= pop_size";
   let weights =
     Moo.Scalarize.uniform_weights ~n:config.pop_size ~n_obj:problem.Moo.Problem.n_obj
   in
@@ -73,7 +74,7 @@ let init problem config rng =
   let neighborhoods =
     Array.init config.pop_size (fun i ->
         let order = Array.init config.pop_size (fun j -> j) in
-        Array.sort (fun a b -> compare (dist i a) (dist i b)) order;
+        Array.sort (fun a b -> Float.compare (dist i a) (dist i b)) order;
         Array.sub order 0 config.neighbors)
   in
   let pop =

@@ -86,7 +86,9 @@ let crowding_distance pop ranks r =
     let n_obj = Array.length pop.(members.(0)).Moo.Solution.f in
     for k = 0 to n_obj - 1 do
       let order = Array.copy members in
-      Array.sort (fun a b -> compare pop.(a).Moo.Solution.f.(k) pop.(b).Moo.Solution.f.(k)) order;
+      Array.sort
+        (fun a b -> Float.compare pop.(a).Moo.Solution.f.(k) pop.(b).Moo.Solution.f.(k))
+        order;
       dist.(order.(0)) <- infinity;
       dist.(order.(m - 1)) <- infinity;
       let fmin = pop.(order.(0)).Moo.Solution.f.(k) in
@@ -114,7 +116,8 @@ let recompute_metrics st =
   st.crowd <- crowd
 
 let init ?(initial = []) problem config rng =
-  assert (config.pop_size >= 4 && config.pop_size mod 2 = 0);
+  if not (config.pop_size >= 4 && config.pop_size mod 2 = 0) then
+    invalid_arg "Ea.Nsga2.init: need an even pop_size >= 4";
   let seeded = Array.of_list initial in
   let pop =
     Array.init config.pop_size (fun i ->
@@ -160,7 +163,7 @@ let environmental_select st pool =
   Array.sort
     (fun a b ->
       if ranks.(a) <> ranks.(b) then compare ranks.(a) ranks.(b)
-      else compare crowd.(b) crowd.(a))
+      else Float.compare crowd.(b) crowd.(a))
     order;
   st.pop <- Array.init st.config.pop_size (fun i -> pool.(order.(i)));
   recompute_metrics st

@@ -4,7 +4,8 @@ let clip lo hi x = Float.min hi (Float.max lo x)
    bound-aware spread factors. *)
 let sbx_crossover ~eta ~prob ~rng ~lower ~upper p1 p2 =
   let n = Array.length p1 in
-  assert (Array.length p2 = n && Array.length lower = n && Array.length upper = n);
+  if not (Array.length p2 = n && Array.length lower = n && Array.length upper = n) then
+    invalid_arg "Ea.Operators.sbx_crossover: parent/bound length mismatch";
   let c1 = Array.copy p1 and c2 = Array.copy p2 in
   if Numerics.Rng.bernoulli rng prob then
     for i = 0 to n - 1 do
@@ -42,7 +43,8 @@ let sbx_crossover ~eta ~prob ~rng ~lower ~upper p1 p2 =
 
 let polynomial_mutation ~eta ~prob ~rng ~lower ~upper x =
   let n = Array.length x in
-  assert (Array.length lower = n && Array.length upper = n);
+  if not (Array.length lower = n && Array.length upper = n) then
+    invalid_arg "Ea.Operators.polynomial_mutation: bound length mismatch";
   let y = Array.copy x in
   for i = 0 to n - 1 do
     if Numerics.Rng.bernoulli rng prob then begin

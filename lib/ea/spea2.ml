@@ -63,7 +63,7 @@ let fitness set =
             incr idx
           end
         done;
-        Array.sort compare dists;
+        Array.sort Float.compare dists;
         let sigma_k = dists.(Stdlib.min (k - 1) (n - 2)) in
         raw.(i) +. (1. /. (sigma_k +. 2.))
       end)
@@ -83,7 +83,7 @@ let environmental_select config combined =
   else if Array.length nd < target then begin
     (* Fill with the best dominated solutions by fitness. *)
     let order = Array.init (Array.length combined) (fun i -> i) in
-    Array.sort (fun a b -> compare fit.(a) fit.(b)) order;
+    Array.sort (fun a b -> Float.compare fit.(a) fit.(b)) order;
     Array.map (fun i -> combined.(i)) (Array.sub order 0 (Stdlib.min target (Array.length combined)))
   end
   else begin
@@ -102,7 +102,7 @@ let environmental_select config combined =
                     let j = if j >= i then j + 1 else j in
                     objective_distance arr.(i) arr.(j))
               in
-              Array.sort compare ds;
+              Array.sort Float.compare ds;
               ds)
         in
         (* Lexicographic comparison of distance vectors: remove the one
@@ -125,7 +125,8 @@ let environmental_select config combined =
   end
 
 let init ?(initial = []) problem config rng =
-  assert (config.pop_size >= 4 && config.archive_size >= 2);
+  if not (config.pop_size >= 4 && config.archive_size >= 2) then
+    invalid_arg "Ea.Spea2.init: need pop_size >= 4 and archive_size >= 2";
   let seeded = Array.of_list initial in
   let pop =
     Array.init config.pop_size (fun i ->

@@ -10,7 +10,10 @@ let compute () =
       let front = Runs.leaf_front ~env in
       let picks = Moo.Mine.equally_spaced ~k:12 front in
       let points =
-        List.sort compare
+        List.sort
+          (fun (ua, na) (ub, nb) ->
+            let c = Float.compare ua ub in
+            if c <> 0 then c else Float.compare na nb)
           (List.map (fun s -> (Photo.Leaf.uptake_of s, Photo.Leaf.nitrogen_of s)) picks)
       in
       { env; points; natural = Photo.Leaf.natural_point env })

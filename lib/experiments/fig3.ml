@@ -24,7 +24,7 @@ let compute () =
     entries
 
 let extremes_vs_interior points =
-  let sorted = List.sort (fun a b -> compare a.uptake b.uptake) points in
+  let sorted = List.sort (fun a b -> Float.compare a.uptake b.uptake) points in
   match sorted with
   | [] | [ _ ] | [ _; _ ] -> (0., 0.)
   | first :: rest ->
@@ -41,7 +41,7 @@ let print () =
   Printf.printf "%10s %12s %8s\n" "Uptake" "Nitrogen" "Yield%%";
   List.iter
     (fun p -> Printf.printf "%10.3f %12.0f %8.1f\n" p.uptake p.nitrogen p.yield_pct)
-    (List.sort (fun a b -> compare a.uptake b.uptake) points);
+    (List.sort (fun a b -> Float.compare a.uptake b.uptake) points);
   let extreme, interior = extremes_vs_interior points in
   Printf.printf
     "Extreme (PRM) mean yield %.1f%% vs best interior yield %.1f%% — the paper's\n\

@@ -45,7 +45,9 @@ let compute () =
   in
   let spread = Moo.Mine.equally_spaced ~k:5 feasible in
   let sorted =
-    List.sort (fun a b -> compare (Fba.Moo_problem.ep_of a) (Fba.Moo_problem.ep_of b)) spread
+    List.sort
+      (fun a b -> Float.compare (Fba.Moo_problem.ep_of a) (Fba.Moo_problem.ep_of b))
+      spread
   in
   let points =
     List.mapi

@@ -16,7 +16,7 @@ let compute () =
            yield_pct = p.Robustness.Screen.yield_pct;
          })
        profile)
-  |> List.sort (fun a b -> compare a.yield_pct b.yield_pct)
+  |> List.sort (fun a b -> Float.compare a.yield_pct b.yield_pct)
 
 let print () =
   Printf.printf "== Local robustness analysis (one enzyme at a time, 200 trials) ==\n";

@@ -65,4 +65,6 @@ let print () =
   List.iter
     (fun (a, pts, rp, gp, vp) ->
       Printf.printf "%-8s %8d %8.3f %8.3f %8.3f\n" a pts rp gp vp)
-    paper
+    paper;
+  let env = Photo.Params.present ~tp_export:Photo.Params.high_export in
+  Format.printf "PMO2 run health: %a@." Runs.pp_faults (Runs.leaf_summary ~env)

@@ -19,7 +19,7 @@ let print () =
   (* Where did the nitrogen go? *)
   let ranked =
     List.sort
-      (fun (_, a) (_, b) -> compare b a)
+      (fun (_, a) (_, b) -> Float.compare b a)
       (Array.to_list (Array.mapi (fun i r -> (i, r)) r.Photo.Fixed_nitrogen.ratios))
   in
   Printf.printf "   biggest increases:";

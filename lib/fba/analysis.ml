@@ -26,7 +26,7 @@ let fba_multi ~t ~objective =
   let obj = Array.make n 0. in
   List.iter
     (fun (j, w) ->
-      assert (0 <= j && j < n);
+      if not (0 <= j && j < n) then invalid_arg "Fba.Analysis: objective reaction out of range";
       obj.(j) <- obj.(j) +. w)
     objective;
   solve_spec (spec_of ~t ~obj)

@@ -45,7 +45,7 @@ let n_core_metabolites = Array.length core_names
 (* Decoy loop modules: deterministic closed cycles that add flux
    dimensions and redundancy without enabling any net conversion. *)
 let decoy_plan rng n_decoys =
-  assert (n_decoys >= 2);
+  if n_decoys < 2 then invalid_arg "Fba.Geobacter.decoy_plan: need n_decoys >= 2";
   let plan = ref [] in
   let remaining = ref n_decoys in
   let module_id = ref 0 in
@@ -117,7 +117,8 @@ let build ?(seed = 2011) () =
      leak that dissipates surplus ATP. *)
   let atpm = add "ATPM" [ (m_atp, -1.) ] atp_maintenance atp_maintenance in
   let _ = add "LEAK" [ (m_atp, -1.) ] 0. 1000. in
-  assert (Network.n_reactions net = n_core_reactions);
+  if Network.n_reactions net <> n_core_reactions then
+    invalid_arg "Fba.Geobacter: core reaction count drifted from the published layout";
   (* Decoy loop modules *)
   let next_met = ref n_core_metabolites in
   List.iter
@@ -137,6 +138,8 @@ let build ?(seed = 2011) () =
              lb cap)
       done)
     plan;
-  assert (Network.n_reactions net = target_reactions);
-  assert (!next_met = Array.length metabolites);
+  if Network.n_reactions net <> target_reactions then
+    invalid_arg "Fba.Geobacter: decoy construction produced an unexpected reaction count";
+  if !next_met <> Array.length metabolites then
+    invalid_arg "Fba.Geobacter: decoy construction left unused metabolite slots";
   { net; ep; bp; atpm; ex_acetate }

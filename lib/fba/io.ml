@@ -5,6 +5,7 @@ let float_to_string v =
   else Printf.sprintf "%.17g" v
 
 let bound_to_string v =
+  (* robustlint: allow R1 — the ±infinity sentinels are exact values, not computed floats *)
   if v = infinity then "inf" else if v = neg_infinity then "-inf" else float_to_string v
 
 let to_string net =
@@ -19,7 +20,7 @@ let to_string net =
     let terms =
       List.map
         (fun (i, c) -> Printf.sprintf "%s*%s" (float_to_string c) names.(i))
-        (List.sort compare r.Network.stoich)
+        (List.sort (fun (i, _) (j, _) -> compare i j) r.Network.stoich)
     in
     Buffer.add_string buf
       (Printf.sprintf "reaction %s %s %s %s\n" r.Network.name

@@ -6,7 +6,7 @@ type knockout = {
 
 let with_biomass_floor ~t ~biomass ~min_biomass f =
   let lb, ub = (Network.bounds t).(biomass) in
-  assert (min_biomass <= ub);
+  if min_biomass > ub then invalid_arg "Fba.Knockout: biomass floor exceeds its upper bound";
   Network.set_bounds t biomass (Float.max lb min_biomass) ub;
   let restore () = Network.set_bounds t biomass lb ub in
   match f () with
@@ -37,17 +37,25 @@ let baseline ~t ~target ~biomass ~min_biomass =
   | None -> invalid_arg "Knockout.baseline: wild type infeasible under biomass floor"
 
 let ranked results =
-  List.sort (fun a b -> compare b.target_flux a.target_flux) results
+  List.sort (fun a b -> Float.compare b.target_flux a.target_flux) results
 
 let single ~t ~target ~biomass ~min_biomass ~candidates =
-  List.iter (fun j -> assert (j <> target && j <> biomass)) candidates;
+  List.iter
+    (fun j ->
+      if j = target || j = biomass then
+        invalid_arg "Fba.Knockout: candidates must exclude the target and biomass reactions")
+    candidates;
   ranked
     (List.filter_map
        (fun j -> solve_with_removed ~t ~target ~biomass ~min_biomass [ j ])
        candidates)
 
 let pairs ~t ~target ~biomass ~min_biomass ~candidates =
-  List.iter (fun j -> assert (j <> target && j <> biomass)) candidates;
+  List.iter
+    (fun j ->
+      if j = target || j = biomass then
+        invalid_arg "Fba.Knockout: candidates must exclude the target and biomass reactions")
+    candidates;
   let rec all_pairs = function
     | [] -> []
     | x :: rest -> List.map (fun y -> [ x; y ]) rest @ all_pairs rest

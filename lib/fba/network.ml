@@ -14,7 +14,7 @@ type t = {
 }
 
 let create ~metabolites () =
-  assert (Array.length metabolites > 0);
+  if Array.length metabolites = 0 then invalid_arg "Fba.Network.create: no metabolites";
   {
     metabolites;
     reactions = Array.make 16 { name = ""; stoich = []; lb = 0.; ub = 0. };
@@ -28,9 +28,14 @@ let n_reactions net = net.n
 let metabolite_names net = net.metabolites
 
 let add_reaction net ~name ~stoich ~lb ~ub =
-  assert (lb <= ub);
-  assert (not (Hashtbl.mem net.index name));
-  List.iter (fun (i, _) -> assert (0 <= i && i < n_metabolites net)) stoich;
+  if not (lb <= ub) then invalid_arg "Fba.Network.add_reaction: lb must not exceed ub";
+  if Hashtbl.mem net.index name then
+    invalid_arg ("Fba.Network.add_reaction: duplicate reaction " ^ name);
+  List.iter
+    (fun (i, _) ->
+      if not (0 <= i && i < n_metabolites net) then
+        invalid_arg "Fba.Network.add_reaction: metabolite index out of range")
+    stoich;
   if net.n = Array.length net.reactions then begin
     let bigger = Array.make (2 * net.n) net.reactions.(0) in
     Array.blit net.reactions 0 bigger 0 net.n;
@@ -43,7 +48,7 @@ let add_reaction net ~name ~stoich ~lb ~ub =
   net.n - 1
 
 let reaction net j =
-  assert (0 <= j && j < net.n);
+  if not (0 <= j && j < net.n) then invalid_arg "Fba.Network.reaction: index out of range";
   net.reactions.(j)
 
 let reaction_index net name = Hashtbl.find net.index name
@@ -51,8 +56,8 @@ let reaction_index net name = Hashtbl.find net.index name
 let bounds net = Array.init net.n (fun j -> (net.reactions.(j).lb, net.reactions.(j).ub))
 
 let set_bounds net j lb ub =
-  assert (0 <= j && j < net.n);
-  assert (lb <= ub);
+  if not (0 <= j && j < net.n) then invalid_arg "Fba.Network.set_bounds: index out of range";
+  if not (lb <= ub) then invalid_arg "Fba.Network.set_bounds: lb must not exceed ub";
   net.reactions.(j) <- { (net.reactions.(j)) with lb; ub }
 
 let stoichiometric_matrix net =

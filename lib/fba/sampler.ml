@@ -115,7 +115,7 @@ let step t =
   end
 
 let sample t ~n ?(thin = 5) () =
-  assert (n > 0 && thin >= 1);
+  if not (n > 0 && thin >= 1) then invalid_arg "Fba.Sampler.sample: need n > 0 and thin >= 1";
   List.init n (fun _ ->
       let last = ref t.current in
       for _ = 1 to thin do

@@ -1,0 +1,67 @@
+(* Walk directories for the .cmt files dune leaves under [.*.objs/byte],
+   run the rule checks over each implementation, then apply suppression
+   comments from the corresponding sources. *)
+
+type report = {
+  findings : Finding.t list;
+  suppressed : int;
+  units : int;
+}
+
+let rec collect_cmts acc path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+    Array.fold_left
+      (fun acc entry -> collect_cmts acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+
+let check_cmt rules path =
+  match Cmt_format.read_cmt path with
+  | exception (Sys_error _ | End_of_file | Failure _ | Cmi_format.Error _) ->
+    (* Not a readable cmt for this compiler — stale artifact or foreign
+       file; nothing to check. *)
+    false
+  | { cmt_annots = Cmt_format.Implementation str; _ } ->
+    Rules.check_structure rules str;
+    true
+  | _ -> false
+
+let run ?(force_lib = false) ~source_root dirs =
+  let cmts = List.sort String.compare (List.fold_left collect_cmts [] dirs) in
+  let rules = Rules.create ~force_lib () in
+  let units = List.fold_left (fun n p -> if check_cmt rules p then n + 1 else n) 0 cmts in
+  let sup = Suppress.create ~source_root in
+  let suppressed = ref 0 in
+  let findings =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match Suppress.verdict sup ~file:f.file ~line:f.line f.rule with
+        | Suppress.Suppressed ->
+          incr suppressed;
+          None
+        | Suppress.Active -> Some f
+        | Suppress.Missing_justification ->
+          Some
+            {
+              f with
+              message = f.message ^ " — suppression comment present but lacks a justification";
+            })
+      (Rules.findings rules)
+  in
+  { findings; suppressed = !suppressed; units }
+
+let print_text ppf r =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) r.findings;
+  Format.fprintf ppf "robustlint: %d finding%s over %d unit%s (%d suppressed)@."
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    r.units
+    (if r.units = 1 then "" else "s")
+    r.suppressed
+
+let print_json ppf r =
+  Format.fprintf ppf {|{"findings":[%s],"suppressed":%d,"units":%d}@.|}
+    (String.concat "," (List.map Finding.to_json r.findings))
+    r.suppressed r.units

@@ -1,0 +1,89 @@
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+
+let rule_of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | _ -> None
+
+let rule_doc = function
+  | R1 -> "polymorphic =/<>/compare at a float-containing type"
+  | R2 -> "Stdlib.Random is nondeterministic across runs"
+  | R3 -> "Marshal outside Runtime.Checkpoint"
+  | R4 -> "catch-all exception handler swallows failures"
+  | R5 -> "assert in library code"
+  | R6 -> "module-toplevel mutable state in library code"
+  | R7 -> "Hashtbl.iter/fold has unspecified iteration order"
+
+let hint = function
+  | R1 ->
+    "compare with a tolerance (|a - b| <= eps), or Float.equal/Float.compare where exact \
+     semantics are intended (suppress with a justification)"
+  | R2 -> "draw from Numerics.Rng (explicit, seedable, splittable stream)"
+  | R3 -> "go through Runtime.Checkpoint.save/load (magic + atomic rename)"
+  | R4 ->
+    "match the specific exceptions, re-raise, or route through Runtime.Guard so the \
+     failure is counted"
+  | R5 -> "raise Invalid_argument via invalid_arg so callers can rely on the check"
+  | R6 -> "pass state explicitly, or synchronize (Mutex/Atomic) and suppress with a justification"
+  | R7 -> "sort keys first, fold into an order-insensitive value, or justify why order cannot leak"
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_by_loc a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s@,    hint: %s" f.file f.line f.col (rule_id f.rule)
+    f.message (hint f.rule)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s\n    hint: %s" f.file f.line f.col (rule_id f.rule)
+    f.message (hint f.rule)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s","hint":"%s"}|}
+    (rule_id f.rule) (json_escape f.file) f.line f.col (json_escape f.message)
+    (json_escape (hint f.rule))

@@ -1,0 +1,45 @@
+(** Lint findings: a rule violation anchored to a source location.
+
+    The rule set is specific to this codebase's determinism and
+    numerical-safety conventions (see README "Static analysis"):
+
+    - R1: polymorphic [=]/[<>]/[compare] at a float-containing type
+    - R2: [Stdlib.Random] (only [Numerics.Rng] is deterministic)
+    - R3: [Marshal] outside [Runtime.Checkpoint]
+    - R4: exception-swallowing catch-all outside [Runtime.Guard]
+    - R5: [assert] in library code (must be [invalid_arg])
+    - R6: module-toplevel mutable state in library code
+    - R7: [Hashtbl.iter]/[fold] (unspecified iteration order) *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** ["R1"] .. ["R7"]. *)
+
+val rule_of_id : string -> rule option
+
+val rule_doc : rule -> string
+(** One-line description of what the rule forbids. *)
+
+val hint : rule -> string
+(** One-line fix hint attached to every finding of the rule. *)
+
+type t = {
+  rule : rule;
+  file : string;  (** path as recorded by the compiler, relative to the build root *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based *)
+  message : string;
+}
+
+val compare_by_loc : t -> t -> int
+(** Order by (file, line, col, rule) for stable reports. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** One finding as a JSON object (rule, file, line, col, message, hint). *)

@@ -1,0 +1,93 @@
+(* A suppression is a comment of the form
+
+     (* robustlint: allow R4 — supervisor catch-all: crashes are retried *)
+
+   on the offending line or the line directly above it.  The text after
+   the rule id is the justification; it is mandatory — an allow without a
+   justification does not suppress (the driver reports it instead). *)
+
+type verdict = Active | Suppressed | Missing_justification
+
+let marker = "robustlint: allow R"
+
+(* Parse [line] for a suppression of [rule].  [None] when the line carries
+   no marker for that rule; [Some justified] otherwise. *)
+let parse_line line rule =
+  let rec find from =
+    match String.index_from_opt line from 'r' with
+    | None -> None
+    | Some i ->
+      let n = String.length marker in
+      if i + n <= String.length line && String.sub line i n = marker then Some (i + n)
+      else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some digit_at ->
+    let len = String.length line in
+    let stop = ref digit_at in
+    while !stop < len && line.[!stop] >= '0' && line.[!stop] <= '9' do
+      incr stop
+    done;
+    let id = "R" ^ String.sub line digit_at (!stop - digit_at) in
+    if Finding.rule_of_id id <> Some rule then None
+    else begin
+      (* Justification: what remains once the comment closer and leading
+         separators (dash, em-dash, colon) are stripped. *)
+      let rest = String.sub line !stop (len - !stop) in
+      let rest =
+        match String.index_opt rest '*' with
+        | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' -> String.sub rest 0 j
+        | _ -> rest
+      in
+      let justified =
+        String.exists
+          (fun c ->
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+          rest
+      in
+      Some justified
+    end
+
+type t = {
+  source_root : string;
+  mutable files : (string * string array option) list; (* path -> lines, once read *)
+}
+
+let create ~source_root = { source_root; files = [] }
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        Some (Array.of_list (List.rev !acc)))
+
+let lines t file =
+  match List.assoc_opt file t.files with
+  | Some v -> v
+  | None ->
+    let v = read_lines (Filename.concat t.source_root file) in
+    t.files <- (file, v) :: t.files;
+    v
+
+let verdict t ~file ~line rule =
+  match lines t file with
+  | None -> Active
+  | Some ls ->
+    let at i =
+      if i >= 1 && i <= Array.length ls then parse_line ls.(i - 1) rule else None
+    in
+    let combined = match at line with None -> at (line - 1) | v -> v in
+    (match combined with
+    | None -> Active
+    | Some true -> Suppressed
+    | Some false -> Missing_justification)

@@ -1,0 +1,26 @@
+(** Suppression comments.
+
+    [(* robustlint: allow R<k> — justification *)] on the offending line
+    or the line directly above silences rule [R<k>] at that location.
+    The justification text is mandatory: an [allow] without one does not
+    suppress — the driver reports it as a finding in its own right, so
+    every suppression in the tree documents {e why} the rule is safe to
+    break there. *)
+
+type verdict =
+  | Active                 (** no suppression: report the finding *)
+  | Suppressed             (** justified allow comment found *)
+  | Missing_justification  (** allow comment found, but no reason given *)
+
+type t
+
+val create : source_root:string -> t
+(** Reads source files lazily, resolving the relative paths recorded in
+    compiled artifacts against [source_root]. *)
+
+val verdict : t -> file:string -> line:int -> Finding.rule -> verdict
+(** Unreadable files yield [Active] (never silently suppress). *)
+
+val parse_line : string -> Finding.rule -> bool option
+(** [parse_line line rule] is [None] when [line] has no allow comment for
+    [rule], [Some justified] otherwise.  Exposed for tests. *)

@@ -15,7 +15,7 @@ type t = {
 }
 
 let make ?(sense = Maximize) ~n_vars () =
-  assert (n_vars > 0);
+  if n_vars <= 0 then invalid_arg "Lp.Problem.make: n_vars must be positive";
   {
     sense;
     n = n_vars;
@@ -29,17 +29,20 @@ let make ?(sense = Maximize) ~n_vars () =
 let n_vars p = p.n
 
 let set_objective p j c =
-  assert (0 <= j && j < p.n);
+  if not (0 <= j && j < p.n) then invalid_arg "Lp.Problem.set_objective: variable out of range";
   p.obj.(j) <- c
 
 let set_bounds p j lo up =
-  assert (0 <= j && j < p.n);
-  assert (lo <= up);
+  if not (0 <= j && j < p.n) then invalid_arg "Lp.Problem.set_bounds: variable out of range";
+  if not (lo <= up) then invalid_arg "Lp.Problem.set_bounds: empty interval";
   p.lo.(j) <- lo;
   p.up.(j) <- up
 
 let add_row p coeffs cmp rhs =
-  List.iter (fun (j, _) -> assert (0 <= j && j < p.n)) coeffs;
+  List.iter
+    (fun (j, _) ->
+      if not (0 <= j && j < p.n) then invalid_arg "Lp.Problem.add_row: variable out of range")
+    coeffs;
   p.rows <- { coeffs; cmp; rhs } :: p.rows;
   p.n_rows <- p.n_rows + 1
 

@@ -40,6 +40,7 @@ let binv_times_col st col =
   let w = Array.make st.m 0. in
   List.iter
     (fun (i, v) ->
+      (* robustlint: allow R1 — exact-zero sparsity skip over stored coefficients *)
       if v <> 0. then
         for r = 0 to st.m - 1 do
           w.(r) <- w.(r) +. (Numerics.Matrix.get st.binv r i *. v)
@@ -56,6 +57,7 @@ let recompute_basics st =
     | Basic -> ()
     | At_lower | At_upper | Free_nb ->
       let xj = st.x.(j) in
+      (* robustlint: allow R1 — exact-zero sparsity skip *)
       if xj <> 0. then List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. xj)) st.cols.(j)
   done;
   for r = 0 to st.m - 1 do
@@ -179,6 +181,7 @@ let optimize ?(max_iter = 50_000) st c =
           end
         end
       done;
+      (* robustlint: allow R1 — t_best stays exactly infinity iff no ratio bound was found *)
       if !t_best = infinity then result := Some `Unbounded
       else begin
         let t = !t_best in
@@ -194,6 +197,7 @@ let optimize ?(max_iter = 50_000) st c =
           (* Update the basis inverse by the eta pivot on row r. *)
           let wr = w.(r) in
           for i = 0 to st.m - 1 do
+            (* robustlint: allow R1 — exact-zero sparsity skip in the pivot update *)
             if i <> r && w.(i) <> 0. then begin
               let factor = w.(i) /. wr in
               for cidx = 0 to st.m - 1 do
@@ -231,8 +235,9 @@ let optimize ?(max_iter = 50_000) st c =
 let solve ?(max_iter = 50_000) spec =
   let m = spec.n_rows in
   let n = Array.length spec.cols in
-  assert (Array.length spec.rhs = m);
-  assert (Array.length spec.obj = n && Array.length spec.lo = n && Array.length spec.up = n);
+  if Array.length spec.rhs <> m then invalid_arg "Simplex.solve: rhs length mismatch";
+  if not (Array.length spec.obj = n && Array.length spec.lo = n && Array.length spec.up = n)
+  then invalid_arg "Simplex.solve: obj/lo/up length mismatch";
   let n_total = n + m in
   let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
   let up = Array.append (Array.copy spec.up) (Array.make m infinity) in
@@ -240,7 +245,7 @@ let solve ?(max_iter = 50_000) spec =
   let x = Array.make n_total 0. in
   (* Start every structural variable at its bound nearest zero. *)
   for j = 0 to n - 1 do
-    assert (lo.(j) <= up.(j));
+    if not (lo.(j) <= up.(j)) then invalid_arg "Simplex.solve: empty variable bound";
     if lo.(j) > neg_infinity && 0. <= lo.(j) then begin
       x.(j) <- lo.(j);
       status.(j) <- At_lower
@@ -267,6 +272,7 @@ let solve ?(max_iter = 50_000) spec =
   (* Residual determines the artificial columns' signs. *)
   let resid = Array.copy spec.rhs in
   for j = 0 to n - 1 do
+    (* robustlint: allow R1 — exact-zero sparsity skip while building the residual *)
     if x.(j) <> 0. then
       List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. x.(j))) spec.cols.(j)
   done;

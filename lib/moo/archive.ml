@@ -1,7 +1,9 @@
 type t = { mutable members : Solution.t list; capacity : int option }
 
 let create ?capacity () =
-  (match capacity with Some c -> assert (c > 0) | None -> ());
+  (match capacity with
+  | Some c -> if c <= 0 then invalid_arg "Archive.create: capacity must be positive"
+  | None -> ());
   { members = []; capacity }
 
 let size a = List.length a.members
@@ -17,7 +19,7 @@ let crowding arr =
     let n_obj = Array.length arr.(0).Solution.f in
     let order = Array.init n (fun i -> i) in
     for k = 0 to n_obj - 1 do
-      Array.sort (fun i j -> compare arr.(i).Solution.f.(k) arr.(j).Solution.f.(k)) order;
+      Array.sort (fun i j -> Float.compare arr.(i).Solution.f.(k) arr.(j).Solution.f.(k)) order;
       let fmin = arr.(order.(0)).Solution.f.(k) in
       let fmax = arr.(order.(n - 1)).Solution.f.(k) in
       let span = fmax -. fmin in

@@ -7,7 +7,7 @@ let zdt_g x n =
   1. +. (9. *. Array.fold_left ( +. ) 0. tail /. float_of_int (n - 1))
 
 let zdt1 ~n =
-  assert (n >= 2);
+  if n < 2 then invalid_arg "Benchmarks.zdt1: need n >= 2";
   Problem.make ~name:"zdt1" ~n_obj:2 ~lower:(Array.make n 0.) ~upper:(Array.make n 1.)
     (fun x ->
       let f1 = x.(0) in
@@ -15,7 +15,7 @@ let zdt1 ~n =
       [| f1; g *. (1. -. sqrt (f1 /. g)) |])
 
 let zdt2 ~n =
-  assert (n >= 2);
+  if n < 2 then invalid_arg "Benchmarks.zdt2: need n >= 2";
   Problem.make ~name:"zdt2" ~n_obj:2 ~lower:(Array.make n 0.) ~upper:(Array.make n 1.)
     (fun x ->
       let f1 = x.(0) in
@@ -23,7 +23,7 @@ let zdt2 ~n =
       [| f1; g *. (1. -. ((f1 /. g) ** 2.)) |])
 
 let zdt3 ~n =
-  assert (n >= 2);
+  if n < 2 then invalid_arg "Benchmarks.zdt3: need n >= 2";
   Problem.make ~name:"zdt3" ~n_obj:2 ~lower:(Array.make n 0.) ~upper:(Array.make n 1.)
     (fun x ->
       let f1 = x.(0) in
@@ -32,7 +32,8 @@ let zdt3 ~n =
       [| f1; g *. (1. -. sqrt r -. (r *. sin (10. *. Float.pi *. f1))) |])
 
 let dtlz2 ~n ~n_obj =
-  assert (n >= n_obj && n_obj >= 2);
+  if not (n >= n_obj && n_obj >= 2) then
+    invalid_arg "Benchmarks.dtlz2: need n >= n_obj >= 2";
   let k = n - n_obj + 1 in
   Problem.make ~name:"dtlz2" ~n_obj ~lower:(Array.make n 0.) ~upper:(Array.make n 1.)
     (fun x ->
@@ -70,13 +71,13 @@ let constrained_schaffer =
     (fun x -> [| x.(0) ** 2.; (x.(0) -. 2.) ** 2. |])
 
 let true_front_zdt1 ~k =
-  assert (k >= 2);
+  if k < 2 then invalid_arg "Benchmarks.true_front_zdt1: need k >= 2";
   List.init k (fun i ->
       let f1 = float_of_int i /. float_of_int (k - 1) in
       [| f1; 1. -. sqrt f1 |])
 
 let true_front_zdt2 ~k =
-  assert (k >= 2);
+  if k < 2 then invalid_arg "Benchmarks.true_front_zdt2: need k >= 2";
   List.init k (fun i ->
       let f1 = float_of_int i /. float_of_int (k - 1) in
       [| f1; 1. -. (f1 ** 2.) |])

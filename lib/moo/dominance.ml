@@ -1,7 +1,8 @@
 type relation = Dominates | Dominated | Incomparable | Equal
 
 let compare_objectives fa fb =
-  assert (Array.length fa = Array.length fb);
+  if Array.length fa <> Array.length fb then
+    invalid_arg "Dominance.compare_objectives: objective count mismatch";
   let a_better = ref false and b_better = ref false in
   Array.iteri
     (fun i x ->

@@ -7,7 +7,7 @@ let hv2d r points =
   (* Non-dominated points sorted by f0 ascending have f1 strictly
      descending; sweep accumulating the staircase area. *)
   let pts = Dominance.non_dominated_objectives points in
-  let pts = List.sort (fun a b -> compare a.(0) b.(0)) pts in
+  let pts = List.sort (fun a b -> Float.compare a.(0) b.(0)) pts in
   let acc = ref 0. in
   let prev_y = ref r.(1) in
   List.iter
@@ -55,7 +55,7 @@ let compute ~ref_point points =
   let pts =
     List.filter
       (fun f ->
-        assert (Array.length f = d);
+        if Array.length f <> d then invalid_arg "Hypervolume.compute: dimension mismatch";
         strictly_dominates_ref ref_point f)
       points
   in
@@ -66,9 +66,12 @@ let of_solutions ~ref_point sols =
 
 let normalized ~ref_point ~ideal points =
   let d = Array.length ref_point in
-  assert (Array.length ideal = d);
+  if Array.length ideal <> d then invalid_arg "Hypervolume.normalized: dimension mismatch";
   let span = Array.init d (fun i -> ref_point.(i) -. ideal.(i)) in
-  Array.iter (fun s -> assert (s > 0.)) span;
+  Array.iter
+    (fun s ->
+      if not (s > 0.) then invalid_arg "Hypervolume.normalized: ref_point must dominate ideal")
+    span;
   let rescale f = Array.init d (fun i -> (f.(i) -. ideal.(i)) /. span.(i)) in
   compute ~ref_point:(Array.make d 1.) (List.map rescale points)
 

@@ -56,12 +56,12 @@ let shadow_minima front =
           (List.hd front) front)
 
 let equally_spaced ~k front =
-  assert (k > 0);
+  if k <= 0 then invalid_arg "Mine.equally_spaced: k must be positive";
   let arr = Array.of_list front in
   let n = Array.length arr in
   if n <= k then front
   else begin
-    Array.sort (fun a b -> compare a.Solution.f.(0) b.Solution.f.(0)) arr;
+    Array.sort (fun a b -> Float.compare a.Solution.f.(0) b.Solution.f.(0)) arr;
     let ideal = ideal_point front and nadir = nadir_point front in
     let d = Array.length ideal in
     let span =
@@ -117,7 +117,7 @@ let knee front =
     if Array.length s0.Solution.f <> 2 then invalid_arg "Mine.knee: 2 objectives only";
     let norm = normalized_objectives front in
     (* Extremes of the normalized front along objective 0. *)
-    let by_f0 = List.sort (fun a b -> compare a.Solution.f.(0) b.Solution.f.(0)) front in
+    let by_f0 = List.sort (fun a b -> Float.compare a.Solution.f.(0) b.Solution.f.(0)) front in
     let a = norm (List.hd by_f0) in
     let b = norm (List.nth by_f0 (List.length by_f0 - 1)) in
     let ab = Numerics.Vec.sub b a in

@@ -10,14 +10,17 @@ type t = {
 
 let make ?violation ~name ~n_obj ~lower ~upper eval =
   let n_var = Array.length lower in
-  assert (n_var > 0);
-  assert (Array.length upper = n_var);
-  Array.iteri (fun i lo -> assert (lo <= upper.(i))) lower;
-  assert (n_obj >= 1);
+  if n_var = 0 then invalid_arg "Problem.make: no variables";
+  if Array.length upper <> n_var then invalid_arg "Problem.make: bound length mismatch";
+  Array.iteri
+    (fun i lo ->
+      if not (lo <= upper.(i)) then invalid_arg "Problem.make: lower bound above upper")
+    lower;
+  if n_obj < 1 then invalid_arg "Problem.make: need at least one objective";
   { name; n_var; n_obj; lower; upper; eval; violation }
 
 let clip p x =
-  assert (Array.length x = p.n_var);
+  if Array.length x <> p.n_var then invalid_arg "Problem.clip: variable count mismatch";
   Array.mapi (fun i xi -> Float.min p.upper.(i) (Float.max p.lower.(i) xi)) x
 
 let random_solution p rng =

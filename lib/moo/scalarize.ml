@@ -1,11 +1,12 @@
 let weighted_sum ~w f =
-  assert (Array.length w = Array.length f);
+  if Array.length w <> Array.length f then invalid_arg "Scalarize.weighted_sum: length mismatch";
   let acc = ref 0. in
   Array.iteri (fun i wi -> acc := !acc +. (wi *. f.(i))) w;
   !acc
 
 let tchebycheff ~w ~z f =
-  assert (Array.length w = Array.length f && Array.length z = Array.length f);
+  if not (Array.length w = Array.length f && Array.length z = Array.length f) then
+    invalid_arg "Scalarize.tchebycheff: length mismatch";
   let acc = ref neg_infinity in
   Array.iteri
     (fun i wi ->
@@ -25,7 +26,8 @@ let rec compositions total n_obj =
       (List.init (total + 1) (fun i -> i))
 
 let uniform_weights ~n ~n_obj =
-  assert (n > 0 && n_obj >= 2);
+  if not (n > 0 && n_obj >= 2) then
+    invalid_arg "Scalarize.uniform_weights: need n > 0 and n_obj >= 2";
   if n_obj = 2 then
     Array.init n (fun i ->
         let t = if n = 1 then 0.5 else float_of_int i /. float_of_int (n - 1) in

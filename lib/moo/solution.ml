@@ -3,7 +3,8 @@ type t = { x : float array; f : float array; v : float }
 let evaluate p x =
   let x = Problem.clip p x in
   let f = p.Problem.eval x in
-  assert (Array.length f = p.Problem.n_obj);
+  if Array.length f <> p.Problem.n_obj then
+    invalid_arg "Solution.evaluate: objective vector has the wrong arity";
   { x; f; v = Problem.violation_of p x }
 
 let feasible s = s.v <= 0.

@@ -6,7 +6,7 @@ let pivot_tolerance = 1e-13
 
 let factor a =
   let n = Matrix.rows a in
-  assert (n = Matrix.cols a);
+  if n <> Matrix.cols a then invalid_arg "Lu.factor: matrix must be square";
   let lu = Matrix.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1. in
@@ -33,6 +33,7 @@ let factor a =
     for i = k + 1 to n - 1 do
       let m = Matrix.get lu i k /. pivval in
       Matrix.set lu i k m;
+      (* robustlint: allow R1 — exact-zero sparsity skip on the multiplier row *)
       if m <> 0. then
         for j = k + 1 to n - 1 do
           Matrix.set lu i j (Matrix.get lu i j -. (m *. Matrix.get lu k j))
@@ -43,7 +44,7 @@ let factor a =
 
 let solve { lu; perm; _ } b =
   let n = Matrix.rows lu in
-  assert (Array.length b = n);
+  if Array.length b <> n then invalid_arg "Lu.solve: rhs length mismatch";
   let x = Array.init n (fun i -> b.(perm.(i))) in
   (* Forward substitution with unit lower triangle. *)
   for i = 1 to n - 1 do

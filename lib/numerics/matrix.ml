@@ -1,7 +1,7 @@
 type t = { r : int; c : int; a : float array }
 
 let make r c x =
-  assert (r >= 0 && c >= 0);
+  if not (r >= 0 && c >= 0) then invalid_arg "Matrix.make: negative dimension";
   { r; c; a = Array.make (r * c) x }
 
 let init r c f =
@@ -13,9 +13,12 @@ let identity n = init n n (fun i j -> if i = j then 1. else 0.)
 
 let of_arrays rows_ =
   let r = Array.length rows_ in
-  assert (r > 0);
+  if r = 0 then invalid_arg "Matrix.of_arrays: no rows";
   let c = Array.length rows_.(0) in
-  Array.iter (fun row -> assert (Array.length row = c)) rows_;
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged rows")
+    rows_;
   init r c (fun i j -> rows_.(i).(j))
 
 let to_arrays m = Array.init m.r (fun i -> Array.sub m.a (i * m.c) m.c)
@@ -26,11 +29,13 @@ let rows m = m.r
 let cols m = m.c
 
 let get m i j =
-  assert (0 <= i && i < m.r && 0 <= j && j < m.c);
+  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
+    invalid_arg "Matrix.get: index out of bounds";
   Array.unsafe_get m.a ((i * m.c) + j)
 
 let set m i j x =
-  assert (0 <= i && i < m.r && 0 <= j && j < m.c);
+  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
+    invalid_arg "Matrix.set: index out of bounds";
   Array.unsafe_set m.a ((i * m.c) + j) x
 
 let row m i = Array.sub m.a (i * m.c) m.c
@@ -38,7 +43,7 @@ let row m i = Array.sub m.a (i * m.c) m.c
 let col m j = Array.init m.r (fun i -> get m i j)
 
 let set_row m i v =
-  assert (Array.length v = m.c);
+  if Array.length v <> m.c then invalid_arg "Matrix.set_row: length mismatch";
   Array.blit v 0 m.a (i * m.c) m.c
 
 let swap_rows m i j =
@@ -52,21 +57,22 @@ let swap_rows m i j =
 let transpose m = init m.c m.r (fun i j -> get m j i)
 
 let add m n =
-  assert (m.r = n.r && m.c = n.c);
+  if not (m.r = n.r && m.c = n.c) then invalid_arg "Matrix.add: shape mismatch";
   { m with a = Array.mapi (fun k x -> x +. n.a.(k)) m.a }
 
 let sub m n =
-  assert (m.r = n.r && m.c = n.c);
+  if not (m.r = n.r && m.c = n.c) then invalid_arg "Matrix.sub: shape mismatch";
   { m with a = Array.mapi (fun k x -> x -. n.a.(k)) m.a }
 
 let scale s m = { m with a = Array.map (fun x -> s *. x) m.a }
 
 let matmul m n =
-  assert (m.c = n.r);
+  if m.c <> n.r then invalid_arg "Matrix.matmul: shape mismatch";
   let out = zeros m.r n.c in
   for i = 0 to m.r - 1 do
     for k = 0 to m.c - 1 do
       let mik = get m i k in
+      (* robustlint: allow R1 — exact-zero sparsity skip: any nonzero must multiply *)
       if mik <> 0. then
         for j = 0 to n.c - 1 do
           set out i j (get out i j +. (mik *. get n k j))
@@ -76,7 +82,7 @@ let matmul m n =
   out
 
 let mv m x =
-  assert (Array.length x = m.c);
+  if Array.length x <> m.c then invalid_arg "Matrix.mv: length mismatch";
   Array.init m.r (fun i ->
       let acc = ref 0. in
       for j = 0 to m.c - 1 do
@@ -85,10 +91,11 @@ let mv m x =
       !acc)
 
 let tmv m x =
-  assert (Array.length x = m.r);
+  if Array.length x <> m.r then invalid_arg "Matrix.tmv: length mismatch";
   let out = Array.make m.c 0. in
   for i = 0 to m.r - 1 do
     let xi = x.(i) in
+    (* robustlint: allow R1 — exact-zero sparsity skip: any nonzero must multiply *)
     if xi <> 0. then
       for j = 0 to m.c - 1 do
         out.(j) <- out.(j) +. (Array.unsafe_get m.a ((i * m.c) + j) *. xi)

@@ -4,7 +4,7 @@ exception Rank_deficient
 
 let factor a =
   let m = Matrix.rows a and n = Matrix.cols a in
-  assert (m >= n);
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
   let v = Matrix.copy a in
   let beta = Array.make n 0. in
   for k = 0 to n - 1 do
@@ -47,9 +47,10 @@ let r { v; n; _ } =
   Matrix.init n n (fun i j -> if j >= i then Matrix.get v i j else 0.)
 
 let qt_apply { v; beta; m; n } b =
-  assert (Array.length b = m);
+  if Array.length b <> m then invalid_arg "Qr.qt_apply: rhs length mismatch";
   let y = Array.copy b in
   for k = 0 to n - 1 do
+    (* robustlint: allow R1 — beta is exactly 0. iff the reflector was never built *)
     if beta.(k) <> 0. then begin
       let s = ref y.(k) in
       for i = k + 1 to m - 1 do

@@ -5,12 +5,13 @@ let primes =
 type t = { bases : int array; mutable index : int }
 
 let create ~dim =
-  assert (dim >= 1 && dim <= Array.length primes);
+  if not (dim >= 1 && dim <= Array.length primes) then
+    invalid_arg "Quasirandom.create: dim must be in 1..25";
   { bases = Array.sub primes 0 dim; index = 0 }
 
 (* Radical inverse of i in the given base. *)
 let halton ~base i =
-  assert (i >= 1 && base >= 2);
+  if not (i >= 1 && base >= 2) then invalid_arg "Quasirandom.halton: need i >= 1 and base >= 2";
   let rec go i f acc =
     if i = 0 then acc
     else
@@ -24,5 +25,5 @@ let next t =
   Array.map (fun base -> halton ~base t.index) t.bases
 
 let skip t n =
-  assert (n >= 0);
+  if n < 0 then invalid_arg "Quasirandom.skip: negative count";
   t.index <- t.index + n

@@ -30,11 +30,11 @@ let float r =
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
 let uniform r lo hi =
-  assert (lo <= hi);
+  if not (lo <= hi) then invalid_arg "Rng.uniform: empty interval";
   lo +. ((hi -. lo) *. float r)
 
 let int r n =
-  assert (n > 0);
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Modulo in Int64 on a non-negative 63-bit draw; the bias is negligible
      for n << 2^63.  (Converting to a native int first could go negative.) *)
   let v = Int64.shift_right_logical (bits64 r) 1 in
@@ -63,11 +63,11 @@ let shuffle r a =
   done
 
 let choose r a =
-  assert (Array.length a > 0);
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
   a.(int r (Array.length a))
 
 let sample_indices r ~n ~k =
-  assert (0 <= k && k <= n);
+  if not (0 <= k && k <= n) then invalid_arg "Rng.sample_indices: need 0 <= k <= n";
   let pool = Array.init n (fun i -> i) in
   for i = 0 to k - 1 do
     let j = i + int r (n - i) in

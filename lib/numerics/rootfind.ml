@@ -3,15 +3,18 @@ exception No_convergence
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let flo = f lo in
   let fhi = f hi in
+  (* robustlint: allow R1 — an endpoint hitting the root exactly ends the search *)
   if flo = 0. then lo
+    (* robustlint: allow R1 — same exact-root early return for the upper endpoint *)
   else if fhi = 0. then hi
   else begin
-    assert (flo *. fhi < 0.);
+    if not (flo *. fhi < 0.) then invalid_arg "Rootfind.bisect: f(lo) and f(hi) must bracket a root";
     let rec go lo hi flo it =
       let mid = 0.5 *. (lo +. hi) in
       if hi -. lo <= tol || it >= max_iter then mid
       else
         let fm = f mid in
+        (* robustlint: allow R1 — exact-root early return at the midpoint *)
         if fm = 0. then mid
         else if flo *. fm < 0. then go lo mid flo (it + 1)
         else go mid hi fm (it + 1)
@@ -27,6 +30,7 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~x0 () =
       if Float.abs fx <= tol then x
       else
         let d = df x in
+        (* robustlint: allow R1 — only an exactly-zero derivative divides by zero *)
         if d = 0. then raise No_convergence
         else go (x -. (fx /. d)) (it + 1)
   in

@@ -1,5 +1,5 @@
 let mean xs =
-  assert (Array.length xs > 0);
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty sample";
   Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
 let variance xs =
@@ -16,11 +16,12 @@ let maximum xs = Array.fold_left Float.max neg_infinity xs
 
 let sorted xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
 
 let quantile xs p =
-  assert (Array.length xs > 0 && p >= 0. && p <= 1.);
+  if not (Array.length xs > 0 && p >= 0. && p <= 1.) then
+    invalid_arg "Stats.quantile: empty sample or p outside [0, 1]";
   let ys = sorted xs in
   let n = Array.length ys in
   if n = 1 then ys.(0)
@@ -60,7 +61,8 @@ let pp_summary ppf s =
     s.n s.mean s.stddev s.min s.q25 s.median s.q75 s.max
 
 let histogram ?(bins = 10) xs =
-  assert (bins > 0 && Array.length xs > 0);
+  if not (bins > 0 && Array.length xs > 0) then
+    invalid_arg "Stats.histogram: empty sample or non-positive bins";
   let lo = minimum xs and hi = maximum xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
   let counts = Array.make bins 0 in
@@ -73,7 +75,8 @@ let histogram ?(bins = 10) xs =
   Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
 
 let pearson xs ys =
-  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  if not (Array.length xs = Array.length ys && Array.length xs > 1) then
+    invalid_arg "Stats.pearson: samples must have equal length > 1";
   let mx = mean xs and my = mean ys in
   let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
   Array.iteri
@@ -83,4 +86,5 @@ let pearson xs ys =
       sxx := !sxx +. (dx *. dx);
       syy := !syy +. (dy *. dy))
     xs;
+  (* robustlint: allow R1 — only exactly-zero variance (constant sample) makes the quotient undefined *)
   if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)

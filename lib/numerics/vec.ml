@@ -6,7 +6,8 @@ let copy = Array.copy
 let zeros n = Array.make n 0.
 let ones n = Array.make n 1.
 
-let check_len x y = assert (Array.length x = Array.length y)
+let check_len x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec: length mismatch"
 
 let add x y =
   check_len x y;

@@ -3,7 +3,7 @@
     Vectors are plain [float array]s so they interoperate with the rest of
     the stdlib; this module only adds the numerical kernels the library
     needs (BLAS-1 style).  All binary operations require equal lengths and
-    assert it. *)
+    raise [Invalid_argument] otherwise. *)
 
 type t = float array
 

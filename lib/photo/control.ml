@@ -5,7 +5,8 @@ type coefficient = {
 }
 
 let flux_control ?kinetics ?(delta = 0.05) ~env ~ratios () =
-  assert (Array.length ratios = Enzyme.count);
+  if Array.length ratios <> Enzyme.count then
+    invalid_arg "Photo.Control.flux_control: one ratio per enzyme required";
   let base = Steady_state.evaluate ?kinetics ~env ~ratios () in
   let warm = base.Steady_state.y in
   let a0 = base.Steady_state.uptake in
@@ -26,7 +27,7 @@ let flux_control ?kinetics ?(delta = 0.05) ~env ~ratios () =
 
 let ranking coeffs =
   List.sort
-    (fun a b -> compare (Float.abs b.control) (Float.abs a.control))
+    (fun a b -> Float.compare (Float.abs b.control) (Float.abs a.control))
     (Array.to_list coeffs)
 
 let summation coeffs = Array.fold_left (fun acc c -> acc +. c.control) 0. coeffs

@@ -37,7 +37,7 @@ let all =
 
 let count = Array.length all
 
-let () = assert (count = 23)
+let () = if count <> 23 then invalid_arg "Photo.Enzyme: the table must list the 23 published enzymes"
 
 let names = Array.map (fun e -> e.name) all
 
@@ -68,11 +68,11 @@ let idx_f26bpase = 22
 let natural_vmax () = Array.map (fun e -> e.vmax_natural) all
 
 let vmax_of_ratios r =
-  assert (Array.length r = count);
+  if Array.length r <> count then invalid_arg "Photo.Enzyme.vmax_of_ratios: one ratio per enzyme";
   Array.mapi (fun i ri -> ri *. all.(i).vmax_natural) r
 
 let raw_nitrogen vmax =
-  assert (Array.length vmax = count);
+  if Array.length vmax <> count then invalid_arg "Photo.Enzyme.raw_nitrogen: one vmax per enzyme";
   let acc = ref 0. in
   Array.iteri
     (fun i v ->

@@ -1,6 +1,8 @@
 let ratios_of_weights ?(kinetics = Params.default) ~target_nitrogen w =
-  assert (Array.length w = Enzyme.count);
-  assert (target_nitrogen > 0.);
+  if Array.length w <> Enzyme.count then
+    invalid_arg "Photo.Fixed_nitrogen.ratios_of_weights: one weight per enzyme";
+  if target_nitrogen <= 0. then
+    invalid_arg "Photo.Fixed_nitrogen.ratios_of_weights: nitrogen budget must be positive";
   (* Nitrogen is linear in the ratios, so a single scale factor enforces
      the budget exactly. *)
   let weights = Array.map (fun wi -> Float.max 1e-6 wi) w in

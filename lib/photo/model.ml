@@ -40,7 +40,8 @@ type fluxes = {
 let mm s km = let s = Float.max 0. s in s /. (s +. km)
 
 let fluxes (k : Params.kinetics) (env : Params.env) ~vmax y =
-  assert (Array.length vmax = Enzyme.count);
+  if Array.length vmax <> Enzyme.count then
+    invalid_arg "Photo.Model.fluxes: one vmax per enzyme";
   let v i = vmax.(i) in
   let pi = State.stromal_pi k y in
   let atp = Float.max 0. y.(State.atp) in

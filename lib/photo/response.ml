@@ -4,7 +4,7 @@ let a_ci_curve ?kinetics ?ratios ~tp_export ~ci_values () =
   let ratios = match ratios with Some r -> r | None -> natural_ratios () in
   List.map
     (fun ci ->
-      assert (ci > 0.);
+      if ci <= 0. then invalid_arg "Photo.Response.a_ci_curve: ci values must be positive";
       let env = { Params.label = Printf.sprintf "ci=%g" ci; ci; tp_export } in
       let r = Steady_state.evaluate ?kinetics ~env ~ratios () in
       (ci, r.Steady_state.uptake))
@@ -14,7 +14,8 @@ let export_response ?kinetics ?ratios ~ci ~export_values () =
   let ratios = match ratios with Some r -> r | None -> natural_ratios () in
   List.map
     (fun tp_export ->
-      assert (tp_export >= 0.);
+      if tp_export < 0. then
+        invalid_arg "Photo.Response.export_response: export values must be non-negative";
       let env = { Params.label = Printf.sprintf "export=%g" tp_export; ci; tp_export } in
       let r = Steady_state.evaluate ?kinetics ~env ~ratios () in
       (tp_export, r.Steady_state.uptake))

@@ -5,7 +5,8 @@ type sample = {
 }
 
 let time_course ?(kinetics = Params.default) ?y0 ~env ~ratios ~t_end ~dt_sample () =
-  assert (t_end > 0. && dt_sample > 0.);
+  if not (t_end > 0. && dt_sample > 0.) then
+    invalid_arg "Photo.Simulate.time_course: t_end and dt_sample must be positive";
   let vmax = Enzyme.vmax_of_ratios ratios in
   let f = Model.rhs kinetics env ~vmax in
   let y0 = match y0 with Some y -> Array.copy y | None -> State.initial () in

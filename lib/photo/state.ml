@@ -32,7 +32,8 @@ let names =
     "TPc"; "FBPc"; "HPc"; "UDPG"; "SUCP"; "F26BP";
   |]
 
-let () = assert (Array.length names = n)
+let () =
+  if Array.length names <> n then invalid_arg "Photo.State: metabolite name table out of sync"
 
 let initial () =
   let y = Array.make n 0. in

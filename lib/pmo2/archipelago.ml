@@ -12,6 +12,7 @@ type config = {
   algorithms : algorithm list;
   archive_capacity : int option;
   parallel : bool;
+  guard_penalty : float option;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     algorithms = [];
     archive_capacity = None;
     parallel = false;
+    guard_penalty = None;
   }
 
 let paper_config ~generations_hint =
@@ -41,6 +43,7 @@ type state = {
   problem : Moo.Problem.t;
   rng : Numerics.Rng.t; (* drives migration decisions *)
   islands : Island.t array;
+  guards : Runtime.Guard.t array; (* one per island when telemetry is on, else empty *)
   edges : (int * int) list;
   arch : Moo.Archive.t;
   mutable gens : int;
@@ -60,9 +63,20 @@ let init ?(seed = 42) ?(initial = []) problem config =
     | [] -> Nsga2 config.nsga2
     | algos -> List.nth algos (i mod List.length algos)
   in
+  (* With telemetry on, every island evaluates through its own guard, so
+     failure counts attribute cleanly even under the parallel schedule. *)
+  let guards =
+    match config.guard_penalty with
+    | None -> [||]
+    | Some penalty -> Array.init config.n_islands (fun _ -> Runtime.Guard.create ~penalty ())
+  in
   let islands =
     Array.init config.n_islands (fun i ->
         let rng = Numerics.Rng.split master in
+        let problem =
+          if Array.length guards = 0 then problem
+          else Runtime.Guard.wrap_problem guards.(i) problem
+        in
         match algo_of i with
         | Nsga2 cfg -> Island.nsga2 ~initial problem cfg rng
         | Spea2 cfg -> Island.spea2 ~initial problem cfg rng)
@@ -72,6 +86,7 @@ let init ?(seed = 42) ?(initial = []) problem config =
     problem;
     rng = migration_rng;
     islands;
+    guards;
     edges = Topology.edges config.topology ~n:config.n_islands;
     arch = Moo.Archive.create ?capacity:config.archive_capacity ();
     gens = 0;
@@ -89,6 +104,7 @@ let try_step isl period =
   match Island.step isl period with
   | () -> None
   | exception ((Sys.Break | Out_of_memory | Stack_overflow) as e) -> raise e
+  (* robustlint: allow R4 — supervisor catch-all; fatal exceptions are re-raised above *)
   | exception e -> Some (Printexc.to_string e)
 
 let step_epoch st =
@@ -162,9 +178,11 @@ let generations_done st = st.gens
 
 let island_failures st = st.failures
 
+let island_guard_stats st = Array.map Runtime.Guard.stats st.guards
+
 (* {1 Checkpointing} *)
 
-let checkpoint_magic = "robustpath-archipelago-checkpoint v1"
+let checkpoint_magic = "robustpath-archipelago-checkpoint v2"
 
 type snapshot = {
   snap_problem : string;
@@ -175,6 +193,7 @@ type snapshot = {
   snap_archive : Moo.Solution.t list;
   snap_gens : int;
   snap_failures : int;
+  snap_guards : Runtime.Guard.stats array;
 }
 
 let snapshot st =
@@ -187,6 +206,7 @@ let snapshot st =
     snap_archive = Moo.Archive.to_list st.arch;
     snap_gens = st.gens;
     snap_failures = st.failures;
+    snap_guards = Array.map Runtime.Guard.stats st.guards;
   }
 
 let restore st snap =
@@ -211,7 +231,13 @@ let restore st snap =
   Numerics.Rng.set_state st.rng snap.snap_rng;
   Moo.Archive.restore st.arch snap.snap_archive;
   st.gens <- snap.snap_gens;
-  st.failures <- snap.snap_failures
+  st.failures <- snap.snap_failures;
+  (* Guard counters resume with the run so telemetry spans interruptions;
+     a snapshot taken without telemetry simply leaves fresh counters. *)
+  Array.iteri
+    (fun i g ->
+      if i < Array.length snap.snap_guards then Runtime.Guard.set_stats g snap.snap_guards.(i))
+    st.guards
 
 let save st path = Runtime.Checkpoint.save ~magic:checkpoint_magic ~path (snapshot st)
 
@@ -231,6 +257,7 @@ type result = {
   evaluations : int;
   explored : int;
   failures : int;
+  guard_stats : Runtime.Guard.stats array;
 }
 
 let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?resume ~generations problem
@@ -263,4 +290,57 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?resume ~generations 
     evaluations = evaluations st;
     explored = evaluations st;
     failures = st.failures;
+    guard_stats = island_guard_stats st;
   }
+
+(* {1 Checkpoint inspection} *)
+
+type island_info = {
+  info_algo : string;
+  info_evaluations : int;
+  info_generation : int;
+}
+
+type info = {
+  info_problem : string;
+  info_period : int;
+  info_islands : island_info array;
+  info_generations : int;
+  info_archive_size : int;
+  info_failures : int;
+  info_guards : Runtime.Guard.stats array;
+}
+
+let inspect path =
+  let snap : snapshot = Runtime.Checkpoint.load ~magic:checkpoint_magic ~path in
+  {
+    info_problem = snap.snap_problem;
+    info_period = snap.snap_period;
+    info_islands =
+      Array.map
+        (fun s ->
+          {
+            info_algo = Island.snapshot_algo s;
+            info_evaluations = Island.snapshot_evaluations s;
+            info_generation = Island.snapshot_generation s;
+          })
+        snap.snap_islands;
+    info_generations = snap.snap_gens;
+    info_archive_size = List.length snap.snap_archive;
+    info_failures = snap.snap_failures;
+    info_guards = snap.snap_guards;
+  }
+
+let pp_info ppf i =
+  Format.fprintf ppf "problem: %s@\ngenerations done: %d (migration period %d)@\n"
+    i.info_problem i.info_generations i.info_period;
+  Format.fprintf ppf "archive: %d solutions; island crashes absorbed: %d@\n"
+    i.info_archive_size i.info_failures;
+  Array.iteri
+    (fun k isl ->
+      Format.fprintf ppf "island %d: %s, generation %d, %d evaluations" k isl.info_algo
+        isl.info_generation isl.info_evaluations;
+      if k < Array.length i.info_guards then
+        Format.fprintf ppf " (guard: %a)" Runtime.Guard.pp_stats i.info_guards.(k);
+      Format.fprintf ppf "@\n")
+    i.info_islands

@@ -28,6 +28,12 @@ type config = {
           sequential schedule, since islands only interact at epochs.
           Requires the problem's [eval] to be safe to call from multiple
           domains — every problem in this library is. *)
+  guard_penalty : float option;
+      (** [Some p] wraps every island's copy of the problem in its own
+          {!Runtime.Guard} with penalty [p], so crashing or non-finite
+          evaluations are absorbed per island and counted in the
+          telemetry ({!island_guard_stats}, [result.guard_stats]).
+          [None] (the default) evaluates the problem as given. *)
 }
 
 val default_config : config
@@ -63,6 +69,10 @@ val generations_done : state -> int
 val island_failures : state -> int
 (** Island crashes caught (and recovered from) by the epoch supervisor. *)
 
+val island_guard_stats : state -> Runtime.Guard.stats array
+(** Per-island guard telemetry, in island order.  Empty when the config
+    has [guard_penalty = None]. *)
+
 val log_src : Logs.src
 (** Log source ["pmo2.archipelago"]: supervisor warnings, checkpoint
     activity. *)
@@ -92,6 +102,8 @@ type result = {
   evaluations : int;
   explored : int;  (** total candidate solutions evaluated *)
   failures : int;  (** island crashes absorbed by the supervisor *)
+  guard_stats : Runtime.Guard.stats array;
+      (** per-island guard telemetry; empty when [guard_penalty = None] *)
 }
 
 val run :
@@ -113,3 +125,28 @@ val run :
     initializing — completed epochs are skipped and the result is
     bit-identical to the uninterrupted run with the same seed, problem and
     config. *)
+
+(** {2 Checkpoint inspection} *)
+
+type island_info = {
+  info_algo : string;
+  info_evaluations : int;
+  info_generation : int;
+}
+
+type info = {
+  info_problem : string;
+  info_period : int;
+  info_islands : island_info array;
+  info_generations : int;
+  info_archive_size : int;
+  info_failures : int;
+  info_guards : Runtime.Guard.stats array;
+}
+
+val inspect : string -> info
+(** Read a checkpoint's metadata without rebuilding a runnable state (no
+    problem or config needed).  Raises {!Runtime.Checkpoint.Corrupt} on a
+    missing, truncated or wrong-magic file. *)
+
+val pp_info : Format.formatter -> info -> unit

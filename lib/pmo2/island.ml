@@ -55,3 +55,11 @@ let snapshot t = t.snapshot ()
 let restore t snap = t.restore snap
 
 let snapshot_algo = function Nsga2_snapshot _ -> "nsga2" | Spea2_snapshot _ -> "spea2"
+
+let snapshot_evaluations = function
+  | Nsga2_snapshot s -> s.Ea.Nsga2.snap_evals
+  | Spea2_snapshot s -> s.Ea.Spea2.snap_evals
+
+let snapshot_generation = function
+  | Nsga2_snapshot s -> s.Ea.Nsga2.snap_gen
+  | Spea2_snapshot s -> s.Ea.Spea2.snap_gen

@@ -38,3 +38,10 @@ val restore : t -> snapshot -> unit
 
 val snapshot_algo : snapshot -> string
 (** ["nsga2"] or ["spea2"]. *)
+
+val snapshot_evaluations : snapshot -> int
+(** Objective evaluations recorded in the snapshot (checkpoint
+    inspection without rebuilding a runnable state). *)
+
+val snapshot_generation : snapshot -> int
+(** Generation counter recorded in the snapshot. *)

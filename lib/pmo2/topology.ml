@@ -5,7 +5,7 @@ type t =
   | Custom of (int * int) list
 
 let edges t ~n =
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Pmo2.Topology.edges: need at least one island";
   match t with
   | All_to_all ->
     List.concat
@@ -15,7 +15,11 @@ let edges t ~n =
   | Star ->
     List.concat (List.init (n - 1) (fun k -> [ (0, k + 1); (k + 1, 0) ]))
   | Custom es ->
-    List.iter (fun (a, b) -> assert (0 <= a && a < n && 0 <= b && b < n && a <> b)) es;
+    List.iter
+      (fun (a, b) ->
+        if not (0 <= a && a < n && 0 <= b && b < n && a <> b) then
+          invalid_arg "Pmo2.Topology.edges: custom edge endpoints out of range or self-loop")
+      es;
     es
 
 let name = function

@@ -1,18 +1,21 @@
 let factor rng ~delta = 1. +. Numerics.Rng.uniform rng (-.delta) delta
 
 let global rng ~delta x =
-  assert (delta >= 0. && delta < 1.);
+  if not (delta >= 0. && delta < 1.) then
+    invalid_arg "Robustness.Perturb.global: delta must lie in [0, 1)";
   Array.map (fun xi -> xi *. factor rng ~delta) x
 
 let local rng ~delta ~index x =
-  assert (delta >= 0. && delta < 1.);
-  assert (0 <= index && index < Array.length x);
+  if not (delta >= 0. && delta < 1.) then
+    invalid_arg "Robustness.Perturb.local: delta must lie in [0, 1)";
+  if not (0 <= index && index < Array.length x) then
+    invalid_arg "Robustness.Perturb.local: index out of range";
   let y = Array.copy x in
   y.(index) <- y.(index) *. factor rng ~delta;
   y
 
 let ensemble rng ~delta ~trials ?index x =
-  assert (trials > 0);
+  if trials <= 0 then invalid_arg "Robustness.Perturb.ensemble: trials must be positive";
   List.init trials (fun _ ->
       match index with
       | None -> global rng ~delta x

@@ -1,7 +1,12 @@
 (** Perturbation ensembles for robustness analysis (Section 2.3).
 
     A perturbation multiplies components of a design vector by independent
-    uniform factors in [\[1 − δ, 1 + δ\]]; the paper fixes δ = 10%. *)
+    uniform factors in [\[1 − δ, 1 + δ\]]; the paper fixes δ = 10%.
+
+    All functions raise [Invalid_argument] on a malformed request
+    ([delta] outside [\[0, 1)], an out-of-range [index], or a
+    non-positive [trials]), so validation survives [-noassert] release
+    builds. *)
 
 val global : Numerics.Rng.t -> delta:float -> float array -> float array
 (** Perturb every component (the paper's global analysis). *)

@@ -1,5 +1,5 @@
 let rho ~f ~eps x xstar =
-  assert (eps >= 0.);
+  if eps < 0. then invalid_arg "Robustness.Yield.rho: eps must be non-negative";
   Float.abs (f x -. f xstar) <= eps
 
 let rho_relative ~f ~eps_frac x xstar =
@@ -15,7 +15,7 @@ type result = {
 
 let gamma ?(sampler = `Pseudo) ~rng ~f ?(delta = 0.10) ?(eps_frac = 0.05)
     ?(trials = 5000) ?index x =
-  assert (trials > 0);
+  if trials <= 0 then invalid_arg "Robustness.Yield.gamma: trials must be positive";
   let nominal = f x in
   let eps = eps_frac *. Float.abs nominal in
   let qmc =

@@ -8,7 +8,7 @@
 
 val rho : f:(float array -> float) -> eps:float -> float array -> float array -> bool
 (** [rho ~f ~eps x x'] — the robustness condition with an {e absolute}
-    threshold [eps]. *)
+    threshold [eps].  Raises [Invalid_argument] when [eps < 0]. *)
 
 val rho_relative : f:(float array -> float) -> eps_frac:float -> float array -> float array -> bool
 (** Threshold expressed as a fraction of [|f x|] (the paper's "ε = 5% of
@@ -36,4 +36,5 @@ val gamma :
     analysis ([index = None]); pass [trials:200] with [index] for the
     local per-component analysis.  [sampler:`Quasi] draws the
     perturbation factors from a Halton low-discrepancy sequence instead
-    of the pseudo-random stream — same estimator, lower variance. *)
+    of the pseudo-random stream — same estimator, lower variance.
+    Raises [Invalid_argument] when [trials <= 0]. *)

@@ -40,6 +40,11 @@ let reset t =
   Atomic.set t.exceptions 0;
   Atomic.set t.non_finite 0
 
+let set_stats t (s : stats) =
+  Atomic.set t.evaluations s.evaluations;
+  Atomic.set t.exceptions s.exceptions;
+  Atomic.set t.non_finite s.non_finite
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "%d evaluations, %d exceptions, %d non-finite" s.evaluations
     s.exceptions s.non_finite

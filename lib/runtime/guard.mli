@@ -51,6 +51,10 @@ val stats : t -> stats
 
 val reset : t -> unit
 
+val set_stats : t -> stats -> unit
+(** Overwrite the counters, e.g. when restoring a checkpoint that
+    recorded the guard's telemetry alongside the optimizer state. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val log_src : Logs.src

@@ -1,0 +1,4 @@
+(* Fixture: an allow comment without a justification must not suppress. *)
+let is_zero (x : float) =
+  (* robustlint: allow R1 *)
+  x = 0.

@@ -1,0 +1,2 @@
+(* Fixture: R1 must fire on polymorphic equality at a float type. *)
+let same_point (a : float) (b : float) = a = b

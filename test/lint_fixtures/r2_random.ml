@@ -1,0 +1,2 @@
+(* Fixture: R2 must fire on Stdlib.Random. *)
+let roll () = Random.int 6

@@ -1,0 +1,2 @@
+(* Fixture: R3 must fire on Marshal outside Runtime.Checkpoint. *)
+let to_bytes v = Marshal.to_string v []

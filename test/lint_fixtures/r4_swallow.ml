@@ -1,0 +1,2 @@
+(* Fixture: R4 must fire on an exception-swallowing catch-all. *)
+let parse s = try int_of_string s with _ -> 0

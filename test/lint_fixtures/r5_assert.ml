@@ -1,0 +1,4 @@
+(* Fixture: R5 must fire on assert in library code. *)
+let checked n =
+  assert (n >= 0);
+  n

@@ -1,0 +1,3 @@
+(* Fixture: R6 must fire on module-toplevel mutable state. *)
+let registry : (string, int) Hashtbl.t = Hashtbl.create 8
+let register name v = Hashtbl.replace registry name v

@@ -1,0 +1,2 @@
+(* Fixture: R7 must fire on order-sensitive Hashtbl traversal. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

@@ -1,0 +1,4 @@
+(* Fixture: a justified allow comment must silence the finding. *)
+let is_sentinel (x : float) =
+  (* robustlint: allow R1 — the sentinel is an exact value, never computed *)
+  x = neg_infinity

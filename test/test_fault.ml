@@ -298,6 +298,80 @@ let test_corrupt_checkpoint_detected () =
         | exception Runtime.Checkpoint.Corrupt _ -> true
         | _ -> false))
 
+(* {1 Per-island guard telemetry} *)
+
+let test_per_island_guard_telemetry () =
+  let calls = ref 0 in
+  let base = Moo.Benchmarks.zdt1 ~n:6 in
+  let problem =
+    {
+      base with
+      Moo.Problem.eval =
+        (fun x ->
+          incr calls;
+          if !calls mod 7 = 0 then failwith "flaky backend";
+          base.Moo.Problem.eval x);
+    }
+  in
+  let cfg = { small_config with Pmo2.Archipelago.guard_penalty = Some 1e12 } in
+  let r = Pmo2.Archipelago.run ~seed:11 ~generations:20 problem cfg in
+  Alcotest.(check int) "one guard per island" 2
+    (Array.length r.Pmo2.Archipelago.guard_stats);
+  let penalized =
+    Array.fold_left
+      (fun acc s -> acc + Runtime.Guard.failures s)
+      0 r.Pmo2.Archipelago.guard_stats
+  in
+  Alcotest.(check bool) "failures were penalized, not fatal" true (penalized > 0);
+  Alcotest.(check bool) "no island crashed" true (r.Pmo2.Archipelago.failures = 0);
+  Alcotest.(check bool) "front survives" true (r.Pmo2.Archipelago.front <> [])
+
+let test_guard_telemetry_off_by_default () =
+  let problem = Moo.Benchmarks.zdt1 ~n:6 in
+  let r = Pmo2.Archipelago.run ~seed:12 ~generations:10 problem small_config in
+  Alcotest.(check int) "no guards without opting in" 0
+    (Array.length r.Pmo2.Archipelago.guard_stats)
+
+(* {1 Checkpoint inspection} *)
+
+let test_inspect_reports_metadata () =
+  let problem = Moo.Benchmarks.zdt1 ~n:6 in
+  let cfg = { small_config with Pmo2.Archipelago.guard_penalty = Some 1e12 } in
+  with_temp_file (fun path ->
+      let r = Pmo2.Archipelago.run ~seed:13 ~checkpoint:path ~generations:20 problem cfg in
+      let info = Pmo2.Archipelago.inspect path in
+      Alcotest.(check string) "problem name" "zdt1" info.Pmo2.Archipelago.info_problem;
+      Alcotest.(check int) "generations" 20 info.Pmo2.Archipelago.info_generations;
+      Alcotest.(check int) "period" 10 info.Pmo2.Archipelago.info_period;
+      Alcotest.(check int) "islands" 2 (Array.length info.Pmo2.Archipelago.info_islands);
+      Alcotest.(check int) "guards" 2 (Array.length info.Pmo2.Archipelago.info_guards);
+      Array.iter
+        (fun isl ->
+          Alcotest.(check string) "algo" "nsga2" isl.Pmo2.Archipelago.info_algo;
+          Alcotest.(check int) "island generation" 20 isl.Pmo2.Archipelago.info_generation)
+        info.Pmo2.Archipelago.info_islands;
+      let snap_evals =
+        Array.fold_left
+          (fun acc isl -> acc + isl.Pmo2.Archipelago.info_evaluations)
+          0 info.Pmo2.Archipelago.info_islands
+      in
+      Alcotest.(check int) "evaluations match the run" r.Pmo2.Archipelago.evaluations
+        snap_evals)
+
+let test_inspect_rejects_corrupt_file () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      Alcotest.(check bool) "corrupt file raises" true
+        (match Pmo2.Archipelago.inspect path with
+        | exception Runtime.Checkpoint.Corrupt _ -> true
+        | _ -> false));
+  Alcotest.(check bool) "missing file raises" true
+    (match Pmo2.Archipelago.inspect "/nonexistent/robustpath.ckpt" with
+    | exception Runtime.Checkpoint.Corrupt _ -> true
+    | _ -> false)
+
 (* {1 Precondition validation (must survive -noassert)} *)
 
 let test_invalid_arg_preconditions () =
@@ -357,6 +431,16 @@ let () =
           Alcotest.test_case "mixed islands resume" `Quick test_resume_spea2_and_mixed_islands;
           Alcotest.test_case "validation" `Quick test_checkpoint_validation;
           Alcotest.test_case "corrupt file detected" `Quick test_corrupt_checkpoint_detected;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "per-island guard counters" `Quick test_per_island_guard_telemetry;
+          Alcotest.test_case "off by default" `Quick test_guard_telemetry_off_by_default;
+        ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "reports metadata" `Quick test_inspect_reports_metadata;
+          Alcotest.test_case "rejects corrupt file" `Quick test_inspect_rejects_corrupt_file;
         ] );
       ( "preconditions",
         [ Alcotest.test_case "invalid_arg everywhere" `Quick test_invalid_arg_preconditions ] );

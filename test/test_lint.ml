@@ -1,0 +1,114 @@
+(* End-to-end tests of the robustlint static analyzer: the fixture
+   library under lint_fixtures/ carries one deliberate violation per
+   rule, one justified suppression and one justification-less allow
+   comment; the linter must report exactly the violations, at the right
+   locations, and honour only the justified suppression.
+
+   The test executable runs in _build/default/test, so the fixture .cmt
+   artifacts sit under lint_fixtures/... and compiled source paths
+   ("test/lint_fixtures/...") resolve against "..". *)
+
+let fixture_cmts = "lint_fixtures/.lint_fixtures.objs/byte"
+
+let report = lazy (Lint.Driver.run ~force_lib:true ~source_root:".." [ fixture_cmts ])
+
+let findings_in file =
+  List.filter
+    (fun f -> Filename.basename f.Lint.Finding.file = file)
+    (Lazy.force report).Lint.Driver.findings
+
+let check_single_finding ~rule ~file ~line () =
+  match findings_in file with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" rule (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check int) "line" line f.Lint.Finding.line;
+    Alcotest.(check string) "file path is build-root relative"
+      ("test/lint_fixtures/" ^ file) f.Lint.Finding.file
+  | fs -> Alcotest.failf "%s: expected exactly one finding, got %d" file (List.length fs)
+
+let test_every_rule_fires () =
+  check_single_finding ~rule:"R1" ~file:"r1_float_eq.ml" ~line:2 ();
+  check_single_finding ~rule:"R2" ~file:"r2_random.ml" ~line:2 ();
+  check_single_finding ~rule:"R3" ~file:"r3_marshal.ml" ~line:2 ();
+  check_single_finding ~rule:"R4" ~file:"r4_swallow.ml" ~line:2 ();
+  check_single_finding ~rule:"R5" ~file:"r5_assert.ml" ~line:3 ();
+  check_single_finding ~rule:"R6" ~file:"r6_toplevel_state.ml" ~line:2 ();
+  check_single_finding ~rule:"R7" ~file:"r7_hashtbl_iter.ml" ~line:2 ()
+
+let test_no_extra_findings () =
+  (* 7 rule fixtures + 1 unjustified allow; the justified one is silent. *)
+  Alcotest.(check int) "total findings" 8
+    (List.length (Lazy.force report).Lint.Driver.findings)
+
+let test_justified_suppression_silences () =
+  Alcotest.(check int) "suppressed_ok.ml has no finding" 0
+    (List.length (findings_in "suppressed_ok.ml"));
+  Alcotest.(check int) "one suppression counted" 1 (Lazy.force report).Lint.Driver.suppressed
+
+let test_unjustified_suppression_reports () =
+  match findings_in "bad_suppression.ml" with
+  | [ f ] ->
+    Alcotest.(check string) "still R1" "R1" (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check bool) "message flags the missing justification" true
+      (let msg = f.Lint.Finding.message in
+       let sub = "justification" in
+       let n = String.length msg and k = String.length sub in
+       let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+       scan 0)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_units_counted () =
+  (* 9 fixture modules plus the library's generated alias module. *)
+  Alcotest.(check int) "units" 10 (Lazy.force report).Lint.Driver.units
+
+let test_missing_dir_yields_no_units () =
+  let r = Lint.Driver.run ~source_root:".." [ "no-such-dir" ] in
+  Alcotest.(check int) "no units" 0 r.Lint.Driver.units;
+  Alcotest.(check int) "no findings" 0 (List.length r.Lint.Driver.findings)
+
+(* {1 Suppression comment parsing} *)
+
+let test_parse_line () =
+  let check name expected line rule =
+    Alcotest.(check (option bool)) name expected (Lint.Suppress.parse_line line rule)
+  in
+  check "justified" (Some true)
+    "  (* robustlint: allow R1 — exact sentinel *)" Lint.Finding.R1;
+  check "ascii justification" (Some true)
+    "(* robustlint: allow R5 boundary check documented in the mli *)" Lint.Finding.R5;
+  check "bare allow is unjustified" (Some false) "(* robustlint: allow R1 *)" Lint.Finding.R1;
+  check "wrong rule does not match" None "(* robustlint: allow R2 — reason *)"
+    Lint.Finding.R1;
+  check "ordinary code" None "let x = 1 + 2" Lint.Finding.R1
+
+let test_rule_ids_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Lint.Finding.rule_id r ^ " roundtrips")
+        true
+        (Lint.Finding.rule_of_id (Lint.Finding.rule_id r) = Some r))
+    Lint.Finding.all_rules;
+  Alcotest.(check bool) "unknown id rejected" true (Lint.Finding.rule_of_id "R9" = None)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "every rule fires once" `Quick test_every_rule_fires;
+          Alcotest.test_case "no extra findings" `Quick test_no_extra_findings;
+          Alcotest.test_case "justified suppression silences" `Quick
+            test_justified_suppression_silences;
+          Alcotest.test_case "unjustified suppression reports" `Quick
+            test_unjustified_suppression_reports;
+          Alcotest.test_case "units counted" `Quick test_units_counted;
+          Alcotest.test_case "missing dir yields no units" `Quick
+            test_missing_dir_yields_no_units;
+        ] );
+      ( "suppress",
+        [
+          Alcotest.test_case "comment parsing" `Quick test_parse_line;
+          Alcotest.test_case "rule ids roundtrip" `Quick test_rule_ids_roundtrip;
+        ] );
+    ]

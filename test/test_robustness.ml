@@ -4,6 +4,10 @@ let check_float ?(tol = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > tol then
     Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
 
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (match f () with exception Invalid_argument _ -> true | _ -> false)
+
 (* {1 Perturb} *)
 
 let test_global_within_band () =
@@ -180,6 +184,30 @@ let prop_larger_eps_no_worse =
       in
       y2 >= y1)
 
+let test_perturb_invalid_arguments () =
+  let rng = Numerics.Rng.create 7 in
+  let x = [| 1.; 2. |] in
+  expect_invalid "global: delta = 1" (fun () ->
+      Robustness.Perturb.global rng ~delta:1. x);
+  expect_invalid "global: negative delta" (fun () ->
+      Robustness.Perturb.global rng ~delta:(-0.1) x);
+  expect_invalid "local: delta = 1" (fun () ->
+      Robustness.Perturb.local rng ~delta:1. ~index:0 x);
+  expect_invalid "local: index out of range" (fun () ->
+      Robustness.Perturb.local rng ~delta:0.1 ~index:2 x);
+  expect_invalid "local: negative index" (fun () ->
+      Robustness.Perturb.local rng ~delta:0.1 ~index:(-1) x);
+  expect_invalid "ensemble: zero trials" (fun () ->
+      Robustness.Perturb.ensemble rng ~delta:0.1 ~trials:0 x)
+
+let test_yield_invalid_arguments () =
+  let rng = Numerics.Rng.create 8 in
+  let f x = x.(0) in
+  expect_invalid "rho: negative eps" (fun () ->
+      Robustness.Yield.rho ~f ~eps:(-1.) [| 1. |] [| 1. |]);
+  expect_invalid "gamma: zero trials" (fun () ->
+      Robustness.Yield.gamma ~rng ~f ~trials:0 [| 1. |])
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "robustness"
@@ -192,6 +220,11 @@ let () =
           Alcotest.test_case "ensemble size" `Quick test_ensemble_size;
           Alcotest.test_case "ensemble local mode" `Quick test_ensemble_local_mode;
         ] );
+      ( "perturb-validation",
+        [
+          Alcotest.test_case "invalid arguments raise" `Quick
+            test_perturb_invalid_arguments;
+        ] );
       ( "yield",
         [
           Alcotest.test_case "rho absolute" `Quick test_rho_absolute;
@@ -201,6 +234,10 @@ let () =
           Alcotest.test_case "gamma fragile" `Quick test_gamma_fragile_function;
           Alcotest.test_case "gamma local index" `Quick test_gamma_local_index;
           Alcotest.test_case "nominal recorded" `Quick test_gamma_nominal_recorded;
+        ] );
+      ( "yield-validation",
+        [
+          Alcotest.test_case "invalid arguments raise" `Quick test_yield_invalid_arguments;
         ] );
       ( "screen",
         [
