@@ -124,43 +124,131 @@ let bench_lp_solve =
         in
         fun () -> ignore (Lp.Simplex.solve spec)))
 
-let run_micro_benchmarks () =
-  Printf.printf "== Micro-benchmarks (Bechamel, monotonic clock) ==\n%!";
-  let tests =
-    Test.make_grouped ~name:"kernels"
-      [
-        bench_fig1_leaf_eval;
-        bench_fig2_nitrogen;
-        bench_table1_metrics;
-        bench_table2_yield;
-        bench_fig3_sweep;
-        bench_fig4_violation;
-        bench_fig4_repair;
-        bench_guard_overhead;
-        bench_guard_overhead_bare;
-        bench_pmo2_generation;
-        bench_lp_solve;
-      ]
-  in
+(* Run a Bechamel group and return (name, ns-per-run) rows, name-sorted. *)
+let measure_rows tests =
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name o acc ->
-        match Analyze.OLS.estimates o with
-        | Some (t :: _) -> (name, t) :: acc
-        | _ -> (name, nan) :: acc)
-      results []
-  in
+  List.sort compare
+    (Hashtbl.fold
+       (fun name o acc ->
+         match Analyze.OLS.estimates o with
+         | Some (t :: _) -> (name, t) :: acc
+         | _ -> (name, nan) :: acc)
+       results [])
+
+let print_rows rows =
   List.iter
     (fun (name, ns) ->
       if Float.is_nan ns then Printf.printf "   %-38s (no estimate)\n" name
       else if ns > 1e6 then Printf.printf "   %-38s %10.3f ms/run\n" name (ns /. 1e6)
       else if ns > 1e3 then Printf.printf "   %-38s %10.3f us/run\n" name (ns /. 1e3)
       else Printf.printf "   %-38s %10.1f ns/run\n" name ns)
-    (List.sort compare rows)
+    rows
+
+let run_micro_benchmarks () =
+  Printf.printf "== Micro-benchmarks (Bechamel, monotonic clock) ==\n%!";
+  print_rows
+    (measure_rows
+       (Test.make_grouped ~name:"kernels"
+          [
+            bench_fig1_leaf_eval;
+            bench_fig2_nitrogen;
+            bench_table1_metrics;
+            bench_table2_yield;
+            bench_fig3_sweep;
+            bench_fig4_violation;
+            bench_fig4_repair;
+            bench_guard_overhead;
+            bench_guard_overhead_bare;
+            bench_pmo2_generation;
+            bench_lp_solve;
+          ]))
+
+(* {1 Observability overhead}
+
+   The obs layer promises that a disabled probe — [Span.with_span],
+   [Metrics.incr], [Metrics.observe], [Metrics.set_gauge] — costs a
+   single atomic load, under 10 ns.  [bench-obs] measures the disabled
+   hot paths with Bechamel, records everything in BENCH_obs.json, and
+   exits non-zero if any disabled probe breaks the bound. *)
+
+let obs_threshold_ns = 10.
+
+let run_obs_benchmarks () =
+  Printf.printf "== Observability overhead (disabled probes must stay < %g ns) ==\n%!"
+    obs_threshold_ns;
+  Obs.Span.set_enabled false;
+  Obs.Metrics.set_enabled false;
+  let c = Obs.Metrics.counter "bench.obs.counter" in
+  let h = Obs.Metrics.histogram ~buckets:Obs.Metrics.default_ms_buckets "bench.obs.hist" in
+  let g = Obs.Metrics.gauge "bench.obs.gauge" in
+  let metric_probes =
+    [
+      Test.make ~name:"metrics-overhead/incr" (Staged.stage (fun () -> Obs.Metrics.incr c));
+      Test.make ~name:"metrics-overhead/observe"
+        (Staged.stage (fun () -> Obs.Metrics.observe h 1.));
+      Test.make ~name:"metrics-overhead/gauge"
+        (Staged.stage (fun () -> Obs.Metrics.set_gauge g 1.));
+    ]
+  in
+  let span_probe =
+    Test.make ~name:"span-overhead"
+      (Staged.stage (fun () -> Obs.Span.with_span "bench" (fun () -> ())))
+  in
+  let disabled =
+    measure_rows (Test.make_grouped ~name:"obs-disabled" (span_probe :: metric_probes))
+  in
+  print_rows disabled;
+  (* Enabled-path numbers, for context (no bound claimed).  Metrics stay
+     allocation-free so Bechamel can drive them; an enabled span retains
+     an event per call, so a Bechamel quota would pin millions of live
+     events — measure it with a bounded manual loop instead. *)
+  Obs.Metrics.set_enabled true;
+  let enabled = measure_rows (Test.make_grouped ~name:"obs-enabled" metric_probes) in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  print_rows enabled;
+  let span_enabled_ns =
+    Obs.Span.reset ();
+    Obs.Span.set_enabled true;
+    let n = 100_000 in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to n do
+      Obs.Span.with_span "bench" (fun () -> ())
+    done;
+    let ns = float_of_int (Obs.Clock.now_ns () - t0) /. float_of_int n in
+    Obs.Span.set_enabled false;
+    Obs.Span.reset ();
+    ns
+  in
+  Printf.printf "   %-38s %10.1f ns/run (manual loop)\n" "obs-enabled/span-recording"
+    span_enabled_ns;
+  let pass =
+    List.for_all (fun (_, ns) -> Float.is_finite ns && ns < obs_threshold_ns) disabled
+  in
+  let json_rows rows = Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) rows) in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("benchmark", Obs.Json.String "observability probe overhead (ns per call)");
+        ("threshold_ns", Obs.Json.Float obs_threshold_ns);
+        ("disabled", json_rows disabled);
+        ( "enabled",
+          json_rows (enabled @ [ ("obs-enabled/span-recording", span_enabled_ns) ]) );
+        ("pass", Obs.Json.Bool pass);
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "   wrote BENCH_obs.json (pass: %b)\n" pass;
+  if not pass then begin
+    Printf.eprintf "bench-obs: a disabled probe exceeds %g ns\n" obs_threshold_ns;
+    exit 1
+  end
 
 (* {1 Dispatch} *)
 
@@ -185,6 +273,7 @@ let experiments =
     ("ablate-operators", Experiments.Ablate.operators);
     ("ablate-penalty", Experiments.Ablate.penalty);
     ("bench", run_micro_benchmarks);
+    ("bench-obs", run_obs_benchmarks);
   ]
 
 let run_one name =

@@ -9,11 +9,15 @@
 open Cmdliner
 
 (* User mistakes (bad flag values, missing/corrupt/mismatched checkpoint
-   files) surface as clean one-line errors, not uncaught exceptions. *)
+   files, unparsable trace files) surface as clean one-line errors, not
+   uncaught exceptions. *)
 let with_user_errors f =
   try f () with
-  | Invalid_argument msg | Runtime.Checkpoint.Corrupt msg ->
+  | Invalid_argument msg | Runtime.Checkpoint.Corrupt msg | Sys_error msg ->
     Printf.eprintf "robustpath: %s\n" msg;
+    exit 2
+  | Obs.Json.Parse_error msg ->
+    Printf.eprintf "robustpath: invalid JSON: %s\n" msg;
     exit 2
 
 (* Checkpoint/resume flags, shared by the optimization subcommands. *)
@@ -38,6 +42,62 @@ let resume_arg =
           "Resume from a checkpoint written by --checkpoint.  The seed, problem and \
            configuration flags must match the original run; the result is then identical \
            to the uninterrupted run.")
+
+let keep_checkpoints_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "keep-checkpoints" ] ~docv:"K"
+        ~doc:
+          "Write each checkpoint to a numbered history file (FILE.NNNNNN) and keep only \
+           the $(docv) newest, pruning older ones.  Resume from the newest surviving \
+           file.  Requires --checkpoint.")
+
+(* Observability flags, shared by the optimization subcommands. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "Record wall-clock spans (ODE solves, simplex solves, epochs, checkpoints) and \
+           write a Chrome trace_event file to $(docv), loadable in Perfetto or \
+           chrome://tracing.  Summarize with $(b,robustpath trace-summary).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Record counters, gauges and histograms (ODE steps, simplex pivots, guard \
+           faults, per-epoch hypervolume) and append one JSON snapshot line per \
+           migration epoch to $(docv).")
+
+(* Enable the requested probes around [f], hand it the per-epoch observer
+   (one JSONL snapshot per epoch when --metrics is given), and flush the
+   trace/metrics files afterwards — including on error paths, so a crashed
+   run still leaves a usable trace. *)
+let with_observability ~trace ~metrics f =
+  if Option.is_some trace then Obs.Span.set_enabled true;
+  let metrics_oc = Option.map open_out metrics in
+  if Option.is_some metrics_oc then Obs.Metrics.set_enabled true;
+  let observer = Option.map (fun oc -> Pmo2.Archipelago.jsonl_observer oc) metrics_oc in
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+        Obs.Span.set_enabled false;
+        Obs.Span.write_chrome ~path;
+        Printf.printf "trace: %d spans written to %s\n" (List.length (Obs.Span.events ())) path
+      | None -> ());
+      match metrics_oc with
+      | Some oc ->
+        Obs.Metrics.set_enabled false;
+        close_out_noerr oc;
+        Printf.printf "metrics: snapshots written to %s\n" (Option.get metrics)
+      | None -> ())
+    (fun () -> f ~observer)
 
 let report_faults r =
   Array.iteri
@@ -68,7 +128,8 @@ let env_of ~ci ~export =
 (* {1 photo} *)
 
 let photo_cmd =
-  let run ci export generations pop seed checkpoint checkpoint_every resume =
+  let run ci export generations pop seed checkpoint checkpoint_every keep resume trace
+      metrics =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
     let problem = Photo.Leaf.problem env in
@@ -82,8 +143,9 @@ let photo_cmd =
       }
     in
     let r =
+      with_observability ~trace ~metrics @@ fun ~observer ->
       Pmo2.Archipelago.run ~seed ~initial:[ natural ] ?checkpoint ~checkpoint_every
-        ?resume ~generations problem cfg
+        ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg
     in
     let u, n = Photo.Leaf.natural_point env in
     Printf.printf "condition: %s, triose-P export %g mmol/l/s\n" env.Photo.Params.label
@@ -114,12 +176,12 @@ let photo_cmd =
     (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
     Term.(
       const run $ ci $ export $ generations $ pop $ seed $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
-  let run generations pop seed checkpoint checkpoint_every resume =
+  let run generations pop seed checkpoint checkpoint_every keep resume trace metrics =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
     let problem = Fba.Moo_problem.problem g in
@@ -134,8 +196,9 @@ let geobacter_cmd =
       }
     in
     let r =
-      Pmo2.Archipelago.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every ?resume
-        ~generations problem cfg
+      with_observability ~trace ~metrics @@ fun ~observer ->
+      Pmo2.Archipelago.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every
+        ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg
     in
     let feasible = List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front in
     Printf.printf "front: %d points (%d near-steady-state)\n"
@@ -158,7 +221,7 @@ let geobacter_cmd =
        ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
     Term.(
       const run $ generations $ pop $ seed $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg)
+      $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 inspect} *)
 
@@ -174,6 +237,34 @@ let inspect_cmd =
          "Print a checkpoint's metadata (problem, progress, per-island telemetry) without \
           resuming it.  Exits 2 on a missing or corrupt file.")
     Term.(const run $ path)
+
+(* {1 trace-summary} *)
+
+let trace_summary_cmd =
+  let run path top =
+    with_user_errors @@ fun () ->
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Span.events_of_chrome (Obs.Json.parse contents) with
+    | [] -> print_endline "no spans recorded"
+    | events -> Format.printf "%a@?" (Obs.Span.pp_summary ~top) (Obs.Span.summarize events)
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json") in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) spans with the most self time.")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:
+         "Summarize a Chrome trace written by --trace: top spans by self time (total \
+          minus time in child spans).  Exits 2 on a missing or unparsable file.")
+    Term.(const run $ path $ top)
 
 (* {1 robust} *)
 
@@ -249,7 +340,8 @@ let experiment_cmd =
 
 let list_cmd =
   let run () =
-    print_endline "subcommands: photo, geobacter, robust, inspect, experiment, list";
+    print_endline
+      "subcommands: photo, geobacter, robust, inspect, trace-summary, experiment, list";
     print_endline
       "experiments: fig1 fig2 table1 table2 fig3 fig4 local control zhu-check \
        temperature ablate-migration ablate-algorithms ablate-operators ablate-penalty"
@@ -264,4 +356,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ photo_cmd; geobacter_cmd; robust_cmd; inspect_cmd; experiment_cmd; list_cmd ]))
+          [
+            photo_cmd;
+            geobacter_cmd;
+            robust_cmd;
+            inspect_cmd;
+            trace_summary_cmd;
+            experiment_cmd;
+            list_cmd;
+          ]))

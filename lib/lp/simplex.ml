@@ -22,6 +22,30 @@ let tol_d = 1e-9
 let tol_p = 1e-10
 let tol_f = 1e-7
 
+(* Observability probes: single-atomic-load no-ops until metrics are
+   enabled.  Pivots are counted at both basis changes and bound flips —
+   each is one iteration of work in the 608-reaction FBA screens. *)
+let m_solves = Obs.Metrics.counter "simplex.solves"
+let m_pivots = Obs.Metrics.counter "simplex.pivots"
+let m_refactors = Obs.Metrics.counter "simplex.refactors"
+let m_phase1_ns = Obs.Metrics.counter "simplex.phase1_ns"
+let m_phase2_ns = Obs.Metrics.counter "simplex.phase2_ns"
+
+let h_pivots =
+  Obs.Metrics.histogram "simplex.pivots_per_solve"
+    ~buckets:[| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+
+(* Run [f] and charge its wall time to counter [c] (whole nanoseconds).
+   The clock is only read when metrics are on. *)
+let timed c f =
+  if Obs.Metrics.enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    Obs.Metrics.add c (Obs.Clock.now_ns () - t0);
+    r
+  end
+  else f ()
+
 type state = {
   m : int;                    (* rows *)
   n_total : int;              (* structural + artificial variables *)
@@ -70,6 +94,7 @@ let recompute_basics st =
 
 (* Rebuild B⁻¹ from scratch (numerical refresh). *)
 let refactor st =
+  Obs.Metrics.incr m_refactors;
   let b = Numerics.Matrix.zeros st.m st.m in
   Array.iteri
     (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) st.cols.(j))
@@ -93,7 +118,7 @@ let multipliers st c =
 
 (* One phase of the simplex loop with objective [c] (maximization).
    Returns [`Optimal] or [`Unbounded]. *)
-let optimize ?(max_iter = 50_000) st c =
+let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
   let iter = ref 0 in
   let stall = ref 0 in
   let last_obj = ref neg_infinity in
@@ -185,6 +210,8 @@ let optimize ?(max_iter = 50_000) st c =
       if !t_best = infinity then result := Some `Unbounded
       else begin
         let t = !t_best in
+        incr pivots;
+        Obs.Metrics.incr m_pivots;
         if !leave_row < 0 then begin
           (* Bound flip: the entering variable runs to its opposite bound. *)
           st.x.(j) <- (if dir > 0. then st.up.(j) else st.lo.(j));
@@ -233,6 +260,9 @@ let optimize ?(max_iter = 50_000) st c =
   match !result with Some r -> r | None -> assert false
 
 let solve ?(max_iter = 50_000) spec =
+  Obs.Metrics.incr m_solves;
+  Obs.Span.with_span "simplex.solve" @@ fun () ->
+  let pivots = ref 0 in
   let m = spec.n_rows in
   let n = Array.length spec.cols in
   if Array.length spec.rhs <> m then invalid_arg "Simplex.solve: rhs length mismatch";
@@ -291,14 +321,17 @@ let solve ?(max_iter = 50_000) spec =
   let st = { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status; basis; binv; x } in
   (* Phase 1: minimize the sum of artificials. *)
   let c1 = Array.init n_total (fun j -> if j >= n then -1. else 0.) in
-  (match optimize ~max_iter st c1 with
+  (match timed m_phase1_ns (fun () -> optimize ~max_iter ~pivots st c1) with
    | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
    | `Optimal -> ());
   let infeas = ref 0. in
   for i = 0 to m - 1 do
     infeas := !infeas +. x.(n + i)
   done;
-  if !infeas > tol_f then Infeasible
+  if !infeas > tol_f then begin
+    Obs.Metrics.observe h_pivots (float_of_int !pivots);
+    Infeasible
+  end
   else begin
     (* Pin the artificials at zero for phase 2. *)
     for i = 0 to m - 1 do
@@ -309,13 +342,17 @@ let solve ?(max_iter = 50_000) spec =
       end
     done;
     let c2 = Array.init n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
-    match optimize ~max_iter st c2 with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let xs = Array.sub st.x 0 n in
-      let objective = ref 0. in
-      for j = 0 to n - 1 do
-        objective := !objective +. (spec.obj.(j) *. xs.(j))
-      done;
-      Optimal { x = xs; objective = !objective }
+    let outcome =
+      match timed m_phase2_ns (fun () -> optimize ~max_iter ~pivots st c2) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let xs = Array.sub st.x 0 n in
+        let objective = ref 0. in
+        for j = 0 to n - 1 do
+          objective := !objective +. (spec.obj.(j) *. xs.(j))
+        done;
+        Optimal { x = xs; objective = !objective }
+    in
+    Obs.Metrics.observe h_pivots (float_of_int !pivots);
+    outcome
   end

@@ -6,6 +6,24 @@ type result = { t : float; y : Vec.t; stats : stats }
 
 exception Step_underflow of float
 
+(* Observability probes.  Registered once at module init; every probe is
+   a no-op behind a single atomic load until [Obs.Metrics.set_enabled]
+   flips the flag, so the integrators stay uninstrumented-speed in
+   normal runs (see the metrics-overhead bench kernel). *)
+let m_steps = Obs.Metrics.counter "ode.steps"
+let m_rejected = Obs.Metrics.counter "ode.rejected"
+let m_rhs_evals = Obs.Metrics.counter "ode.rhs_evals"
+let m_jacobians = Obs.Metrics.counter "ode.jacobians"
+let m_underflows = Obs.Metrics.counter "ode.underflows"
+let m_integrations = Obs.Metrics.counter "ode.integrations"
+let m_tier_adaptive = Obs.Metrics.counter "ode.tier.adaptive"
+let m_tier_tight = Obs.Metrics.counter "ode.tier.adaptive_tight"
+let m_tier_stiff = Obs.Metrics.counter "ode.tier.stiff"
+
+let underflow t =
+  Obs.Metrics.incr m_underflows;
+  raise (Step_underflow t)
+
 let rk4 ~f ~t0 ~y0 ~dt ~steps =
   let n = Array.length y0 in
   let y = Array.copy y0 in
@@ -20,6 +38,8 @@ let rk4 ~f ~t0 ~y0 ~dt ~steps =
     done;
     t := !t +. dt
   done;
+  Obs.Metrics.add m_steps steps;
+  Obs.Metrics.add m_rhs_evals (4 * steps);
   { t = !t; y; stats = { steps; rejected = 0; evals = 4 * steps } }
 
 (* Dormand–Prince 5(4) Butcher tableau. *)
@@ -58,9 +78,9 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   let k = Array.make 7 [||] in
   let stage_y = Array.make n 0. in
   while !t < t1 do
-    if !accepted + !rejected > max_steps then raise (Step_underflow !t);
+    if !accepted + !rejected > max_steps then underflow !t;
     let h_cur = Float.min !h (t1 -. !t) in
-    if h_cur < h_min then raise (Step_underflow !t);
+    if h_cur < h_min then underflow !t;
     (* Evaluate the seven stages. *)
     for s = 0 to 6 do
       for i = 0 to n - 1 do
@@ -71,7 +91,8 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
         stage_y.(i) <- !y.(i) +. (h_cur *. !acc)
       done;
       k.(s) <- f (!t +. (dp_c.(s) *. h_cur)) (Array.copy stage_y);
-      incr evals
+      incr evals;
+      Obs.Metrics.incr m_rhs_evals
     done;
     (* 5th-order solution and embedded error estimate. *)
     let y5 = Array.make n 0. in
@@ -93,9 +114,13 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
       t := !t +. h_cur;
       y := y5;
       incr accepted;
+      Obs.Metrics.incr m_steps;
       (match observer with Some obs -> obs !t !y | None -> ())
     end
-    else incr rejected;
+    else begin
+      incr rejected;
+      Obs.Metrics.incr m_rejected
+    end;
     (* Standard controller with safety factor and growth limits. *)
     let fac =
       (* robustlint: allow R1 — the controller divides by err^0.2, so guard exact zero *)
@@ -106,6 +131,7 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
 
 let numeric_jacobian f t y =
+  Obs.Metrics.incr m_jacobians;
   let n = Array.length y in
   let f0 = f t y in
   let jac = Matrix.zeros n n in
@@ -158,9 +184,9 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
   let y = ref (Array.copy y0) in
   let accepted = ref 0 and rejected = ref 0 and evals = ref 0 in
   while !t < t1 do
-    if !accepted + !rejected > max_steps then raise (Step_underflow !t);
+    if !accepted + !rejected > max_steps then underflow !t;
     let h_cur = Float.min !h (t1 -. !t) in
-    if h_cur < h_min then raise (Step_underflow !t);
+    if h_cur < h_min then underflow !t;
     (* Error estimation by step doubling: one full step vs two half steps. *)
     let full = backward_euler_step f !t !y h_cur in
     let halves =
@@ -174,6 +200,7 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
     match full, halves with
     | Some (y1, e1), Some (y2, e2) ->
       evals := !evals + e1 + e2;
+      Obs.Metrics.add m_rhs_evals (e1 + e2);
       let err = ref 0. in
       for i = 0 to n - 1 do
         let sc = atol +. (rtol *. Float.max (Float.abs y1.(i)) (Float.abs y2.(i))) in
@@ -186,15 +213,18 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
         (* Local extrapolation: the two-half-step solution is more accurate. *)
         y := y2;
         incr accepted;
+        Obs.Metrics.incr m_steps;
         h := h_cur *. Float.min 3. (Float.max 0.3 (0.9 /. Float.max 1e-8 (sqrt err)))
       end
       else begin
         incr rejected;
+        Obs.Metrics.incr m_rejected;
         h := h_cur *. 0.5
       end
     | _ ->
       (* Newton failed to converge: retry with a smaller step. *)
       incr rejected;
+      Obs.Metrics.incr m_rejected;
       h := h_cur *. 0.25
   done;
   { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
@@ -208,11 +238,19 @@ let tier_name = function
   | Adaptive_tight -> "dopri5-tight"
   | Stiff -> "implicit-euler"
 
+let tier_counter = function
+  | Adaptive -> m_tier_adaptive
+  | Adaptive_tight -> m_tier_tight
+  | Stiff -> m_tier_stiff
+
 let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
     ?(max_steps = 1_000_000) ~f ~t0 ~t1 ~y0 () =
+  Obs.Metrics.incr m_integrations;
+  Obs.Span.with_span "ode.integrate" @@ fun () ->
   let span = t1 -. t0 in
   let finite r = Array.for_all Float.is_finite r.y in
   let attempt tier run =
+    Obs.Metrics.incr (tier_counter tier);
     match run () with
     | r when finite r -> Some (r, tier)
     | _ -> None
@@ -246,6 +284,7 @@ let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
 
 let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
     ?(t_max = 5000.) ~f ~y0 () =
+  Obs.Span.with_span "ode.steady_state" @@ fun () ->
   let rec advance t y =
     let rate =
       let dy = f t y in

@@ -1,0 +1,16 @@
+(** Monotonic clock.
+
+    A thin shim over [clock_gettime(CLOCK_MONOTONIC)] — unaffected by
+    NTP adjustments or [settimeofday], unlike [Unix.gettimeofday].  Time
+    is reported as whole nanoseconds in an immediate [int] (no
+    allocation on the probe path; 63 bits of nanoseconds last ~146
+    years), relative to an unspecified epoch: only differences are
+    meaningful. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary origin. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds as fractional microseconds (the Chrome trace unit). *)
+
+val ns_to_ms : int -> float

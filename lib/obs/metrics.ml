@@ -1,0 +1,182 @@
+type counter = { c_name : string; cell : int Atomic.t }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* upper bounds, strictly increasing *)
+  counts : int array;   (* length bounds + 1; last is the +inf bucket *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_lock : Mutex.t;
+}
+
+(* Single flag guarding every probe: the disabled path is one atomic
+   load and a branch. *)
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+
+let set_enabled v = Atomic.set on v
+
+let registry_lock = Mutex.create ()
+
+(* The registries are guarded by [registry_lock]; the values inside are
+   updated lock-free (counters), by word store (gauges) or under the
+   per-histogram lock. *)
+(* robustlint: allow R6 — process-global metric registry; every access holds [registry_lock] *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+(* robustlint: allow R6 — process-global metric registry; every access holds [registry_lock] *)
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+(* robustlint: allow R6 — process-global metric registry; every access holds [registry_lock] *)
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let snapshot_seq = Atomic.make 0
+
+let registered tbl name make =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+        let v = make () in
+        Hashtbl.add tbl name v;
+        v)
+
+(* {1 Counters} *)
+
+let counter name = registered counters name (fun () -> { c_name = name; cell = Atomic.make 0 })
+
+let incr c = if Atomic.get on then Atomic.incr c.cell
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n)
+
+let counter_value c = Atomic.get c.cell
+
+(* {1 Gauges} *)
+
+let gauge name = registered gauges name (fun () -> { g_name = name; g_value = Float.nan })
+
+(* A gauge set is a single word store: racing writers are last-write-wins,
+   which is the semantics a gauge advertises anyway. *)
+let set_gauge g v = if Atomic.get on then g.g_value <- v
+
+let gauge_value g = g.g_value
+
+(* {1 Histograms} *)
+
+let default_ms_buckets =
+  [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let histogram ?(buckets = default_ms_buckets) name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > buckets.(i - 1)) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    buckets;
+  let h =
+    registered histograms name (fun () ->
+        {
+          h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          h_count = 0;
+          h_sum = 0.;
+          h_lock = Mutex.create ();
+        })
+  in
+  if Array.length h.bounds <> Array.length buckets
+     || not (Array.for_all2 (fun a b -> Float.compare a b = 0) h.bounds buckets)
+  then
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %S re-registered with different buckets" name);
+  h
+
+let observe h v =
+  if Atomic.get on then begin
+    Mutex.lock h.h_lock;
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    Mutex.unlock h.h_lock
+  end
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+(* {1 Reset} *)
+
+let sorted_values tbl =
+  let all = List.of_seq (Hashtbl.to_seq tbl) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let reset () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      List.iter (fun (_, c) -> Atomic.set c.cell 0) (sorted_values counters);
+      List.iter (fun (_, g) -> g.g_value <- Float.nan) (sorted_values gauges);
+      List.iter
+        (fun (_, h) ->
+          Mutex.lock h.h_lock;
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          Mutex.unlock h.h_lock)
+        (sorted_values histograms);
+      Atomic.set snapshot_seq 0)
+
+(* {1 Snapshots} *)
+
+let histogram_json h =
+  Mutex.lock h.h_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock h.h_lock)
+    (fun () ->
+      Json.Obj
+        [
+          ("le", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds)));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+          ("count", Json.Int h.h_count);
+          ("sum", Json.Float h.h_sum);
+        ])
+
+let snapshot ?label () =
+  let seq = Atomic.fetch_and_add snapshot_seq 1 in
+  let cs, gs, hs =
+    Mutex.lock registry_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_lock)
+      (fun () -> (sorted_values counters, sorted_values gauges, sorted_values histograms))
+  in
+  let fields =
+    [
+      ("seq", Json.Int seq);
+      ("counters", Json.Obj (List.map (fun (k, c) -> (k, Json.Int (Atomic.get c.cell))) cs));
+      ("gauges", Json.Obj (List.map (fun (k, g) -> (k, Json.Float g.g_value)) gs));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hs));
+    ]
+  in
+  let fields =
+    match label with Some l -> ("label", Json.String l) :: fields | None -> fields
+  in
+  Json.Obj fields
+
+let write_snapshot ?label oc =
+  let buf = Buffer.create 1024 in
+  Json.to_buffer buf (snapshot ?label ());
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf;
+  flush oc

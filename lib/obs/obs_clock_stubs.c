@@ -1,0 +1,19 @@
+/* Monotonic clock shim for Obs.Clock.
+
+   Unix.gettimeofday is wall-clock (it jumps under NTP slews) and the
+   stdlib has no monotonic source, so this is the one C stub in the
+   tree: clock_gettime(CLOCK_MONOTONIC) returning whole nanoseconds as
+   an OCaml immediate int.  63 bits of nanoseconds overflow after ~146
+   years of uptime, so no boxing ([@@noalloc] on the OCaml side) and no
+   Int64 allocation on the probe path. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,222 @@
+type event = {
+  id : int;
+  parent : int;
+  name : string;
+  domain : int;
+  start_ns : int;
+  dur_ns : int;
+  args : (string * string) list;
+}
+
+(* The enabled flag is the only state touched on the disabled path: one
+   atomic load and a conditional jump per probe. *)
+let on = Atomic.make false
+
+let next_id = Atomic.make 0
+
+let lock = Mutex.create ()
+
+(* All fields below are guarded by [lock]. *)
+(* robustlint: allow R6 — process-global trace collector; every access holds [lock] *)
+let buffers : (int, event list ref) Hashtbl.t = Hashtbl.create 8
+
+(* robustlint: allow R6 — per-domain stacks of open span ids; every access holds [lock] *)
+let open_stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 8
+
+(* robustlint: allow R6 — trace time origin, written once under [lock] *)
+let origin_ns = ref (-1)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled () = Atomic.get on
+
+let set_enabled v =
+  locked (fun () -> if v && !origin_ns < 0 then origin_ns := Clock.now_ns ());
+  Atomic.set on v
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset buffers;
+      Hashtbl.reset open_stacks;
+      Atomic.set next_id 0;
+      origin_ns := Clock.now_ns ())
+
+let slot tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add tbl key r;
+    r
+
+let enter name =
+  let domain = (Domain.self () :> int) in
+  let id = Atomic.fetch_and_add next_id 1 in
+  let parent, start_rel =
+    locked (fun () ->
+        let stack = slot open_stacks domain in
+        let parent = match !stack with p :: _ -> p | [] -> -1 in
+        stack := id :: !stack;
+        (parent, Clock.now_ns () - !origin_ns))
+  in
+  (name, domain, id, parent, start_rel)
+
+let leave (name, domain, id, parent, start_rel) args =
+  let stop_abs = Clock.now_ns () in
+  locked (fun () ->
+      let stop_rel = stop_abs - !origin_ns in
+      let stack = slot open_stacks domain in
+      (* Pop through anything left open by an exception-crossed scope. *)
+      stack := (match !stack with s :: rest when s = id -> rest | other -> List.filter (fun x -> x <> id) other);
+      let buf = slot buffers domain in
+      buf :=
+        { id; parent; name; domain; start_ns = start_rel; dur_ns = stop_rel - start_rel; args }
+        :: !buf)
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let tok = enter name in
+    Fun.protect ~finally:(fun () -> leave tok args) f
+  end
+
+let events () =
+  let all =
+    locked (fun () ->
+        Seq.fold_left
+          (fun acc (_, buf) -> List.rev_append !buf acc)
+          [] (Hashtbl.to_seq buffers))
+  in
+  List.sort (fun a b -> compare a.id b.id) all
+
+(* {1 Chrome trace export} *)
+
+let event_json e =
+  let args =
+    Json.Obj
+      (("span_id", Json.Int e.id)
+       :: ("parent", Json.Int e.parent)
+       :: List.map (fun (k, v) -> (k, Json.String v)) e.args)
+  in
+  Json.Obj
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String "robustpath");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Clock.ns_to_us e.start_ns));
+      ("dur", Json.Float (Clock.ns_to_us e.dur_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.domain);
+      ("args", args);
+    ]
+
+let thread_meta domain =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int domain);
+      ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain %d" domain)) ]);
+    ]
+
+let export_chrome () =
+  let evs = events () in
+  let domains = List.sort_uniq compare (List.map (fun e -> e.domain) evs) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map thread_meta domains @ List.map event_json evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      Json.to_buffer buf (export_chrome ());
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+
+let events_of_chrome doc =
+  let evs =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | _ -> invalid_arg "Span.events_of_chrome: no traceEvents array"
+  in
+  List.filter_map
+    (fun ev ->
+      match (Json.member "ph" ev, Json.member "name" ev) with
+      | Some (Json.String "X"), Some (Json.String name) ->
+        let num key = Option.bind (Json.member key ev) Json.number in
+        let int_arg key =
+          match Option.bind (Json.member "args" ev) (Json.member key) with
+          | Some (Json.Int i) -> i
+          | _ -> -1
+        in
+        let ns v = int_of_float ((v *. 1e3) +. 0.5) in
+        Some
+          {
+            id = int_arg "span_id";
+            parent = int_arg "parent";
+            name;
+            domain =
+              (match num "tid" with Some t -> int_of_float t | None -> 0);
+            start_ns = (match num "ts" with Some t -> ns t | None -> 0);
+            dur_ns = (match num "dur" with Some d -> ns d | None -> 0);
+            args = [];
+          }
+      | _ -> None)
+    evs
+
+(* {1 Self-time summary} *)
+
+type summary_row = {
+  row_name : string;
+  calls : int;
+  total_ns : int;
+  self_ns : int;
+}
+
+let summarize evs =
+  (* Direct-children durations, charged to the parent's id. *)
+  let child_ns = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.parent >= 0 then
+        Hashtbl.replace child_ns e.parent
+          (e.dur_ns + Option.value ~default:0 (Hashtbl.find_opt child_ns e.parent)))
+    evs;
+  let rows = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let children = Option.value ~default:0 (Hashtbl.find_opt child_ns e.id) in
+      let self = Stdlib.max 0 (e.dur_ns - children) in
+      let row =
+        match Hashtbl.find_opt rows e.name with
+        | Some r -> { r with calls = r.calls + 1; total_ns = r.total_ns + e.dur_ns; self_ns = r.self_ns + self }
+        | None -> { row_name = e.name; calls = 1; total_ns = e.dur_ns; self_ns = self }
+      in
+      Hashtbl.replace rows e.name row)
+    evs;
+  let all = List.of_seq (Seq.map snd (Hashtbl.to_seq rows)) in
+  List.sort
+    (fun a b ->
+      match compare b.self_ns a.self_ns with 0 -> compare a.row_name b.row_name | c -> c)
+    all
+
+let pp_summary ?(top = 15) ppf rows =
+  let grand_self =
+    List.fold_left (fun acc r -> acc + r.self_ns) 0 rows |> float_of_int |> Float.max 1.
+  in
+  Format.fprintf ppf "%-32s %10s %12s %12s %7s@\n" "span" "calls" "total ms" "self ms" "self%";
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.fprintf ppf "%-32s %10d %12.3f %12.3f %6.1f%%@\n" r.row_name r.calls
+          (Clock.ns_to_ms r.total_ns) (Clock.ns_to_ms r.self_ns)
+          (100. *. float_of_int r.self_ns /. grand_self))
+    rows

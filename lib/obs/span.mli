@@ -1,0 +1,70 @@
+(** Nestable wall-clock spans, exportable as Chrome [trace_event] JSON.
+
+    Tracing is process-global and {e off by default}: {!with_span} costs a
+    single atomic load when disabled (see the [span-overhead] bench
+    kernel).  When enabled, every span records its sequential id, its
+    parent (innermost open span on the same domain), its domain, and
+    start/duration on the monotonic {!Clock} — collection is keyed by
+    domain and protected by a mutex, so islands running on separate
+    domains can trace concurrently.
+
+    Trace content is deterministic modulo timestamps: ids are assigned in
+    a single process-wide sequence starting at 0 after {!reset}, and the
+    export lists events in id order.
+
+    {!write_chrome} emits the Trace Event Format (complete ["X"] events,
+    microsecond timestamps) that {{:https://ui.perfetto.dev}Perfetto} and
+    [chrome://tracing] load directly. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Enabling for the first time (or after {!reset}) pins the trace time
+    origin to "now"; timestamps in the export are relative to it. *)
+
+val reset : unit -> unit
+(** Drop all collected events, restart ids at 0 and re-pin the origin. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span named [name].  The span
+    is recorded even when [f] raises (the exception is re-raised).
+    [args] become the event's [args] in the trace.  When tracing is
+    disabled this is [f ()]. *)
+
+type event = {
+  id : int;           (** sequential, process-wide *)
+  parent : int;       (** id of the enclosing span on this domain, or -1 *)
+  name : string;
+  domain : int;       (** {!Domain.self} at the time of the span *)
+  start_ns : int;     (** relative to the trace origin *)
+  dur_ns : int;
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Collected events in id order. *)
+
+val export_chrome : unit -> Json.t
+(** The whole trace as a [{"traceEvents": [...]}] document. *)
+
+val write_chrome : path:string -> unit
+
+(** {2 Self-time summary} *)
+
+type summary_row = {
+  row_name : string;
+  calls : int;
+  total_ns : int;  (** summed wall time of spans with this name *)
+  self_ns : int;   (** total minus time spent in direct children *)
+}
+
+val summarize : event list -> summary_row list
+(** Aggregate per span name, sorted by self time (descending). *)
+
+val events_of_chrome : Json.t -> event list
+(** Re-read a trace written by {!write_chrome} (the inverse of
+    {!export_chrome}); raises [Invalid_argument] when the document has no
+    [traceEvents] array. *)
+
+val pp_summary : ?top:int -> Format.formatter -> summary_row list -> unit
+(** Table of the top [top] (default 15) rows by self time. *)

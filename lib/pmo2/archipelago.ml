@@ -38,6 +38,17 @@ let log_src = Logs.Src.create "pmo2.archipelago" ~doc:"Island-model supervisor"
 
 module Log = (val Logs.src_log log_src)
 
+(* Observability probes (single-atomic-load no-ops while disabled).
+   Counters accumulate across the run; gauges carry the per-epoch values
+   that make the paper's convergence curves (hypervolume vs effort). *)
+let m_epochs = Obs.Metrics.counter "arch.epochs"
+let m_migrations = Obs.Metrics.counter "arch.migrations"
+let m_island_failures = Obs.Metrics.counter "arch.island_failures"
+let g_hypervolume = Obs.Metrics.gauge "arch.hypervolume"
+let g_archive_size = Obs.Metrics.gauge "arch.archive_size"
+let g_evaluations = Obs.Metrics.gauge "arch.evaluations"
+let g_epoch = Obs.Metrics.gauge "arch.epoch"
+
 type state = {
   config : config;
   problem : Moo.Problem.t;
@@ -48,6 +59,9 @@ type state = {
   arch : Moo.Archive.t;
   mutable gens : int;
   mutable failures : int; (* island crashes caught by the supervisor *)
+  (* Telemetry only — not checkpointed; a resumed run restarts these. *)
+  mutable epoch_migrations : int; (* deliveries during the last epoch *)
+  mutable hv_ref : float array option; (* fixed hypervolume reference point *)
 }
 
 let init ?(seed = 42) ?(initial = []) problem config =
@@ -91,6 +105,8 @@ let init ?(seed = 42) ?(initial = []) problem config =
     arch = Moo.Archive.create ?capacity:config.archive_capacity ();
     gens = 0;
     failures = 0;
+    epoch_migrations = 0;
+    hv_ref = None;
   }
 
 let collect st =
@@ -108,6 +124,8 @@ let try_step isl period =
   | exception e -> Some (Printexc.to_string e)
 
 let step_epoch st =
+  Obs.Span.with_span "arch.epoch" @@ fun () ->
+  Obs.Metrics.incr m_epochs;
   let period = st.config.migration_period in
   (* Pre-epoch snapshots are the supervisor's recovery points: a crashed
      island is rolled back to exactly this state. *)
@@ -136,6 +154,7 @@ let step_epoch st =
       | None -> ()
       | Some msg ->
         st.failures <- st.failures + 1;
+        Obs.Metrics.incr m_island_failures;
         Log.warn (fun m ->
             m "island %d (%s) crashed during epoch at gen %d: %s; retrying sequentially" i
               (Island.name st.islands.(i))
@@ -145,6 +164,7 @@ let step_epoch st =
         | None -> ()
         | Some msg ->
           st.failures <- st.failures + 1;
+          Obs.Metrics.incr m_island_failures;
           Log.err (fun m ->
               m "island %d (%s) crashed again: %s; skipping this epoch" i
                 (Island.name st.islands.(i))
@@ -163,6 +183,8 @@ let step_epoch st =
       st.edges
   in
   List.iter (fun (dst, sols) -> Island.inject st.islands.(dst) sols) deliveries;
+  st.epoch_migrations <- List.length deliveries;
+  Obs.Metrics.add m_migrations st.epoch_migrations;
   collect st
 
 let islands_fronts st = Array.to_list (Array.map Island.front st.islands)
@@ -180,9 +202,92 @@ let island_failures st = st.failures
 
 let island_guard_stats st = Array.map Runtime.Guard.stats st.guards
 
+(* {1 Per-epoch observation} *)
+
+type epoch_record = {
+  er_epoch : int;
+  er_generations : int;
+  er_evaluations : int array;
+  er_archive_size : int;
+  er_hv_ref : float array;
+  er_hypervolume : float;
+  er_migrations : int;
+  er_failures : int;
+  er_guards : Runtime.Guard.stats array;
+}
+
+(* Fix the hypervolume reference point on first use: the componentwise
+   worst of the first observed front, pushed out by 10% of the span (so
+   boundary points still contribute volume).  Derived only from
+   seed-determined state, hence deterministic; pass ~hv_ref to [run] to
+   compare runs against a common frame instead. *)
+let fixed_hv_ref st front =
+  match st.hv_ref with
+  | Some r -> Some r
+  | None -> (
+    match front with
+    | [] -> None
+    | s0 :: _ ->
+      let d = Array.length s0.Moo.Solution.f in
+      let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i v ->
+              if v < lo.(i) then lo.(i) <- v;
+              if v > hi.(i) then hi.(i) <- v)
+            s.Moo.Solution.f)
+        front;
+      let r =
+        Array.init d (fun i -> hi.(i) +. (0.1 *. Float.max (hi.(i) -. lo.(i)) 1e-6))
+      in
+      st.hv_ref <- Some r;
+      Some r)
+
+let epoch_record st =
+  Obs.Span.with_span "arch.observe" @@ fun () ->
+  let front = Moo.Dominance.non_dominated (Moo.Archive.to_list st.arch) in
+  let hv_ref, hv =
+    match fixed_hv_ref st front with
+    | Some r -> (r, Moo.Hypervolume.of_solutions ~ref_point:r front)
+    | None -> ([||], Float.nan)
+  in
+  {
+    er_epoch = st.gens / st.config.migration_period;
+    er_generations = st.gens;
+    er_evaluations = Array.map Island.evaluations st.islands;
+    er_archive_size = Moo.Archive.size st.arch;
+    er_hv_ref = hv_ref;
+    er_hypervolume = hv;
+    er_migrations = st.epoch_migrations;
+    er_failures = st.failures;
+    er_guards = Array.map Runtime.Guard.stats st.guards;
+  }
+
+let publish_record r =
+  Obs.Metrics.set_gauge g_epoch (float_of_int r.er_epoch);
+  Obs.Metrics.set_gauge g_hypervolume r.er_hypervolume;
+  Obs.Metrics.set_gauge g_archive_size (float_of_int r.er_archive_size);
+  Obs.Metrics.set_gauge g_evaluations
+    (float_of_int (Array.fold_left ( + ) 0 r.er_evaluations));
+  (* Registration is idempotent, so looking the island gauges up each
+     epoch is just a table hit. *)
+  Array.iteri
+    (fun i evals ->
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge (Printf.sprintf "arch.island%d.evaluations" i))
+        (float_of_int evals))
+    r.er_evaluations
+
+let jsonl_observer oc r =
+  publish_record r;
+  Obs.Metrics.write_snapshot ~label:(Printf.sprintf "epoch %d" r.er_epoch) oc
+
 (* {1 Checkpointing} *)
 
 let checkpoint_magic = "robustpath-archipelago-checkpoint v2"
+
+let checkpoint_magic_v1 = "robustpath-archipelago-checkpoint v1"
 
 type snapshot = {
   snap_problem : string;
@@ -195,6 +300,41 @@ type snapshot = {
   snap_failures : int;
   snap_guards : Runtime.Guard.stats array;
 }
+
+(* The v1 layout (PR 1) — everything of v2 except the guard counters.
+   Kept so [inspect] and [load] read pre-guard-stats checkpoints instead
+   of failing; the missing telemetry surfaces as an empty guards array. *)
+type snapshot_v1 = {
+  v1_problem : string;
+  v1_period : int;
+  v1_n_islands : int;
+  v1_islands : Island.snapshot array;
+  v1_rng : int64;
+  v1_archive : Moo.Solution.t list;
+  v1_gens : int;
+  v1_failures : int;
+}
+
+let snapshot_of_v1 (s : snapshot_v1) =
+  {
+    snap_problem = s.v1_problem;
+    snap_period = s.v1_period;
+    snap_n_islands = s.v1_n_islands;
+    snap_islands = s.v1_islands;
+    snap_rng = s.v1_rng;
+    snap_archive = s.v1_archive;
+    snap_gens = s.v1_gens;
+    snap_failures = s.v1_failures;
+    snap_guards = [||];
+  }
+
+(* Version-dispatching reader: peek at the magic line, then commit to the
+   matching layout.  Unknown magics fall through to the v2 loader so the
+   error message is the standard bad-magic [Corrupt]. *)
+let load_snapshot path =
+  if Runtime.Checkpoint.read_magic ~path = checkpoint_magic_v1 then
+    (snapshot_of_v1 (Runtime.Checkpoint.load ~magic:checkpoint_magic_v1 ~path), 1)
+  else ((Runtime.Checkpoint.load ~magic:checkpoint_magic ~path : snapshot), 2)
 
 let snapshot st =
   {
@@ -242,7 +382,7 @@ let restore st snap =
 let save st path = Runtime.Checkpoint.save ~magic:checkpoint_magic ~path (snapshot st)
 
 let load ?seed problem config path =
-  let snap : snapshot = Runtime.Checkpoint.load ~magic:checkpoint_magic ~path in
+  let snap, _version = load_snapshot path in
   if snap.snap_problem <> problem.Moo.Problem.name then
     invalid_arg
       (Printf.sprintf "Archipelago.load: checkpoint is for problem %S, not %S"
@@ -260,9 +400,12 @@ type result = {
   guard_stats : Runtime.Guard.stats array;
 }
 
-let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?resume ~generations problem
-    config =
+let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?resume
+    ?observer ?hv_ref ~generations problem config =
   if checkpoint_every < 1 then invalid_arg "Archipelago.run: checkpoint_every must be >= 1";
+  (match keep_checkpoints with
+  | Some k when k < 1 -> invalid_arg "Archipelago.run: keep_checkpoints must be >= 1"
+  | _ -> ());
   let st =
     match resume with
     | Some path ->
@@ -276,13 +419,29 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?resume ~generations 
       collect st;
       st
   in
+  st.hv_ref <- hv_ref;
+  let save_epoch e =
+    match keep_checkpoints, checkpoint with
+    | None, Some path -> save st path
+    | Some k, Some path ->
+      (* Numbered history: the newest file is the resume point, older
+         ones roll off so long runs don't fill the disk. *)
+      save st (Runtime.Checkpoint.numbered path e);
+      Runtime.Checkpoint.prune ~keep:k path
+    | _, None -> ()
+  in
   let epochs = (generations + config.migration_period - 1) / config.migration_period in
   let done_epochs = st.gens / config.migration_period in
   for e = done_epochs + 1 to epochs do
     step_epoch st;
-    match checkpoint with
-    | Some path when e mod checkpoint_every = 0 || e = epochs -> save st path
-    | _ -> ()
+    (* Epoch records cost a hypervolume computation, so build one only
+       for an observer or an enabled metrics stream. *)
+    if Option.is_some observer || Obs.Metrics.enabled () then begin
+      let r = epoch_record st in
+      publish_record r;
+      match observer with Some f -> f r | None -> ()
+    end;
+    if e mod checkpoint_every = 0 || e = epochs then save_epoch e
   done;
   {
     front = Moo.Dominance.non_dominated (Moo.Archive.to_list st.arch);
@@ -302,6 +461,7 @@ type island_info = {
 }
 
 type info = {
+  info_version : int;
   info_problem : string;
   info_period : int;
   info_islands : island_info array;
@@ -312,8 +472,9 @@ type info = {
 }
 
 let inspect path =
-  let snap : snapshot = Runtime.Checkpoint.load ~magic:checkpoint_magic ~path in
+  let snap, version = load_snapshot path in
   {
+    info_version = version;
     info_problem = snap.snap_problem;
     info_period = snap.snap_period;
     info_islands =
@@ -332,8 +493,9 @@ let inspect path =
   }
 
 let pp_info ppf i =
-  Format.fprintf ppf "problem: %s@\ngenerations done: %d (migration period %d)@\n"
-    i.info_problem i.info_generations i.info_period;
+  Format.fprintf ppf "problem: %s (checkpoint format v%d)@\n" i.info_problem i.info_version;
+  Format.fprintf ppf "generations done: %d (migration period %d)@\n" i.info_generations
+    i.info_period;
   Format.fprintf ppf "archive: %d solutions; island crashes absorbed: %d@\n"
     i.info_archive_size i.info_failures;
   Array.iteri
@@ -343,4 +505,7 @@ let pp_info ppf i =
       if k < Array.length i.info_guards then
         Format.fprintf ppf " (guard: %a)" Runtime.Guard.pp_stats i.info_guards.(k);
       Format.fprintf ppf "@\n")
-    i.info_islands
+    i.info_islands;
+  if i.info_version < 2 then
+    Format.fprintf ppf
+      "guard telemetry: not recorded (v%d checkpoint predates guard stats)@\n" i.info_version

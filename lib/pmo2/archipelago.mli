@@ -73,6 +73,39 @@ val island_guard_stats : state -> Runtime.Guard.stats array
 (** Per-island guard telemetry, in island order.  Empty when the config
     has [guard_penalty = None]. *)
 
+(** {2 Per-epoch observation}
+
+    The observability hook behind the paper's quality-over-effort curves
+    (hypervolume Vp vs. generations, Fig. 1): {!run} builds one
+    {!epoch_record} after every migration epoch and hands it to
+    [?observer].  Records are deterministic for a given seed — the
+    hypervolume reference point is either supplied ([?hv_ref]) or fixed
+    once from the first observed front (componentwise worst + 10% span
+    margin), never re-fitted, so the per-epoch series is comparable
+    within a run.  When {!Obs.Metrics} is enabled the same values are
+    published as [arch.*] gauges even without an observer. *)
+
+type epoch_record = {
+  er_epoch : int;             (** 1-based epoch index *)
+  er_generations : int;       (** generations completed per island *)
+  er_evaluations : int array; (** cumulative evaluations, per island *)
+  er_archive_size : int;
+  er_hv_ref : float array;    (** the fixed reference point ([[||]] until known) *)
+  er_hypervolume : float;     (** archive-front hypervolume; [nan] until a front exists *)
+  er_migrations : int;        (** edges that delivered migrants this epoch *)
+  er_failures : int;          (** cumulative island crashes absorbed *)
+  er_guards : Runtime.Guard.stats array;  (** per-island fault counters *)
+}
+
+val epoch_record : state -> epoch_record
+(** Build a record for the current state (computes the archive-front
+    hypervolume; costs one {!Moo.Hypervolume} call). *)
+
+val jsonl_observer : out_channel -> epoch_record -> unit
+(** An [?observer] for {!run} that publishes the record's [arch.*] gauges
+    and appends one {!Obs.Metrics} snapshot line (labelled ["epoch N"])
+    to the channel — the [--metrics FILE.jsonl] stream of the CLI. *)
+
 val log_src : Logs.src
 (** Log source ["pmo2.archipelago"]: supervisor warnings, checkpoint
     activity. *)
@@ -111,7 +144,10 @@ val run :
   ?initial:Moo.Solution.t list ->
   ?checkpoint:string ->
   ?checkpoint_every:int ->
+  ?keep_checkpoints:int ->
   ?resume:string ->
+  ?observer:(epoch_record -> unit) ->
+  ?hv_ref:float array ->
   generations:int ->
   Moo.Problem.t ->
   config ->
@@ -124,7 +160,18 @@ val run :
     [resume], the run continues from the given checkpoint instead of
     initializing — completed epochs are skipped and the result is
     bit-identical to the uninterrupted run with the same seed, problem and
-    config. *)
+    config.  Checkpoints from the v1 format (pre guard-stats) resume with
+    fresh guard counters.
+
+    With [keep_checkpoints = Some k], each save goes to a numbered
+    history file ({!Runtime.Checkpoint.numbered}[ path epoch]) and only
+    the [k] newest survive ({!Runtime.Checkpoint.prune}); resume from the
+    newest with {!Runtime.Checkpoint.latest}.  Raises [Invalid_argument]
+    when [k < 1].
+
+    [observer] is called with an {!epoch_record} after every epoch;
+    [hv_ref] pins the hypervolume reference point (default: fixed from
+    the first observed front). *)
 
 (** {2 Checkpoint inspection} *)
 
@@ -135,18 +182,22 @@ type island_info = {
 }
 
 type info = {
+  info_version : int;  (** checkpoint format: 1 (pre guard-stats) or 2 *)
   info_problem : string;
   info_period : int;
   info_islands : island_info array;
   info_generations : int;
   info_archive_size : int;
   info_failures : int;
-  info_guards : Runtime.Guard.stats array;
+  info_guards : Runtime.Guard.stats array;  (** empty for v1 checkpoints *)
 }
 
 val inspect : string -> info
 (** Read a checkpoint's metadata without rebuilding a runnable state (no
-    problem or config needed).  Raises {!Runtime.Checkpoint.Corrupt} on a
-    missing, truncated or wrong-magic file. *)
+    problem or config needed).  Both the current (v2) and the legacy v1
+    format are understood — a v1 file reports [info_version = 1] and an
+    empty [info_guards] instead of failing.  Raises
+    {!Runtime.Checkpoint.Corrupt} on a missing, truncated or
+    unrecognized-magic file. *)
 
 val pp_info : Format.formatter -> info -> unit

@@ -2,20 +2,46 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
+(* Checkpoint I/O telemetry: latency (histogram, ms), volume (bytes
+   written) and call counts.  All probes are disabled-path no-ops. *)
+let m_saves = Obs.Metrics.counter "checkpoint.saves"
+let m_loads = Obs.Metrics.counter "checkpoint.loads"
+let m_bytes = Obs.Metrics.counter "checkpoint.bytes"
+let m_pruned = Obs.Metrics.counter "checkpoint.pruned"
+let h_save_ms = Obs.Metrics.histogram "checkpoint.save_ms"
+
 let save ~magic ~path value =
+  Obs.Span.with_span "checkpoint.save" @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
   (* Write-then-rename so a crash mid-checkpoint never clobbers the
      previous good checkpoint with a truncated file. *)
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
+  let bytes =
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_char oc '\n';
+        Marshal.to_channel oc value [];
+        out_channel_length oc)
+  in
+  Sys.rename tmp path;
+  Obs.Metrics.incr m_saves;
+  Obs.Metrics.add m_bytes bytes;
+  Obs.Metrics.observe h_save_ms (Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0))
+
+let read_magic ~path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open checkpoint %s: %s" path msg
+  in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_char oc '\n';
-      Marshal.to_channel oc value []);
-  Sys.rename tmp path
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> try input_line ic with End_of_file -> "")
 
 let load ~magic ~path =
+  Obs.Span.with_span "checkpoint.load" @@ fun () ->
   let ic =
     try open_in_bin path
     with Sys_error msg -> corrupt "cannot open checkpoint %s: %s" path msg
@@ -26,5 +52,52 @@ let load ~magic ~path =
       let line = try input_line ic with End_of_file -> "" in
       if line <> magic then
         corrupt "checkpoint %s: bad magic %S (expected %S)" path line magic;
+      Obs.Metrics.incr m_loads;
       try Marshal.from_channel ic
       with End_of_file | Failure _ -> corrupt "checkpoint %s: truncated or corrupt" path)
+
+(* {1 Numbered checkpoint histories} *)
+
+let numbered path seq =
+  if seq < 0 then invalid_arg "Checkpoint.numbered: seq must be >= 0";
+  Printf.sprintf "%s.%06d" path seq
+
+(* Files named [base ^ ".NNNNNN"] in [path]'s directory, as (seq, path)
+   pairs.  Anything else — the bare path, ".tmp" leftovers — is ignored. *)
+let history path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  let seq_of name =
+    let prefix = base ^ "." in
+    if String.starts_with ~prefix name then begin
+      let suffix = String.sub name (String.length prefix) (String.length name - String.length prefix) in
+      if String.length suffix = 6 && String.for_all (fun c -> c >= '0' && c <= '9') suffix
+      then int_of_string_opt suffix
+      else None
+    end
+    else None
+  in
+  let hits =
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           match seq_of name with
+           | Some seq -> Some (seq, Filename.concat dir name)
+           | None -> None)
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) hits
+
+let latest path =
+  match List.rev (history path) with [] -> None | (_, p) :: _ -> Some p
+
+let prune ~keep path =
+  if keep < 1 then invalid_arg "Checkpoint.prune: keep must be >= 1";
+  let hist = history path in
+  let drop = List.length hist - keep in
+  List.iteri
+    (fun i (_, p) ->
+      if i < drop then begin
+        (try Sys.remove p with Sys_error _ -> ());
+        Obs.Metrics.incr m_pruned
+      end)
+    hist

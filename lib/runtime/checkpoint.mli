@@ -18,3 +18,29 @@ val load : magic:string -> path:string -> 'a
 (** Raises {!Corrupt} when the file is unreadable, the magic line differs,
     or the payload is truncated.  Unsafe in the usual [Marshal] sense:
     the ['a] the caller expects must match what was saved. *)
+
+val read_magic : path:string -> string
+(** The file's magic line, without deserializing the payload — lets a
+    reader dispatch on the format version before committing to a layout.
+    Raises {!Corrupt} only when the file cannot be opened; an empty file
+    reads as [""]. *)
+
+(** {2 Numbered checkpoint histories}
+
+    A run that wants to keep the last K checkpoints (instead of
+    overwriting one file) writes to {!numbered}[ path seq] and calls
+    {!prune}[ ~keep path] after each save.  History files are
+    [path.NNNNNN] with a zero-padded sequence number, so lexicographic
+    and numeric order agree. *)
+
+val numbered : string -> int -> string
+(** [numbered path seq] is [path.NNNNNN].  Raises [Invalid_argument] on a
+    negative [seq]. *)
+
+val latest : string -> string option
+(** Highest-numbered existing history file for [path], if any. *)
+
+val prune : keep:int -> string -> unit
+(** Delete all but the [keep] highest-numbered history files of [path].
+    Unremovable files are skipped silently.  Raises [Invalid_argument]
+    when [keep < 1]. *)

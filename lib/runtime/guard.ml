@@ -17,6 +17,13 @@ let log_src = Logs.Src.create "runtime.guard" ~doc:"Guarded objective evaluation
 
 module Log = (val Logs.src_log log_src)
 
+(* Process-wide fault counters alongside the per-guard atomics: the
+   per-guard stats answer "which island", the metrics stream answers
+   "when" (one JSONL snapshot per epoch). *)
+let m_evaluations = Obs.Metrics.counter "guard.evaluations"
+let m_exceptions = Obs.Metrics.counter "guard.exceptions"
+let m_non_finite = Obs.Metrics.counter "guard.non_finite"
+
 let create ?(penalty = 1e12) () =
   if not (Float.is_finite penalty) then invalid_arg "Guard.create: penalty must be finite";
   {
@@ -55,15 +62,18 @@ let fatal = function Sys.Break | Out_of_memory | Stack_overflow -> true | _ -> f
 
 let wrap t ~n_obj f x =
   Atomic.incr t.evaluations;
+  Obs.Metrics.incr m_evaluations;
   match f x with
   | exception e when not (fatal e) ->
     Atomic.incr t.exceptions;
+    Obs.Metrics.incr m_exceptions;
     Log.debug (fun m -> m "objective raised %s; penalized" (Printexc.to_string e));
     Array.make n_obj t.penalty
   | fv ->
     if Array.for_all Float.is_finite fv then fv
     else begin
       Atomic.incr t.non_finite;
+      Obs.Metrics.incr m_non_finite;
       Array.map (fun v -> if Float.is_finite v then v else t.penalty) fv
     end
 
@@ -71,8 +81,15 @@ let wrap_scalar t f x =
   match f x with
   | exception e when not (fatal e) ->
     Atomic.incr t.exceptions;
+    Obs.Metrics.incr m_exceptions;
     t.penalty
-  | v -> if Float.is_finite v then v else (Atomic.incr t.non_finite; t.penalty)
+  | v ->
+    if Float.is_finite v then v
+    else begin
+      Atomic.incr t.non_finite;
+      Obs.Metrics.incr m_non_finite;
+      t.penalty
+    end
 
 let wrap_problem t p =
   {

@@ -298,6 +298,178 @@ let test_corrupt_checkpoint_detected () =
         | exception Runtime.Checkpoint.Corrupt _ -> true
         | _ -> false))
 
+(* {1 Numbered checkpoint histories / auto-pruning} *)
+
+(* Like [with_temp_file], but also sweeps up any [path.NNNNNN] history
+   files the test left behind. *)
+let with_temp_history f =
+  with_temp_file (fun path ->
+      Fun.protect
+        ~finally:(fun () ->
+          let dir = Filename.dirname path and base = Filename.basename path in
+          Array.iter
+            (fun name ->
+              if String.starts_with ~prefix:(base ^ ".") name then
+                try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+            (try Sys.readdir dir with Sys_error _ -> [||]))
+        (fun () -> f path))
+
+let test_numbered_history_primitives () =
+  Alcotest.(check string) "zero padding" "x.000042" (Runtime.Checkpoint.numbered "x" 42);
+  Alcotest.(check bool) "negative seq refused" true
+    (match Runtime.Checkpoint.numbered "x" (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  with_temp_history (fun path ->
+      Alcotest.(check (option string)) "no history yet" None (Runtime.Checkpoint.latest path);
+      List.iter
+        (fun i ->
+          Runtime.Checkpoint.save ~magic:"history-test"
+            ~path:(Runtime.Checkpoint.numbered path i)
+            i)
+        [ 1; 2; 3; 4 ];
+      Alcotest.(check (option string)) "latest is newest"
+        (Some (Runtime.Checkpoint.numbered path 4))
+        (Runtime.Checkpoint.latest path);
+      Runtime.Checkpoint.prune ~keep:2 path;
+      List.iter
+        (fun (i, expected) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "file %d survival" i)
+            expected
+            (Sys.file_exists (Runtime.Checkpoint.numbered path i)))
+        [ (1, false); (2, false); (3, true); (4, true) ];
+      Alcotest.(check bool) "keep < 1 refused" true
+        (match Runtime.Checkpoint.prune ~keep:0 path with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_keep_checkpoints_prunes_and_resumes () =
+  let problem = Moo.Benchmarks.zdt1 ~n:8 in
+  let full = Pmo2.Archipelago.run ~seed:21 ~generations:40 problem small_config in
+  with_temp_history (fun path ->
+      Sys.remove path;
+      (* Half the run (2 of 4 epochs) with a 2-deep history: both epoch
+         files survive, nothing is written to the bare path. *)
+      let _half =
+        Pmo2.Archipelago.run ~seed:21 ~checkpoint:path ~keep_checkpoints:2
+          ~generations:20 problem small_config
+      in
+      Alcotest.(check bool) "bare path not written" false (Sys.file_exists path);
+      Alcotest.(check bool) "epoch 1 kept" true
+        (Sys.file_exists (Runtime.Checkpoint.numbered path 1));
+      Alcotest.(check bool) "epoch 2 kept" true
+        (Sys.file_exists (Runtime.Checkpoint.numbered path 2));
+      (* Resume from the newest surviving file: bit-identical to the
+         uninterrupted run. *)
+      let newest = Option.get (Runtime.Checkpoint.latest path) in
+      Alcotest.(check string) "latest finds epoch 2"
+        (Runtime.Checkpoint.numbered path 2) newest;
+      let resumed =
+        Pmo2.Archipelago.run ~seed:21 ~resume:newest ~generations:40 problem small_config
+      in
+      Alcotest.(check bool) "resume from pruned history identical" true
+        (objs full = objs resumed);
+      (* A full run prunes as it goes: of 4 epoch files only the 2 newest
+         survive. *)
+      let _all =
+        Pmo2.Archipelago.run ~seed:21 ~checkpoint:path ~keep_checkpoints:2
+          ~generations:40 problem small_config
+      in
+      List.iter
+        (fun (i, expected) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "epoch %d file survival" i)
+            expected
+            (Sys.file_exists (Runtime.Checkpoint.numbered path i)))
+        [ (1, false); (2, false); (3, true); (4, true) ])
+
+(* {1 Legacy (v1) checkpoints} *)
+
+(* Marshal-layout mirrors of the archipelago's checkpoint payloads, used
+   to manufacture a genuine v1 fixture from a current checkpoint: v1 is
+   exactly v2 minus the trailing guard-stats field. *)
+type snapshot_v2_repr = {
+  r2_problem : string;
+  r2_period : int;
+  r2_n_islands : int;
+  r2_islands : Pmo2.Island.snapshot array;
+  r2_rng : int64;
+  r2_archive : Moo.Solution.t list;
+  r2_gens : int;
+  r2_failures : int;
+  r2_guards : Runtime.Guard.stats array;
+}
+[@@warning "-69"]
+
+type snapshot_v1_repr = {
+  r1_problem : string;
+  r1_period : int;
+  r1_n_islands : int;
+  r1_islands : Pmo2.Island.snapshot array;
+  r1_rng : int64;
+  r1_archive : Moo.Solution.t list;
+  r1_gens : int;
+  r1_failures : int;
+}
+[@@warning "-69"]
+
+let magic_v1 = "robustpath-archipelago-checkpoint v1"
+let magic_v2 = "robustpath-archipelago-checkpoint v2"
+
+let downgrade_checkpoint ~src ~dst =
+  let s : snapshot_v2_repr = Runtime.Checkpoint.load ~magic:magic_v2 ~path:src in
+  Runtime.Checkpoint.save ~magic:magic_v1 ~path:dst
+    {
+      r1_problem = s.r2_problem;
+      r1_period = s.r2_period;
+      r1_n_islands = s.r2_n_islands;
+      r1_islands = s.r2_islands;
+      r1_rng = s.r2_rng;
+      r1_archive = s.r2_archive;
+      r1_gens = s.r2_gens;
+      r1_failures = s.r2_failures;
+    }
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_v1_checkpoint_inspect_and_resume () =
+  let problem = Moo.Benchmarks.zdt1 ~n:8 in
+  let full = Pmo2.Archipelago.run ~seed:21 ~generations:40 problem small_config in
+  with_temp_file (fun v2path ->
+      with_temp_file (fun v1path ->
+          let _ =
+            Pmo2.Archipelago.run ~seed:21 ~checkpoint:v2path ~generations:20 problem
+              small_config
+          in
+          downgrade_checkpoint ~src:v2path ~dst:v1path;
+          (* inspect reports the version and the missing telemetry instead
+             of failing. *)
+          let info = Pmo2.Archipelago.inspect v1path in
+          Alcotest.(check int) "format version" 1 info.Pmo2.Archipelago.info_version;
+          Alcotest.(check int) "no guard stats" 0
+            (Array.length info.Pmo2.Archipelago.info_guards);
+          Alcotest.(check string) "problem name" "zdt1" info.Pmo2.Archipelago.info_problem;
+          Alcotest.(check int) "generations" 20 info.Pmo2.Archipelago.info_generations;
+          let rendered = Format.asprintf "%a" Pmo2.Archipelago.pp_info info in
+          Alcotest.(check bool) "pp names the format" true
+            (contains_substring ~sub:"checkpoint format v1" rendered);
+          Alcotest.(check bool) "pp flags missing telemetry" true
+            (contains_substring ~sub:"not recorded" rendered);
+          (* a v2 checkpoint of the same run reports version 2 *)
+          Alcotest.(check int) "v2 reports 2" 2
+            (Pmo2.Archipelago.inspect v2path).Pmo2.Archipelago.info_version;
+          (* resume accepts the v1 file (guard counters start fresh) and
+             reproduces the uninterrupted run. *)
+          let resumed =
+            Pmo2.Archipelago.run ~seed:21 ~resume:v1path ~generations:40 problem
+              small_config
+          in
+          Alcotest.(check bool) "v1 resume identical" true (objs full = objs resumed)))
+
 (* {1 Per-island guard telemetry} *)
 
 let test_per_island_guard_telemetry () =
@@ -390,6 +562,9 @@ let test_invalid_arg_preconditions () =
         { small_config with Pmo2.Archipelago.migration_prob = 1.5 });
   expect_invalid "paper_config: bad hint" (fun () ->
       Pmo2.Archipelago.paper_config ~generations_hint:0);
+  expect_invalid "run: keep_checkpoints < 1" (fun () ->
+      Pmo2.Archipelago.run ~checkpoint:"unused.ckpt" ~keep_checkpoints:0 ~generations:10
+        (Moo.Benchmarks.zdt1 ~n:4) small_config);
   expect_invalid "worst_of: zero trials" (fun () ->
       let rng = Numerics.Rng.create 1 in
       Robustness.Screen.worst_of ~rng ~f:(fun x -> x.(0)) ~trials:0 [| 1. |])
@@ -431,6 +606,12 @@ let () =
           Alcotest.test_case "mixed islands resume" `Quick test_resume_spea2_and_mixed_islands;
           Alcotest.test_case "validation" `Quick test_checkpoint_validation;
           Alcotest.test_case "corrupt file detected" `Quick test_corrupt_checkpoint_detected;
+          Alcotest.test_case "numbered history primitives" `Quick
+            test_numbered_history_primitives;
+          Alcotest.test_case "keep_checkpoints prunes and resumes" `Quick
+            test_keep_checkpoints_prunes_and_resumes;
+          Alcotest.test_case "v1 inspect and resume" `Quick
+            test_v1_checkpoint_inspect_and_resume;
         ] );
       ( "telemetry",
         [

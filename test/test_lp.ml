@@ -186,6 +186,37 @@ let prop_simplex_weak_duality =
       | Lp.Problem.Optimal { objective; _ } -> objective >= -1e-9
       | _ -> false)
 
+let test_solve_telemetry () =
+  (* With metrics on, a solve shows up in the simplex.* series: solve and
+     pivot counters move and the per-solve pivot histogram records one
+     observation. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let solves = Obs.Metrics.counter "simplex.solves" in
+      let pivots = Obs.Metrics.counter "simplex.pivots" in
+      let per_solve =
+        (* same buckets Simplex registered with: lookup, not re-definition *)
+        Obs.Metrics.histogram "simplex.pivots_per_solve"
+          ~buckets:[| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+      in
+      let p = Lp.Problem.make ~n_vars:2 () in
+      Lp.Problem.set_bounds p 0 0. infinity;
+      Lp.Problem.set_bounds p 1 0. infinity;
+      Lp.Problem.set_objective p 0 3.;
+      Lp.Problem.set_objective p 1 2.;
+      Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 4.;
+      Lp.Problem.add_row p [ (0, 1.); (1, 3.) ] Lp.Problem.Le 6.;
+      let _ = solve_expect_optimal p in
+      Alcotest.(check int) "one solve counted" 1 (Obs.Metrics.counter_value solves);
+      Alcotest.(check bool) "pivots counted" true (Obs.Metrics.counter_value pivots > 0);
+      Alcotest.(check int) "one histogram observation" 1
+        (Obs.Metrics.histogram_count per_solve))
+
 let () =
   Alcotest.run "lp"
     [
@@ -202,6 +233,7 @@ let () =
           Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
           Alcotest.test_case "diet problem" `Quick test_diet_problem;
           Alcotest.test_case "random LPs stay feasible" `Quick test_larger_random_consistency;
+          Alcotest.test_case "solve telemetry" `Quick test_solve_telemetry;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_simplex_weak_duality ]);
     ]

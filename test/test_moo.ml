@@ -174,6 +174,32 @@ let test_hv_monotone_in_points () =
   let hv2 = Moo.Hypervolume.compute ~ref_point:[| 1.; 1. |] ([| 0.8; 0.1 |] :: pts) in
   Alcotest.(check bool) "adding a point cannot shrink hv" true (hv2 >= hv1)
 
+(* Degenerate fronts — the shapes the archipelago's per-epoch observer can
+   hand the hypervolume in early epochs (tiny archives, repeated points,
+   points that touch the fixed reference). *)
+
+let test_hv_duplicate_points () =
+  (* A duplicated point must count once, not twice. *)
+  let once = Moo.Hypervolume.compute ~ref_point:[| 2.; 2. |] [ [| 1.; 1. |] ] in
+  let twice =
+    Moo.Hypervolume.compute ~ref_point:[| 2.; 2. |] [ [| 1.; 1. |]; [| 1.; 1. |] ]
+  in
+  check_float "duplicate counted once" once twice;
+  check_float "value" 1. twice
+
+let test_hv_point_on_ref_boundary () =
+  (* A point with one coordinate equal to the reference spans a degenerate
+     (zero-width) box in that dimension: volume 0, and it must not poison
+     the rest of the front. *)
+  check_float "on boundary alone" 0.
+    (Moo.Hypervolume.compute ~ref_point:[| 1.; 1. |] [ [| 1.; 0. |] ]);
+  check_float "boundary point adds nothing" 0.25
+    (Moo.Hypervolume.compute ~ref_point:[| 1.; 1. |] [ [| 1.; 0. |]; [| 0.5; 0.5 |] ])
+
+let test_hv_point_at_ref () =
+  (* The reference point itself dominates no volume. *)
+  check_float "at ref" 0. (Moo.Hypervolume.compute ~ref_point:[| 1.; 1. |] [ [| 1.; 1. |] ])
+
 (* {1 Coverage} *)
 
 let test_coverage_disjoint_fronts () =
@@ -407,6 +433,9 @@ let () =
           Alcotest.test_case "contributions" `Quick test_hv_contributions;
           Alcotest.test_case "contribution sum bound" `Quick test_hv_contributions_sum_bound;
           Alcotest.test_case "monotone in points" `Quick test_hv_monotone_in_points;
+          Alcotest.test_case "duplicate points" `Quick test_hv_duplicate_points;
+          Alcotest.test_case "point on ref boundary" `Quick test_hv_point_on_ref_boundary;
+          Alcotest.test_case "point at ref" `Quick test_hv_point_at_ref;
         ] );
       ( "coverage",
         [

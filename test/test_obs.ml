@@ -1,0 +1,358 @@
+(* Tests for the observability layer: the minimal JSON codec, nestable
+   spans with Chrome export, and the global metrics registry.
+
+   Span and Metrics are process-global, so every test that enables them
+   disables and resets on the way out (Fun.protect) to stay hermetic. *)
+
+let check_float ?(tol = 1e-12) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* {1 Json} *)
+
+let roundtrip v = Obs.Json.parse (Obs.Json.to_string v)
+
+(* Total lookup: missing members read as [Null]. *)
+let mem k j = Option.value ~default:Obs.Json.Null (Obs.Json.member k j)
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a\"b\\c\nd\tz");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj []; Obs.Json.List [] ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (roundtrip v = v)
+
+let test_json_float_precision () =
+  (* %.17g round-trips every float exactly. *)
+  let v = 0.1 +. 0.2 in
+  match roundtrip (Obs.Json.Float v) with
+  | Obs.Json.Float v' -> check_float "exact" v v'
+  | _ -> Alcotest.fail "expected float"
+
+let test_json_nonfinite_is_null () =
+  (* JSON has no nan/inf; the writer degrades them to null. *)
+  Alcotest.(check bool) "nan" true (roundtrip (Obs.Json.Float Float.nan) = Obs.Json.Null);
+  Alcotest.(check bool)
+    "inf" true
+    (roundtrip (Obs.Json.Float Float.infinity) = Obs.Json.Null)
+
+let test_json_parse_basics () =
+  Alcotest.(check bool)
+    "object" true
+    (Obs.Json.parse {| {"a": [1, 2.5, "xA", false, null]} |}
+    = Obs.Json.Obj
+        [
+          ( "a",
+            Obs.Json.List
+              [
+                Obs.Json.Int 1;
+                Obs.Json.Float 2.5;
+                Obs.Json.String "xA";
+                Obs.Json.Bool false;
+                Obs.Json.Null;
+              ] );
+        ])
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Obs.Json.parse s with
+    | exception Obs.Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  rejects "";
+  rejects "{";
+  rejects "[1,]";
+  rejects "{\"a\": }";
+  rejects "tru";
+  rejects "1 2";
+  (* trailing garbage *)
+  rejects "\"unterminated"
+
+let test_json_member_number () =
+  let doc = Obs.Json.parse {| {"x": 3, "y": 4.5} |} in
+  let num k = Option.bind (Obs.Json.member k doc) Obs.Json.number in
+  Alcotest.(check (option (float 1e-12))) "int member" (Some 3.) (num "x");
+  Alcotest.(check (option (float 1e-12))) "float member" (Some 4.5) (num "y");
+  Alcotest.(check bool) "missing" true (Obs.Json.member "z" doc = None);
+  Alcotest.(check bool) "number of a string" true (Obs.Json.number (Obs.Json.String "x") = None)
+
+(* {1 Span} *)
+
+let with_tracing f =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ())
+    f
+
+let test_span_disabled_collects_nothing () =
+  Obs.Span.reset ();
+  let r = Obs.Span.with_span "ghost" (fun () -> 7) in
+  Alcotest.(check int) "result" 7 r;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ()))
+
+let test_span_nesting_parents () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_span "outer" (fun () ->
+      Obs.Span.with_span "inner" (fun () -> ());
+      Obs.Span.with_span "inner" (fun () -> ()));
+  match Obs.Span.events () with
+  | [ outer; i1; i2 ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Obs.Span.name;
+    Alcotest.(check int) "outer is a root" (-1) outer.Obs.Span.parent;
+    Alcotest.(check int) "ids sequential" 0 outer.Obs.Span.id;
+    List.iter
+      (fun (e : Obs.Span.event) ->
+        Alcotest.(check string) "inner name" "inner" e.name;
+        Alcotest.(check int) "inner parent" outer.Obs.Span.id e.parent)
+      [ i1; i2 ];
+    Alcotest.(check bool)
+      "children within parent" true
+      (i1.Obs.Span.start_ns >= outer.Obs.Span.start_ns
+      && i1.Obs.Span.start_ns + i1.Obs.Span.dur_ns
+         <= outer.Obs.Span.start_ns + outer.Obs.Span.dur_ns)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_span_recorded_on_raise () =
+  with_tracing @@ fun () ->
+  (try Obs.Span.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.Span.events () with
+  | [ e ] -> Alcotest.(check string) "recorded" "boom" e.Obs.Span.name
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_span_chrome_roundtrip () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_span ~args:[ ("k", "v") ] "a" (fun () ->
+      Obs.Span.with_span "b" (fun () -> ()));
+  (* User args ride along in the export (visible in Perfetto)... *)
+  Alcotest.(check bool) "user args exported" true
+    (contains_substring ~sub:{|"k":"v"|} (Obs.Json.to_string (Obs.Span.export_chrome ())));
+  let before = Obs.Span.events () in
+  let after = Obs.Span.events_of_chrome (roundtrip (Obs.Span.export_chrome ())) in
+  Alcotest.(check int) "count" (List.length before) (List.length after);
+  List.iter2
+    (fun (x : Obs.Span.event) (y : Obs.Span.event) ->
+      Alcotest.(check int) "id" x.id y.id;
+      Alcotest.(check int) "parent" x.parent y.parent;
+      Alcotest.(check string) "name" x.name y.name;
+      (* Chrome timestamps are microseconds, so ns fields survive only to
+         1 us resolution. *)
+      Alcotest.(check bool) "start" true (abs (x.start_ns - y.start_ns) < 1000);
+      Alcotest.(check bool) "dur" true (abs (x.dur_ns - y.dur_ns) < 1000);
+      (* ... but only the structural args (span_id/parent) are re-imported;
+         the summary needs nothing else. *)
+      Alcotest.(check bool) "user args not re-imported" true (y.args = []))
+    before after
+
+let test_span_events_of_chrome_rejects () =
+  match Obs.Span.events_of_chrome (Obs.Json.Obj [ ("nope", Obs.Json.Null) ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted a document without traceEvents"
+
+let test_span_summarize_self_time () =
+  (* Synthetic events so the arithmetic is exact: parent 0 spans 1000 ns
+     and its two "child" spans cover 600, leaving 400 self. *)
+  let ev id parent name start_ns dur_ns =
+    { Obs.Span.id; parent; name; domain = 0; start_ns; dur_ns; args = [] }
+  in
+  let rows =
+    Obs.Span.summarize
+      [ ev 0 (-1) "parent" 0 1000; ev 1 0 "child" 100 500; ev 2 0 "child" 700 100 ]
+  in
+  match rows with
+  | [ a; b ] ->
+    (* child: total 600 = self 600, sorted first. *)
+    Alcotest.(check string) "top row" "child" a.Obs.Span.row_name;
+    Alcotest.(check int) "child calls" 2 a.Obs.Span.calls;
+    Alcotest.(check int) "child total" 600 a.Obs.Span.total_ns;
+    Alcotest.(check int) "child self" 600 a.Obs.Span.self_ns;
+    Alcotest.(check string) "second row" "parent" b.Obs.Span.row_name;
+    Alcotest.(check int) "parent total" 1000 b.Obs.Span.total_ns;
+    Alcotest.(check int) "parent self" 400 b.Obs.Span.self_ns
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_span_pp_summary () =
+  let ev id parent name start_ns dur_ns =
+    { Obs.Span.id; parent; name; domain = 0; start_ns; dur_ns; args = [] }
+  in
+  let rows = Obs.Span.summarize [ ev 0 (-1) "only" 0 2_000_000 ] in
+  let s = Format.asprintf "%a" (Obs.Span.pp_summary ~top:5) rows in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0);
+  Alcotest.(check bool) "has the span name" true (contains_substring ~sub:"only" s)
+
+(* {1 Metrics} *)
+
+let with_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let test_metrics_disabled_noop () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "t.disabled" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  let h = Obs.Metrics.histogram ~buckets:[| 1. |] "t.disabled_h" in
+  Obs.Metrics.observe h 0.5;
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Metrics.histogram_count h)
+
+let test_metrics_counter () =
+  with_metrics @@ fun () ->
+  let c = Obs.Metrics.counter "t.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "value" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool)
+    "registration idempotent" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "t.counter") = 5)
+
+let test_metrics_counter_parallel_exact () =
+  with_metrics @@ fun () ->
+  let c = Obs.Metrics.counter "t.parallel" in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "exact under domains" 40_000 (Obs.Metrics.counter_value c)
+
+let test_metrics_gauge () =
+  with_metrics @@ fun () ->
+  let g = Obs.Metrics.gauge "t.gauge" in
+  Obs.Metrics.set_gauge g 1.5;
+  Obs.Metrics.set_gauge g 2.5;
+  check_float "last write wins" 2.5 (Obs.Metrics.gauge_value g)
+
+let test_metrics_histogram_buckets () =
+  with_metrics @@ fun () ->
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 10. |] "t.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.; 50. ];
+  Alcotest.(check int) "count" 3 (Obs.Metrics.histogram_count h);
+  check_float "sum" 55.5 (Obs.Metrics.histogram_sum h);
+  match mem "t.hist" (mem "histograms" (Obs.Metrics.snapshot ())) with
+  | Obs.Json.Obj fields ->
+    Alcotest.(check bool)
+      "one observation per bucket" true
+      (List.assoc "counts" fields
+      = Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 1; Obs.Json.Int 1 ])
+  | _ -> Alcotest.fail "histogram not in snapshot"
+
+let test_metrics_histogram_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted invalid histogram"
+  in
+  invalid (fun () -> Obs.Metrics.histogram ~buckets:[||] "t.bad_empty");
+  invalid (fun () -> Obs.Metrics.histogram ~buckets:[| 2.; 1. |] "t.bad_order");
+  let _ = Obs.Metrics.histogram ~buckets:[| 1.; 2. |] "t.conflict" in
+  invalid (fun () -> Obs.Metrics.histogram ~buckets:[| 1.; 3. |] "t.conflict")
+
+let test_metrics_snapshot_deterministic () =
+  with_metrics @@ fun () ->
+  let c = Obs.Metrics.counter "t.snap" in
+  Obs.Metrics.add c 3;
+  let strip_seq j =
+    match j with
+    | Obs.Json.Obj fields -> List.remove_assoc "seq" fields
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  let s1 = strip_seq (Obs.Metrics.snapshot ~label:"x" ()) in
+  let s2 = strip_seq (Obs.Metrics.snapshot ~label:"x" ()) in
+  (* Compare the serialized forms: that is the determinism the JSONL
+     stream promises (unset gauges are NaN, which serializes as null but
+     is not structurally equal to itself). *)
+  Alcotest.(check string) "identical modulo seq"
+    (Obs.Json.to_string (Obs.Json.Obj s1))
+    (Obs.Json.to_string (Obs.Json.Obj s2));
+  match List.assoc "counters" s1 with
+  | Obs.Json.Obj counters ->
+    Alcotest.(check bool) "value exact" true (List.assoc "t.snap" counters = Obs.Json.Int 3);
+    let names = List.map fst counters in
+    Alcotest.(check bool)
+      "names sorted" true
+      (List.sort String.compare names = names)
+  | _ -> Alcotest.fail "no counters object"
+
+let test_metrics_write_snapshot_jsonl () =
+  with_metrics @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "t.jsonl");
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Metrics.write_snapshot ~label:"a" oc;
+      Obs.Metrics.write_snapshot ~label:"b" oc;
+      close_out oc;
+      let ic = open_in path in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> List.init 2 (fun _ -> input_line ic))
+      in
+      List.iteri
+        (fun i line ->
+          let doc = Obs.Json.parse line in
+          Alcotest.(check bool)
+            "has label" true
+            (mem "label" doc = Obs.Json.String (if i = 0 then "a" else "b")))
+        lines)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float precision" `Quick test_json_float_precision;
+          Alcotest.test_case "non-finite to null" `Quick test_json_nonfinite_is_null;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member and number" `Quick test_json_member_number;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled collects nothing" `Quick
+            test_span_disabled_collects_nothing;
+          Alcotest.test_case "nesting and parents" `Quick test_span_nesting_parents;
+          Alcotest.test_case "recorded on raise" `Quick test_span_recorded_on_raise;
+          Alcotest.test_case "chrome roundtrip" `Quick test_span_chrome_roundtrip;
+          Alcotest.test_case "events_of_chrome rejects" `Quick
+            test_span_events_of_chrome_rejects;
+          Alcotest.test_case "summarize self time" `Quick test_span_summarize_self_time;
+          Alcotest.test_case "pp_summary" `Quick test_span_pp_summary;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "parallel exact" `Quick test_metrics_counter_parallel_exact;
+          Alcotest.test_case "gauge" `Quick test_metrics_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick test_metrics_histogram_validation;
+          Alcotest.test_case "snapshot deterministic" `Quick
+            test_metrics_snapshot_deterministic;
+          Alcotest.test_case "jsonl writer" `Quick test_metrics_write_snapshot_jsonl;
+        ] );
+    ]
