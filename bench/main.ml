@@ -250,6 +250,165 @@ let run_obs_benchmarks () =
     exit 1
   end
 
+(* {1 Parallel pool speedup}
+
+   [bench-parallel] measures sequential-vs-pooled wall clock for the two
+   hot fan-out shapes — a photo-leaf population evaluation and a
+   robustness Monte-Carlo ensemble — across pools of 1/2/4/8 domains,
+   asserts the pooled results are bit-for-bit equal to the sequential
+   ones, and writes the speedup curves to BENCH_parallel.json.
+
+   The pass criterion adapts to the machine: at least 3x at 8 domains,
+   or 0.8x-linear at the machine's core count, whichever is lower — a
+   1-core container therefore passes at >= 0.8x with 1 domain (the pool
+   must not cost more than 25% over the sequential loop). *)
+
+let quick_mode = ref false
+
+let best_of_ns ?(reps = 5) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Obs.Clock.now_ns () in
+    f ();
+    let dt = float_of_int (Obs.Clock.now_ns () - t0) in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type pkernel = {
+  pk_name : string;
+  (* Run the kernel on [pool] and return a value to compare for
+     bit-for-bit equality; [sequential] bypasses the pool. *)
+  pk_run : Parallel.Pool.t -> sequential:bool -> Obj.t;
+}
+
+let photo_population_kernel ~n =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let problem = Photo.Leaf.problem env in
+  let rng = Numerics.Rng.create 17 in
+  let xs = Array.init n (fun _ -> Moo.Problem.random_solution problem rng) in
+  {
+    pk_name = Printf.sprintf "photo-leaf-population/%d" n;
+    pk_run =
+      (fun pool ~sequential ->
+        Obj.repr
+          (Parallel.Pool.parallel_map ~sequential pool ~n (fun i ->
+               Moo.Solution.evaluate problem xs.(i))));
+  }
+
+let robustness_ensemble_kernel ~trials =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let f ratios = (Photo.Steady_state.evaluate ~env ~ratios ()).Photo.Steady_state.uptake in
+  let x = Array.make Photo.Enzyme.count 1. in
+  {
+    pk_name = Printf.sprintf "robustness-ensemble/%d" trials;
+    pk_run =
+      (fun pool ~sequential ->
+        Obj.repr (Robustness.Yield.gamma_pool ~pool ~sequential ~seed:42 ~f ~trials x));
+  }
+
+let run_parallel_benchmarks () =
+  let quick = !quick_mode in
+  let kernels =
+    if quick then [ photo_population_kernel ~n:8 ]
+    else [ photo_population_kernel ~n:48; robustness_ensemble_kernel ~trials:64 ]
+  in
+  let widths = if quick then [ 1 ] else [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  let target_domains = Stdlib.min 8 cores in
+  let threshold = Float.min 3.0 (0.8 *. float_of_int target_domains) in
+  Printf.printf
+    "== Parallel pool speedup (%d core%s; pass: >= %.2fx at %d domain%s) ==\n%!" cores
+    (if cores = 1 then "" else "s")
+    threshold target_domains
+    (if target_domains = 1 then "" else "s");
+  let results =
+    List.map
+      (fun k ->
+        (* The sequential baseline bypasses the pool entirely; a 1-domain
+           pool serves as the carrier. *)
+        let seq_pool = Parallel.Pool.create ~domains:1 () in
+        let reference = k.pk_run seq_pool ~sequential:true in
+        let seq_ns = best_of_ns (fun () -> ignore (k.pk_run seq_pool ~sequential:true)) in
+        Parallel.Pool.shutdown seq_pool;
+        Printf.printf "   %-32s sequential %10.3f ms\n%!" k.pk_name (seq_ns /. 1e6);
+        let curve =
+          List.map
+            (fun d ->
+              let pool = Parallel.Pool.create ~domains:d () in
+              let pooled = k.pk_run pool ~sequential:false in
+              if pooled <> reference then begin
+                Printf.eprintf "bench-parallel: %s diverges at %d domains\n" k.pk_name d;
+                exit 1
+              end;
+              let ns = best_of_ns (fun () -> ignore (k.pk_run pool ~sequential:false)) in
+              Parallel.Pool.shutdown pool;
+              let speedup = seq_ns /. ns in
+              Printf.printf "   %-32s %d domain%s  %10.3f ms   %5.2fx (bit-identical)\n%!"
+                k.pk_name d
+                (if d = 1 then " " else "s")
+                (ns /. 1e6) speedup;
+              (d, ns, speedup))
+            widths
+        in
+        let speedup_at_target =
+          List.fold_left
+            (fun acc (d, _, s) -> if d = target_domains then s else acc)
+            nan curve
+        in
+        (k.pk_name, seq_ns, curve, speedup_at_target))
+      kernels
+  in
+  if quick then Printf.printf "   smoke mode: 1-domain determinism + overhead check only\n%!"
+  else begin
+    let pass =
+      List.for_all (fun (_, _, _, s) -> Float.is_finite s && s >= threshold) results
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("benchmark", Obs.Json.String "persistent pool speedup (sequential vs pooled)");
+          ("cores", Obs.Json.Float (float_of_int cores));
+          ("target_domains", Obs.Json.Float (float_of_int target_domains));
+          ("threshold_speedup", Obs.Json.Float threshold);
+          ( "kernels",
+            Obs.Json.List
+              (List.map
+                 (fun (name, seq_ns, curve, s_at) ->
+                   Obs.Json.Obj
+                     [
+                       ("name", Obs.Json.String name);
+                       ("sequential_ms", Obs.Json.Float (seq_ns /. 1e6));
+                       ( "curve",
+                         Obs.Json.List
+                           (List.map
+                              (fun (d, ns, s) ->
+                                Obs.Json.Obj
+                                  [
+                                    ("domains", Obs.Json.Float (float_of_int d));
+                                    ("ms", Obs.Json.Float (ns /. 1e6));
+                                    ("speedup", Obs.Json.Float s);
+                                  ])
+                              curve) );
+                       ("deterministic", Obs.Json.Bool true);
+                       ("speedup_at_target", Obs.Json.Float s_at);
+                     ])
+                 results) );
+          ("pass", Obs.Json.Bool pass);
+        ]
+    in
+    let oc = open_out "BENCH_parallel.json" in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "   wrote BENCH_parallel.json (pass: %b)\n" pass;
+    if not pass then begin
+      Printf.eprintf "bench-parallel: speedup at %d domains below %.2fx\n" target_domains
+        threshold;
+      exit 1
+    end
+  end
+
 (* {1 Dispatch} *)
 
 let experiments =
@@ -274,6 +433,7 @@ let experiments =
     ("ablate-penalty", Experiments.Ablate.penalty);
     ("bench", run_micro_benchmarks);
     ("bench-obs", run_obs_benchmarks);
+    ("bench-parallel", run_parallel_benchmarks);
   ]
 
 let run_one name =
@@ -296,6 +456,8 @@ let () =
   Printf.printf
     "Design of Robust Metabolic Pathways (DAC'11) — experiment harness (scale: %s)\n\n%!"
     scale;
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) -> List.iter run_one names
-  | _ -> List.iter (fun (name, _) -> run_one name) experiments
+  let args = List.tl (Array.to_list Sys.argv) in
+  quick_mode := List.mem "--quick" args;
+  match List.filter (fun a -> a <> "--quick") args with
+  | _ :: _ as names -> List.iter run_one names
+  | [] -> List.iter (fun (name, _) -> run_one name) experiments

@@ -99,6 +99,34 @@ let with_observability ~trace ~metrics f =
       | None -> ())
     (fun () -> f ~observer)
 
+(* Parallelism flag, shared by the optimization subcommands: size the
+   process-wide persistent pool and hand back the pool for the config's
+   population evaluators.  Results are bit-identical at any width. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evolve islands and evaluate populations on a persistent pool of $(docv) \
+           worker domains (default: the runtime's recommended domain count).  Results \
+           are bit-for-bit identical for any $(docv); only wall clock changes.")
+
+let pool_of_domains domains =
+  Parallel.Pool.set_default_domains domains;
+  Parallel.Pool.get ()
+
+(* Pool counters tick while --metrics has observability enabled and
+   survive the disable, so the summary can read them after the run. *)
+let report_pool_stats ~metrics pool =
+  match metrics with
+  | None -> ()
+  | Some _ ->
+    let s = Parallel.Pool.stats () in
+    Printf.printf "pool: %d domains, %d tasks, %d steals, %.1f ms idle\n"
+      (Parallel.Pool.domains pool) s.Parallel.Pool.tasks s.Parallel.Pool.steals
+      (float_of_int s.Parallel.Pool.idle_ns /. 1e6)
+
 let report_faults r =
   Array.iteri
     (fun i s ->
@@ -128,18 +156,20 @@ let env_of ~ci ~export =
 (* {1 photo} *)
 
 let photo_cmd =
-  let run ci export generations pop seed checkpoint checkpoint_every keep resume trace
-      metrics =
+  let run ci export generations pop seed domains checkpoint checkpoint_every keep resume
+      trace metrics =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
     let problem = Photo.Leaf.problem env in
     let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
+    let pool = pool_of_domains domains in
     let cfg =
       {
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
-        nsga2 = { Ea.Nsga2.default_config with pop_size = pop };
+        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; pool = Some pool };
         guard_penalty = Some 1e12;
+        parallel = true;
       }
     in
     let r =
@@ -159,7 +189,8 @@ let photo_cmd =
         Printf.printf "  uptake %8.3f   nitrogen %10.0f\n" (Photo.Leaf.uptake_of s)
           (Photo.Leaf.nitrogen_of s))
       (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front);
-    report_faults r
+    report_faults r;
+    report_pool_stats ~metrics pool
   in
   let ci =
     Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (165, 270 or 490 ppm).")
@@ -175,24 +206,28 @@ let photo_cmd =
   Cmd.v
     (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
     Term.(
-      const run $ ci $ export $ generations $ pop $ seed $ checkpoint_arg
+      const run $ ci $ export $ generations $ pop $ seed $ domains_arg $ checkpoint_arg
       $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
-  let run generations pop seed checkpoint checkpoint_every keep resume trace metrics =
+  let run generations pop seed domains checkpoint checkpoint_every keep resume trace
+      metrics =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
     let problem = Fba.Moo_problem.problem g in
     let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
     let vary = Fba.Moo_problem.flux_variation g () in
+    let pool = pool_of_domains domains in
     let cfg =
       {
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
-        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary };
+        nsga2 =
+          { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary; pool = Some pool };
         guard_penalty = Some 1e12;
+        parallel = true;
       }
     in
     let r =
@@ -209,7 +244,8 @@ let geobacter_cmd =
         Printf.printf "  EP %8.3f   BP %.4f\n" (Fba.Moo_problem.ep_of s)
           (Fba.Moo_problem.bp_of s))
       (Moo.Mine.equally_spaced ~k:8 feasible);
-    report_faults r
+    report_faults r;
+    report_pool_stats ~metrics pool
   in
   let generations =
     Arg.(value & opt int 60 & info [ "generations" ] ~doc:"Generations per island.")
@@ -220,8 +256,8 @@ let geobacter_cmd =
     (Cmd.info "geobacter"
        ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
     Term.(
-      const run $ generations $ pop $ seed $ checkpoint_arg $ checkpoint_every_arg
-      $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
+      const run $ generations $ pop $ seed $ domains_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 inspect} *)
 

@@ -7,6 +7,7 @@ type config = {
   variation :
     (Numerics.Rng.t -> float array -> float array -> float array * float array)
     option;
+  pool : Parallel.Pool.t option;
 }
 
 let default_config =
@@ -17,7 +18,20 @@ let default_config =
     mutation_prob = None;
     eta_m = 20.;
     variation = None;
+    pool = None;
   }
+
+(* Evaluate a batch of candidate vectors, in index order.  Variation has
+   already consumed the generator, and evaluating a candidate is a pure
+   function of its vector (guards penalize deterministically), so the
+   chunked pooled map returns bit-for-bit the same array as the
+   sequential one — the pool only changes wall clock. *)
+let evaluate_batch problem pool xs =
+  match pool with
+  | None -> Array.map (fun x -> Moo.Solution.evaluate problem x) xs
+  | Some pool ->
+    Parallel.Pool.parallel_map pool ~n:(Array.length xs) (fun i ->
+        Moo.Solution.evaluate problem xs.(i))
 
 type state = {
   problem : Moo.Problem.t;
@@ -119,11 +133,14 @@ let init ?(initial = []) problem config rng =
   if not (config.pop_size >= 4 && config.pop_size mod 2 = 0) then
     invalid_arg "Ea.Nsga2.init: need an even pop_size >= 4";
   let seeded = Array.of_list initial in
-  let pop =
-    Array.init config.pop_size (fun i ->
-        if i < Array.length seeded then seeded.(i)
-        else Moo.Solution.evaluate problem (Moo.Problem.random_solution problem rng))
+  let ns = Stdlib.min (Array.length seeded) config.pop_size in
+  (* Draw every random candidate first (fixed generator order), then
+     evaluate the batch — pooled when configured. *)
+  let xs =
+    Array.init (config.pop_size - ns) (fun _ -> Moo.Problem.random_solution problem rng)
   in
+  let fresh = evaluate_batch problem config.pool xs in
+  let pop = Array.init config.pop_size (fun i -> if i < ns then seeded.(i) else fresh.(i - ns)) in
   let st =
     {
       problem;
@@ -197,11 +214,12 @@ let make_offspring st =
     in
     children := k1 :: k2 :: !children
   done;
-  List.map
-    (fun x ->
-      st.evals <- st.evals + 1;
-      Moo.Solution.evaluate p x)
-    !children
+  (* Variation above consumed the generator in a fixed order; evaluation
+     is pure, so the (possibly pooled) batch is bit-identical to the
+     sequential map. *)
+  let xs = Array.of_list !children in
+  st.evals <- st.evals + Array.length xs;
+  Array.to_list (evaluate_batch p st.config.pool xs)
 
 let step st n =
   for _ = 1 to n do

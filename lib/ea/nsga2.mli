@@ -13,6 +13,12 @@ type config = {
       (** custom variation operator (parents → children); when set it
           replaces SBX + polynomial mutation entirely.  Used by problems
           whose feasible region is not box-shaped (e.g. flux spaces). *)
+  pool : Parallel.Pool.t option;
+      (** evaluate populations on this domain pool.  Variation consumes
+          the generator before any evaluation and evaluation is pure, so
+          pooled runs are bit-identical to [None] at any worker count;
+          only wall clock changes.  Requires the problem's [eval] to be
+          callable from multiple domains. *)
 }
 
 val default_config : config

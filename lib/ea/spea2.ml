@@ -5,6 +5,7 @@ type config = {
   eta_c : float;
   mutation_prob : float option;
   eta_m : float;
+  pool : Parallel.Pool.t option;
 }
 
 let default_config =
@@ -15,7 +16,18 @@ let default_config =
     eta_c = 15.;
     mutation_prob = None;
     eta_m = 20.;
+    pool = None;
   }
+
+(* Same contract as [Nsga2.evaluate_batch]: variation has already
+   consumed the generator, evaluation is a pure function of the vector,
+   so the pooled map is bit-identical to the sequential one. *)
+let evaluate_batch problem pool xs =
+  match pool with
+  | None -> Array.map (fun x -> Moo.Solution.evaluate problem x) xs
+  | Some pool ->
+    Parallel.Pool.parallel_map pool ~n:(Array.length xs) (fun i ->
+        Moo.Solution.evaluate problem xs.(i))
 
 type state = {
   problem : Moo.Problem.t;
@@ -128,11 +140,12 @@ let init ?(initial = []) problem config rng =
   if not (config.pop_size >= 4 && config.archive_size >= 2) then
     invalid_arg "Ea.Spea2.init: need pop_size >= 4 and archive_size >= 2";
   let seeded = Array.of_list initial in
-  let pop =
-    Array.init config.pop_size (fun i ->
-        if i < Array.length seeded then seeded.(i)
-        else Moo.Solution.evaluate problem (Moo.Problem.random_solution problem rng))
+  let ns = Stdlib.min (Array.length seeded) config.pop_size in
+  let xs =
+    Array.init (config.pop_size - ns) (fun _ -> Moo.Problem.random_solution problem rng)
   in
+  let fresh = evaluate_batch problem config.pool xs in
+  let pop = Array.init config.pop_size (fun i -> if i < ns then seeded.(i) else fresh.(i - ns)) in
   let st =
     {
       problem;
@@ -175,13 +188,9 @@ let step st n =
       in
       children := mutate c1 :: mutate c2 :: !children
     done;
-    st.pop <-
-      Array.of_list
-        (List.map
-           (fun x ->
-             st.evals <- st.evals + 1;
-             Moo.Solution.evaluate p x)
-           !children);
+    let xs = Array.of_list !children in
+    st.evals <- st.evals + Array.length xs;
+    st.pop <- evaluate_batch p st.config.pool xs;
     st.arch <- environmental_select st.config (Array.append st.arch st.pop);
     st.gen <- st.gen + 1
   done

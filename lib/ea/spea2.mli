@@ -13,6 +13,9 @@ type config = {
   eta_c : float;
   mutation_prob : float option;  (** default [1 / n_var] *)
   eta_m : float;
+  pool : Parallel.Pool.t option;
+      (** evaluate populations on this domain pool; bit-identical to
+          [None] at any worker count (see {!Nsga2.config}). *)
 }
 
 val default_config : config

@@ -1,6 +1,6 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -10,6 +10,7 @@ let rule_id = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -19,6 +20,7 @@ let rule_of_id = function
   | "R5" -> Some R5
   | "R6" -> Some R6
   | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
 let rule_doc = function
@@ -29,6 +31,7 @@ let rule_doc = function
   | R5 -> "assert in library code"
   | R6 -> "module-toplevel mutable state in library code"
   | R7 -> "Hashtbl.iter/fold has unspecified iteration order"
+  | R8 -> "raw Domain.spawn outside Parallel.Pool"
 
 let hint = function
   | R1 ->
@@ -42,6 +45,9 @@ let hint = function
   | R5 -> "raise Invalid_argument via invalid_arg so callers can rely on the check"
   | R6 -> "pass state explicitly, or synchronize (Mutex/Atomic) and suppress with a justification"
   | R7 -> "sort keys first, fold into an order-insensitive value, or justify why order cannot leak"
+  | R8 ->
+    "submit to Parallel.Pool (persistent workers, deterministic chunking) instead of \
+     spawning ad-hoc domains"
 
 type t = {
   rule : rule;

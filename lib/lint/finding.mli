@@ -9,14 +9,15 @@
     - R4: exception-swallowing catch-all outside [Runtime.Guard]
     - R5: [assert] in library code (must be [invalid_arg])
     - R6: module-toplevel mutable state in library code
-    - R7: [Hashtbl.iter]/[fold] (unspecified iteration order) *)
+    - R7: [Hashtbl.iter]/[fold] (unspecified iteration order)
+    - R8: raw [Domain.spawn] outside [Parallel.Pool] *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R7"]. *)
+(** ["R1"] .. ["R8"]. *)
 
 val rule_of_id : string -> rule option
 

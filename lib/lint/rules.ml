@@ -131,7 +131,11 @@ let check_ident t loc name ty =
   then
     add t Finding.R7 loc
       (Printf.sprintf "%s: iteration order is unspecified"
-         (String.sub name 7 (String.length name - 7)))
+         (String.sub name 7 (String.length name - 7)));
+  if name = "Stdlib.Domain.spawn" then
+    add t Finding.R8 loc
+      "raw Domain.spawn: ad-hoc domains bypass the persistent pool's determinism and \
+       lifecycle guarantees"
 
 let expr t sub (e : expression) =
   (match e.exp_desc with

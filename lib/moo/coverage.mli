@@ -8,14 +8,16 @@
 val union_front : Solution.t list list -> Solution.t list
 (** The non-dominated union [P_A] of the given fronts. *)
 
-val gp : ?tol:float -> Solution.t list -> Solution.t list -> float
+val gp : ?tol:float -> ?pool:Parallel.Pool.t -> Solution.t list -> Solution.t list -> float
 (** [gp front union] — fraction of the union front contributed by [front].
-    Membership is objective equality within [tol] (default 1e-9). *)
+    Membership is objective equality within [tol] (default 1e-9).  With
+    [?pool] the membership tests fan out over the domain pool; the count
+    is order-free, so the result is identical to the sequential one. *)
 
-val rp : ?tol:float -> Solution.t list -> Solution.t list -> float
+val rp : ?tol:float -> ?pool:Parallel.Pool.t -> Solution.t list -> Solution.t list -> float
 (** [rp front union] — fraction of [front] that is globally Pareto optimal. *)
 
 type report = { points : int; gp : float; rp : float }
 
-val analyze : Solution.t list list -> report list
+val analyze : ?pool:Parallel.Pool.t -> Solution.t list list -> report list
 (** Per-front Gp/Rp against the union of all given fronts, in order. *)

@@ -24,6 +24,21 @@ let split r =
   let seed = bits64 r in
   { state = seed }
 
+(* Mix one 64-bit value through the SplitMix64 finalizer: enough avalanche
+   that consecutive task indices land in unrelated regions of state space. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let stream ~seed index =
+  if index < 0 then invalid_arg "Rng.stream: index must be non-negative";
+  (* A pure function of (seed, index): stream k of a seed is the same
+     generator whether the tasks that consume it run sequentially or on
+     any number of worker domains. *)
+  let base = mix64 (Int64.add (Int64.of_int seed) golden_gamma) in
+  { state = mix64 (Int64.logxor base (Int64.mul (Int64.of_int index) golden_gamma)) }
+
 let float r =
   (* 53 high bits scaled into [0,1). *)
   let bits = Int64.shift_right_logical (bits64 r) 11 in

@@ -15,6 +15,14 @@ val split : t -> t
 (** [split r] derives a statistically independent generator from [r],
     advancing [r]. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed k] is the [k]-th derived SplitMix64 stream of [seed]:
+    a pure function of [(seed, k)], independent of any other stream and
+    of execution order.  This is the RNG-splitting scheme behind
+    deterministic parallelism — give task [k] the stream [k] and the
+    results are bit-for-bit identical whether the tasks run sequentially
+    or on any number of worker domains.  Requires [k >= 0]. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

@@ -1,0 +1,351 @@
+(* A process-wide persistent pool of worker domains.
+
+   Lifecycle: [create] spawns [domains - 1] worker domains that park on
+   a condition variable.  Each submission publishes one job (a chunked
+   index range), bumps a sequence number and broadcasts; every worker
+   wakes, drains tasks — own deque first, then stealing from the others
+   — and reports quiescence.  The submitting domain participates as
+   worker 0 and returns once all workers have quiesced, which doubles
+   as the barrier guaranteeing no stale worker can touch the next job's
+   deques.  Workers therefore live across an arbitrary number of
+   submissions; the per-job cost is one broadcast and one rendezvous
+   instead of a domain spawn/join per task.
+
+   Determinism: chunk boundaries depend only on (n, chunk), tasks are
+   pure functions of their index range writing to disjoint slots, and
+   stochastic tasks derive their own [Numerics.Rng.stream].  Execution
+   order is free; results are not. *)
+
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_steals = Obs.Metrics.counter "pool.steals"
+let m_idle_ns = Obs.Metrics.counter "pool.idle_ns"
+
+(* {1 Work-stealing deques}
+
+   One deque per worker slot, task ids round-robined at submission.
+   The owner pops newest-first from the bottom; thieves take oldest-
+   first from the top.  A small mutex per deque keeps both ends safe —
+   tasks here are milliseconds (kinetic-model evaluations), so lock
+   traffic is noise compared to task bodies. *)
+
+type deque = {
+  dlock : Mutex.t;
+  mutable buf : int array;
+  mutable top : int; (* next steal slot *)
+  mutable bottom : int; (* next push slot; top = bottom means empty *)
+}
+
+let deque_create () = { dlock = Mutex.create (); buf = Array.make 16 0; top = 0; bottom = 0 }
+
+let push_bottom d task =
+  Mutex.lock d.dlock;
+  if d.bottom = Array.length d.buf then begin
+    let grown = Array.make (2 * Array.length d.buf) 0 in
+    Array.blit d.buf 0 grown 0 d.bottom;
+    d.buf <- grown
+  end;
+  d.buf.(d.bottom) <- task;
+  d.bottom <- d.bottom + 1;
+  Mutex.unlock d.dlock
+
+let pop_bottom d =
+  Mutex.lock d.dlock;
+  let r =
+    if d.top = d.bottom then begin
+      d.top <- 0;
+      d.bottom <- 0;
+      None
+    end
+    else begin
+      d.bottom <- d.bottom - 1;
+      Some d.buf.(d.bottom)
+    end
+  in
+  Mutex.unlock d.dlock;
+  r
+
+let steal_top d =
+  Mutex.lock d.dlock;
+  let r =
+    if d.top = d.bottom then None
+    else begin
+      let v = d.buf.(d.top) in
+      d.top <- d.top + 1;
+      Some v
+    end
+  in
+  Mutex.unlock d.dlock;
+  r
+
+(* {1 Jobs and the pool} *)
+
+type job = {
+  run : int -> unit;
+  elock : Mutex.t;
+  (* First failure by task index — a deterministic choice, unlike
+     first-by-wall-clock. *)
+  mutable exn : (int * exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int; (* workers including the submitting domain *)
+  deques : deque array;
+  lock : Mutex.t; (* guards job / seq / quiesced / stopped *)
+  work_ready : Condition.t;
+  job_done : Condition.t;
+  submit : Mutex.t; (* serializes top-level submissions *)
+  mutable job : job option;
+  mutable seq : int;
+  mutable quiesced : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Set while a domain is executing a pool task: nested submissions from
+   inside a task run inline instead of deadlocking on [submit]. *)
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+
+let record_failure job task e bt =
+  Mutex.lock job.elock;
+  (match job.exn with
+  | Some (t0, _, _) when t0 <= task -> ()
+  | _ -> job.exn <- Some (task, e, bt));
+  Mutex.unlock job.elock
+
+let exec job task =
+  Domain.DLS.set in_task_key true;
+  (match job.run task with
+  | () -> ()
+  (* robustlint: allow R4 — the barrier re-raises the lowest-index failure once all tasks settle *)
+  | exception e -> record_failure job task e (Printexc.get_raw_backtrace ()));
+  Domain.DLS.set in_task_key false;
+  Obs.Metrics.incr m_tasks
+
+(* Drain: own deque first, then sweep the others.  Returns only when no
+   task is visible anywhere, which — combined with the quiescence
+   barrier below — implies every task of the job has finished. *)
+let drain t slot job =
+  let next () =
+    match pop_bottom t.deques.(slot) with
+    | Some _ as s -> s
+    | None ->
+      let rec sweep k =
+        if k >= t.size then None
+        else
+          match steal_top t.deques.((slot + k) mod t.size) with
+          | Some _ as s ->
+            Obs.Metrics.incr m_steals;
+            s
+          | None -> sweep (k + 1)
+      in
+      sweep 1
+  in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some task ->
+      exec job task;
+      go ()
+  in
+  go ()
+
+let rec worker_loop t slot last_seen =
+  Mutex.lock t.lock;
+  let t0 = Obs.Clock.now_ns () in
+  while (not t.stopped) && t.seq = last_seen do
+    Condition.wait t.work_ready t.lock
+  done;
+  Obs.Metrics.add m_idle_ns (Obs.Clock.now_ns () - t0);
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    let seen = t.seq in
+    let job = Option.get t.job in
+    Mutex.unlock t.lock;
+    drain t slot job;
+    Mutex.lock t.lock;
+    t.quiesced <- t.quiesced + 1;
+    if t.quiesced = t.size - 1 then Condition.broadcast t.job_done;
+    Mutex.unlock t.lock;
+    worker_loop t slot seen
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+      d
+  in
+  let t =
+    {
+      size;
+      deques = Array.init size (fun _ -> deque_create ());
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      job_done = Condition.create ();
+      submit = Mutex.create ();
+      job = None;
+      seq = 0;
+      quiesced = 0;
+      stopped = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (size - 1) (fun i ->
+        (* robustlint: allow R8 — the pool is the one sanctioned spawn site; workers are parked between jobs and joined in shutdown *)
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let domains t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  if not already then Array.iter Domain.join t.workers
+
+let run_inline ~n_tasks run =
+  for task = 0 to n_tasks - 1 do
+    run task;
+    Obs.Metrics.incr m_tasks
+  done
+
+(* Submit [n_tasks] tasks and run them to completion.  The quiescence
+   rendezvous is the safety property: the submission returns only after
+   every worker has both seen this job's sequence number and drained to
+   emptiness, so no worker can still be sweeping stale deques when the
+   next job distributes its tasks. *)
+let run_tasks ?(sequential = false) t ~n_tasks run =
+  if n_tasks < 0 then invalid_arg "Pool.run_tasks: n_tasks must be >= 0";
+  if n_tasks = 0 then ()
+  else if sequential || t.size = 1 || t.stopped || Domain.DLS.get in_task_key then
+    run_inline ~n_tasks run
+  else begin
+    Mutex.lock t.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () ->
+        Obs.Span.with_span "pool.run" @@ fun () ->
+        let job = { run; elock = Mutex.create (); exn = None } in
+        for task = 0 to n_tasks - 1 do
+          push_bottom t.deques.(task mod t.size) task
+        done;
+        Mutex.lock t.lock;
+        t.job <- Some job;
+        t.quiesced <- 0;
+        t.seq <- t.seq + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.lock;
+        drain t 0 job;
+        Mutex.lock t.lock;
+        while t.quiesced < t.size - 1 do
+          Condition.wait t.job_done t.lock
+        done;
+        t.job <- None;
+        Mutex.unlock t.lock;
+        match job.exn with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+  end
+
+let chunk_bounds ~n ~chunk c =
+  let lo = c * chunk in
+  (lo, Stdlib.min n (lo + chunk))
+
+let resolve_chunk t ~n = function
+  | Some c ->
+    if c < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+    c
+  | None ->
+    (* About 8 tasks per worker: enough slack for stealing to balance
+       uneven task costs without drowning in scheduling overhead. *)
+    Stdlib.max 1 (n / (8 * t.size))
+
+let parallel_for ?sequential ?chunk t ~n body =
+  if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";
+  if n > 0 then begin
+    let chunk = resolve_chunk t ~n chunk in
+    let n_tasks = (n + chunk - 1) / chunk in
+    run_tasks ?sequential t ~n_tasks (fun c ->
+        let lo, hi = chunk_bounds ~n ~chunk c in
+        for i = lo to hi - 1 do
+          body i
+        done)
+  end
+
+let parallel_map ?sequential ?chunk t ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_map: n must be >= 0";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?sequential ?chunk t ~n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* {1 The process-wide default pool} *)
+
+type defaults = {
+  dflock : Mutex.t;
+  mutable pool : t option;
+  mutable requested : int; (* 0 = recommended_domain_count *)
+  mutable at_exit_registered : bool;
+}
+
+let defaults =
+  { dflock = Mutex.create (); pool = None; requested = 0; at_exit_registered = false }
+
+let set_default_domains d =
+  if d < 1 then invalid_arg "Pool.set_default_domains: domains must be >= 1";
+  Mutex.lock defaults.dflock;
+  let stale =
+    match defaults.pool with
+    | Some p when p.size <> d ->
+      defaults.pool <- None;
+      Some p
+    | _ -> None
+  in
+  defaults.requested <- d;
+  Mutex.unlock defaults.dflock;
+  Option.iter shutdown stale
+
+let get () =
+  Mutex.lock defaults.dflock;
+  let p =
+    match defaults.pool with
+    | Some p -> p
+    | None ->
+      let domains = if defaults.requested > 0 then defaults.requested else Domain.recommended_domain_count () in
+      let p = create ~domains () in
+      defaults.pool <- Some p;
+      if not defaults.at_exit_registered then begin
+        defaults.at_exit_registered <- true;
+        at_exit (fun () ->
+            Mutex.lock defaults.dflock;
+            let p = defaults.pool in
+            defaults.pool <- None;
+            Mutex.unlock defaults.dflock;
+            Option.iter shutdown p)
+      end;
+      p
+  in
+  Mutex.unlock defaults.dflock;
+  p
+
+(* {1 Counters} *)
+
+type stats = {
+  tasks : int;
+  steals : int;
+  idle_ns : int;
+}
+
+let stats () =
+  {
+    tasks = Obs.Metrics.counter_value m_tasks;
+    steals = Obs.Metrics.counter_value m_steals;
+    idle_ns = Obs.Metrics.counter_value m_idle_ns;
+  }

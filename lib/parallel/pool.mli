@@ -1,0 +1,87 @@
+(** Persistent pool of worker domains with deterministic chunked
+    scheduling.
+
+    The pool exists because [Domain.spawn] costs milliseconds: spawning
+    per work item (or per epoch) wastes more time than the work saves.
+    A pool is created once, its workers park on a condition variable
+    between jobs, and every embarrassingly parallel hot path — island
+    epochs, population evaluation, Monte-Carlo robustness ensembles,
+    hypervolume slabs — submits chunked tasks to the same long-lived
+    domains.
+
+    {2 Determinism contract}
+
+    [parallel_for]/[parallel_map] decompose the index range [0, n) into
+    contiguous chunks and hand the chunks to workers through per-worker
+    work-stealing deques.  Scheduling is nondeterministic; results are
+    not, because every task is a pure function of its index range and
+    writes only to its own slots of the result.  Stochastic workloads
+    keep the contract by deriving an independent SplitMix64 stream per
+    logical item with {!Numerics.Rng.stream} — never by sharing one
+    sequential stream across tasks.  Consequently a pooled computation
+    is bit-for-bit identical to the sequential path at any worker
+    count, and [~sequential:true] is an escape hatch that runs the same
+    tasks inline in the caller for differential testing.
+
+    A task that itself calls [parallel_for] (nested parallelism) runs
+    the inner loop inline in its worker — nesting degrades gracefully
+    instead of deadlocking.  Concurrent submissions from distinct
+    domains serialize.
+
+    Observability: the pool feeds three process-global metrics —
+    [pool.tasks] (chunks executed), [pool.steals] (chunks taken from
+    another worker's deque) and [pool.idle_ns] (time workers spent
+    parked between jobs) — and brackets each submission in a
+    [pool.run] span. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool of [domains] workers in total:
+    the submitting domain participates, so [domains - 1] new domains
+    are spawned.  Default: [Domain.recommended_domain_count ()].
+    Raises [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+(** Total worker count, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Park, wake and join all spawned workers.  Idempotent.  Submitting
+    to a shut-down pool runs the tasks inline in the caller. *)
+
+val parallel_for : ?sequential:bool -> ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n body] runs [body i] for every [i] in [0, n),
+    chunked into contiguous index ranges of size [chunk] (default: a
+    range count of about 8 tasks per worker).  Exceptions raised by
+    tasks are collected and the one from the lowest task index is
+    re-raised after every task has settled.  [~sequential:true] runs
+    the identical chunks inline in the caller. *)
+
+val parallel_map : ?sequential:bool -> ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
+(** [parallel_map pool ~n f] is [[| f 0; …; f (n-1) |]], computed with
+    the same chunking and exception discipline as {!parallel_for};
+    results are placed by index, so the output array is independent of
+    scheduling. *)
+
+(** {2 The process-wide default pool} *)
+
+val set_default_domains : int -> unit
+(** Request a worker count for the default pool.  An already-created
+    default pool of a different size is shut down and replaced on the
+    next {!get}.  Raises [Invalid_argument] when the count is [< 1]. *)
+
+val get : unit -> t
+(** The process-wide persistent pool, created on first use with the
+    requested (or recommended) worker count and joined at exit. *)
+
+(** {2 Counters} *)
+
+type stats = {
+  tasks : int;  (** chunks executed (pool.tasks) *)
+  steals : int;  (** chunks stolen across deques (pool.steals) *)
+  idle_ns : int;  (** worker time parked between jobs (pool.idle_ns) *)
+}
+
+val stats : unit -> stats
+(** Read the pool's process-global obs counters.  Counters only
+    accumulate while [Obs.Metrics] is enabled. *)

@@ -131,18 +131,19 @@ let step_epoch st =
      island is rolled back to exactly this state. *)
   let snaps = Array.map Island.snapshot st.islands in
   (* Between migrations the islands are independent — the paper's
-     coarse-grained parallelism maps directly onto one domain per island.
-     Results are identical to the sequential schedule because every island
-     carries its own random stream and the domains join before any
-     exchange.  Failures are caught inside each domain so one crashing
-     island can no longer kill the join. *)
+     coarse-grained parallelism maps directly onto one pool task per
+     island.  Results are identical to the sequential schedule because
+     every island carries its own random stream and the pool submission
+     is a barrier: every task settles before any exchange.  The pool's
+     workers persist across epochs (and across [run] calls), so the
+     per-epoch cost is a wakeup instead of a domain spawn/join per
+     island.  Failures are caught inside each task so one crashing
+     island can no longer kill the epoch. *)
   let outcomes =
-    if st.config.parallel && Array.length st.islands > 1 then begin
-      let workers =
-        Array.map (fun isl -> Domain.spawn (fun () -> try_step isl period)) st.islands
-      in
-      Array.map Domain.join workers
-    end
+    if st.config.parallel && Array.length st.islands > 1 then
+      Parallel.Pool.parallel_map (Parallel.Pool.get ()) ~chunk:1
+        ~n:(Array.length st.islands)
+        (fun i -> try_step st.islands.(i) period)
     else Array.map (fun isl -> try_step isl period) st.islands
   in
   (* Graceful degradation: roll a crashed island back and re-run it

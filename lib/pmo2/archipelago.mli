@@ -23,11 +23,13 @@ type config = {
           [n_islands]; empty = all islands run NSGA-II with [nsga2] *)
   archive_capacity : int option;  (** capacity of the merged archive *)
   parallel : bool;
-      (** evolve islands on separate domains between migrations (the
-          paper's coarse-grained parallelism); identical results to the
-          sequential schedule, since islands only interact at epochs.
-          Requires the problem's [eval] to be safe to call from multiple
-          domains — every problem in this library is. *)
+      (** evolve islands on the process-wide persistent domain pool
+          ({!Parallel.Pool.get}) between migrations — the paper's
+          coarse-grained parallelism without a domain spawn/join per
+          epoch; identical results to the sequential schedule, since
+          islands only interact at epochs and each pool submission is a
+          barrier.  Requires the problem's [eval] to be safe to call
+          from multiple domains — every problem in this library is. *)
   guard_penalty : float option;
       (** [Some p] wraps every island's copy of the problem in its own
           {!Runtime.Guard} with penalty [p], so crashing or non-finite

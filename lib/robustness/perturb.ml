@@ -20,3 +20,17 @@ let ensemble rng ~delta ~trials ?index x =
       match index with
       | None -> global rng ~delta x
       | Some index -> local rng ~delta ~index x)
+
+(* Stream ensembles: trial [t] draws from its own generator, derived
+   from [(seed, t)] alone — no shared stream, so trials can be computed
+   in any order (or on any domain) and still agree bit-for-bit. *)
+let stream_trial ~seed ~delta ?index x t =
+  let rng = Numerics.Rng.stream ~seed t in
+  match index with
+  | None -> global rng ~delta x
+  | Some index -> local rng ~delta ~index x
+
+let ensemble_stream ~seed ~delta ~trials ?index x =
+  if trials <= 0 then
+    invalid_arg "Robustness.Perturb.ensemble_stream: trials must be positive";
+  List.init trials (stream_trial ~seed ~delta ?index x)

@@ -23,3 +23,16 @@ val ensemble :
   float array ->
   float array list
 (** [trials] perturbed copies; [index] switches from global to local. *)
+
+val stream_trial :
+  seed:int -> delta:float -> ?index:int -> float array -> int -> float array
+(** [stream_trial ~seed ~delta x t] — trial [t] of the stream ensemble:
+    the perturbation drawn from {!Numerics.Rng.stream}[ ~seed t].  A pure
+    function of its arguments, so trials may be computed in any order, on
+    any domain, without changing the ensemble. *)
+
+val ensemble_stream :
+  seed:int -> delta:float -> trials:int -> ?index:int -> float array -> float array list
+(** The order-independent counterpart of {!ensemble}: trial [t] equals
+    [stream_trial ~seed ~delta ?index x t].  This is the ensemble the
+    pooled yields ({!Yield.gamma_pool}) evaluate. *)

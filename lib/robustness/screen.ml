@@ -19,6 +19,17 @@ let local_analysis ~rng ~f ?delta ?eps_frac ?(trials = 200) x =
       let y = Yield.gamma ~rng ~f ?delta ?eps_frac ~trials ~index x in
       { index; yield_pct = y.Yield.yield_pct })
 
+(* Pooled local analysis: component [index] screens under its own seed
+   [seed + index], so profiles are independent of both pool width and of
+   which components the caller asks about. *)
+let local_analysis_pool ?pool ?sequential ~seed ~f ?delta ?eps_frac ?(trials = 200) x =
+  List.init (Array.length x) (fun index ->
+      let y =
+        Yield.gamma_pool ?pool ?sequential ~seed:(seed + index) ~f ?delta ?eps_frac
+          ~trials ~index x
+      in
+      { index; yield_pct = y.Yield.yield_pct })
+
 let max_yield = function
   | [] -> invalid_arg "Screen.max_yield: empty"
   | e :: rest ->
@@ -45,4 +56,21 @@ let worst_of ~rng ~f ?(delta = 0.10) ?(trials = 1000) x =
     nominal;
     worst = !worst;
     drop_pct = 100. *. (nominal -. !worst) /. Float.max 1e-12 (Float.abs nominal);
+  }
+
+(* Pooled worst case over the stream ensemble; min is order-free, so the
+   fold over the trial array matches the sequential scan exactly. *)
+let worst_of_pool ?pool ?(sequential = false) ~seed ~f ?(delta = 0.10) ?(trials = 1000) x =
+  if trials <= 0 then invalid_arg "Screen.worst_of_pool: trials must be > 0";
+  let nominal = f x in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.get () in
+  let vals =
+    Parallel.Pool.parallel_map ~sequential pool ~n:trials (fun t ->
+        f (Perturb.stream_trial ~seed ~delta x t))
+  in
+  let worst = Array.fold_left Float.min nominal vals in
+  {
+    nominal;
+    worst;
+    drop_pct = 100. *. (nominal -. worst) /. Float.max 1e-12 (Float.abs nominal);
   }

@@ -45,6 +45,21 @@ val local_analysis :
 (** Per-component yields (the paper's local analysis, 200 trials per
     component by default). *)
 
+val local_analysis_pool :
+  ?pool:Parallel.Pool.t ->
+  ?sequential:bool ->
+  seed:int ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  float array ->
+  local_profile list
+(** Pooled {!local_analysis} over the stream ensemble: component [i]
+    screens with {!Yield.gamma_pool} under seed [seed + i].  The profile
+    is a pure function of [(seed, x, parameters)] — identical at any
+    worker count and to [~sequential:true]. *)
+
 val max_yield : entry list -> entry
 (** The entry with the highest yield; raises [Invalid_argument] on []. *)
 
@@ -63,3 +78,17 @@ val worst_of :
   worst_case
 (** Worst-case complement to the yield Γ: the largest property loss over
     a global perturbation ensemble (default 10%, 1000 trials). *)
+
+val worst_of_pool :
+  ?pool:Parallel.Pool.t ->
+  ?sequential:bool ->
+  seed:int ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?trials:int ->
+  float array ->
+  worst_case
+(** Pooled {!worst_of} over the stream ensemble
+    ({!Perturb.ensemble_stream}); the minimum is order-free, so the
+    result is identical at any worker count and to [~sequential:true].
+    Default pool: {!Parallel.Pool.get}. *)

@@ -38,3 +38,25 @@ val gamma :
     perturbation factors from a Halton low-discrepancy sequence instead
     of the pseudo-random stream — same estimator, lower variance.
     Raises [Invalid_argument] when [trials <= 0]. *)
+
+val gamma_pool :
+  ?pool:Parallel.Pool.t ->
+  ?sequential:bool ->
+  seed:int ->
+  f:(float array -> float) ->
+  ?delta:float ->
+  ?eps_frac:float ->
+  ?trials:int ->
+  ?index:int ->
+  float array ->
+  result
+(** Monte-Carlo yield over the stream ensemble
+    ({!Perturb.ensemble_stream}), fanned out over a domain pool (default
+    {!Parallel.Pool.get}).  Trial [t] draws from
+    {!Numerics.Rng.stream}[ ~seed t], so the result is a pure function of
+    [(seed, x, parameters)]: bit-identical at any worker count and equal
+    to [~sequential:true].  Note the ensemble differs from {!gamma}'s
+    (which consumes one shared stream); compare pooled runs against
+    pooled or sequential [gamma_pool] runs, not against [gamma].
+    Defaults match {!gamma}.  Raises [Invalid_argument] when
+    [trials <= 0]. *)

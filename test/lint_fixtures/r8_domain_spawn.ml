@@ -1,0 +1,2 @@
+(* Fixture: R8 must fire on raw Domain.spawn. *)
+let run f = Domain.join (Domain.spawn f)

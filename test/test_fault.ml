@@ -239,6 +239,54 @@ let test_kill_and_resume_bit_for_bit () =
       in
       Alcotest.(check (float 0.)) "identical hypervolume" (hv full) (hv resumed))
 
+let test_pooled_kill_and_resume () =
+  (* The persistent-pool schedule (islands on the pool, populations on
+     the pool) must leave checkpoint/resume untouched: the resumed run
+     and the pooled run must match the sequential full run bit for bit,
+     including the failures and guard telemetry.  Fault injection is a
+     pure hash of (seed, x), so it commutes with the pool. *)
+  Parallel.Pool.set_default_domains 2;
+  let pool = Parallel.Pool.get () in
+  let problem =
+    Runtime.Fault.wrap_problem
+      { Runtime.Fault.fraction = 0.05; seed = 17; modes = [ Runtime.Fault.Nan ]; stall_iters = 500 }
+      (Moo.Benchmarks.zdt1 ~n:8)
+  in
+  let cfg ~pooled =
+    {
+      small_config with
+      Pmo2.Archipelago.guard_penalty = Some 1e12;
+      parallel = pooled;
+      nsga2 =
+        {
+          Ea.Nsga2.default_config with
+          pop_size = 20;
+          pool = (if pooled then Some pool else None);
+        };
+    }
+  in
+  let sequential = Pmo2.Archipelago.run ~seed:21 ~generations:40 problem (cfg ~pooled:false) in
+  let full = Pmo2.Archipelago.run ~seed:21 ~generations:40 problem (cfg ~pooled:true) in
+  Alcotest.(check bool) "pooled front = sequential front" true (objs sequential = objs full);
+  Alcotest.(check bool) "pooled guard telemetry = sequential" true
+    (sequential.Pmo2.Archipelago.guard_stats = full.Pmo2.Archipelago.guard_stats);
+  Alcotest.(check int) "pooled failures = sequential" sequential.Pmo2.Archipelago.failures
+    full.Pmo2.Archipelago.failures;
+  with_temp_file (fun path ->
+      let _half =
+        Pmo2.Archipelago.run ~seed:21 ~checkpoint:path ~generations:20 problem
+          (cfg ~pooled:true)
+      in
+      let resumed =
+        Pmo2.Archipelago.run ~seed:21 ~resume:path ~generations:40 problem (cfg ~pooled:true)
+      in
+      Alcotest.(check bool) "pooled resume identical fronts" true (objs full = objs resumed);
+      Alcotest.(check int) "pooled resume identical evaluations"
+        full.Pmo2.Archipelago.evaluations resumed.Pmo2.Archipelago.evaluations;
+      Alcotest.(check bool) "pooled resume identical guard telemetry" true
+        (full.Pmo2.Archipelago.guard_stats = resumed.Pmo2.Archipelago.guard_stats));
+  Parallel.Pool.set_default_domains 1
+
 let test_resume_spea2_and_mixed_islands () =
   let problem = Moo.Benchmarks.zdt1 ~n:6 in
   let cfg =
@@ -603,6 +651,8 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "kill and resume bit-for-bit" `Quick test_kill_and_resume_bit_for_bit;
+          Alcotest.test_case "kill and resume under the pool" `Quick
+            test_pooled_kill_and_resume;
           Alcotest.test_case "mixed islands resume" `Quick test_resume_spea2_and_mixed_islands;
           Alcotest.test_case "validation" `Quick test_checkpoint_validation;
           Alcotest.test_case "corrupt file detected" `Quick test_corrupt_checkpoint_detected;

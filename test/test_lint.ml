@@ -33,11 +33,12 @@ let test_every_rule_fires () =
   check_single_finding ~rule:"R4" ~file:"r4_swallow.ml" ~line:2 ();
   check_single_finding ~rule:"R5" ~file:"r5_assert.ml" ~line:3 ();
   check_single_finding ~rule:"R6" ~file:"r6_toplevel_state.ml" ~line:2 ();
-  check_single_finding ~rule:"R7" ~file:"r7_hashtbl_iter.ml" ~line:2 ()
+  check_single_finding ~rule:"R7" ~file:"r7_hashtbl_iter.ml" ~line:2 ();
+  check_single_finding ~rule:"R8" ~file:"r8_domain_spawn.ml" ~line:2 ()
 
 let test_no_extra_findings () =
-  (* 7 rule fixtures + 1 unjustified allow; the justified one is silent. *)
-  Alcotest.(check int) "total findings" 8
+  (* 8 rule fixtures + 1 unjustified allow; the justified one is silent. *)
+  Alcotest.(check int) "total findings" 9
     (List.length (Lazy.force report).Lint.Driver.findings)
 
 let test_justified_suppression_silences () =
@@ -58,8 +59,8 @@ let test_unjustified_suppression_reports () =
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
 let test_units_counted () =
-  (* 9 fixture modules plus the library's generated alias module. *)
-  Alcotest.(check int) "units" 10 (Lazy.force report).Lint.Driver.units
+  (* 10 fixture modules plus the library's generated alias module. *)
+  Alcotest.(check int) "units" 11 (Lazy.force report).Lint.Driver.units
 
 let test_missing_dir_yields_no_units () =
   let r = Lint.Driver.run ~source_root:".." [ "no-such-dir" ] in
