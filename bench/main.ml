@@ -409,6 +409,199 @@ let run_parallel_benchmarks () =
     end
   end
 
+(* {1 Evaluation cache + warm starts}
+
+   [bench-cache] measures the three reuse layers of the cache subsystem
+   and writes BENCH_cache.json:
+
+   - memo/archipelago: the same seeded run with per-island memoization
+     on vs off — the fronts must be bit-identical, the memo must score
+     hits (clone offspring replay instead of re-evaluating), and the
+     end-to-end speedup is recorded;
+   - ode/warm-start: a sweep of neighboring leaf designs evaluated cold
+     ({!Photo.Steady_state.evaluate}) vs through the warm store
+     ({!Photo.Cached}) — the warm sweep must spend strictly fewer
+     [ode.rhs_evals];
+   - simplex/warm-start: a weighted-objective scan on the Geobacter
+     model solved cold per level vs threading the previous optimal basis
+     — the warm scan must spend strictly fewer [simplex.pivots].
+
+   In --quick mode the kernels shrink (zdt1 archipelago, short sweeps),
+   the gates still apply, and no JSON is written. *)
+
+let counter_delta name f =
+  Obs.Metrics.set_enabled true;
+  let c = Obs.Metrics.counter name in
+  let before = Obs.Metrics.counter_value c in
+  let r = f () in
+  let delta = Obs.Metrics.counter_value c - before in
+  Obs.Metrics.set_enabled false;
+  (r, delta)
+
+let wall_ns f =
+  let t0 = Obs.Clock.now_ns () in
+  let r = f () in
+  (r, float_of_int (Obs.Clock.now_ns () - t0))
+
+let cache_fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "bench-cache: %s\n" m; exit 1) fmt
+
+(* Kernel: memoized archipelago, cache on vs off at the same seed. *)
+let bench_cache_memo ~quick =
+  let problem, generations, pop_size =
+    if quick then (Moo.Benchmarks.zdt1 ~n:8, 40, 16)
+    else
+      ( Photo.Leaf.problem (Photo.Params.present ~tp_export:Photo.Params.low_export),
+        20,
+        12 )
+  in
+  let cfg cache_size =
+    {
+      Pmo2.Archipelago.default_config with
+      migration_period = 10;
+      nsga2 = { Ea.Nsga2.default_config with pop_size };
+      cache_size;
+    }
+  in
+  let run cache_size () =
+    Pmo2.Archipelago.run ~seed:33 ~generations problem (cfg cache_size)
+  in
+  let objs r =
+    List.sort compare
+      (List.map (fun s -> Array.to_list s.Moo.Solution.f) r.Pmo2.Archipelago.front)
+  in
+  let cold, cold_ns = wall_ns (run None) in
+  let warm, warm_ns = wall_ns (run (Some 4096)) in
+  if objs cold <> objs warm then cache_fail "memoized archipelago front diverges";
+  if cold.Pmo2.Archipelago.evaluations <> warm.Pmo2.Archipelago.evaluations then
+    cache_fail "memoized archipelago changed the evaluation count";
+  let stats =
+    Array.fold_left Cache.Memo.add_stats Cache.Memo.zero_stats
+      warm.Pmo2.Archipelago.cache_stats
+  in
+  let hit_rate = Cache.Memo.hit_rate stats in
+  if stats.Cache.Memo.hits = 0 then cache_fail "archipelago memo scored no hits";
+  let speedup = cold_ns /. warm_ns in
+  Printf.printf
+    "   memo/archipelago   %6d hits / %6d lookups (%4.1f%% hit rate)  %5.2fx end-to-end (bit-identical)\n%!"
+    stats.Cache.Memo.hits
+    (stats.Cache.Memo.hits + stats.Cache.Memo.misses)
+    (100. *. hit_rate) speedup;
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "memo/archipelago");
+      ("hits", Obs.Json.Float (float_of_int stats.Cache.Memo.hits));
+      ( "lookups",
+        Obs.Json.Float (float_of_int (stats.Cache.Memo.hits + stats.Cache.Memo.misses)) );
+      ("hit_rate", Obs.Json.Float hit_rate);
+      ("cold_ms", Obs.Json.Float (cold_ns /. 1e6));
+      ("warm_ms", Obs.Json.Float (warm_ns /. 1e6));
+      ("speedup", Obs.Json.Float speedup);
+      ("bit_identical", Obs.Json.Bool true);
+    ]
+
+(* Kernel: ODE warm starts over a sweep of neighboring leaf designs. *)
+let bench_cache_ode ~quick =
+  let env = Photo.Params.present ~tp_export:Photo.Params.low_export in
+  let n = if quick then 4 else 24 in
+  let rng = Numerics.Rng.create 91 in
+  (* Designs inside one warm-store lattice cell around the natural leaf,
+     so every evaluation after the first has a usable neighbor. *)
+  let designs =
+    Array.init n (fun _ ->
+        Array.init Photo.Enzyme.count (fun _ -> Numerics.Rng.uniform rng 0.96 1.04))
+  in
+  let (), cold_evals =
+    counter_delta "ode.rhs_evals" (fun () ->
+        Array.iter (fun ratios -> ignore (Photo.Steady_state.evaluate ~env ~ratios ())) designs)
+  in
+  let ctx = Photo.Cached.create ~env () in
+  let (), warm_evals =
+    counter_delta "ode.rhs_evals" (fun () ->
+        Array.iter (fun ratios -> ignore (Photo.Cached.evaluate ctx ~ratios)) designs)
+  in
+  if warm_evals >= cold_evals then
+    cache_fail "warm ODE sweep did not save rhs evaluations (%d warm >= %d cold)" warm_evals
+      cold_evals;
+  let store = Photo.Cached.stats ctx in
+  Printf.printf
+    "   ode/warm-start     %6d rhs evals cold -> %6d warm over %d designs (%d store hits)\n%!"
+    cold_evals warm_evals n store.Cache.Warm.hits;
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "ode/warm-start");
+      ("designs", Obs.Json.Float (float_of_int n));
+      ("rhs_evals_cold", Obs.Json.Float (float_of_int cold_evals));
+      ("rhs_evals_warm", Obs.Json.Float (float_of_int warm_evals));
+      ("store_hits", Obs.Json.Float (float_of_int store.Cache.Warm.hits));
+    ]
+
+(* Kernel: simplex basis reuse across a weighted-objective scan. *)
+let bench_cache_simplex ~quick =
+  let g = Lazy.force geobacter in
+  let t = g.Fba.Geobacter.net in
+  let levels = if quick then 3 else 9 in
+  let weights = List.init levels (fun i -> 0.05 *. float_of_int i) in
+  let objective w = [ (g.Fba.Geobacter.ep, 1.); (g.Fba.Geobacter.bp, w) ] in
+  let cold_scan () =
+    List.map (fun w -> (Fba.Analysis.fba_multi ~t ~objective:(objective w)).Fba.Analysis.objective) weights
+  in
+  let warm_scan () =
+    let prev = ref None in
+    List.map
+      (fun w ->
+        let sol, carry =
+          Fba.Analysis.fba_multi_with_basis ?basis:!prev ~t ~objective:(objective w) ()
+        in
+        (match carry with Some _ -> prev := carry | None -> ());
+        sol.Fba.Analysis.objective)
+      weights
+  in
+  let cold_objs, cold_pivots = counter_delta "simplex.pivots" cold_scan in
+  let warm_objs, warm_pivots = counter_delta "simplex.pivots" warm_scan in
+  List.iter2
+    (fun c w ->
+      if Float.abs (c -. w) > 1e-6 *. (1. +. Float.abs c) then
+        cache_fail "warm simplex scan diverges (%.9g vs %.9g)" c w)
+    cold_objs warm_objs;
+  if warm_pivots >= cold_pivots then
+    cache_fail "warm simplex scan did not save pivots (%d warm >= %d cold)" warm_pivots
+      cold_pivots;
+  Printf.printf "   simplex/warm-start %6d pivots cold -> %6d warm over %d levels\n%!"
+    cold_pivots warm_pivots levels;
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "simplex/warm-start");
+      ("levels", Obs.Json.Float (float_of_int levels));
+      ("pivots_cold", Obs.Json.Float (float_of_int cold_pivots));
+      ("pivots_warm", Obs.Json.Float (float_of_int warm_pivots));
+    ]
+
+let run_cache_benchmarks () =
+  let quick = !quick_mode in
+  Printf.printf
+    "== Evaluation cache + warm starts (gates: bit-identical, hits > 0, strictly fewer pivots/rhs evals) ==\n%!";
+  let memo = bench_cache_memo ~quick in
+  let ode = bench_cache_ode ~quick in
+  let simplex = bench_cache_simplex ~quick in
+  let kernels = [ memo; ode; simplex ] in
+  if quick then Printf.printf "   smoke mode: gates checked, BENCH_cache.json not written\n%!"
+  else begin
+    let doc =
+      Obs.Json.Obj
+        [
+          ( "benchmark",
+            Obs.Json.String "evaluation cache + warm starts (memo, ODE state, simplex basis)" );
+          ("kernels", Obs.Json.List kernels);
+          ("pass", Obs.Json.Bool true);
+        ]
+    in
+    let oc = open_out "BENCH_cache.json" in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "   wrote BENCH_cache.json (pass: true)\n"
+  end
+
 (* {1 Dispatch} *)
 
 let experiments =
@@ -434,6 +627,7 @@ let experiments =
     ("bench", run_micro_benchmarks);
     ("bench-obs", run_obs_benchmarks);
     ("bench-parallel", run_parallel_benchmarks);
+    ("bench-cache", run_cache_benchmarks);
   ]
 
 let run_one name =

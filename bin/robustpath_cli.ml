@@ -116,6 +116,38 @@ let pool_of_domains domains =
   Parallel.Pool.set_default_domains domains;
   Parallel.Pool.get ()
 
+(* Evaluation-cache flag, shared by the optimization subcommands. *)
+let cache_size_arg =
+  Arg.(
+    value
+    & opt int 4096
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:
+          "Memoize genotype evaluations per island in an $(docv)-entry LRU: offspring \
+           bit-identical to a recent candidate replay the cached result instead of \
+           re-integrating/re-solving.  Fronts are bit-for-bit identical at any size; \
+           0 disables the cache.")
+
+let cache_size_of n =
+  if n < 0 then invalid_arg "--cache-size must be >= 0";
+  if n = 0 then None else Some n
+
+let report_cache_stats ~metrics r =
+  match (metrics, Array.length r.Pmo2.Archipelago.cache_stats) with
+  | None, _ | _, 0 -> ()
+  | Some _, _ ->
+    let total = Cache.Memo.zero_stats in
+    let total =
+      Array.fold_left
+        (fun acc s -> Cache.Memo.add_stats acc s)
+        total r.Pmo2.Archipelago.cache_stats
+    in
+    Printf.printf "cache: %d hits / %d lookups (%.1f%% hit rate), %d evictions\n"
+      total.Cache.Memo.hits
+      (total.Cache.Memo.hits + total.Cache.Memo.misses)
+      (100. *. Cache.Memo.hit_rate total)
+      total.Cache.Memo.evictions
+
 (* Pool counters tick while --metrics has observability enabled and
    survive the disable, so the summary can read them after the run. *)
 let report_pool_stats ~metrics pool =
@@ -156,8 +188,8 @@ let env_of ~ci ~export =
 (* {1 photo} *)
 
 let photo_cmd =
-  let run ci export generations pop seed domains checkpoint checkpoint_every keep resume
-      trace metrics =
+  let run ci export generations pop seed domains cache_size checkpoint checkpoint_every
+      keep resume trace metrics =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
     let problem = Photo.Leaf.problem env in
@@ -170,6 +202,7 @@ let photo_cmd =
         nsga2 = { Ea.Nsga2.default_config with pop_size = pop; pool = Some pool };
         guard_penalty = Some 1e12;
         parallel = true;
+        cache_size = cache_size_of cache_size;
       }
     in
     let r =
@@ -190,6 +223,7 @@ let photo_cmd =
           (Photo.Leaf.nitrogen_of s))
       (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front);
     report_faults r;
+    report_cache_stats ~metrics r;
     report_pool_stats ~metrics pool
   in
   let ci =
@@ -206,14 +240,15 @@ let photo_cmd =
   Cmd.v
     (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
     Term.(
-      const run $ ci $ export $ generations $ pop $ seed $ domains_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
+      const run $ ci $ export $ generations $ pop $ seed $ domains_arg $ cache_size_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg
+      $ trace_arg $ metrics_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
-  let run generations pop seed domains checkpoint checkpoint_every keep resume trace
-      metrics =
+  let run generations pop seed domains cache_size checkpoint checkpoint_every keep resume
+      trace metrics =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
     let problem = Fba.Moo_problem.problem g in
@@ -228,6 +263,7 @@ let geobacter_cmd =
           { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary; pool = Some pool };
         guard_penalty = Some 1e12;
         parallel = true;
+        cache_size = cache_size_of cache_size;
       }
     in
     let r =
@@ -245,6 +281,7 @@ let geobacter_cmd =
           (Fba.Moo_problem.bp_of s))
       (Moo.Mine.equally_spaced ~k:8 feasible);
     report_faults r;
+    report_cache_stats ~metrics r;
     report_pool_stats ~metrics pool
   in
   let generations =
@@ -256,7 +293,7 @@ let geobacter_cmd =
     (Cmd.info "geobacter"
        ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
     Term.(
-      const run $ generations $ pop $ seed $ domains_arg $ checkpoint_arg
+      const run $ generations $ pop $ seed $ domains_arg $ cache_size_arg $ checkpoint_arg
       $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 inspect} *)

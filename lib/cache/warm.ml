@@ -1,0 +1,118 @@
+let m_hits = Obs.Metrics.counter "cache.warm_hits"
+let m_misses = Obs.Metrics.counter "cache.warm_misses"
+
+type 'a entry = { e_key : float array; mutable e_value : 'a }
+
+type 'a t = {
+  grid : float;
+  cap : int;
+  slots : 'a entry option array;             (* FIFO ring *)
+  buckets : (int64, int list) Hashtbl.t;     (* lattice cell -> slot indices *)
+  lock : Mutex.t;
+  mutable cursor : int;                      (* next ring slot to overwrite *)
+  mutable len : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_stores : int;
+}
+
+type stats = { hits : int; misses : int; stores : int; size : int }
+
+let create ?(grid = 0.25) ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.Warm.create: capacity must be >= 1";
+  if not (grid > 0.) then invalid_arg "Cache.Warm.create: grid must be > 0";
+  {
+    grid;
+    cap = capacity;
+    slots = Array.make capacity None;
+    buckets = Hashtbl.create (4 * capacity);
+    lock = Mutex.create ();
+    cursor = 0;
+    len = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_stores = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let bucket t h = Option.value ~default:[] (Hashtbl.find_opt t.buckets h)
+
+let bucket_remove t h i =
+  match List.filter (fun j -> j <> i) (bucket t h) with
+  | [] -> Hashtbl.remove t.buckets h
+  | l -> Hashtbl.replace t.buckets h l
+
+let dist_inf a b =
+  let d = ref 0. in
+  Array.iteri
+    (fun i ai ->
+      let x = Float.abs (ai -. b.(i)) in
+      if x > !d then d := x)
+    a;
+  !d
+
+let nearest t key =
+  with_lock t @@ fun () ->
+  let h = Fnv.hash_quantized ~grid:t.grid key in
+  (* Entries are prepended on store, so the scan visits most-recent
+     first and [<] keeps the earliest (= most recent) on distance ties. *)
+  let best =
+    List.fold_left
+      (fun acc i ->
+        match t.slots.(i) with
+        | Some e when Array.length e.e_key = Array.length key ->
+          let d = dist_inf e.e_key key in
+          (match acc with Some (_, bd) when not (d < bd) -> acc | _ -> Some (e, d))
+        | _ -> acc)
+      None (bucket t h)
+  in
+  match best with
+  | Some (e, _) ->
+    t.c_hits <- t.c_hits + 1;
+    Obs.Metrics.incr m_hits;
+    Some e.e_value
+  | None ->
+    t.c_misses <- t.c_misses + 1;
+    Obs.Metrics.incr m_misses;
+    None
+
+let store t key value =
+  with_lock t @@ fun () ->
+  let h = Fnv.hash_quantized ~grid:t.grid key in
+  let existing =
+    List.find_opt
+      (fun i ->
+        match t.slots.(i) with Some e -> Fnv.equal e.e_key key | None -> false)
+      (bucket t h)
+  in
+  match existing with
+  | Some i -> ( match t.slots.(i) with Some e -> e.e_value <- value | None -> ())
+  | None ->
+    let i = t.cursor in
+    (match t.slots.(i) with
+    | Some old -> bucket_remove t (Fnv.hash_quantized ~grid:t.grid old.e_key) i
+    | None -> t.len <- t.len + 1);
+    t.slots.(i) <- Some { e_key = Array.copy key; e_value = value };
+    Hashtbl.replace t.buckets h (i :: bucket t h);
+    t.cursor <- (i + 1) mod t.cap;
+    t.c_stores <- t.c_stores + 1
+
+let clear t =
+  with_lock t @@ fun () ->
+  Array.fill t.slots 0 t.cap None;
+  Hashtbl.reset t.buckets;
+  t.cursor <- 0;
+  t.len <- 0
+
+let stats t =
+  with_lock t @@ fun () ->
+  { hits = t.c_hits; misses = t.c_misses; stores = t.c_stores; size = t.len }

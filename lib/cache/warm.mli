@@ -1,0 +1,46 @@
+(** Approximate nearest-neighbor store for warm-start state.
+
+    Where {!Memo} answers "have I evaluated {e exactly} this genotype",
+    a warm store answers "what is the {e nearest} genotype I solved,
+    and what solver state did it leave behind" — a converged steady
+    state and its accepted step size, an optimal simplex basis.  The
+    payload is advisory: a consumer seeds its solver with it and must
+    fall back to the cold path when the seed does not pan out, so the
+    store never has to be exact, only deterministic.
+
+    Neighbors are bucketed by {!Fnv.hash_quantized}: two vectors are
+    candidate neighbors iff they snap to the same cell of a [grid]-
+    spaced lattice, and the nearest within the bucket by L∞ distance
+    wins (ties break toward the most recent entry).  A query whose cell
+    is empty is a miss — deliberately cheap, no multi-cell probing.
+
+    Capacity is a FIFO ring: the oldest entry is overwritten first,
+    which is deterministic under a deterministic store sequence.
+    Mutex-guarded like {!Memo}. *)
+
+type 'a t
+
+val create : ?grid:float -> capacity:int -> unit -> 'a t
+(** [grid] is the lattice spacing for neighbor bucketing (default 0.25
+    — about a mutation step for unit-scaled enzyme ratios).  Raises
+    [Invalid_argument] when [capacity < 1] or [grid <= 0]. *)
+
+val store : 'a t -> float array -> 'a -> unit
+(** Record the payload for this vector (key is copied).  Storing under
+    a bit-identical key replaces the payload in place. *)
+
+val nearest : 'a t -> float array -> 'a option
+(** Payload of the L∞-nearest stored vector in the query's lattice
+    cell, or [None] when the cell holds no vector of matching
+    dimension. *)
+
+val clear : 'a t -> unit
+
+type stats = {
+  hits : int;    (** queries that found a neighbor *)
+  misses : int;
+  stores : int;
+  size : int;    (** live entries *)
+}
+
+val stats : 'a t -> stats

@@ -8,6 +8,7 @@ type config = {
     (Numerics.Rng.t -> float array -> float array -> float array * float array)
     option;
   pool : Parallel.Pool.t option;
+  cache : Moo.Solution.t Cache.Memo.t option;
 }
 
 let default_config =
@@ -19,19 +20,19 @@ let default_config =
     eta_m = 20.;
     variation = None;
     pool = None;
+    cache = None;
   }
 
 (* Evaluate a batch of candidate vectors, in index order.  Variation has
    already consumed the generator, and evaluating a candidate is a pure
    function of its vector (guards penalize deterministically), so the
-   chunked pooled map returns bit-for-bit the same array as the
-   sequential one — the pool only changes wall clock. *)
-let evaluate_batch problem pool xs =
-  match pool with
-  | None -> Array.map (fun x -> Moo.Solution.evaluate problem x) xs
-  | Some pool ->
-    Parallel.Pool.parallel_map pool ~n:(Array.length xs) (fun i ->
-        Moo.Solution.evaluate problem xs.(i))
+   batch layer — within-batch dedup, memo replay, pooled misses —
+   returns bit-for-bit the same array as the plain sequential map; the
+   pool and the memo only change wall clock. *)
+let evaluate_batch problem config xs =
+  Cache.Batch.evaluate ?pool:config.pool ?memo:config.cache ~n:(Array.length xs)
+    ~key:(fun i -> xs.(i))
+    (fun i -> Moo.Solution.evaluate problem xs.(i))
 
 type state = {
   problem : Moo.Problem.t;
@@ -139,7 +140,7 @@ let init ?(initial = []) problem config rng =
   let xs =
     Array.init (config.pop_size - ns) (fun _ -> Moo.Problem.random_solution problem rng)
   in
-  let fresh = evaluate_batch problem config.pool xs in
+  let fresh = evaluate_batch problem config xs in
   let pop = Array.init config.pop_size (fun i -> if i < ns then seeded.(i) else fresh.(i - ns)) in
   let st =
     {
@@ -218,8 +219,11 @@ let make_offspring st =
      is pure, so the (possibly pooled) batch is bit-identical to the
      sequential map. *)
   let xs = Array.of_list !children in
+  (* [evals] deliberately counts requested evaluations, not cache
+     misses: it is the algorithmic budget consumed, comparable across
+     cached and uncached runs (and what resume accounting asserts on). *)
   st.evals <- st.evals + Array.length xs;
-  Array.to_list (evaluate_batch p st.config.pool xs)
+  Array.to_list (evaluate_batch p st.config xs)
 
 let step st n =
   for _ = 1 to n do

@@ -19,6 +19,12 @@ type config = {
           pooled runs are bit-identical to [None] at any worker count;
           only wall clock changes.  Requires the problem's [eval] to be
           callable from multiple domains. *)
+  cache : Moo.Solution.t Cache.Memo.t option;
+      (** memoize evaluations by bit-exact genotype in this LRU (see
+          {!Cache.Batch}): offspring identical to an earlier candidate
+          replay its solution instead of re-evaluating.  Bit-identical
+          results with or without; {!evaluations} still counts requested
+          evaluations, so budgets stay comparable. *)
 }
 
 val default_config : config

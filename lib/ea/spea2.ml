@@ -6,6 +6,7 @@ type config = {
   mutation_prob : float option;
   eta_m : float;
   pool : Parallel.Pool.t option;
+  cache : Moo.Solution.t Cache.Memo.t option;
 }
 
 let default_config =
@@ -17,17 +18,17 @@ let default_config =
     mutation_prob = None;
     eta_m = 20.;
     pool = None;
+    cache = None;
   }
 
 (* Same contract as [Nsga2.evaluate_batch]: variation has already
    consumed the generator, evaluation is a pure function of the vector,
-   so the pooled map is bit-identical to the sequential one. *)
-let evaluate_batch problem pool xs =
-  match pool with
-  | None -> Array.map (fun x -> Moo.Solution.evaluate problem x) xs
-  | Some pool ->
-    Parallel.Pool.parallel_map pool ~n:(Array.length xs) (fun i ->
-        Moo.Solution.evaluate problem xs.(i))
+   so the deduped/memoized/pooled batch is bit-identical to the
+   sequential map. *)
+let evaluate_batch problem config xs =
+  Cache.Batch.evaluate ?pool:config.pool ?memo:config.cache ~n:(Array.length xs)
+    ~key:(fun i -> xs.(i))
+    (fun i -> Moo.Solution.evaluate problem xs.(i))
 
 type state = {
   problem : Moo.Problem.t;
@@ -144,7 +145,7 @@ let init ?(initial = []) problem config rng =
   let xs =
     Array.init (config.pop_size - ns) (fun _ -> Moo.Problem.random_solution problem rng)
   in
-  let fresh = evaluate_batch problem config.pool xs in
+  let fresh = evaluate_batch problem config xs in
   let pop = Array.init config.pop_size (fun i -> if i < ns then seeded.(i) else fresh.(i - ns)) in
   let st =
     {
@@ -189,8 +190,9 @@ let step st n =
       children := mutate c1 :: mutate c2 :: !children
     done;
     let xs = Array.of_list !children in
+    (* Requested evaluations, not cache misses — see [Nsga2]. *)
     st.evals <- st.evals + Array.length xs;
-    st.pop <- evaluate_batch p st.config.pool xs;
+    st.pop <- evaluate_batch p st.config xs;
     st.arch <- environmental_select st.config (Array.append st.arch st.pop);
     st.gen <- st.gen + 1
   done

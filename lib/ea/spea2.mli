@@ -16,6 +16,9 @@ type config = {
   pool : Parallel.Pool.t option;
       (** evaluate populations on this domain pool; bit-identical to
           [None] at any worker count (see {!Nsga2.config}). *)
+  cache : Moo.Solution.t Cache.Memo.t option;
+      (** memoize evaluations by bit-exact genotype (see
+          {!Nsga2.config}); results are bit-identical with or without. *)
 }
 
 val default_config : config

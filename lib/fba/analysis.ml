@@ -15,13 +15,13 @@ let spec_of ~t ~obj =
     (Network.bounds t);
   { Lp.Simplex.n_rows = m; cols; rhs = Array.make m 0.; obj; lo; up }
 
-let solve_spec spec =
-  match Lp.Simplex.solve spec with
-  | Lp.Simplex.Optimal { x; objective } -> { objective; fluxes = x }
-  | Lp.Simplex.Infeasible -> raise (Infeasible_model "LP infeasible")
-  | Lp.Simplex.Unbounded -> raise (Infeasible_model "LP unbounded")
+let solve_spec_basis ?basis spec =
+  match Lp.Simplex.solve_basis ?basis spec with
+  | Lp.Simplex.Optimal { x; objective }, carry -> ({ objective; fluxes = x }, carry)
+  | Lp.Simplex.Infeasible, _ -> raise (Infeasible_model "LP infeasible")
+  | Lp.Simplex.Unbounded, _ -> raise (Infeasible_model "LP unbounded")
 
-let fba_multi ~t ~objective =
+let multi_obj ~t ~objective =
   let n = Network.n_reactions t in
   let obj = Array.make n 0. in
   List.iter
@@ -29,20 +29,37 @@ let fba_multi ~t ~objective =
       if not (0 <= j && j < n) then invalid_arg "Fba.Analysis: objective reaction out of range";
       obj.(j) <- obj.(j) +. w)
     objective;
-  solve_spec (spec_of ~t ~obj)
+  obj
 
-let fba ~t ~objective = fba_multi ~t ~objective:[ (objective, 1.) ]
+let fba_multi_with_basis ?basis ~t ~objective () =
+  solve_spec_basis ?basis (spec_of ~t ~obj:(multi_obj ~t ~objective))
+
+let fba_multi ~t ~objective = fst (fba_multi_with_basis ~t ~objective ())
+
+let fba_with_basis ?basis ~t ~objective () =
+  fba_multi_with_basis ?basis ~t ~objective:[ (objective, 1.) ] ()
+
+let fba ~t ~objective = fst (fba_with_basis ~t ~objective ())
 
 let fva ~t ~reactions =
+  (* All 2·|reactions| LPs share the constraint matrix and bounds and
+     differ only in the objective, so each optimal basis remains a
+     feasible vertex of the next LP: thread it through as a warm start.
+     The fluxes/objectives are whatever the solver would also produce
+     cold — warm starting changes the pivot count, not the optimum. *)
+  let prev = ref None in
   List.map
     (fun j ->
       let n = Network.n_reactions t in
-      let obj_max = Array.make n 0. in
-      obj_max.(j) <- 1.;
-      let hi = (solve_spec (spec_of ~t ~obj:obj_max)).objective in
-      let obj_min = Array.make n 0. in
-      obj_min.(j) <- -1.;
-      let lo = -.(solve_spec (spec_of ~t ~obj:obj_min)).objective in
+      let solve_dir sign =
+        let obj = Array.make n 0. in
+        obj.(j) <- sign;
+        let sol, carry = solve_spec_basis ?basis:!prev (spec_of ~t ~obj) in
+        (match carry with Some _ -> prev := carry | None -> ());
+        sol.objective
+      in
+      let hi = solve_dir 1. in
+      let lo = -.solve_dir (-1.) in
       (j, (lo, hi)))
     reactions
 
@@ -51,6 +68,10 @@ let epsilon_constraint ~t ~primary ~secondary ~levels =
   let restore () =
     Array.iteri (fun j (l, u) -> Network.set_bounds t j l u) saved
   in
+  (* Consecutive levels move one bound slightly; the optimal basis of
+     one level is usually primal-feasible (or near it) for the next, so
+     threading it skips phase 1 on most levels of the sweep. *)
+  let prev = ref None in
   let results =
     List.filter_map
       (fun level ->
@@ -59,8 +80,10 @@ let epsilon_constraint ~t ~primary ~secondary ~levels =
         else begin
           Network.set_bounds t secondary (Float.max l level) u;
           let r =
-            match fba ~t ~objective:primary with
-            | sol -> Some (sol.objective, level)
+            match fba_with_basis ?basis:!prev ~t ~objective:primary () with
+            | sol, carry ->
+              (match carry with Some _ -> prev := carry | None -> ());
+              Some (sol.objective, level)
             | exception Infeasible_model _ -> None
           in
           Network.set_bounds t secondary l u;

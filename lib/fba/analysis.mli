@@ -12,6 +12,27 @@ val fba : t:Network.t -> objective:int -> solution
 val fba_multi : t:Network.t -> objective:(int * float) list -> solution
 (** Maximize a weighted combination of fluxes. *)
 
+val fba_with_basis :
+  ?basis:Lp.Simplex.basis ->
+  t:Network.t ->
+  objective:int ->
+  unit ->
+  solution * Lp.Simplex.basis option
+(** {!fba} with simplex warm-start plumbing: pass the basis returned by
+    a previous structurally-identical solve (same network dimensions —
+    bounds and objective may differ) to skip phase 1; receive this
+    solve's optimal basis for the next one.  The solution is identical
+    to the cold {!fba} — only the work to reach it changes.  An
+    unusable basis is rejected inside the solver, never an error. *)
+
+val fba_multi_with_basis :
+  ?basis:Lp.Simplex.basis ->
+  t:Network.t ->
+  objective:(int * float) list ->
+  unit ->
+  solution * Lp.Simplex.basis option
+(** {!fba_multi} with the same warm-start plumbing. *)
+
 val fva : t:Network.t -> reactions:int list -> (int * (float * float)) list
 (** Flux variability: min and max achievable steady-state flux for each
     listed reaction. *)

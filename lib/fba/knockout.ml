@@ -17,19 +17,30 @@ let with_biomass_floor ~t ~biomass ~min_biomass f =
     restore ();
     raise e
 
-let solve_with_removed ~t ~target ~biomass ~min_biomass removed =
+let solve_with_removed ?basis ~t ~target ~biomass ~min_biomass removed =
   let saved = List.map (fun j -> (j, (Network.bounds t).(j))) removed in
   List.iter (fun j -> Network.set_bounds t j 0. 0.) removed;
   let restore () = List.iter (fun (j, (lb, ub)) -> Network.set_bounds t j lb ub) saved in
   let result =
     with_biomass_floor ~t ~biomass ~min_biomass (fun () ->
-        match Analysis.fba ~t ~objective:target with
-        | sol -> Some { removed; target_flux = sol.Analysis.objective;
-                        biomass_flux = sol.Analysis.fluxes.(biomass) }
+        match Analysis.fba_with_basis ?basis ~t ~objective:target () with
+        | sol, _ -> Some { removed; target_flux = sol.Analysis.objective;
+                           biomass_flux = sol.Analysis.fluxes.(biomass) }
         | exception Analysis.Infeasible_model _ -> None)
   in
   restore ();
   result
+
+(* The wild-type optimal basis under the biomass floor: every knockout
+   LP is the same problem with one (or two) variables pinned to zero, so
+   the parent vertex is feasible for most children and skips their phase
+   1.  [None] (cold starts throughout) when the wild type is itself
+   infeasible — the screens still report whatever each child LP says. *)
+let parent_basis ~t ~target ~biomass ~min_biomass =
+  with_biomass_floor ~t ~biomass ~min_biomass (fun () ->
+      match Analysis.fba_with_basis ~t ~objective:target () with
+      | _, carry -> carry
+      | exception Analysis.Infeasible_model _ -> None)
 
 let baseline ~t ~target ~biomass ~min_biomass =
   match solve_with_removed ~t ~target ~biomass ~min_biomass [] with
@@ -45,9 +56,10 @@ let single ~t ~target ~biomass ~min_biomass ~candidates =
       if j = target || j = biomass then
         invalid_arg "Fba.Knockout: candidates must exclude the target and biomass reactions")
     candidates;
+  let basis = parent_basis ~t ~target ~biomass ~min_biomass in
   ranked
     (List.filter_map
-       (fun j -> solve_with_removed ~t ~target ~biomass ~min_biomass [ j ])
+       (fun j -> solve_with_removed ?basis ~t ~target ~biomass ~min_biomass [ j ])
        candidates)
 
 let pairs ~t ~target ~biomass ~min_biomass ~candidates =
@@ -60,9 +72,10 @@ let pairs ~t ~target ~biomass ~min_biomass ~candidates =
     | [] -> []
     | x :: rest -> List.map (fun y -> [ x; y ]) rest @ all_pairs rest
   in
+  let basis = parent_basis ~t ~target ~biomass ~min_biomass in
   ranked
     (List.filter_map
-       (fun pair -> solve_with_removed ~t ~target ~biomass ~min_biomass pair)
+       (fun pair -> solve_with_removed ?basis ~t ~target ~biomass ~min_biomass pair)
        (all_pairs candidates))
 
 type coupling = {

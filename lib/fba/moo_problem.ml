@@ -95,6 +95,9 @@ let bp_of (s : Moo.Solution.t) = -.s.Moo.Solution.f.(1)
 let seeds ?mode ?eps (g : Geobacter.model) ~levels =
   let p = problem ?mode ?eps g in
   let saved = Network.bounds g.net in
+  (* Seed LPs differ only in the biomass floor: warm-start each level
+     from the previous level's optimal basis. *)
+  let prev = ref None in
   let out =
     List.filter_map
       (fun level ->
@@ -103,8 +106,10 @@ let seeds ?mode ?eps (g : Geobacter.model) ~levels =
         else begin
           Network.set_bounds g.net g.bp (Float.max l level) u;
           let r =
-            match Analysis.fba ~t:g.net ~objective:g.ep with
-            | sol -> Some (Moo.Solution.evaluate p sol.Analysis.fluxes)
+            match Analysis.fba_with_basis ?basis:!prev ~t:g.net ~objective:g.ep () with
+            | sol, carry ->
+              (match carry with Some _ -> prev := carry | None -> ());
+              Some (Moo.Solution.evaluate p sol.Analysis.fluxes)
             | exception Analysis.Infeasible_model _ -> None
           in
           Network.set_bounds g.net g.bp l u;

@@ -30,6 +30,8 @@ let m_pivots = Obs.Metrics.counter "simplex.pivots"
 let m_refactors = Obs.Metrics.counter "simplex.refactors"
 let m_phase1_ns = Obs.Metrics.counter "simplex.phase1_ns"
 let m_phase2_ns = Obs.Metrics.counter "simplex.phase2_ns"
+let m_warm_starts = Obs.Metrics.counter "simplex.warm_starts"
+let m_warm_rejects = Obs.Metrics.counter "simplex.warm_rejects"
 
 let h_pivots =
   Obs.Metrics.histogram "simplex.pivots_per_solve"
@@ -259,7 +261,89 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
   done;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(max_iter = 50_000) spec =
+type basis = { b_status : status array; b_rows : int array }
+
+(* Reconstruct a full simplex state from a previously optimal basis:
+   statuses for the structural variables plus the basic variable of each
+   row.  Artificials are re-created pinned at zero (lo = up = 0,
+   nonbasic), the basis matrix is refactored from scratch, and the basic
+   values are recomputed against the {e new} rhs/bounds — so a basis
+   carried over from a neighboring LP yields an exact vertex of the new
+   LP, not an approximation.  Returns [None] (reject, caller goes cold)
+   when the basis is structurally inconsistent with the spec, the basis
+   matrix is singular, or the implied vertex is primal-infeasible. *)
+let warm_state spec basis =
+  let m = spec.n_rows in
+  let n = Array.length spec.cols in
+  if Array.length basis.b_status <> n || Array.length basis.b_rows <> m then None
+  else begin
+    let ok = ref true in
+    let seen = Array.make n false in
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= n || seen.(j) || basis.b_status.(j) <> Basic then ok := false
+        else seen.(j) <- true)
+      basis.b_rows;
+    let basic_count = ref 0 in
+    Array.iteri
+      (fun j s ->
+        match s with
+        | Basic ->
+          incr basic_count;
+          if not seen.(j) then ok := false
+        | At_lower -> if not (spec.lo.(j) > neg_infinity) then ok := false
+        | At_upper -> if not (spec.up.(j) < infinity) then ok := false
+        | Free_nb -> ())
+      basis.b_status;
+    Array.iteri (fun j l -> if not (l <= spec.up.(j)) then ok := false) spec.lo;
+    if (not !ok) || !basic_count <> m then None
+    else begin
+      let n_total = n + m in
+      let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
+      let up = Array.append (Array.copy spec.up) (Array.make m 0.) in
+      let status = Array.make n_total At_lower in
+      let x = Array.make n_total 0. in
+      Array.blit basis.b_status 0 status 0 n;
+      for j = 0 to n - 1 do
+        match status.(j) with
+        | Basic | Free_nb -> ()
+        | At_lower -> x.(j) <- lo.(j)
+        | At_upper -> x.(j) <- up.(j)
+      done;
+      let cols =
+        Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, 1.) ]))
+      in
+      let b = Numerics.Matrix.zeros m m in
+      Array.iteri
+        (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) spec.cols.(j))
+        basis.b_rows;
+      match Numerics.Lu.factor b with
+      | exception Numerics.Lu.Singular -> None
+      | lu ->
+        let binv = Numerics.Lu.inverse lu in
+        let st =
+          { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status;
+            basis = Array.copy basis.b_rows; binv; x }
+        in
+        recompute_basics st;
+        let feasible = ref true in
+        for r = 0 to m - 1 do
+          let k = st.basis.(r) in
+          let slack = tol_f *. (1. +. Float.abs st.x.(k)) in
+          if not (st.x.(k) >= st.lo.(k) -. slack && st.x.(k) <= st.up.(k) +. slack)
+          then feasible := false
+        done;
+        if !feasible then Some st else None
+    end
+  end
+
+(* Extract the reusable part of a solved state: only structural-variable
+   bases survive (a basic artificial would not transfer). *)
+let basis_of st n =
+  if Array.exists (fun j -> j >= n) st.basis then None
+  else Some { b_status = Array.sub st.status 0 n; b_rows = Array.copy st.basis }
+
+let rec solve_basis ?(max_iter = 50_000) ?basis spec =
   Obs.Metrics.incr m_solves;
   Obs.Span.with_span "simplex.solve" @@ fun () ->
   let pivots = ref 0 in
@@ -268,6 +352,46 @@ let solve ?(max_iter = 50_000) spec =
   if Array.length spec.rhs <> m then invalid_arg "Simplex.solve: rhs length mismatch";
   if not (Array.length spec.obj = n && Array.length spec.lo = n && Array.length spec.up = n)
   then invalid_arg "Simplex.solve: obj/lo/up length mismatch";
+  let finish st outcome =
+    Obs.Metrics.observe h_pivots (float_of_int !pivots);
+    let carry = match outcome with Optimal _ -> basis_of st n | _ -> None in
+    (outcome, carry)
+  in
+  let phase2 st =
+    let c2 = Array.init st.n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
+    match timed m_phase2_ns (fun () -> optimize ~max_iter ~pivots st c2) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let xs = Array.sub st.x 0 n in
+      let objective = ref 0. in
+      for j = 0 to n - 1 do
+        objective := !objective +. (spec.obj.(j) *. xs.(j))
+      done;
+      Optimal { x = xs; objective = !objective }
+  in
+  let cold () =
+    cold_solve spec ~max_iter ~pivots ~finish ~phase2
+  in
+  match basis with
+  | None -> cold ()
+  | Some b -> (
+    match warm_state spec b with
+    | None ->
+      Obs.Metrics.incr m_warm_rejects;
+      cold ()
+    | Some st -> (
+      Obs.Metrics.incr m_warm_starts;
+      match phase2 st with
+      | outcome -> finish st outcome
+      | exception Failure _ ->
+        (* Iteration-limit blowup from a degenerate warm vertex: charge
+           it as a reject and redo the honest two-phase solve. *)
+        Obs.Metrics.incr m_warm_rejects;
+        cold ()))
+
+and cold_solve spec ~max_iter ~pivots ~finish ~phase2 =
+  let m = spec.n_rows in
+  let n = Array.length spec.cols in
   let n_total = n + m in
   let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
   let up = Array.append (Array.copy spec.up) (Array.make m infinity) in
@@ -328,10 +452,7 @@ let solve ?(max_iter = 50_000) spec =
   for i = 0 to m - 1 do
     infeas := !infeas +. x.(n + i)
   done;
-  if !infeas > tol_f then begin
-    Obs.Metrics.observe h_pivots (float_of_int !pivots);
-    Infeasible
-  end
+  if !infeas > tol_f then finish st Infeasible
   else begin
     (* Pin the artificials at zero for phase 2. *)
     for i = 0 to m - 1 do
@@ -341,18 +462,7 @@ let solve ?(max_iter = 50_000) spec =
         st.x.(n + i) <- 0.
       end
     done;
-    let c2 = Array.init n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
-    let outcome =
-      match timed m_phase2_ns (fun () -> optimize ~max_iter ~pivots st c2) with
-      | `Unbounded -> Unbounded
-      | `Optimal ->
-        let xs = Array.sub st.x 0 n in
-        let objective = ref 0. in
-        for j = 0 to n - 1 do
-          objective := !objective +. (spec.obj.(j) *. xs.(j))
-        done;
-        Optimal { x = xs; objective = !objective }
-    in
-    Obs.Metrics.observe h_pivots (float_of_int !pivots);
-    outcome
+    finish st (phase2 st)
   end
+
+let solve ?max_iter ?basis spec = fst (solve_basis ?max_iter ?basis spec)

@@ -23,6 +23,33 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val solve : ?max_iter:int -> spec -> outcome
+type status = Basic | At_lower | At_upper | Free_nb
+(** Simplex status of a structural variable at a vertex. *)
+
+type basis = { b_status : status array; b_rows : int array }
+(** A restartable optimal basis: per-structural-variable statuses plus
+    the structural variable basic in each row.  Purely structural — no
+    numerical state — so a basis from one LP can warm-start any other LP
+    with the same shape (same columns, possibly different rhs, bounds or
+    objective), which is exactly the situation in FVA sweeps,
+    ε-constraint scans and knockout screens. *)
+
+val solve : ?max_iter:int -> ?basis:basis -> spec -> outcome
 (** Solve the LP. [max_iter] bounds total pivots (default [50_000]);
-    exceeding it raises [Failure]. *)
+    exceeding it raises [Failure].
+
+    [basis] warm-starts the solve from a previously returned basis: the
+    basis matrix is refactored against the new spec, basic values are
+    recomputed, and — when the implied vertex is primal-feasible — phase
+    1 is skipped entirely.  A basis that does not fit (wrong shape,
+    singular, infeasible vertex, or the warm phase 2 exhausts
+    [max_iter]) is rejected and the solver silently falls back to the
+    cold two-phase path, so the result is the same [outcome] either way
+    — only the pivot count changes ([simplex.warm_starts] /
+    [simplex.warm_rejects] metrics record which path ran). *)
+
+val solve_basis : ?max_iter:int -> ?basis:basis -> spec -> outcome * basis option
+(** Like {!solve}, additionally returning the optimal basis for reuse in
+    a subsequent warm start.  [None] unless the outcome is [Optimal]
+    with an all-structural basis (a vertex whose basis still contains an
+    artificial variable is not transferable). *)

@@ -2,9 +2,11 @@ type rhs = float -> Vec.t -> Vec.t
 
 type stats = { steps : int; rejected : int; evals : int }
 
-type result = { t : float; y : Vec.t; stats : stats }
+type result = { t : float; y : Vec.t; stats : stats; h_last : float }
 
 exception Step_underflow of float
+
+exception Deadline of float
 
 (* Observability probes.  Registered once at module init; every probe is
    a no-op behind a single atomic load until [Obs.Metrics.set_enabled]
@@ -15,6 +17,10 @@ let m_rejected = Obs.Metrics.counter "ode.rejected"
 let m_rhs_evals = Obs.Metrics.counter "ode.rhs_evals"
 let m_jacobians = Obs.Metrics.counter "ode.jacobians"
 let m_underflows = Obs.Metrics.counter "ode.underflows"
+let m_deadlines = Obs.Metrics.counter "ode.deadlines"
+let m_jacobian_reuses = Obs.Metrics.counter "ode.jacobian_reuses"
+let m_warm_starts = Obs.Metrics.counter "ode.warm_starts"
+let m_warm_fallbacks = Obs.Metrics.counter "ode.warm_fallbacks"
 let m_integrations = Obs.Metrics.counter "ode.integrations"
 let m_tier_adaptive = Obs.Metrics.counter "ode.tier.adaptive"
 let m_tier_tight = Obs.Metrics.counter "ode.tier.adaptive_tight"
@@ -23,6 +29,19 @@ let m_tier_stiff = Obs.Metrics.counter "ode.tier.stiff"
 let underflow t =
   Obs.Metrics.incr m_underflows;
   raise (Step_underflow t)
+
+(* Cooperative watchdog: the step loops poll the wall clock against an
+   absolute [Obs.Clock.now_ns] deadline and raise {!Deadline} when past
+   it.  The raise is meant to be absorbed by a [Runtime.Guard] (a stalled
+   evaluation degrades to a penalty instead of hanging the island).  By
+   construction this is wall-clock-dependent, so deadlines are opt-in and
+   never enabled on paths that promise bit-for-bit determinism. *)
+let check_deadline deadline t =
+  match deadline with
+  | Some limit when Obs.Clock.now_ns () > limit ->
+    Obs.Metrics.incr m_deadlines;
+    raise (Deadline t)
+  | _ -> ()
 
 let rk4 ~f ~t0 ~y0 ~dt ~steps =
   let n = Array.length y0 in
@@ -40,7 +59,7 @@ let rk4 ~f ~t0 ~y0 ~dt ~steps =
   done;
   Obs.Metrics.add m_steps steps;
   Obs.Metrics.add m_rhs_evals (4 * steps);
-  { t = !t; y; stats = { steps; rejected = 0; evals = 4 * steps } }
+  { t = !t; y; stats = { steps; rejected = 0; evals = 4 * steps }; h_last = dt }
 
 (* Dormand–Prince 5(4) Butcher tableau. *)
 let dp_c = [| 0.; 0.2; 0.3; 0.8; 8. /. 9.; 1.; 1. |]
@@ -64,7 +83,7 @@ let dp_b4 =
   |]
 
 let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
-    ?(max_steps = 1_000_000) ?observer ~f ~t0 ~t1 ~y0 () =
+    ?(max_steps = 1_000_000) ?observer ?deadline ~f ~t0 ~t1 ~y0 () =
   let n = Array.length y0 in
   if not (t1 >= t0) then invalid_arg "Ode.dopri5: need t1 >= t0";
   let span = t1 -. t0 in
@@ -78,6 +97,7 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   let k = Array.make 7 [||] in
   let stage_y = Array.make n 0. in
   while !t < t1 do
+    check_deadline deadline !t;
     if !accepted + !rejected > max_steps then underflow !t;
     let h_cur = Float.min !h (t1 -. !t) in
     if h_cur < h_min then underflow !t;
@@ -128,7 +148,8 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
     in
     h := Float.min h_max (Float.max h_min (h_cur *. fac))
   done;
-  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
+  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals };
+    h_last = !h }
 
 let numeric_jacobian f t y =
   Obs.Metrics.incr m_jacobians;
@@ -147,12 +168,32 @@ let numeric_jacobian f t y =
   done;
   jac
 
-(* One backward-Euler step via damped Newton: solve y' = y + h f(t+h, y'). *)
+(* One backward-Euler step via a modified (frozen-Jacobian) Newton:
+   solve y' = y + h f(t+h, y').  The Newton matrix M = I - h J is
+   factored once and the LU reused across iterations while the residual
+   keeps contracting (‖r_k‖ <= 0.5 ‖r_{k-1}‖); a stalled residual
+   triggers a refresh at the current iterate.  For the kinetic models
+   here the Jacobian (n+1 rhs evaluations plus an O(n³) factorization)
+   dominates the step cost, so freezing it is the single biggest saving
+   of the stiff tier — at the price of extra (cheap) iterations, never
+   of accuracy: convergence is still declared on the true residual. *)
 let backward_euler_step f t y h =
   let n = Array.length y in
   let ynext = Array.copy y in
   let max_newton = 12 in
-  let rec iterate it evals =
+  let frozen = ref None in
+  let refresh () =
+    let jac = numeric_jacobian f (t +. h) ynext in
+    let m = Matrix.init n n (fun i j -> (if i = j then 1. else 0.) -. (h *. Matrix.get jac i j)) in
+    match Lu.factor m with
+    | exception Lu.Singular ->
+      frozen := None;
+      false
+    | lu ->
+      frozen := Some lu;
+      true
+  in
+  let rec iterate it evals rprev =
     let fy = f (t +. h) ynext in
     let residual = Array.init n (fun i -> ynext.(i) -. y.(i) -. (h *. fy.(i))) in
     let rnorm = Vec.norm_inf residual in
@@ -160,23 +201,32 @@ let backward_euler_step f t y h =
     if rnorm <= 1e-10 *. scale then Some (ynext, evals + 1)
     else if it >= max_newton then None
     else begin
-      let jac = numeric_jacobian f (t +. h) ynext in
-      (* Newton matrix M = I - h J. *)
-      let m = Matrix.init n n (fun i j -> (if i = j then 1. else 0.) -. (h *. Matrix.get jac i j)) in
-      match Lu.factor m with
-      | exception Lu.Singular -> None
-      | lu ->
-        let dy = Lu.solve lu residual in
-        for i = 0 to n - 1 do
-          ynext.(i) <- ynext.(i) -. dy.(i)
-        done;
-        iterate (it + 1) (evals + 1 + n)
+      let need_refresh =
+        match !frozen with None -> true | Some _ -> not (rnorm <= 0.5 *. rprev)
+      in
+      let extra_evals =
+        if need_refresh then n + 1
+        else begin
+          Obs.Metrics.incr m_jacobian_reuses;
+          0
+        end
+      in
+      if need_refresh && not (refresh ()) then None
+      else
+        match !frozen with
+        | None -> None
+        | Some lu ->
+          let dy = Lu.solve lu residual in
+          for i = 0 to n - 1 do
+            ynext.(i) <- ynext.(i) -. dy.(i)
+          done;
+          iterate (it + 1) (evals + 1 + extra_evals) rnorm
     end
   in
-  iterate 0 0
+  iterate 0 0 infinity
 
 let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
-    ?(max_steps = 200_000) ~f ~t0 ~t1 ~y0 () =
+    ?(max_steps = 200_000) ?deadline ~f ~t0 ~t1 ~y0 () =
   let n = Array.length y0 in
   if not (t1 >= t0) then invalid_arg "Ode.implicit_euler: need t1 >= t0";
   let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
@@ -184,6 +234,7 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
   let y = ref (Array.copy y0) in
   let accepted = ref 0 and rejected = ref 0 and evals = ref 0 in
   while !t < t1 do
+    check_deadline deadline !t;
     if !accepted + !rejected > max_steps then underflow !t;
     let h_cur = Float.min !h (t1 -. !t) in
     if h_cur < h_min then underflow !t;
@@ -227,7 +278,8 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
       Obs.Metrics.incr m_rejected;
       h := h_cur *. 0.25
   done;
-  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals } }
+  { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals };
+    h_last = !h }
 
 (* {1 Fallback chain} *)
 
@@ -244,7 +296,7 @@ let tier_counter = function
   | Stiff -> m_tier_stiff
 
 let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
-    ?(max_steps = 1_000_000) ~f ~t0 ~t1 ~y0 () =
+    ?(max_steps = 1_000_000) ?deadline ~f ~t0 ~t1 ~y0 () =
   Obs.Metrics.incr m_integrations;
   Obs.Span.with_span "ode.integrate" @@ fun () ->
   let span = t1 -. t0 in
@@ -261,19 +313,20 @@ let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
       (* Tier 1: the workhorse, exactly as requested. *)
       (fun () ->
         attempt Adaptive (fun () ->
-            dopri5 ~rtol ~atol ?h0 ~h_min ?h_max ~max_steps ~f ~t0 ~t1 ~y0 ()));
+            dopri5 ~rtol ~atol ?h0 ~h_min ?h_max ~max_steps ?deadline ~f ~t0 ~t1 ~y0 ()));
       (* Tier 2: same integrator with tightened step bounds — a small
          forced initial step, a capped maximum step, a lower step floor and
          a doubled step budget rescue marginally stiff transients. *)
       (fun () ->
         attempt Adaptive_tight (fun () ->
             dopri5 ~rtol ~atol ~h0:(span *. 1e-6) ~h_min:(h_min *. 1e-3)
-              ~h_max:(span /. 10.) ~max_steps:(2 * max_steps) ~f ~t0 ~t1 ~y0 ()));
+              ~h_max:(span /. 10.) ~max_steps:(2 * max_steps) ?deadline ~f ~t0 ~t1
+              ~y0 ()));
       (* Tier 3: semi-implicit integrator for genuinely stiff regimes. *)
       (fun () ->
         attempt Stiff (fun () ->
             implicit_euler ~rtol:(Float.max rtol 1e-6) ~atol ~h_min:(h_min *. 1e-3)
-              ~f ~t0 ~t1 ~y0 ()));
+              ?deadline ~f ~t0 ~t1 ~y0 ()));
     ]
   in
   let rec try_tiers = function
@@ -283,18 +336,43 @@ let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   try_tiers tiers
 
 let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
-    ?(t_max = 5000.) ~f ~y0 () =
+    ?(t_max = 5000.) ?init ?h0 ?deadline ~f ~y0 () =
   Obs.Span.with_span "ode.steady_state" @@ fun () ->
-  let rec advance t y =
-    let rate =
-      let dy = f t y in
-      Vec.norm_inf dy /. (Vec.norm_inf y +. 1.)
+  (match init with
+  | Some g when Array.length g <> Array.length y0 ->
+    invalid_arg "Ode.steady_state: init must match y0 length"
+  | _ -> ());
+  (* Relax from [start]; [h0] only seeds the very first window — later
+     windows restart step-size control from the integrator default, as
+     before, so a warm step hint cannot change the long-run trajectory
+     shape beyond the initial transient. *)
+  let relax start =
+    let rec advance first t y =
+      let rate =
+        let dy = f t y in
+        Vec.norm_inf dy /. (Vec.norm_inf y +. 1.)
+      in
+      if rate <= tol then Ok y
+      else if t >= t_max then Error y
+      else
+        match
+          integrate_fallback ~rtol ~atol
+            ?h0:(if first then h0 else None)
+            ?deadline ~f ~t0:t ~t1:(t +. window) ~y0:y ()
+        with
+        | res, _tier -> advance false res.t res.y
+        | exception Step_underflow _ -> Error y
     in
-    if rate <= tol then Ok y
-    else if t >= t_max then Error y
-    else
-      match integrate_fallback ~rtol ~atol ~f ~t0:t ~t1:(t +. window) ~y0:y () with
-      | res, _tier -> advance res.t res.y
-      | exception Step_underflow _ -> Error y
+    advance true 0. (Array.copy start)
   in
-  advance 0. (Array.copy y0)
+  match init with
+  | None -> relax y0
+  | Some guess -> (
+    Obs.Metrics.incr m_warm_starts;
+    match relax guess with
+    | Ok y -> Ok y
+    | Error _ ->
+      (* A bad seed must never make an answer worse than the cold path:
+         rerun from the caller's y0. *)
+      Obs.Metrics.incr m_warm_fallbacks;
+      relax y0)

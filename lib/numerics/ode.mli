@@ -18,11 +18,24 @@ type stats = {
   evals : int;       (** rhs evaluations *)
 }
 
-type result = { t : float; y : Vec.t; stats : stats }
+type result = {
+  t : float;
+  y : Vec.t;
+  stats : stats;
+  h_last : float;  (** last attempted step size — seeds warm restarts *)
+}
 
 exception Step_underflow of float
 (** Raised when the adaptive controllers drive the step below the minimum
     step size; carries the time at which it happened. *)
+
+exception Deadline of float
+(** Raised by the adaptive integrators when a [?deadline] (an
+    {!Obs.Clock.now_ns} timestamp) has passed; carries the simulation
+    time reached.  Cooperative: checked once per attempted step, so an
+    integration is abandoned promptly but never mid-step.  Only raised
+    when a deadline was requested — deadline-free integrations remain
+    wall-clock independent and therefore deterministic. *)
 
 val rk4 : f:rhs -> t0:float -> y0:Vec.t -> dt:float -> steps:int -> result
 (** Fixed-step RK4 for [steps] steps of size [dt]. *)
@@ -35,6 +48,7 @@ val dopri5 :
   ?h_max:float ->
   ?max_steps:int ->
   ?observer:(float -> Vec.t -> unit) ->
+  ?deadline:int ->
   f:rhs ->
   t0:float ->
   t1:float ->
@@ -43,7 +57,9 @@ val dopri5 :
   result
 (** Adaptive Dormand–Prince 5(4) from [t0] to [t1].
     Defaults: [rtol = 1e-6], [atol = 1e-9], [max_steps = 1_000_000].
-    [observer] is called after every accepted step. *)
+    [observer] is called after every accepted step; [deadline] is an
+    absolute {!Obs.Clock.now_ns} timestamp past which {!Deadline} is
+    raised. *)
 
 val implicit_euler :
   ?rtol:float ->
@@ -51,6 +67,7 @@ val implicit_euler :
   ?h0:float ->
   ?h_min:float ->
   ?max_steps:int ->
+  ?deadline:int ->
   f:rhs ->
   t0:float ->
   t1:float ->
@@ -58,7 +75,12 @@ val implicit_euler :
   unit ->
   result
 (** Adaptive backward Euler with step-doubling error estimation; intended
-    for stiff systems where {!dopri5} needs prohibitively small steps. *)
+    for stiff systems where {!dopri5} needs prohibitively small steps.
+    The Newton iteration freezes its Jacobian LU while the residual keeps
+    contracting and refactors only on stall (counted by the
+    [ode.jacobian_reuses] metric), which never loosens the convergence
+    test — it is always the true residual that must fall below
+    tolerance. *)
 
 val numeric_jacobian : rhs -> float -> Vec.t -> Matrix.t
 (** Forward-difference Jacobian of the rhs at [(t, y)]. *)
@@ -78,6 +100,7 @@ val integrate_fallback :
   ?h_min:float ->
   ?h_max:float ->
   ?max_steps:int ->
+  ?deadline:int ->
   f:rhs ->
   t0:float ->
   t1:float ->
@@ -90,7 +113,8 @@ val integrate_fallback :
     then {!implicit_euler}.  A tier that raises {!Step_underflow} or
     returns a non-finite state hands over to the next; the returned
     {!tier} reports which one succeeded.  Raises {!Step_underflow} only
-    when every tier fails. *)
+    when every tier fails.  {!Deadline} (from [?deadline]) is {e not}
+    absorbed by the chain — an expired budget aborts all tiers. *)
 
 val steady_state :
   ?rtol:float ->
@@ -98,6 +122,9 @@ val steady_state :
   ?window:float ->
   ?tol:float ->
   ?t_max:float ->
+  ?init:Vec.t ->
+  ?h0:float ->
+  ?deadline:int ->
   f:rhs ->
   y0:Vec.t ->
   unit ->
@@ -105,4 +132,13 @@ val steady_state :
 (** Integrate in windows of duration [window] until the relative rate of
     change [‖f‖ / (‖y‖ + 1)] falls below [tol] (default 1e-7) or [t_max]
     is exceeded. Returns [Ok y_ss] on convergence, [Error y_last]
-    otherwise. *)
+    otherwise.
+
+    Warm starts: [init] relaxes from that state instead of [y0] (e.g. the
+    converged steady state of a neighboring genotype) and [h0] seeds the
+    first window's step size; both are advisory — if the warm relaxation
+    fails to converge the solver silently reruns cold from [y0], so a
+    stale seed can cost time but never change whether (or to what) the
+    system converges.  Raises [Invalid_argument] if [init] has a
+    different length than [y0].  [deadline] propagates to the
+    integrators ({!Deadline} escapes). *)

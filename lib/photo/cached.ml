@@ -1,0 +1,22 @@
+type t = {
+  env : Params.env;
+  kinetics : Params.kinetics;
+  warm : (float array * float) Cache.Warm.t;
+}
+
+let create ?(kinetics = Params.default) ?(grid = 0.25) ?(capacity = 256) ~env () =
+  { env; kinetics; warm = Cache.Warm.create ~grid ~capacity () }
+
+let evaluate ?t_max ?deadline t ~ratios =
+  let warm = Cache.Warm.nearest t.warm ratios in
+  let r =
+    Steady_state.evaluate ~kinetics:t.kinetics ?t_max ?warm ?deadline ~env:t.env
+      ~ratios ()
+  in
+  (* Only converged states are worth seeding from; an unconverged final
+     state would just drag a neighbor through the same transient. *)
+  if r.Steady_state.converged && r.Steady_state.h_last > 0. then
+    Cache.Warm.store t.warm ratios (r.Steady_state.y, r.Steady_state.h_last);
+  r
+
+let stats t = Cache.Warm.stats t.warm

@@ -1,0 +1,33 @@
+(** Warm-started leaf evaluation.
+
+    Wraps {!Steady_state.evaluate} with a {!Cache.Warm} store of
+    converged steady states: each evaluation seeds its relaxation from
+    the L∞-nearest previously-converged design in the same lattice cell
+    (see {!Cache.Warm}) and contributes its own converged state back.
+    Since {!Steady_state.evaluate} accepts a warm result only when it
+    converges, the reports are qualitatively identical to cold
+    evaluation — the warm store saves integration windows, it does not
+    change verdicts.
+
+    The store is mutex-guarded, so a single [t] may be shared across
+    domains; for bit-reproducible runs give each deterministic execution
+    lane its own [t] (warm hits depend on evaluation order). *)
+
+type t
+
+val create :
+  ?kinetics:Params.kinetics ->
+  ?grid:float ->
+  ?capacity:int ->
+  env:Params.env ->
+  unit ->
+  t
+(** A warm-evaluation context for one environment.  [grid] buckets
+    neighbor candidates (default 0.25 in ratio space — one mutation
+    step); [capacity] bounds the FIFO store (default 256 states). *)
+
+val evaluate : ?t_max:float -> ?deadline:int -> t -> ratios:float array -> Steady_state.report
+(** Evaluate a design, warm-starting from the nearest cached neighbor
+    and caching the converged result. *)
+
+val stats : t -> Cache.Warm.stats

@@ -13,6 +13,7 @@ type config = {
   archive_capacity : int option;
   parallel : bool;
   guard_penalty : float option;
+  cache_size : int option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     archive_capacity = None;
     parallel = false;
     guard_penalty = None;
+    cache_size = None;
   }
 
 let paper_config ~generations_hint =
@@ -55,6 +57,7 @@ type state = {
   rng : Numerics.Rng.t; (* drives migration decisions *)
   islands : Island.t array;
   guards : Runtime.Guard.t array; (* one per island when telemetry is on, else empty *)
+  memos : Moo.Solution.t Cache.Memo.t array; (* one per island when caching is on, else empty *)
   edges : (int * int) list;
   arch : Moo.Archive.t;
   mutable gens : int;
@@ -84,6 +87,17 @@ let init ?(seed = 42) ?(initial = []) problem config =
     | None -> [||]
     | Some penalty -> Array.init config.n_islands (fun _ -> Runtime.Guard.create ~penalty ())
   in
+  (* One memo per island: islands never share a cache, so the parallel
+     schedule stays contention-free and each island's hit pattern (hence
+     its LRU eviction order) is a pure function of its own evaluation
+     sequence — deterministic at any domain count. *)
+  let memos =
+    match config.cache_size with
+    | None -> [||]
+    | Some cap ->
+      if cap < 1 then invalid_arg "Archipelago.init: cache_size must be >= 1";
+      Array.init config.n_islands (fun _ -> Cache.Memo.create ~capacity:cap)
+  in
   let islands =
     Array.init config.n_islands (fun i ->
         let rng = Numerics.Rng.split master in
@@ -91,9 +105,10 @@ let init ?(seed = 42) ?(initial = []) problem config =
           if Array.length guards = 0 then problem
           else Runtime.Guard.wrap_problem guards.(i) problem
         in
+        let memo = if Array.length memos = 0 then None else Some memos.(i) in
         match algo_of i with
-        | Nsga2 cfg -> Island.nsga2 ~initial problem cfg rng
-        | Spea2 cfg -> Island.spea2 ~initial problem cfg rng)
+        | Nsga2 cfg -> Island.nsga2 ~initial problem { cfg with Ea.Nsga2.cache = memo } rng
+        | Spea2 cfg -> Island.spea2 ~initial problem { cfg with Ea.Spea2.cache = memo } rng)
   in
   {
     config;
@@ -101,6 +116,7 @@ let init ?(seed = 42) ?(initial = []) problem config =
     rng = migration_rng;
     islands;
     guards;
+    memos;
     edges = Topology.edges config.topology ~n:config.n_islands;
     arch = Moo.Archive.create ?capacity:config.archive_capacity ();
     gens = 0;
@@ -202,6 +218,8 @@ let generations_done st = st.gens
 let island_failures st = st.failures
 
 let island_guard_stats st = Array.map Runtime.Guard.stats st.guards
+
+let island_cache_stats st = Array.map Cache.Memo.stats st.memos
 
 (* {1 Per-epoch observation} *)
 
@@ -378,7 +396,14 @@ let restore st snap =
   Array.iteri
     (fun i g ->
       if i < Array.length snap.snap_guards then Runtime.Guard.set_stats g snap.snap_guards.(i))
-    st.guards
+    st.guards;
+  (* The memo is a pure accelerator, never checkpointed: flush it so a
+     restored run re-derives every value it replays.  Resumed fronts are
+     bit-identical either way (hits replay values computed from
+     bit-identical genotypes); flushing just makes the restored run's
+     miss pattern — and thus its eviction order — independent of
+     whatever happened before the rollback. *)
+  Array.iter Cache.Memo.clear st.memos
 
 let save st path = Runtime.Checkpoint.save ~magic:checkpoint_magic ~path (snapshot st)
 
@@ -399,6 +424,7 @@ type result = {
   explored : int;
   failures : int;
   guard_stats : Runtime.Guard.stats array;
+  cache_stats : Cache.Memo.stats array;
 }
 
 let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?resume
@@ -451,6 +477,7 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?re
     explored = evaluations st;
     failures = st.failures;
     guard_stats = island_guard_stats st;
+    cache_stats = island_cache_stats st;
   }
 
 (* {1 Checkpoint inspection} *)

@@ -36,6 +36,17 @@ type config = {
           evaluations are absorbed per island and counted in the
           telemetry ({!island_guard_stats}, [result.guard_stats]).
           [None] (the default) evaluates the problem as given. *)
+  cache_size : int option;
+      (** [Some n] gives every island its own [n]-entry LRU memo of
+          genotype → solution (see {!Cache.Memo}): bit-identical
+          offspring — clones surviving variation unchanged, or
+          re-encounters of recent candidates — replay their cached
+          solution instead of re-evaluating.  Fronts are bit-identical
+          to [None] at any domain count; only evaluation work changes
+          ({!island_cache_stats}, [result.cache_stats]).  The memo is
+          never checkpointed: a resumed run starts cold.  [None] (the
+          default) disables memoization.  Raises [Invalid_argument] in
+          {!init} when [n < 1]. *)
 }
 
 val default_config : config
@@ -74,6 +85,10 @@ val island_failures : state -> int
 val island_guard_stats : state -> Runtime.Guard.stats array
 (** Per-island guard telemetry, in island order.  Empty when the config
     has [guard_penalty = None]. *)
+
+val island_cache_stats : state -> Cache.Memo.stats array
+(** Per-island memo telemetry, in island order.  Empty when the config
+    has [cache_size = None]. *)
 
 (** {2 Per-epoch observation}
 
@@ -139,6 +154,8 @@ type result = {
   failures : int;  (** island crashes absorbed by the supervisor *)
   guard_stats : Runtime.Guard.stats array;
       (** per-island guard telemetry; empty when [guard_penalty = None] *)
+  cache_stats : Cache.Memo.stats array;
+      (** per-island memo telemetry; empty when [cache_size = None] *)
 }
 
 val run :
