@@ -602,6 +602,168 @@ let run_cache_benchmarks () =
     Printf.printf "   wrote BENCH_cache.json (pass: true)\n"
   end
 
+(* {1 Process sharding}
+
+   [bench-shard] runs the same seeded archipelago three ways — in-process,
+   sharded over 2 worker processes crash-free, and sharded over 2 workers
+   with one injected SIGKILL mid-run — and gates on the supervisor's core
+   promise: all three fronts bit-for-bit identical, same evaluation
+   counts, and the killed run recovering through at least one supervised
+   restart (never degradation).  The full run records wall clocks and a
+   restart-latency histogram in BENCH_shard.json; --quick shrinks the
+   kernel, keeps every gate, and writes nothing. *)
+
+let shard_fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "bench-shard: %s\n" m; exit 1) fmt
+
+let restart_bucket_edges_ms = [ 1.; 2.; 5.; 10.; 25.; 50.; 100. ]
+
+let restart_histogram restart_ms =
+  let edges = restart_bucket_edges_ms @ [ infinity ] in
+  List.map
+    (fun le ->
+      (le, List.length (List.filter (fun ms -> ms <= le) restart_ms)))
+    edges
+
+let run_shard_benchmarks () =
+  let quick = !quick_mode in
+  Printf.printf
+    "== Process sharding (gates: crash-free and 1-kill 2-shard runs bit-identical to in-process) ==\n%!";
+  let problem = Moo.Benchmarks.zdt1 ~n:(if quick then 8 else 12) in
+  let generations = if quick then 20 else 60 in
+  let cfg =
+    {
+      Pmo2.Archipelago.default_config with
+      n_islands = 4;
+      migration_period = 5;
+      nsga2 = { Ea.Nsga2.default_config with pop_size = 16 };
+    }
+  in
+  let front_key (r : Pmo2.Archipelago.result) =
+    List.sort compare
+      (List.map
+         (fun s ->
+           (Array.to_list s.Moo.Solution.x, Array.to_list s.Moo.Solution.f, s.Moo.Solution.v))
+         r.Pmo2.Archipelago.front)
+  in
+  let shard_config fault =
+    {
+      Shard.Supervisor.default with
+      Shard.Supervisor.shards = 2;
+      backoff_base = 0.002;
+      backoff_cap = 0.02;
+      fault;
+    }
+  in
+  let baseline, base_ns =
+    wall_ns (fun () -> Pmo2.Archipelago.run ~seed:21 ~generations problem cfg)
+  in
+  let (clean, clean_stats), clean_ns =
+    wall_ns (fun () ->
+        Shard.Supervisor.run ~seed:21 ~config:(shard_config None) ~generations problem cfg)
+  in
+  let fault =
+    Some
+      {
+        Runtime.Fault.pf_shard = 1;
+        pf_epoch = 2;
+        pf_mode = Runtime.Fault.Kill;
+        pf_times = 1;
+      }
+  in
+  let (killed, kill_stats), kill_ns =
+    wall_ns (fun () ->
+        Shard.Supervisor.run ~seed:21 ~config:(shard_config fault) ~generations problem cfg)
+  in
+  if front_key clean <> front_key baseline then
+    shard_fail "crash-free 2-shard front diverges from in-process";
+  if front_key killed <> front_key baseline then
+    shard_fail "1-kill 2-shard front diverges from in-process";
+  if clean.Pmo2.Archipelago.evaluations <> baseline.Pmo2.Archipelago.evaluations then
+    shard_fail "crash-free 2-shard run changed the evaluation count";
+  if killed.Pmo2.Archipelago.evaluations <> baseline.Pmo2.Archipelago.evaluations then
+    shard_fail "1-kill 2-shard run changed the evaluation count";
+  if clean_stats.Shard.Supervisor.restarts <> 0 then
+    shard_fail "crash-free run restarted a shard";
+  if kill_stats.Shard.Supervisor.restarts < 1 then
+    shard_fail "injected SIGKILL caused no supervised restart";
+  if kill_stats.Shard.Supervisor.lost <> 0 then
+    shard_fail "injected SIGKILL degraded the partition instead of restarting";
+  let report name ns (st : Shard.Supervisor.stats option) =
+    match st with
+    | None -> Printf.printf "   %-26s %10.3f ms\n%!" name (ns /. 1e6)
+    | Some st ->
+      Printf.printf "   %-26s %10.3f ms   %d spawn%s, %d restart%s (bit-identical)\n%!" name
+        (ns /. 1e6) st.Shard.Supervisor.spawns
+        (if st.Shard.Supervisor.spawns = 1 then "" else "s")
+        st.Shard.Supervisor.restarts
+        (if st.Shard.Supervisor.restarts = 1 then "" else "s")
+  in
+  report "in-process" base_ns None;
+  report "2 shards, crash-free" clean_ns (Some clean_stats);
+  report "2 shards, 1 SIGKILL" kill_ns (Some kill_stats);
+  let restart_ms = kill_stats.Shard.Supervisor.restart_ms in
+  List.iter
+    (fun ms -> Printf.printf "   restart latency %14.3f ms (detection to respawn)\n%!" ms)
+    restart_ms;
+  if quick then Printf.printf "   smoke mode: gates checked, BENCH_shard.json not written\n%!"
+  else begin
+    let stats_json (st : Shard.Supervisor.stats) =
+      Obs.Json.Obj
+        [
+          ("shards_requested", Obs.Json.Float (float_of_int st.Shard.Supervisor.shards_requested));
+          ("shards_used", Obs.Json.Float (float_of_int st.Shard.Supervisor.shards_used));
+          ("spawns", Obs.Json.Float (float_of_int st.Shard.Supervisor.spawns));
+          ("restarts", Obs.Json.Float (float_of_int st.Shard.Supervisor.restarts));
+          ("kills", Obs.Json.Float (float_of_int st.Shard.Supervisor.kills));
+          ("lost", Obs.Json.Float (float_of_int st.Shard.Supervisor.lost));
+          ("backoff_ms", Obs.Json.Float st.Shard.Supervisor.backoff_ms);
+        ]
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ( "benchmark",
+            Obs.Json.String
+              "multi-process sharded archipelago (determinism under crash + restart latency)" );
+          ("generations", Obs.Json.Float (float_of_int generations));
+          ("islands", Obs.Json.Float (float_of_int cfg.Pmo2.Archipelago.n_islands));
+          ("in_process_ms", Obs.Json.Float (base_ns /. 1e6));
+          ( "crash_free",
+            Obs.Json.Obj
+              [
+                ("ms", Obs.Json.Float (clean_ns /. 1e6));
+                ("stats", stats_json clean_stats);
+                ("bit_identical", Obs.Json.Bool true);
+              ] );
+          ( "one_kill",
+            Obs.Json.Obj
+              [
+                ("ms", Obs.Json.Float (kill_ns /. 1e6));
+                ("stats", stats_json kill_stats);
+                ("bit_identical", Obs.Json.Bool true);
+                ( "restart_ms",
+                  Obs.Json.List (List.map (fun ms -> Obs.Json.Float ms) restart_ms) );
+                ( "restart_latency_histogram",
+                  Obs.Json.List
+                    (List.map
+                       (fun (le, count) ->
+                         Obs.Json.Obj
+                           [
+                             ("le_ms", Obs.Json.Float le);
+                             ("count", Obs.Json.Float (float_of_int count));
+                           ])
+                       (restart_histogram restart_ms)) );
+              ] );
+          ("pass", Obs.Json.Bool true);
+        ]
+    in
+    let oc = open_out "BENCH_shard.json" in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "   wrote BENCH_shard.json (pass: true)\n"
+  end
+
 (* {1 Dispatch} *)
 
 let experiments =
@@ -628,6 +790,7 @@ let experiments =
     ("bench-obs", run_obs_benchmarks);
     ("bench-parallel", run_parallel_benchmarks);
     ("bench-cache", run_cache_benchmarks);
+    ("bench-shard", run_shard_benchmarks);
   ]
 
 let run_one name =

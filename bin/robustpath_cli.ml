@@ -116,6 +116,52 @@ let pool_of_domains domains =
   Parallel.Pool.set_default_domains domains;
   Parallel.Pool.get ()
 
+(* Process-sharding flags, shared by the optimization subcommands.  A
+   sharded run forks workers before any domain may exist, so it excludes
+   --domains parallelism: islands evaluate sequentially inside each
+   worker and no pool is created. *)
+let shards_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the islands across $(docv) supervised worker processes (fork-based; \
+           clamped to the island count).  Fronts are bit-for-bit identical to the \
+           in-process run at any $(docv), even across worker crashes, SIGKILL \
+           preemptions and supervised restarts.  0 (the default) runs in-process.  \
+           Sharded runs ignore --domains and evaluate sequentially inside each worker.")
+
+let shard_retry_arg =
+  Arg.(
+    value
+    & opt int Shard.Supervisor.(default.retry_budget)
+    & info [ "shard-retry" ] ~docv:"K"
+        ~doc:
+          "Restart a crashed or wedged worker up to $(docv) times (exponential backoff) \
+           before its shard is declared lost and the islands are redistributed over \
+           fewer workers — down to in-process when none remain.")
+
+let fault_kill_shard_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-kill-shard" ] ~docv:"SPEC"
+        ~doc:
+          "Fault injection for supervision testing: SHARD:EPOCH[:TIMES][:kill|wedge] \
+           kills (or wedges) the worker running shard SHARD at epoch EPOCH, TIMES times \
+           (default once).  The run must still finish with the exact in-process front.")
+
+let report_shard_stats ~metrics st =
+  match (metrics, st) with
+  | Some _, Some s ->
+    Printf.printf
+      "shards: %d used of %d requested, %d spawns, %d restarts, %d kills, %d lost, %.1f ms backoff\n"
+      s.Shard.Supervisor.shards_used s.Shard.Supervisor.shards_requested
+      s.Shard.Supervisor.spawns s.Shard.Supervisor.restarts s.Shard.Supervisor.kills
+      s.Shard.Supervisor.lost s.Shard.Supervisor.backoff_ms
+  | _ -> ()
+
 (* Evaluation-cache flag, shared by the optimization subcommands. *)
 let cache_size_arg =
   Arg.(
@@ -149,11 +195,12 @@ let report_cache_stats ~metrics r =
       total.Cache.Memo.evictions
 
 (* Pool counters tick while --metrics has observability enabled and
-   survive the disable, so the summary can read them after the run. *)
+   survive the disable, so the summary can read them after the run.
+   Sharded runs have no pool ([None]). *)
 let report_pool_stats ~metrics pool =
-  match metrics with
-  | None -> ()
-  | Some _ ->
+  match (metrics, pool) with
+  | None, _ | _, None -> ()
+  | Some _, Some pool ->
     let s = Parallel.Pool.stats () in
     Printf.printf "pool: %d domains, %d tasks, %d steals, %.1f ms idle\n"
       (Parallel.Pool.domains pool) s.Parallel.Pool.tasks s.Parallel.Pool.steals
@@ -188,27 +235,44 @@ let env_of ~ci ~export =
 (* {1 photo} *)
 
 let photo_cmd =
-  let run ci export generations pop seed domains cache_size checkpoint checkpoint_every
-      keep resume trace metrics =
+  let run ci export generations pop seed domains cache_size shards shard_retry kill_spec
+      checkpoint checkpoint_every keep resume trace metrics =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
     let problem = Photo.Leaf.problem env in
     let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
-    let pool = pool_of_domains domains in
+    let sharded = shards > 0 in
+    let pool = if sharded then None else Some (pool_of_domains domains) in
     let cfg =
       {
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
-        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; pool = Some pool };
+        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; pool };
         guard_penalty = Some 1e12;
-        parallel = true;
+        parallel = not sharded;
         cache_size = cache_size_of cache_size;
       }
     in
-    let r =
+    let r, shard_stats =
       with_observability ~trace ~metrics @@ fun ~observer ->
-      Pmo2.Archipelago.run ~seed ~initial:[ natural ] ?checkpoint ~checkpoint_every
-        ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg
+      if sharded then
+        let config =
+          {
+            Shard.Supervisor.default with
+            Shard.Supervisor.shards;
+            retry_budget = shard_retry;
+            fault = Option.map Runtime.Fault.parse_kill_spec kill_spec;
+          }
+        in
+        let r, st =
+          Shard.Supervisor.run ~seed ~initial:[ natural ] ?checkpoint ~checkpoint_every
+            ?keep_checkpoints:keep ?resume ?observer ~config ~generations problem cfg
+        in
+        (r, Some st)
+      else
+        ( Pmo2.Archipelago.run ~seed ~initial:[ natural ] ?checkpoint ~checkpoint_every
+            ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg,
+          None )
     in
     let u, n = Photo.Leaf.natural_point env in
     Printf.printf "condition: %s, triose-P export %g mmol/l/s\n" env.Photo.Params.label
@@ -224,7 +288,8 @@ let photo_cmd =
       (Moo.Mine.equally_spaced ~k:15 r.Pmo2.Archipelago.front);
     report_faults r;
     report_cache_stats ~metrics r;
-    report_pool_stats ~metrics pool
+    report_pool_stats ~metrics pool;
+    report_shard_stats ~metrics shard_stats
   in
   let ci =
     Arg.(value & opt int 270 & info [ "ci" ] ~doc:"Intercellular CO2 (165, 270 or 490 ppm).")
@@ -241,35 +306,51 @@ let photo_cmd =
     (Cmd.info "photo" ~doc:"Optimize the C3 leaf: CO2 uptake vs protein-nitrogen (PMO2).")
     Term.(
       const run $ ci $ export $ generations $ pop $ seed $ domains_arg $ cache_size_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg
-      $ trace_arg $ metrics_arg)
+      $ shards_arg $ shard_retry_arg $ fault_kill_shard_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
-  let run generations pop seed domains cache_size checkpoint checkpoint_every keep resume
-      trace metrics =
+  let run generations pop seed domains cache_size shards shard_retry kill_spec checkpoint
+      checkpoint_every keep resume trace metrics =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
     let problem = Fba.Moo_problem.problem g in
     let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
     let vary = Fba.Moo_problem.flux_variation g () in
-    let pool = pool_of_domains domains in
+    let sharded = shards > 0 in
+    let pool = if sharded then None else Some (pool_of_domains domains) in
     let cfg =
       {
         Pmo2.Archipelago.default_config with
         migration_period = Stdlib.max 1 (generations / 4);
-        nsga2 =
-          { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary; pool = Some pool };
+        nsga2 = { Ea.Nsga2.default_config with pop_size = pop; variation = Some vary; pool };
         guard_penalty = Some 1e12;
-        parallel = true;
+        parallel = not sharded;
         cache_size = cache_size_of cache_size;
       }
     in
-    let r =
+    let r, shard_stats =
       with_observability ~trace ~metrics @@ fun ~observer ->
-      Pmo2.Archipelago.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every
-        ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg
+      if sharded then
+        let config =
+          {
+            Shard.Supervisor.default with
+            Shard.Supervisor.shards;
+            retry_budget = shard_retry;
+            fault = Option.map Runtime.Fault.parse_kill_spec kill_spec;
+          }
+        in
+        let r, st =
+          Shard.Supervisor.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every
+            ?keep_checkpoints:keep ?resume ?observer ~config ~generations problem cfg
+        in
+        (r, Some st)
+      else
+        ( Pmo2.Archipelago.run ~seed ~initial:seeds ?checkpoint ~checkpoint_every
+            ?keep_checkpoints:keep ?resume ?observer ~generations problem cfg,
+          None )
     in
     let feasible = List.filter (fun s -> s.Moo.Solution.v <= 0.) r.Pmo2.Archipelago.front in
     Printf.printf "front: %d points (%d near-steady-state)\n"
@@ -282,7 +363,8 @@ let geobacter_cmd =
       (Moo.Mine.equally_spaced ~k:8 feasible);
     report_faults r;
     report_cache_stats ~metrics r;
-    report_pool_stats ~metrics pool
+    report_pool_stats ~metrics pool;
+    report_shard_stats ~metrics shard_stats
   in
   let generations =
     Arg.(value & opt int 60 & info [ "generations" ] ~doc:"Generations per island.")
@@ -293,8 +375,9 @@ let geobacter_cmd =
     (Cmd.info "geobacter"
        ~doc:"Optimize Geobacter: electron vs biomass production over 608 fluxes.")
     Term.(
-      const run $ generations $ pop $ seed $ domains_arg $ cache_size_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
+      const run $ generations $ pop $ seed $ domains_arg $ cache_size_arg $ shards_arg
+      $ shard_retry_arg $ fault_kill_shard_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* {1 inspect} *)
 

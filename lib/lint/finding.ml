@@ -1,6 +1,6 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -11,6 +11,7 @@ let rule_id = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -21,6 +22,7 @@ let rule_of_id = function
   | "R6" -> Some R6
   | "R7" -> Some R7
   | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let rule_doc = function
@@ -32,6 +34,7 @@ let rule_doc = function
   | R6 -> "module-toplevel mutable state in library code"
   | R7 -> "Hashtbl.iter/fold has unspecified iteration order"
   | R8 -> "raw Domain.spawn outside Parallel.Pool"
+  | R9 -> "raw process control (fork/create_process/exit) outside Shard"
 
 let hint = function
   | R1 ->
@@ -48,6 +51,9 @@ let hint = function
   | R8 ->
     "submit to Parallel.Pool (persistent workers, deterministic chunking) instead of \
      spawning ad-hoc domains"
+  | R9 ->
+    "route process lifecycle through Shard.Supervisor (supervised forks, reaping, exit \
+     discipline) instead of ad-hoc fork/exit"
 
 type t = {
   rule : rule;

@@ -10,14 +10,15 @@
     - R5: [assert] in library code (must be [invalid_arg])
     - R6: module-toplevel mutable state in library code
     - R7: [Hashtbl.iter]/[fold] (unspecified iteration order)
-    - R8: raw [Domain.spawn] outside [Parallel.Pool] *)
+    - R8: raw [Domain.spawn] outside [Parallel.Pool]
+    - R9: raw process control ([fork]/[create_process]/[exit]) outside [Shard] *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R8"]. *)
+(** ["R1"] .. ["R9"]. *)
 
 val rule_of_id : string -> rule option
 

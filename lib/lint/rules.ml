@@ -103,6 +103,15 @@ let mutable_state_maker name =
     true
   | _ -> false
 
+(* {2 R9 helpers} *)
+
+let process_control_name = function
+  | "Unix.fork" | "UnixLabels.fork" | "Unix.create_process" | "Unix.create_process_env"
+  | "UnixLabels.create_process" | "UnixLabels.create_process_env" | "Unix._exit"
+  | "UnixLabels._exit" | "Stdlib.exit" ->
+    true
+  | _ -> false
+
 (* {2 The iterator} *)
 
 let check_ident t loc name ty =
@@ -135,7 +144,17 @@ let check_ident t loc name ty =
   if name = "Stdlib.Domain.spawn" then
     add t Finding.R8 loc
       "raw Domain.spawn: ad-hoc domains bypass the persistent pool's determinism and \
-       lifecycle guarantees"
+       lifecycle guarantees";
+  if
+    is_lib t loc
+    && (not (String.starts_with ~prefix:"lib/shard/" (file_of loc)))
+    && process_control_name name
+  then
+    add t Finding.R9 loc
+      (Printf.sprintf
+         "raw %s: process lifecycle outside Shard escapes supervision (no reaping, no \
+          restart, no exit discipline)"
+         name)
 
 let expr t sub (e : expression) =
   (match e.exp_desc with

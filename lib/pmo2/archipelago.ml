@@ -139,6 +139,33 @@ let try_step isl period =
   (* robustlint: allow R4 — supervisor catch-all; fatal exceptions are re-raised above *)
   | exception e -> Some (Printexc.to_string e)
 
+(* The recovery policy for a failed island step: roll back to the
+   pre-epoch snapshot and retry once sequentially (rescues
+   parallelism-induced failures); a second crash is deterministic, so
+   roll back again and sit the epoch out.  Returns the number of
+   failures absorbed (0–2). *)
+let recover ~label isl snap outcome ~period =
+  match outcome with
+  | None -> 0
+  | Some msg ->
+    Obs.Metrics.incr m_island_failures;
+    Log.warn (fun m ->
+        m "%s (%s) crashed during epoch: %s; retrying sequentially" label (Island.name isl)
+          msg);
+    Island.restore isl snap;
+    (match try_step isl period with
+    | None -> 1
+    | Some msg ->
+      Obs.Metrics.incr m_island_failures;
+      Log.err (fun m ->
+          m "%s (%s) crashed again: %s; skipping this epoch" label (Island.name isl) msg);
+      Island.restore isl snap;
+      2)
+
+let supervised_step ?(label = "island") isl ~period =
+  let snap = Island.snapshot isl in
+  recover ~label isl snap (try_step isl period) ~period
+
 let step_epoch st =
   Obs.Span.with_span "arch.epoch" @@ fun () ->
   Obs.Metrics.incr m_epochs;
@@ -162,31 +189,13 @@ let step_epoch st =
         (fun i -> try_step st.islands.(i) period)
     else Array.map (fun isl -> try_step isl period) st.islands
   in
-  (* Graceful degradation: roll a crashed island back and re-run it
-     sequentially (rescues parallelism-induced failures); a second crash is
-     deterministic, so roll back again and sit the epoch out. *)
   Array.iteri
     (fun i outcome ->
-      match outcome with
-      | None -> ()
-      | Some msg ->
-        st.failures <- st.failures + 1;
-        Obs.Metrics.incr m_island_failures;
-        Log.warn (fun m ->
-            m "island %d (%s) crashed during epoch at gen %d: %s; retrying sequentially" i
-              (Island.name st.islands.(i))
-              st.gens msg);
-        Island.restore st.islands.(i) snaps.(i);
-        (match try_step st.islands.(i) period with
-        | None -> ()
-        | Some msg ->
-          st.failures <- st.failures + 1;
-          Obs.Metrics.incr m_island_failures;
-          Log.err (fun m ->
-              m "island %d (%s) crashed again: %s; skipping this epoch" i
-                (Island.name st.islands.(i))
-                msg);
-          Island.restore st.islands.(i) snaps.(i)))
+      let absorbed =
+        recover ~label:(Printf.sprintf "island %d" i) st.islands.(i) snaps.(i) outcome
+          ~period
+      in
+      st.failures <- st.failures + absorbed)
     outcomes;
   st.gens <- st.gens + period;
   (* Each directed edge fires with the configured probability; emigrants
@@ -220,6 +229,41 @@ let island_failures st = st.failures
 let island_guard_stats st = Array.map Runtime.Guard.stats st.guards
 
 let island_cache_stats st = Array.map Cache.Memo.stats st.memos
+
+(* {1 Sharding support}
+
+   The multi-process runner in [lib/shard] drives epochs itself: its
+   supervisor owns the canonical state (forked workers inherit island
+   copies) and replays exactly [step_epoch]'s sequence — per-edge
+   migration draws from the dedicated migration stream, emigrant
+   selection for firing edges in global edge order, injection, then
+   archive collection in island order.  These accessors expose the state
+   that sequence touches; they are not useful to in-process callers. *)
+
+let islands st = st.islands
+
+let migration_edges st = st.edges
+
+let migration_rng st = st.rng
+
+let advance_generations st period = st.gens <- st.gens + period
+
+let note_failures st n =
+  if n < 0 then invalid_arg "Archipelago.note_failures: count must be >= 0";
+  st.failures <- st.failures + n
+
+let set_epoch_migrations st n =
+  st.epoch_migrations <- n;
+  Obs.Metrics.add m_migrations n;
+  Obs.Metrics.incr m_epochs
+
+let set_hv_ref st r = st.hv_ref <- r
+
+let set_island_guard_stats st updates =
+  List.iter
+    (fun (i, s) ->
+      if i >= 0 && i < Array.length st.guards then Runtime.Guard.set_stats st.guards.(i) s)
+    updates
 
 (* {1 Per-epoch observation} *)
 
@@ -304,9 +348,12 @@ let jsonl_observer oc r =
 
 (* {1 Checkpointing} *)
 
-let checkpoint_magic = "robustpath-archipelago-checkpoint v2"
+let checkpoint_magic_base = "robustpath-archipelago-checkpoint"
 
-let checkpoint_magic_v1 = "robustpath-archipelago-checkpoint v1"
+let checkpoint_magic = Runtime.Checkpoint.versioned_magic ~base:checkpoint_magic_base ~version:2
+
+let checkpoint_magic_v1 =
+  Runtime.Checkpoint.versioned_magic ~base:checkpoint_magic_base ~version:1
 
 type snapshot = {
   snap_problem : string;
@@ -351,9 +398,10 @@ let snapshot_of_v1 (s : snapshot_v1) =
    matching layout.  Unknown magics fall through to the v2 loader so the
    error message is the standard bad-magic [Corrupt]. *)
 let load_snapshot path =
-  if Runtime.Checkpoint.read_magic ~path = checkpoint_magic_v1 then
-    (snapshot_of_v1 (Runtime.Checkpoint.load ~magic:checkpoint_magic_v1 ~path), 1)
-  else ((Runtime.Checkpoint.load ~magic:checkpoint_magic ~path : snapshot), 2)
+  let magic = Runtime.Checkpoint.read_magic ~path in
+  match Runtime.Checkpoint.version_of_magic ~base:checkpoint_magic_base magic with
+  | Some 1 -> (snapshot_of_v1 (Runtime.Checkpoint.load ~magic:checkpoint_magic_v1 ~path), 1)
+  | _ -> ((Runtime.Checkpoint.load ~magic:checkpoint_magic ~path : snapshot), 2)
 
 let snapshot st =
   {

@@ -90,6 +90,60 @@ val island_cache_stats : state -> Cache.Memo.stats array
 (** Per-island memo telemetry, in island order.  Empty when the config
     has [cache_size = None]. *)
 
+(** {2 Sharding support}
+
+    Hooks for the multi-process runner ([Shard.Supervisor]), which owns a
+    canonical state, forks workers that inherit island copies, and replays
+    {!step_epoch}'s exact sequence across processes: one migration-stream
+    Bernoulli draw per edge in edge order, emigrant selection only for
+    firing edges in global edge order, injection in delivery order, then
+    {!collect} in island order.  Not useful to in-process callers. *)
+
+val islands : state -> Island.t array
+(** The live islands, in island order.  Mutating them outside the
+    {!step_epoch} discipline forfeits determinism. *)
+
+val migration_edges : state -> (int * int) list
+(** Directed [(src, dst)] migration edges, in the canonical order the
+    migration stream is consumed in. *)
+
+val migration_rng : state -> Numerics.Rng.t
+(** The dedicated migration-decision stream.  One {!Numerics.Rng.bernoulli}
+    draw per edge per epoch, in {!migration_edges} order — nothing else
+    may consume from it. *)
+
+val supervised_step : ?label:string -> Island.t -> period:int -> int
+(** One island's supervised epoch step: snapshot, step [period]
+    generations, and on a crash roll back and retry once sequentially —
+    a second crash rolls back again and skips the epoch.  Returns the
+    number of crashes absorbed (0–2); [label] names the island in log
+    messages.  This is exactly the per-island policy {!step_epoch}
+    applies, exported so worker processes degrade identically. *)
+
+val collect : state -> unit
+(** Merge every island's current front into the archive, in island
+    order — the per-epoch archive update of {!step_epoch}. *)
+
+val advance_generations : state -> int -> unit
+(** Account [period] more generations to the state (the supervisor's
+    bookkeeping after a cross-process epoch). *)
+
+val note_failures : state -> int -> unit
+(** Add worker-reported island crashes to the failure count.  Raises
+    [Invalid_argument] on a negative count. *)
+
+val set_epoch_migrations : state -> int -> unit
+(** Record how many edges delivered this epoch (feeds {!epoch_record} and
+    the [arch.epochs]/[arch.migrations] counters). *)
+
+val set_hv_ref : state -> float array option -> unit
+(** Pin (or clear) the hypervolume reference point, as {!run}'s [?hv_ref]
+    does. *)
+
+val set_island_guard_stats : state -> (int * Runtime.Guard.stats) list -> unit
+(** Overwrite chosen islands' guard counters with worker-reported values;
+    indices outside the guard array are ignored (telemetry off). *)
+
 (** {2 Per-epoch observation}
 
     The observability hook behind the paper's quality-over-effort curves
@@ -117,6 +171,10 @@ type epoch_record = {
 val epoch_record : state -> epoch_record
 (** Build a record for the current state (computes the archive-front
     hypervolume; costs one {!Moo.Hypervolume} call). *)
+
+val publish_record : epoch_record -> unit
+(** Publish the record's values as [arch.*] gauges (what {!run} does each
+    epoch when metrics are enabled) — for external epoch drivers. *)
 
 val jsonl_observer : out_channel -> epoch_record -> unit
 (** An [?observer] for {!run} that publishes the record's [arch.*] gauges

@@ -25,6 +25,22 @@ val read_magic : path:string -> string
     Raises {!Corrupt} only when the file cannot be opened; an empty file
     reads as [""]. *)
 
+(** {2 Versioned magic strings}
+
+    All persisted formats in this library use magic lines of the shape
+    ["<base> v<N>"].  These helpers are the single implementation of that
+    grammar; readers dispatch on {!version_of_magic} instead of
+    re-parsing magic strings by hand. *)
+
+val versioned_magic : base:string -> version:int -> string
+(** [versioned_magic ~base ~version] is ["<base> v<version>"].  Raises
+    [Invalid_argument] when [version < 1]. *)
+
+val version_of_magic : base:string -> string -> int option
+(** Inverse of {!versioned_magic}: [Some n] when the magic is
+    ["<base> v<n>"] for a well-formed decimal [n], [None] otherwise
+    (including foreign bases and malformed version suffixes). *)
+
 (** {2 Numbered checkpoint histories}
 
     A run that wants to keep the last K checkpoints (instead of
@@ -44,3 +60,30 @@ val prune : keep:int -> string -> unit
 (** Delete all but the [keep] highest-numbered history files of [path].
     Unremovable files are skipped silently.  Raises [Invalid_argument]
     when [keep < 1]. *)
+
+(** {2 Self-validating frames}
+
+    The checkpoint encoding promoted to a wire format: the same magic
+    line and [Marshal] payload, hardened for transport with an explicit
+    payload length and a CRC-32 (IEEE).  Unlike a file — where rename
+    gives atomicity — a pipe can deliver a torn or corrupted frame, and
+    the codec must detect that rather than let [Marshal] misparse. *)
+
+module Frame : sig
+  val encode : magic:string -> 'a -> string
+  (** [magic ^ "\n"], 4-byte big-endian payload length, 4-byte big-endian
+      CRC-32 of the payload, then the [Marshal] payload.  Raises
+      [Invalid_argument] when [magic] contains a newline. *)
+
+  val decode : magic:string -> string -> 'a
+  (** Raises {!Corrupt} on a magic mismatch, a length that disagrees with
+      the frame size, a CRC mismatch, or an undecodable payload.  Same
+      [Marshal] caveat as {!load}: the ['a] must match what was encoded. *)
+
+  val magic_of : string -> string
+  (** The frame's magic line, for version dispatch before {!decode}.
+      Raises {!Corrupt} when the frame has no newline-terminated magic. *)
+
+  val crc32 : string -> int32
+  (** CRC-32 (IEEE 802.3, reflected) of a string; matches zlib's crc32. *)
+end

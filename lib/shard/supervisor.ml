@@ -1,0 +1,591 @@
+(* Multi-process sharded archipelago supervisor.
+
+   The supervisor owns the canonical archipelago state and drives the
+   same epoch sequence as the in-process driver, with island stepping
+   farmed out to forked worker processes:
+
+     draw one migration Bernoulli per edge, in edge order
+     Step phase:   workers step their islands, return snapshots+emigrants
+     commit:       restore snapshots into canonical islands (island order)
+     Inject phase: deliveries applied locally and broadcast to workers
+     epilogue:     generations, migration count, archive collection
+
+   Worker replies are buffered and committed only when the whole Step
+   phase succeeded, so at any failure point the canonical islands still
+   hold the epoch-start state: a respawned worker (a fresh fork of the
+   supervisor) replays the identical Step and produces a bit-identical
+   reply.  That is the whole determinism argument — crashes change which
+   process computes an epoch, never what it computes.
+
+   Supervision policy per shard: heartbeat timeout and a per-phase
+   wall-clock deadline, both enforced with SIGKILL (hard preemption —
+   covers wedged workers that cooperative deadlines cannot interrupt);
+   supervised restart with exponential backoff under a retry budget; on
+   budget exhaustion the shard is lost, remaining workers are drained,
+   and the run degrades to a smaller partition (ultimately to in-process
+   stepping) without losing determinism. *)
+
+module A = Pmo2.Archipelago
+
+let log_src = Logs.Src.create "shard.supervisor" ~doc:"Sharded archipelago supervisor"
+
+module Log = (val Logs.src_log log_src)
+
+let m_spawns = Obs.Metrics.counter "shard.spawns"
+let m_restarts = Obs.Metrics.counter "shard.restarts"
+let m_kills = Obs.Metrics.counter "shard.kills"
+let m_lost = Obs.Metrics.counter "shard.lost"
+let m_heartbeats = Obs.Metrics.counter "shard.heartbeats"
+let h_restart_ms = Obs.Metrics.histogram "shard.restart_ms"
+let h_backoff_ms = Obs.Metrics.histogram "shard.backoff_ms"
+let g_shards = Obs.Metrics.gauge "shard.active"
+
+type config = {
+  shards : int;
+  retry_budget : int;
+  heartbeat_timeout : float;
+  epoch_deadline : float;
+  backoff_base : float;
+  backoff_cap : float;
+  fault : Runtime.Fault.process_fault option;
+}
+
+let default =
+  {
+    shards = 2;
+    retry_budget = 2;
+    heartbeat_timeout = 10.;
+    epoch_deadline = 120.;
+    backoff_base = 0.02;
+    backoff_cap = 0.5;
+    fault = None;
+  }
+
+let validate cfg =
+  if cfg.shards < 1 then invalid_arg "Supervisor: shards must be >= 1";
+  if cfg.retry_budget < 0 then invalid_arg "Supervisor: retry_budget must be >= 0";
+  if not (cfg.heartbeat_timeout > 0.) then
+    invalid_arg "Supervisor: heartbeat_timeout must be > 0";
+  if not (cfg.epoch_deadline > 0.) then invalid_arg "Supervisor: epoch_deadline must be > 0";
+  if not (cfg.backoff_base >= 0. && cfg.backoff_cap >= 0.) then
+    invalid_arg "Supervisor: backoff must be >= 0"
+
+type stats = {
+  shards_requested : int;
+  shards_used : int;
+  spawns : int;
+  restarts : int;
+  kills : int;
+  lost : int;
+  backoff_ms : float;
+  restart_ms : float list;
+}
+
+type worker = {
+  w_shard : int;
+  w_islands : int list;
+  mutable w_pid : int;
+  mutable w_to : Unix.file_descr;
+  mutable w_from : Unix.file_descr;
+  mutable w_incarnation : int;
+  mutable w_restarts : int;
+  mutable w_last_seen : float;
+  mutable w_alive : bool;
+}
+
+type ctx = {
+  scfg : config;
+  st : A.state;
+  period : int;
+  prob : float;
+  migrants : int;
+  mutable workers : worker array; (* [||] = fully degraded, step in-process *)
+  latest_cache : Cache.Memo.stats option array; (* per island, worker-reported *)
+  mutable c_spawns : int;
+  mutable c_restarts : int;
+  mutable c_kills : int;
+  mutable c_lost : int;
+  mutable c_backoff_ms : float;
+  mutable c_restart_ms : float list; (* reverse order *)
+}
+
+(* Fork-inheritance makes a domain pool in the child undefined behaviour;
+   shard workers run their islands sequentially regardless of what the
+   caller's config asked for. *)
+let sanitize (cfg : A.config) =
+  {
+    cfg with
+    A.parallel = false;
+    nsga2 = { cfg.A.nsga2 with Ea.Nsga2.pool = None };
+    algorithms =
+      List.map
+        (function
+          | A.Nsga2 c -> A.Nsga2 { c with Ea.Nsga2.pool = None }
+          | A.Spea2 c -> A.Spea2 { c with Ea.Spea2.pool = None })
+        cfg.A.algorithms;
+  }
+
+(* Balanced contiguous partition of [0..n_islands) into [shards] blocks. *)
+let partition ~n_islands ~shards =
+  let q = n_islands / shards and r = n_islands mod shards in
+  List.init shards (fun s ->
+      let start = (s * q) + min s r in
+      let len = q + if s < r then 1 else 0 in
+      List.init len (fun j -> start + j))
+
+(* {1 Process lifecycle} *)
+
+let spawn_raw ctx ~shard ~islands_idx ~incarnation =
+  let req_r, req_w = Unix.pipe () in
+  let rep_r, rep_w = Unix.pipe () in
+  (* Every live pipe end the child would otherwise inherit: holding a
+     sibling's write end open would mask that sibling's death (no EOF). *)
+  let inherited =
+    Array.to_list ctx.workers
+    |> List.concat_map (fun w -> if w.w_alive then [ w.w_to; w.w_from ] else [])
+  in
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Unix.close req_w;
+       Unix.close rep_r;
+       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) inherited;
+       Worker.run ~state:ctx.st ~shard ~incarnation ~local:islands_idx ~migrants:ctx.migrants
+         ~fault:ctx.scfg.fault ~input:req_r ~output:rep_w;
+       Unix._exit 0
+     (* robustlint: allow R4 — a forked child must die here, never resume the supervisor's stack *)
+     with _ -> Unix._exit 3)
+  | pid ->
+    Unix.close req_r;
+    Unix.close rep_w;
+    ctx.c_spawns <- ctx.c_spawns + 1;
+    Obs.Metrics.incr m_spawns;
+    Log.info (fun m ->
+        m "spawned shard %d (pid %d, incarnation %d, islands [%s])" shard pid incarnation
+          (String.concat ";" (List.map string_of_int islands_idx)));
+    (pid, req_w, rep_r)
+
+(* Reap a worker: close our pipe ends first (so a live worker sees EOF
+   and leaves), then collect the exit status, escalating to SIGKILL if
+   it ignores the grace period.  Never leaves a zombie behind. *)
+let reap ?(grace = 2.0) w =
+  w.w_alive <- false;
+  (try Unix.close w.w_to with Unix.Unix_error _ -> ());
+  (try Unix.close w.w_from with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. grace in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] w.w_pid with
+    | 0, _ ->
+      if Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.005;
+        wait ()
+      end
+      else begin
+        (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] w.w_pid)
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  wait ()
+
+let preempt ctx w ~reason =
+  ctx.c_kills <- ctx.c_kills + 1;
+  Obs.Metrics.incr m_kills;
+  Log.warn (fun m -> m "shard %d (pid %d): hard preemption (%s)" w.w_shard w.w_pid reason);
+  (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap w
+
+let spawn_partition ctx ~shards =
+  let n_islands = Array.length (A.islands ctx.st) in
+  let blocks = partition ~n_islands ~shards in
+  ctx.workers <-
+    Array.of_list
+      (List.mapi
+         (fun s islands_idx ->
+           let pid, w_to, w_from = spawn_raw ctx ~shard:s ~islands_idx ~incarnation:0 in
+           {
+             w_shard = s;
+             w_islands = islands_idx;
+             w_pid = pid;
+             w_to;
+             w_from;
+             w_incarnation = 0;
+             w_restarts = 0;
+             w_last_seen = Unix.gettimeofday ();
+             w_alive = true;
+           })
+         blocks);
+  Obs.Metrics.set_gauge g_shards (float_of_int (Array.length ctx.workers))
+
+let shutdown_all ctx =
+  Array.iter
+    (fun w ->
+      if w.w_alive then begin
+        (try Wire.send_request w.w_to Wire.Shutdown with Wire.Closed -> ());
+        reap w
+      end)
+    ctx.workers;
+  ctx.workers <- [||]
+
+(* Exponential backoff, then respawn the shard in place (next
+   incarnation, same island block).  The fresh fork inherits the
+   canonical islands, which hold exactly the state the dead incarnation
+   started its phase from. *)
+let respawn ctx w =
+  let t0 = Unix.gettimeofday () in
+  ctx.c_restarts <- ctx.c_restarts + 1;
+  Obs.Metrics.incr m_restarts;
+  let backoff =
+    Float.min ctx.scfg.backoff_cap (ctx.scfg.backoff_base *. (2. ** float_of_int w.w_restarts))
+  in
+  if backoff > 0. then Unix.sleepf backoff;
+  ctx.c_backoff_ms <- ctx.c_backoff_ms +. (backoff *. 1000.);
+  Obs.Metrics.observe h_backoff_ms (backoff *. 1000.);
+  w.w_restarts <- w.w_restarts + 1;
+  w.w_incarnation <- w.w_incarnation + 1;
+  let pid, w_to, w_from =
+    spawn_raw ctx ~shard:w.w_shard ~islands_idx:w.w_islands ~incarnation:w.w_incarnation
+  in
+  w.w_pid <- pid;
+  w.w_to <- w_to;
+  w.w_from <- w_from;
+  w.w_alive <- true;
+  w.w_last_seen <- Unix.gettimeofday ();
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  ctx.c_restart_ms <- ms :: ctx.c_restart_ms;
+  Obs.Metrics.observe h_restart_ms ms
+
+(* Permanent loss of [w]'s shard: drain every worker and re-partition
+   the islands over one fewer shard (the canonical state is the single
+   source of truth, so fresh forks of it are always consistent). *)
+let degrade ctx w =
+  ctx.c_lost <- ctx.c_lost + 1;
+  Obs.Metrics.incr m_lost;
+  let survivors = Array.length ctx.workers - 1 in
+  Log.err (fun m ->
+      m "shard %d lost after %d restarts; degrading to %d shard(s)" w.w_shard w.w_restarts
+        survivors);
+  shutdown_all ctx;
+  if survivors > 0 then spawn_partition ctx ~shards:survivors
+  else Obs.Metrics.set_gauge g_shards 0.
+
+(* {1 Epoch phases} *)
+
+type phase_result = Committed | Repartitioned
+
+(* Wait for one terminal reply per worker, treating silence past the
+   heartbeat timeout or the phase deadline as a wedged worker.  [on_fail]
+   decides whether a dead worker is retried in place (and its request
+   re-sent) or the whole partition is rebuilt. *)
+let collect_phase ctx ~epoch ~label ~resend ~on_terminal =
+  let phase_deadline = Unix.gettimeofday () +. ctx.scfg.epoch_deadline in
+  let n = Array.length ctx.workers in
+  let done_ = Array.make n false in
+  let fail i ~reason =
+    let w = ctx.workers.(i) in
+    if w.w_restarts < ctx.scfg.retry_budget then begin
+      Log.warn (fun m ->
+          m "shard %d failed during %s of epoch %d (%s); restarting" w.w_shard label epoch
+            reason);
+      respawn ctx w;
+      (match resend with
+      | Some req -> (
+        try Wire.send_request w.w_to req
+        with Wire.Closed -> () (* instant death; the next pump pass handles it *))
+      | None ->
+        (* Nothing to replay: the canonical state the fresh fork
+           inherited already reflects this phase. *)
+        done_.(i) <- true);
+      true
+    end
+    else begin
+      degrade ctx w;
+      false
+    end
+  in
+  let rec pump () =
+    let pending =
+      List.filter (fun i -> not done_.(i)) (List.init n (fun i -> i))
+    in
+    if pending = [] then Committed
+    else begin
+      let now = Unix.gettimeofday () in
+      let deadline_of i =
+        Float.min phase_deadline (ctx.workers.(i).w_last_seen +. ctx.scfg.heartbeat_timeout)
+      in
+      (* First preempt anyone already past their deadline. *)
+      let expired = List.filter (fun i -> now >= deadline_of i) pending in
+      match expired with
+      | i :: _ ->
+        preempt ctx ctx.workers.(i) ~reason:(Printf.sprintf "no frames during %s" label);
+        if fail i ~reason:"deadline" then pump () else Repartitioned
+      | [] -> (
+        let wake = List.fold_left (fun acc i -> Float.min acc (deadline_of i)) infinity pending in
+        let timeout = Float.max 0. (wake -. now) in
+        let fds = List.map (fun i -> ctx.workers.(i).w_from) pending in
+        match Unix.select fds [] [] timeout with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+        | [], _, _ -> pump () (* a deadline expired; handled on re-entry *)
+        | readable, _, _ -> (
+          let i =
+            match List.find_opt (fun i -> List.memq ctx.workers.(i).w_from readable) pending with
+            | Some i -> i
+            | None -> invalid_arg "Supervisor: select returned a foreign descriptor"
+          in
+          let w = ctx.workers.(i) in
+          match Wire.recv_reply ~deadline:(deadline_of i) w.w_from with
+          | Wire.Heartbeat _ ->
+            w.w_last_seen <- Unix.gettimeofday ();
+            Obs.Metrics.incr m_heartbeats;
+            pump ()
+          | reply -> (
+            w.w_last_seen <- Unix.gettimeofday ();
+            match on_terminal i reply with
+            | Ok () ->
+              done_.(i) <- true;
+              pump ()
+            | Error reason ->
+              preempt ctx w ~reason;
+              if fail i ~reason then pump () else Repartitioned)
+          | exception Wire.Timeout ->
+            preempt ctx w ~reason:(Printf.sprintf "stalled mid-frame during %s" label);
+            if fail i ~reason:"mid-frame stall" then pump () else Repartitioned
+          | exception (Wire.Closed | Runtime.Checkpoint.Corrupt _) ->
+            reap w;
+            if fail i ~reason:"died (closed/torn frame)" then pump () else Repartitioned))
+    end
+  in
+  pump ()
+
+(* The fully-degraded path: run the epoch's island work in-process,
+   with the already-drawn fire list (the migration stream must never be
+   re-consumed for a retried epoch). *)
+let inline_epoch ctx ~fire =
+  let islands = A.islands ctx.st in
+  let failures = ref 0 in
+  Array.iteri
+    (fun i isl ->
+      failures := !failures + A.supervised_step ~label:(Printf.sprintf "island %d" i) isl ~period:ctx.period)
+    islands;
+  let deliveries =
+    List.map (fun (src, dst) -> (dst, Pmo2.Island.emigrants islands.(src) ctx.migrants)) fire
+  in
+  List.iter (fun (dst, sols) -> Pmo2.Island.inject islands.(dst) sols) deliveries;
+  A.note_failures ctx.st !failures
+
+let step_request ~epoch ~period ~fire = Wire.Step { epoch; period; fire }
+
+(* One supervised epoch: Step phase (retried wholesale on repartition —
+   safe because commits are buffered), commit, local+remote Inject. *)
+let rec run_epoch ctx ~epoch ~fire =
+  if Array.length ctx.workers = 0 then inline_epoch ctx ~fire
+  else begin
+    let n = Array.length ctx.workers in
+    let replies : Wire.stepped option array = Array.make n None in
+    let req = step_request ~epoch ~period:ctx.period ~fire in
+    let send_ok =
+      Array.for_all
+        (fun w ->
+          w.w_last_seen <- Unix.gettimeofday ();
+          try
+            Wire.send_request w.w_to req;
+            true
+          with Wire.Closed -> false)
+        ctx.workers
+    in
+    if not send_ok then begin
+      (* A worker died between epochs; rebuild the partition and retry. *)
+      Log.warn (fun m -> m "worker died before epoch %d; repartitioning" epoch);
+      let shards = Array.length ctx.workers in
+      shutdown_all ctx;
+      spawn_partition ctx ~shards;
+      run_epoch ctx ~epoch ~fire
+    end
+    else begin
+      let on_terminal i = function
+        | Wire.Stepped r when r.Wire.sd_epoch = epoch ->
+          replies.(i) <- Some r;
+          Ok ()
+        | Wire.Stepped r ->
+          Error (Printf.sprintf "stepped reply for epoch %d during epoch %d" r.Wire.sd_epoch epoch)
+        | Wire.Injected _ -> Error "inject ack during step phase"
+        | Wire.Heartbeat _ -> Ok () (* unreachable; heartbeats handled by the pump *)
+      in
+      match collect_phase ctx ~epoch ~label:"step" ~resend:(Some req) ~on_terminal with
+      | Repartitioned ->
+        (* Canonical islands still hold epoch-start state: replay the
+           epoch on the new partition with the same fire list. *)
+        run_epoch ctx ~epoch ~fire
+      | Committed ->
+        let islands = A.islands ctx.st in
+        let failures = ref 0 in
+        let emigrant_tbl = Hashtbl.create 16 in
+        Array.iter
+          (function
+            | None -> invalid_arg "Supervisor: step phase committed with a missing reply"
+            | Some (r : Wire.stepped) ->
+              List.iter (fun (i, snap) -> Pmo2.Island.restore islands.(i) snap) r.Wire.sd_snapshots;
+              failures := !failures + r.Wire.sd_failures;
+              A.set_island_guard_stats ctx.st r.Wire.sd_guards;
+              List.iter
+                (fun (i, cs) ->
+                  if i < Array.length ctx.latest_cache then ctx.latest_cache.(i) <- Some cs)
+                r.Wire.sd_caches;
+              List.iter (fun (edge, sols) -> Hashtbl.replace emigrant_tbl edge sols) r.Wire.sd_emigrants)
+          replies;
+        A.note_failures ctx.st !failures;
+        let deliveries =
+          List.map
+            (fun (src, dst) ->
+              match Hashtbl.find_opt emigrant_tbl (src, dst) with
+              | Some sols -> (dst, sols)
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Supervisor: no emigrants reported for edge %d->%d" src dst))
+            fire
+        in
+        (* Mirror the injection on the canonical islands, so checkpoints
+           and respawns always see the post-inject state. *)
+        List.iter (fun (dst, sols) -> Pmo2.Island.inject islands.(dst) sols) deliveries;
+        let inj = Wire.Inject { epoch; deliveries } in
+        Array.iter
+          (fun w ->
+            w.w_last_seen <- Unix.gettimeofday ();
+            try Wire.send_request w.w_to inj with Wire.Closed -> ())
+          ctx.workers;
+        let on_terminal _i = function
+          | Wire.Injected { in_epoch } when in_epoch = epoch -> Ok ()
+          | Wire.Injected { in_epoch } ->
+            Error (Printf.sprintf "inject ack for epoch %d during epoch %d" in_epoch epoch)
+          | Wire.Stepped _ -> Error "stepped reply during inject phase"
+          | Wire.Heartbeat _ -> Ok ()
+        in
+        (* No resend: a worker respawned during the inject phase forks
+           the post-inject canonical state, so its epoch is complete. *)
+        (match collect_phase ctx ~epoch ~label:"inject" ~resend:None ~on_terminal with
+        | Committed | Repartitioned -> ())
+    end
+  end
+
+(* {1 The run loop} *)
+
+let stats_of ctx ~requested =
+  {
+    shards_requested = requested;
+    shards_used = Array.length ctx.workers;
+    spawns = ctx.c_spawns;
+    restarts = ctx.c_restarts;
+    kills = ctx.c_kills;
+    lost = ctx.c_lost;
+    backoff_ms = ctx.c_backoff_ms;
+    restart_ms = List.rev ctx.c_restart_ms;
+  }
+
+let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?resume
+    ?observer ?hv_ref ?(config = default) ~generations problem (acfg : A.config) =
+  validate config;
+  if checkpoint_every < 1 then invalid_arg "Supervisor.run: checkpoint_every must be >= 1";
+  (match keep_checkpoints with
+  | Some k when k < 1 -> invalid_arg "Supervisor.run: keep_checkpoints must be >= 1"
+  | _ -> ());
+  let acfg = sanitize acfg in
+  let st =
+    match resume with
+    | Some path -> A.load ?seed problem acfg path
+    | None ->
+      let st = A.init ?seed ?initial problem acfg in
+      A.collect st;
+      st
+  in
+  A.set_hv_ref st hv_ref;
+  let n_islands = Array.length (A.islands st) in
+  (* More shards than islands would leave idle workers; clamp. *)
+  let shards = max 1 (min config.shards n_islands) in
+  let ctx =
+    {
+      scfg = config;
+      st;
+      period = acfg.A.migration_period;
+      prob = acfg.A.migration_prob;
+      migrants = acfg.A.migrants;
+      workers = [||];
+      latest_cache = Array.make n_islands None;
+      c_spawns = 0;
+      c_restarts = 0;
+      c_kills = 0;
+      c_lost = 0;
+      c_backoff_ms = 0.;
+      c_restart_ms = [];
+    }
+  in
+  (* A write to a SIGKILLed worker must surface as EPIPE, not kill us. *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let final_stats = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Record the shard count before draining so stats report the
+         partition the run finished with. *)
+      if Option.is_none !final_stats then
+        final_stats := Some (stats_of ctx ~requested:config.shards);
+      shutdown_all ctx;
+      match old_sigpipe with
+      | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+      | None -> ())
+  @@ fun () ->
+  spawn_partition ctx ~shards;
+  let save_epoch e =
+    match keep_checkpoints, checkpoint with
+    | None, Some path -> A.save st path
+    | Some k, Some path ->
+      A.save st (Runtime.Checkpoint.numbered path e);
+      Runtime.Checkpoint.prune ~keep:k path
+    | _, None -> ()
+  in
+  let epochs = (generations + ctx.period - 1) / ctx.period in
+  let done_epochs = A.generations_done st / ctx.period in
+  for e = done_epochs + 1 to epochs do
+    Obs.Span.with_span "shard.epoch" @@ fun () ->
+    (* The migration stream is consumed here and only here: one draw per
+       edge, in edge order, exactly like the in-process driver. *)
+    let fire =
+      List.filter_map
+        (fun (src, dst) ->
+          if Numerics.Rng.bernoulli (A.migration_rng st) ctx.prob then Some (src, dst)
+          else None)
+        (A.migration_edges st)
+    in
+    run_epoch ctx ~epoch:e ~fire;
+    A.advance_generations st ctx.period;
+    A.set_epoch_migrations st (List.length fire);
+    A.collect st;
+    if Option.is_some observer || Obs.Metrics.enabled () then begin
+      let r = A.epoch_record st in
+      A.publish_record r;
+      match observer with Some f -> f r | None -> ()
+    end;
+    if e mod checkpoint_every = 0 || e = epochs then save_epoch e
+  done;
+  final_stats := Some (stats_of ctx ~requested:config.shards);
+  let cache_stats =
+    let own = A.island_cache_stats st in
+    if Array.length own = 0 then [||]
+    else
+      Array.init n_islands (fun i ->
+          match ctx.latest_cache.(i) with Some cs -> cs | None -> own.(i))
+  in
+  let result =
+    {
+      A.front = Moo.Dominance.non_dominated (Moo.Archive.to_list (A.archive st));
+      per_island = A.islands_fronts st;
+      evaluations = A.evaluations st;
+      explored = A.evaluations st;
+      failures = A.island_failures st;
+      guard_stats = A.island_guard_stats st;
+      cache_stats;
+    }
+  in
+  let stats = match !final_stats with Some s -> s | None -> stats_of ctx ~requested:config.shards in
+  (result, stats)

@@ -1,0 +1,73 @@
+(** Multi-process sharded archipelago runner.
+
+    Partitions the islands across [shards] forked worker processes and
+    drives the standard epoch sequence across them over the {!Wire}
+    protocol, while the supervisor keeps the canonical
+    {!Pmo2.Archipelago.state}.  Worker replies are buffered and committed
+    only when a whole phase succeeds, so a crashed, killed or wedged
+    worker can always be replaced by a fresh fork of the canonical state
+    that replays the identical work — final fronts are bit-for-bit
+    identical to the in-process archipelago at any shard count, crashes
+    or not.
+
+    Supervision per shard: heartbeat timeout and per-phase wall-clock
+    deadline enforced by SIGKILL (hard preemption — covers wedged
+    evaluations that cooperative deadlines cannot interrupt), supervised
+    restart with exponential backoff under [retry_budget], and graceful
+    degradation: a shard that exhausts its budget is lost, the partition
+    is rebuilt over fewer shards, and with no shards left the run
+    continues in-process.
+
+    Fork safety: {!run} must be called before any domains are spawned
+    (no {!Parallel.Pool} may exist); it forces [parallel = false] and
+    strips algorithm pools from the config it is given.  Checkpoints
+    written by a sharded run use the standard archipelago format and are
+    interchangeable with in-process checkpoints, both directions. *)
+
+type config = {
+  shards : int;             (** worker processes; clamped to the island count *)
+  retry_budget : int;       (** restarts per shard before it is declared lost *)
+  heartbeat_timeout : float; (** seconds without any frame before SIGKILL *)
+  epoch_deadline : float;   (** wall-clock seconds per phase before SIGKILL *)
+  backoff_base : float;     (** restart backoff seconds, doubled per restart *)
+  backoff_cap : float;      (** backoff ceiling, seconds *)
+  fault : Runtime.Fault.process_fault option;
+      (** injected process fault ([--fault-kill-shard]); [None] in production *)
+}
+
+val default : config
+(** 2 shards, 2 restarts per shard, 10 s heartbeat, 120 s phase deadline,
+    20 ms backoff doubling to 0.5 s, no fault. *)
+
+type stats = {
+  shards_requested : int;
+  shards_used : int;     (** partition size at run end; 0 = degraded to in-process *)
+  spawns : int;          (** worker processes forked, restarts included *)
+  restarts : int;        (** supervised restarts *)
+  kills : int;           (** SIGKILL preemptions (deadline or heartbeat) *)
+  lost : int;            (** shards permanently lost to budget exhaustion *)
+  backoff_ms : float;    (** total backoff wall-clock *)
+  restart_ms : float list;  (** per-restart latency, detection to respawn *)
+}
+
+val run :
+  ?seed:int ->
+  ?initial:Moo.Solution.t list ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?keep_checkpoints:int ->
+  ?resume:string ->
+  ?observer:(Pmo2.Archipelago.epoch_record -> unit) ->
+  ?hv_ref:float array ->
+  ?config:config ->
+  generations:int ->
+  Moo.Problem.t ->
+  Pmo2.Archipelago.config ->
+  Pmo2.Archipelago.result * stats
+(** Sharded equivalent of {!Pmo2.Archipelago.run}: same optional
+    arguments, same semantics, same result — plus the supervision
+    {!stats}.  Raises [Invalid_argument] on a malformed config. *)
+
+val log_src : Logs.src
+(** Log source ["shard.supervisor"]: spawns, preemptions, restarts,
+    degradations. *)

@@ -1,0 +1,69 @@
+(** Supervisor/worker wire protocol for the sharded archipelago.
+
+    Each message is a 4-byte big-endian length prefix followed by a
+    {!Runtime.Checkpoint.Frame} (magic + version line, payload length,
+    CRC-32, [Marshal] payload).  The framing makes worker death visible
+    as data: a clean close at a frame boundary reads as {!Closed}, while
+    a frame torn by a SIGKILL mid-write — at {e any} byte boundary —
+    reads as {!Runtime.Checkpoint.Corrupt}, never as a misparse.
+
+    The protocol has two phases per epoch.  [Step] carries the epoch's
+    firing edges (the supervisor draws every migration decision so the
+    dedicated migration stream is consumed exactly as in-process); the
+    worker steps its islands, heartbeating after each, and answers
+    [Stepped] with post-step snapshots and the emigrants of firing edges
+    whose source it owns, in global edge order.  [Inject] broadcasts the
+    assembled deliveries; workers apply those addressed to their islands
+    and ack with [Injected]. *)
+
+exception Closed
+(** Peer closed the pipe at a frame boundary (clean EOF or EPIPE). *)
+
+exception Timeout
+(** The [deadline] passed while waiting for bytes — the wedged-peer
+    signal that triggers hard preemption. *)
+
+val magic : string
+(** ["robustpath-shard-wire v1"], built with
+    {!Runtime.Checkpoint.versioned_magic}. *)
+
+type request =
+  | Step of { epoch : int; period : int; fire : (int * int) list }
+  | Inject of { epoch : int; deliveries : (int * Moo.Solution.t list) list }
+  | Shutdown
+
+type stepped = {
+  sd_epoch : int;
+  sd_snapshots : (int * Pmo2.Island.snapshot) list;  (** post-step, pre-inject *)
+  sd_emigrants : ((int * int) * Moo.Solution.t list) list;
+      (** fired edges with a locally-owned source, in global edge order *)
+  sd_failures : int;  (** island crashes absorbed this epoch *)
+  sd_guards : (int * Runtime.Guard.stats) list;
+  sd_caches : (int * Cache.Memo.stats) list;
+}
+
+type reply =
+  | Heartbeat of { hb_epoch : int; hb_island : int }
+      (** liveness tick; [hb_island = -1] right after [Step] receipt *)
+  | Stepped of stepped
+  | Injected of { in_epoch : int }
+
+val send_request : Unix.file_descr -> request -> unit
+val send_reply : Unix.file_descr -> reply -> unit
+(** Raise {!Closed} when the peer is gone (EPIPE). *)
+
+val recv_request : ?deadline:float -> Unix.file_descr -> request
+
+val recv_reply : ?deadline:float -> Unix.file_descr -> reply
+(** Read one frame.  [deadline] is absolute ([Unix.gettimeofday] clock);
+    raises {!Timeout} when it passes mid-read, {!Closed} on EOF at a
+    frame boundary, {!Runtime.Checkpoint.Corrupt} on a torn or corrupted
+    frame. *)
+
+val to_bytes : 'a -> string
+(** The exact byte sequence [send] writes (length prefix + frame) — for
+    tests that tear frames at chosen boundaries, and for the kill-fault
+    path that leaks a torn prefix before dying. *)
+
+val write_raw : Unix.file_descr -> string -> unit
+(** Write raw bytes (no framing).  Raises {!Closed} on EPIPE. *)

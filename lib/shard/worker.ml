@@ -1,0 +1,95 @@
+(* The body of a forked shard worker.
+
+   A worker is born by [Unix.fork] from the supervisor, so it inherits a
+   full copy of the canonical archipelago state — islands, RNG streams,
+   guards, memos, the problem's closures — and needs nothing shipped to
+   it.  It owns the islands in [local] and must never touch the others
+   (its copies of those go stale the moment siblings step them).
+
+   Determinism contract: the worker steps its islands in island order
+   with the same supervised policy as the in-process driver, and selects
+   emigrants only for firing edges, in global edge order — the only two
+   points where island RNG streams advance. *)
+
+let log_src = Logs.Src.create "shard.worker" ~doc:"Sharded archipelago worker"
+
+module Log = (val Logs.src_log log_src)
+
+(* A wedged evaluation: the pipe stays open but no bytes ever arrive.
+   Cooperative deadlines cannot interrupt this; only the supervisor's
+   SIGKILL preemption clears it. *)
+let rec wedge () =
+  Unix.sleepf 0.05;
+  wedge ()
+
+let run ~state ~shard ~incarnation ~local ~migrants ~fault ~input ~output =
+  let islands = Pmo2.Archipelago.islands state in
+  let pick stats =
+    List.filter_map (fun i -> if i < Array.length stats then Some (i, stats.(i)) else None) local
+  in
+  let rec loop () =
+    match Wire.recv_request input with
+    | exception Wire.Closed -> ()
+    | Wire.Shutdown -> ()
+    | Wire.Inject { epoch; deliveries } ->
+      (* Deliveries arrive in global edge order; applying the local
+         subset in that order preserves each island's injection order. *)
+      List.iter
+        (fun (dst, sols) -> if List.mem dst local then Pmo2.Island.inject islands.(dst) sols)
+        deliveries;
+      Wire.send_reply output (Wire.Injected { in_epoch = epoch });
+      loop ()
+    | Wire.Step { epoch; period; fire } ->
+      let mode = Runtime.Fault.should_fault fault ~shard ~epoch ~incarnation in
+      Wire.send_reply output (Wire.Heartbeat { hb_epoch = epoch; hb_island = -1 });
+      let failures = ref 0 in
+      List.iter
+        (fun i ->
+          failures :=
+            !failures
+            + Pmo2.Archipelago.supervised_step
+                ~label:(Printf.sprintf "shard %d island %d" shard i)
+                islands.(i) ~period;
+          Wire.send_reply output (Wire.Heartbeat { hb_epoch = epoch; hb_island = i }))
+        local;
+      (* Emigrants strictly after every local island stepped, and only
+         for firing edges in global edge order — the in-process schedule. *)
+      let emigrants =
+        List.filter_map
+          (fun (src, dst) ->
+            if List.mem src local then
+              Some ((src, dst), Pmo2.Island.emigrants islands.(src) migrants)
+            else None)
+          fire
+      in
+      let reply =
+        Wire.Stepped
+          {
+            sd_epoch = epoch;
+            sd_snapshots = List.map (fun i -> (i, Pmo2.Island.snapshot islands.(i))) local;
+            sd_emigrants = emigrants;
+            sd_failures = !failures;
+            sd_guards = pick (Pmo2.Archipelago.island_guard_stats state);
+            sd_caches = pick (Pmo2.Archipelago.island_cache_stats state);
+          }
+      in
+      (match mode with
+      | Some Runtime.Fault.Wedge ->
+        Log.warn (fun m -> m "shard %d incarnation %d: injected wedge at epoch %d" shard incarnation epoch);
+        wedge ()
+      | Some Runtime.Fault.Kill ->
+        (* Die mid-migration: leak a torn prefix of the real reply, then
+           go down hard.  The supervisor must reject the corrupt frame
+           and restart this shard from its epoch-start state. *)
+        Log.warn (fun m -> m "shard %d incarnation %d: injected kill at epoch %d" shard incarnation epoch);
+        let b = Wire.to_bytes (reply : Wire.reply) in
+        Wire.write_raw output (String.sub b 0 (String.length b / 2));
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        loop ()
+      | None ->
+        Wire.send_reply output reply;
+        loop ())
+  in
+  (* A dead supervisor surfaces as Closed (EOF on requests) or EPIPE on
+     replies; both mean this worker is orphaned and should just leave. *)
+  try loop () with Wire.Closed -> ()

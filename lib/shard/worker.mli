@@ -1,0 +1,29 @@
+(** Shard worker body, run inside a process forked by
+    {!Supervisor}.
+
+    The worker inherits the supervisor's canonical archipelago state via
+    [fork] — nothing is shipped at spawn — and serves the {!Wire}
+    protocol over its two pipes: stepping exactly the islands in
+    [local] (heartbeating after each), selecting emigrants for firing
+    edges it owns in global edge order, and applying injected
+    deliveries.  Returns when told to shut down or when the supervisor's
+    pipe closes; the caller is expected to [Unix._exit] immediately
+    after, never to resume the supervisor's stack. *)
+
+val run :
+  state:Pmo2.Archipelago.state ->
+  shard:int ->
+  incarnation:int ->
+  local:int list ->
+  migrants:int ->
+  fault:Runtime.Fault.process_fault option ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit
+(** [shard]/[incarnation] feed {!Runtime.Fault.should_fault}: an armed
+    process fault makes the matching incarnation SIGKILL itself
+    mid-reply (torn frame on the pipe) or wedge forever (no bytes, open
+    pipe) at the target epoch. *)
+
+val log_src : Logs.src
+(** Log source ["shard.worker"]. *)

@@ -1,0 +1,2 @@
+(* Fixture: raw fork outside Shard must be flagged (R9). *)
+let clone () = Unix.fork ()

@@ -1,0 +1,4 @@
+(* Fixture: a justified allow comment must silence R9. *)
+let bail () =
+  (* robustlint: allow R9 — fixture exercises the suppression path only *)
+  Stdlib.exit 0

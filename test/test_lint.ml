@@ -34,17 +34,21 @@ let test_every_rule_fires () =
   check_single_finding ~rule:"R5" ~file:"r5_assert.ml" ~line:3 ();
   check_single_finding ~rule:"R6" ~file:"r6_toplevel_state.ml" ~line:2 ();
   check_single_finding ~rule:"R7" ~file:"r7_hashtbl_iter.ml" ~line:2 ();
-  check_single_finding ~rule:"R8" ~file:"r8_domain_spawn.ml" ~line:2 ()
+  check_single_finding ~rule:"R8" ~file:"r8_domain_spawn.ml" ~line:2 ();
+  check_single_finding ~rule:"R9" ~file:"r9_fork.ml" ~line:2 ()
 
 let test_no_extra_findings () =
-  (* 8 rule fixtures + 1 unjustified allow; the justified one is silent. *)
-  Alcotest.(check int) "total findings" 9
+  (* 9 rule fixtures + 1 unjustified allow; the justified ones are silent. *)
+  Alcotest.(check int) "total findings" 10
     (List.length (Lazy.force report).Lint.Driver.findings)
 
 let test_justified_suppression_silences () =
   Alcotest.(check int) "suppressed_ok.ml has no finding" 0
     (List.length (findings_in "suppressed_ok.ml"));
-  Alcotest.(check int) "one suppression counted" 1 (Lazy.force report).Lint.Driver.suppressed
+  Alcotest.(check int) "r9_suppressed.ml has no finding" 0
+    (List.length (findings_in "r9_suppressed.ml"));
+  Alcotest.(check int) "two suppressions counted" 2
+    (Lazy.force report).Lint.Driver.suppressed
 
 let test_unjustified_suppression_reports () =
   match findings_in "bad_suppression.ml" with
@@ -59,8 +63,8 @@ let test_unjustified_suppression_reports () =
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
 let test_units_counted () =
-  (* 10 fixture modules plus the library's generated alias module. *)
-  Alcotest.(check int) "units" 11 (Lazy.force report).Lint.Driver.units
+  (* 12 fixture modules plus the library's generated alias module. *)
+  Alcotest.(check int) "units" 13 (Lazy.force report).Lint.Driver.units
 
 let test_missing_dir_yields_no_units () =
   let r = Lint.Driver.run ~source_root:".." [ "no-such-dir" ] in
@@ -90,7 +94,7 @@ let test_rule_ids_roundtrip () =
         true
         (Lint.Finding.rule_of_id (Lint.Finding.rule_id r) = Some r))
     Lint.Finding.all_rules;
-  Alcotest.(check bool) "unknown id rejected" true (Lint.Finding.rule_of_id "R9" = None)
+  Alcotest.(check bool) "unknown id rejected" true (Lint.Finding.rule_of_id "R10" = None)
 
 let () =
   Alcotest.run "lint"

@@ -1,0 +1,392 @@
+(* Tests for the multi-process sharded archipelago: wire-format framing
+   (including frames torn at every byte boundary), supervised restarts
+   after injected SIGKILLs, hard preemption of wedged workers, retry
+   budget exhaustion degrading the partition, and the headline
+   determinism claim — fronts bit-for-bit identical to the in-process
+   archipelago at any shard count, crashes or not. *)
+
+module A = Pmo2.Archipelago
+module Sup = Shard.Supervisor
+
+let zdt1 n = Moo.Benchmarks.zdt1 ~n
+
+(* Bit-for-bit front identity: decision vector, objectives and violation
+   of every member, order-independent. *)
+let key (s : Moo.Solution.t) =
+  (Array.to_list s.Moo.Solution.x, Array.to_list s.Moo.Solution.f, s.Moo.Solution.v)
+
+let front_key (r : A.result) = List.sort compare (List.map key r.A.front)
+
+let island_keys (r : A.result) =
+  List.map (fun front -> List.sort compare (List.map key front)) r.A.per_island
+
+let with_temp_file f =
+  let path = Filename.temp_file "robustpath" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* Four islands so 1/2/4-shard partitions are all non-trivial. *)
+let quad_config =
+  {
+    A.default_config with
+    A.n_islands = 4;
+    migration_period = 5;
+    nsga2 = { Ea.Nsga2.default_config with Ea.Nsga2.pop_size = 16 };
+  }
+
+(* Supervision tuned for tests: fast backoff, CI-safe deadlines. *)
+let sup_config =
+  {
+    Sup.default with
+    Sup.heartbeat_timeout = 5.;
+    epoch_deadline = 30.;
+    backoff_base = 0.002;
+    backoff_cap = 0.02;
+  }
+
+(* {1 Versioned magic and frame codec} *)
+
+let test_versioned_magic () =
+  let base = "robustpath-test" in
+  let m = Runtime.Checkpoint.versioned_magic ~base ~version:3 in
+  Alcotest.(check string) "shape" "robustpath-test v3" m;
+  Alcotest.(check (option int)) "roundtrip" (Some 3)
+    (Runtime.Checkpoint.version_of_magic ~base m);
+  Alcotest.(check (option int)) "foreign base" None
+    (Runtime.Checkpoint.version_of_magic ~base:"other" m);
+  Alcotest.(check (option int)) "junk version" None
+    (Runtime.Checkpoint.version_of_magic ~base "robustpath-test vX");
+  Alcotest.(check (option int)) "no version" None
+    (Runtime.Checkpoint.version_of_magic ~base base);
+  Alcotest.(check bool) "version < 1 refused" true
+    (match Runtime.Checkpoint.versioned_magic ~base ~version:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_frame_roundtrip () =
+  let magic = "frame-test v1" in
+  let value = ([ 1; 2; 3 ], "payload", 3.14) in
+  let frame = Runtime.Checkpoint.Frame.encode ~magic value in
+  Alcotest.(check bool) "roundtrips" true
+    (Runtime.Checkpoint.Frame.decode ~magic frame = value);
+  Alcotest.(check string) "magic peek" magic (Runtime.Checkpoint.Frame.magic_of frame);
+  Alcotest.(check bool) "wrong magic rejected" true
+    (match Runtime.Checkpoint.Frame.decode ~magic:"frame-test v2" frame with
+    | exception Runtime.Checkpoint.Corrupt _ -> true
+    | _ -> false);
+  (* Flip one payload byte: the CRC must catch it. *)
+  let tampered = Bytes.of_string frame in
+  let last = Bytes.length tampered - 1 in
+  Bytes.set tampered last (Char.chr (Char.code (Bytes.get tampered last) lxor 0x01));
+  Alcotest.(check bool) "bit flip rejected" true
+    (match Runtime.Checkpoint.Frame.decode ~magic (Bytes.to_string tampered) with
+    | exception Runtime.Checkpoint.Corrupt _ -> true
+    | _ -> false)
+
+(* A worker SIGKILLed mid-write can tear the wire frame at any byte
+   boundary; every prefix must read back as a clean close (nothing sent)
+   or a detected corruption — never a misparse. *)
+let test_wire_torn_at_every_byte () =
+  let reply = Shard.Wire.Injected { in_epoch = 7 } in
+  let bytes = Shard.Wire.to_bytes reply in
+  let n = String.length bytes in
+  for cut = 0 to n - 1 do
+    let r, w = Unix.pipe () in
+    Shard.Wire.write_raw w (String.sub bytes 0 cut);
+    Unix.close w;
+    (match Shard.Wire.recv_reply r with
+    | _ -> Alcotest.failf "torn frame of %d/%d bytes decoded" cut n
+    | exception Shard.Wire.Closed ->
+      if cut <> 0 then Alcotest.failf "cut at %d read as clean close" cut
+    | exception Runtime.Checkpoint.Corrupt _ ->
+      if cut = 0 then Alcotest.failf "empty pipe read as corrupt");
+    Unix.close r
+  done;
+  (* The untorn frame decodes to the original. *)
+  let r, w = Unix.pipe () in
+  Shard.Wire.write_raw w bytes;
+  Unix.close w;
+  Alcotest.(check bool) "full frame decodes" true (Shard.Wire.recv_reply r = reply);
+  Unix.close r
+
+(* {1 Process-fault specs} *)
+
+let test_parse_kill_spec () =
+  let pf = Runtime.Fault.parse_kill_spec "1:2" in
+  Alcotest.(check int) "shard" 1 pf.Runtime.Fault.pf_shard;
+  Alcotest.(check int) "epoch" 2 pf.Runtime.Fault.pf_epoch;
+  Alcotest.(check int) "times defaults to 1" 1 pf.Runtime.Fault.pf_times;
+  Alcotest.(check bool) "mode defaults to kill" true (pf.Runtime.Fault.pf_mode = Runtime.Fault.Kill);
+  let pf = Runtime.Fault.parse_kill_spec "0:3:2:wedge" in
+  Alcotest.(check int) "times" 2 pf.Runtime.Fault.pf_times;
+  Alcotest.(check bool) "wedge mode" true (pf.Runtime.Fault.pf_mode = Runtime.Fault.Wedge);
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (spec ^ " refused") true
+        (match Runtime.Fault.parse_kill_spec spec with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ ""; "1"; "1:abc"; "1:2:3:flood"; "-1:2"; "1:0"; "1:2:0" ]
+
+let test_should_fault_incarnation_gate () =
+  let pf = Runtime.Fault.parse_kill_spec "1:2:2" in
+  let f ~shard ~epoch ~incarnation =
+    Runtime.Fault.should_fault (Some pf) ~shard ~epoch ~incarnation
+  in
+  Alcotest.(check bool) "fires for incarnation 0" true
+    (f ~shard:1 ~epoch:2 ~incarnation:0 = Some Runtime.Fault.Kill);
+  Alcotest.(check bool) "fires for incarnation 1" true
+    (f ~shard:1 ~epoch:2 ~incarnation:1 = Some Runtime.Fault.Kill);
+  Alcotest.(check bool) "exhausted after pf_times" true (f ~shard:1 ~epoch:2 ~incarnation:2 = None);
+  Alcotest.(check bool) "wrong shard" true (f ~shard:0 ~epoch:2 ~incarnation:0 = None);
+  Alcotest.(check bool) "wrong epoch" true (f ~shard:1 ~epoch:1 ~incarnation:0 = None);
+  Alcotest.(check bool) "no spec, no fault" true
+    (Runtime.Fault.should_fault None ~shard:1 ~epoch:2 ~incarnation:0 = None)
+
+(* {1 Front identity at any shard count} *)
+
+let test_front_identity_1_2_4_shards () =
+  let problem = zdt1 6 in
+  let baseline = A.run ~seed:11 ~generations:20 problem quad_config in
+  List.iter
+    (fun shards ->
+      let r, stats =
+        Sup.run ~seed:11 ~config:{ sup_config with Sup.shards } ~generations:20 problem
+          quad_config
+      in
+      let label = Printf.sprintf "%d shard(s)" shards in
+      Alcotest.(check bool) (label ^ ": front bit-identical") true
+        (front_key r = front_key baseline);
+      Alcotest.(check bool) (label ^ ": island fronts identical") true
+        (island_keys r = island_keys baseline);
+      Alcotest.(check int) (label ^ ": evaluations exact") baseline.A.evaluations
+        r.A.evaluations;
+      Alcotest.(check int) (label ^ ": partition size") shards stats.Sup.shards_used;
+      Alcotest.(check int) (label ^ ": no restarts") 0 stats.Sup.restarts)
+    [ 1; 2; 4 ]
+
+let test_shards_clamped_to_islands () =
+  let problem = zdt1 6 in
+  let baseline = A.run ~seed:13 ~generations:10 problem quad_config in
+  let r, stats =
+    Sup.run ~seed:13 ~config:{ sup_config with Sup.shards = 9 } ~generations:10 problem
+      quad_config
+  in
+  Alcotest.(check int) "clamped to island count" 4 stats.Sup.shards_used;
+  Alcotest.(check int) "one process per used shard" 4 stats.Sup.spawns;
+  Alcotest.(check bool) "front bit-identical" true (front_key r = front_key baseline)
+
+(* {1 Supervised restart after an injected SIGKILL} *)
+
+let test_kill_mid_migration_supervised_restart () =
+  let problem = zdt1 6 in
+  let baseline = A.run ~seed:17 ~generations:20 problem quad_config in
+  (* Shard 1 SIGKILLs itself at epoch 2, tearing its Stepped frame on
+     the pipe; the supervisor must restart it and replay the epoch. *)
+  let fault = Runtime.Fault.parse_kill_spec "1:2:1:kill" in
+  let r, stats =
+    Sup.run ~seed:17
+      ~config:{ sup_config with Sup.shards = 2; fault = Some fault }
+      ~generations:20 problem quad_config
+  in
+  Alcotest.(check bool) "restarted at least once" true (stats.Sup.restarts >= 1);
+  Alcotest.(check int) "no shard lost" 0 stats.Sup.lost;
+  Alcotest.(check int) "still two shards" 2 stats.Sup.shards_used;
+  Alcotest.(check bool) "restart latency recorded" true
+    (List.length stats.Sup.restart_ms = stats.Sup.restarts);
+  Alcotest.(check bool) "front bit-identical across the crash" true
+    (front_key r = front_key baseline);
+  Alcotest.(check int) "evaluations exact across the crash" baseline.A.evaluations
+    r.A.evaluations
+
+let test_wedged_worker_hard_preempted () =
+  let problem = zdt1 6 in
+  let baseline = A.run ~seed:19 ~generations:15 problem quad_config in
+  (* Shard 0 wedges at epoch 1: pipe open, no frames.  Cooperative
+     deadlines cannot clear this; the supervisor's heartbeat timeout
+     must SIGKILL it. *)
+  let fault = Runtime.Fault.parse_kill_spec "0:1:1:wedge" in
+  let r, stats =
+    Sup.run ~seed:19
+      ~config:{ sup_config with Sup.shards = 2; heartbeat_timeout = 0.4; fault = Some fault }
+      ~generations:15 problem quad_config
+  in
+  Alcotest.(check bool) "hard preemption fired" true (stats.Sup.kills >= 1);
+  Alcotest.(check bool) "restarted" true (stats.Sup.restarts >= 1);
+  Alcotest.(check bool) "front bit-identical after preemption" true
+    (front_key r = front_key baseline)
+
+let test_retry_budget_exhaustion_degrades () =
+  let problem = zdt1 6 in
+  let baseline = A.run ~seed:23 ~generations:15 problem quad_config in
+  (* Shard 0 dies at epoch 1 in every incarnation; with a budget of one
+     restart per shard the partition degrades 2 -> 1 -> in-process. *)
+  let fault = Runtime.Fault.parse_kill_spec "0:1:99:kill" in
+  let r, stats =
+    Sup.run ~seed:23
+      ~config:{ sup_config with Sup.shards = 2; retry_budget = 1; fault = Some fault }
+      ~generations:15 problem quad_config
+  in
+  Alcotest.(check bool) "shards were lost" true (stats.Sup.lost >= 1);
+  Alcotest.(check int) "fully degraded to in-process" 0 stats.Sup.shards_used;
+  Alcotest.(check bool) "front bit-identical after degradation" true
+    (front_key r = front_key baseline);
+  Alcotest.(check int) "evaluations exact after degradation" baseline.A.evaluations
+    r.A.evaluations
+
+(* {1 Telemetry exactness across processes} *)
+
+let test_guard_stats_exact_across_shards () =
+  let make_problem () =
+    Runtime.Fault.wrap_problem
+      { Runtime.Fault.default with Runtime.Fault.fraction = 0.1; modes = [ Runtime.Fault.Raise ] }
+      (zdt1 6)
+  in
+  let cfg = { quad_config with A.guard_penalty = Some 1e9 } in
+  let baseline = A.run ~seed:29 ~generations:15 (make_problem ()) cfg in
+  let r, _stats =
+    Sup.run ~seed:29 ~config:{ sup_config with Sup.shards = 2 } ~generations:15
+      (make_problem ()) cfg
+  in
+  Alcotest.(check bool) "guards saw failures" true
+    (Array.exists (fun g -> Runtime.Guard.failures g > 0) baseline.A.guard_stats);
+  Alcotest.(check bool) "guard stats identical across processes" true
+    (baseline.A.guard_stats = r.A.guard_stats);
+  Alcotest.(check bool) "front bit-identical under guarded faults" true
+    (front_key r = front_key baseline)
+
+(* {1 Checkpoint interchange: sharded <-> in-process} *)
+
+let test_checkpoint_interchange () =
+  let problem = zdt1 6 in
+  let full = A.run ~seed:31 ~generations:20 problem quad_config in
+  with_temp_file (fun path ->
+      (* Sharded half-run, in-process resume. *)
+      let _half, _ =
+        Sup.run ~seed:31 ~config:sup_config ~checkpoint:path ~generations:10 problem
+          quad_config
+      in
+      let resumed = A.run ~seed:31 ~resume:path ~generations:20 problem quad_config in
+      Alcotest.(check bool) "sharded checkpoint resumes in-process" true
+        (front_key resumed = front_key full));
+  with_temp_file (fun path ->
+      (* In-process half-run, sharded resume. *)
+      let _half = A.run ~seed:31 ~checkpoint:path ~generations:10 problem quad_config in
+      let resumed, _ =
+        Sup.run ~seed:31 ~config:sup_config ~resume:path ~generations:20 problem quad_config
+      in
+      Alcotest.(check bool) "in-process checkpoint resumes sharded" true
+        (front_key resumed = front_key full))
+
+(* {1 Checkpoint version tolerance (info_version round-trip)} *)
+
+(* Marshal-layout mirrors of the archipelago checkpoint payloads, for
+   manufacturing a genuine v1 file from a v2 one (v1 = v2 minus the
+   trailing guard-stats field). *)
+type snapshot_v2_repr = {
+  r2_problem : string;
+  r2_period : int;
+  r2_n_islands : int;
+  r2_islands : Pmo2.Island.snapshot array;
+  r2_rng : int64;
+  r2_archive : Moo.Solution.t list;
+  r2_gens : int;
+  r2_failures : int;
+  r2_guards : Runtime.Guard.stats array;
+}
+[@@warning "-69"]
+
+type snapshot_v1_repr = {
+  r1_problem : string;
+  r1_period : int;
+  r1_n_islands : int;
+  r1_islands : Pmo2.Island.snapshot array;
+  r1_rng : int64;
+  r1_archive : Moo.Solution.t list;
+  r1_gens : int;
+  r1_failures : int;
+}
+[@@warning "-69"]
+
+let arch_base = "robustpath-archipelago-checkpoint"
+
+let downgrade_checkpoint ~src ~dst =
+  let magic v = Runtime.Checkpoint.versioned_magic ~base:arch_base ~version:v in
+  let s : snapshot_v2_repr = Runtime.Checkpoint.load ~magic:(magic 2) ~path:src in
+  Runtime.Checkpoint.save ~magic:(magic 1) ~path:dst
+    {
+      r1_problem = s.r2_problem;
+      r1_period = s.r2_period;
+      r1_n_islands = s.r2_n_islands;
+      r1_islands = s.r2_islands;
+      r1_rng = s.r2_rng;
+      r1_archive = s.r2_archive;
+      r1_gens = s.r2_gens;
+      r1_failures = s.r2_failures;
+    }
+
+let test_info_version_roundtrip () =
+  let problem = zdt1 6 in
+  with_temp_file (fun v2path ->
+      with_temp_file (fun v1path ->
+          let _ = A.run ~seed:37 ~checkpoint:v2path ~generations:10 problem quad_config in
+          downgrade_checkpoint ~src:v2path ~dst:v1path;
+          (* Both vintages report their version through the shared
+             dispatch helper and still load. *)
+          List.iter
+            (fun (path, version) ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "magic dispatch reports v%d" version)
+                (Some version)
+                (Runtime.Checkpoint.version_of_magic ~base:arch_base
+                   (Runtime.Checkpoint.read_magic ~path));
+              let info = A.inspect path in
+              Alcotest.(check int)
+                (Printf.sprintf "inspect reports v%d" version)
+                version info.A.info_version;
+              let st = A.load problem quad_config path in
+              Alcotest.(check int)
+                (Printf.sprintf "v%d loads and resumes counters" version)
+                10 (A.generations_done st))
+            [ (v2path, 2); (v1path, 1) ];
+          (* The wire format shares the same versioned-magic grammar. *)
+          Alcotest.(check (option int)) "wire magic dispatches" (Some 1)
+            (Runtime.Checkpoint.version_of_magic ~base:"robustpath-shard-wire" Shard.Wire.magic)))
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "versioned magic" `Quick test_versioned_magic;
+          Alcotest.test_case "frame roundtrip + CRC" `Quick test_frame_roundtrip;
+          Alcotest.test_case "torn at every byte boundary" `Quick test_wire_torn_at_every_byte;
+        ] );
+      ( "fault-spec",
+        [
+          Alcotest.test_case "parse kill spec" `Quick test_parse_kill_spec;
+          Alcotest.test_case "incarnation gating" `Quick test_should_fault_incarnation_gate;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "1/2/4-shard front identity" `Quick
+            test_front_identity_1_2_4_shards;
+          Alcotest.test_case "shards clamped to islands" `Quick test_shards_clamped_to_islands;
+          Alcotest.test_case "guard stats exact across shards" `Quick
+            test_guard_stats_exact_across_shards;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "kill mid-migration, supervised restart" `Quick
+            test_kill_mid_migration_supervised_restart;
+          Alcotest.test_case "wedged worker hard-preempted" `Quick
+            test_wedged_worker_hard_preempted;
+          Alcotest.test_case "retry budget exhaustion degrades" `Quick
+            test_retry_budget_exhaustion_degrades;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "sharded <-> in-process interchange" `Quick
+            test_checkpoint_interchange;
+          Alcotest.test_case "info_version v1/v2 round-trip" `Quick test_info_version_roundtrip;
+        ] );
+    ]
