@@ -88,7 +88,7 @@ let fast_non_dominated_sort pop =
   done;
   ranks
 
-let crowding_distance pop ranks r =
+let crowding_distance pop (ranks : int array) (r : int) =
   let n = Array.length pop in
   let idx = ref [] in
   for i = n - 1 downto 0 do

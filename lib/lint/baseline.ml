@@ -1,0 +1,50 @@
+(* Baseline files: adopt robustlint on a tree with pre-existing debt by
+   recording today's findings and failing only on new ones.
+
+   Fingerprints ([Finding.fingerprint]) omit line/column so unrelated
+   edits that shift code do not resurface old findings; the file format
+   is one fingerprint per line, sorted, with duplicates kept — the
+   filter uses multiset semantics, so introducing a *second* identical
+   finding in the same file is still new. *)
+
+module SM = Map.Make (String)
+
+let counts fps =
+  List.fold_left
+    (fun m fp -> SM.update fp (function Some n -> Some (n + 1) | None -> Some 1) m)
+    SM.empty fps
+
+let save path findings =
+  let fps = List.map Finding.fingerprint findings |> List.sort String.compare in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (fun fp -> output_string oc (fp ^ "\n")) fps);
+  Sys.rename tmp path
+
+let load path =
+  if not (Sys.file_exists path) then
+    invalid_arg (Printf.sprintf "baseline file %s does not exist" path);
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if line = "" then acc else line :: acc)
+        | exception End_of_file -> acc
+      in
+      go [])
+
+let filter ~baseline findings =
+  let budget = ref (counts baseline) in
+  List.filter
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      match SM.find_opt fp !budget with
+      | Some n when n > 0 ->
+        budget := SM.add fp (n - 1) !budget;
+        false
+      | _ -> true)
+    findings

@@ -1,0 +1,12 @@
+(** Baseline ("ratchet") support: record known findings, report only
+    what is new.  Matching is by {!Finding.fingerprint} with multiset
+    semantics — a baseline entry absorbs at most one live finding. *)
+
+val save : string -> Finding.t list -> unit
+(** Write fingerprints, one per line, sorted.  Atomic. *)
+
+val load : string -> string list
+(** Raises [Invalid_argument] if the file does not exist. *)
+
+val filter : baseline:string list -> Finding.t list -> Finding.t list
+(** Keep findings not absorbed by the baseline, preserving order. *)

@@ -1,0 +1,227 @@
+(* A whole-program call graph over every .cmt the driver reads.
+
+   Nodes are toplevel (and nested-module) value bindings, keyed by a
+   normalized "Module.name" string; edges are ident occurrences of one
+   def inside another, annotated with what the occurrence's instantiated
+   type mentions (float?  a type variable?).  That instantiation record
+   is what lets [Taint] run R1 across call boundaries: a helper that
+   compares at its own ['a] is harmless in isolation and a determinism
+   hazard the moment some call site pins ['a] to float.
+
+   Name normalization: dune wraps libraries, so the same function is
+   [Cache__Memo.find] from inside the library and [Cache.Memo.find] from
+   outside, while its defining unit calls itself [Memo].  Keeping the
+   last two path components with the ["Lib__Mod" -> "Mod"] prefix
+   stripped maps all three spellings to ["Memo.find"].  Collisions
+   between same-named modules of different libraries are accepted — the
+   graph is a lint aid, not a compiler. *)
+
+open Typedtree
+module SM = Map.Make (String)
+
+type loc = { l_file : string; l_line : int; l_col : int }
+
+let loc_of (l : Location.t) =
+  let p = l.loc_start in
+  { l_file = p.pos_fname; l_line = p.pos_lnum; l_col = p.pos_cnum - p.pos_bol }
+
+type flags = { at_float : bool; at_tvar : bool }
+
+type call = {
+  callee : string;
+  caller : string option;  (* enclosing def key; [None] at module toplevel *)
+  caller_mod : string;
+  site : loc;
+  inst : flags;
+}
+
+type source = { s_rule : Finding.rule; s_loc : loc; s_name : string }
+
+type def = {
+  d_key : string;
+  d_mod : string;
+  d_loc : loc;
+  mutable d_compare : loc option;  (* a poly compare at a type-variable type *)
+  mutable d_sources : source list; (* direct R2/R7 source occurrences *)
+}
+
+type t = { mutable defs : def SM.t; mutable calls : call list }
+
+let create () = { defs = SM.empty; calls = [] }
+
+let defs t = t.defs
+
+let calls t = List.rev t.calls
+
+(* {2 Names} *)
+
+let strip_wrap comp =
+  let rec last_sep i =
+    if i + 1 >= String.length comp then None
+    else if comp.[i] = '_' && comp.[i + 1] = '_' then
+      match last_sep (i + 2) with Some j -> Some j | None -> Some (i + 2)
+    else last_sep (i + 1)
+  in
+  match last_sep 0 with
+  | Some j when j < String.length comp -> String.sub comp j (String.length comp - j)
+  | _ -> comp
+
+let normalize name =
+  let comps = String.split_on_char '.' name in
+  let comps = List.map strip_wrap comps in
+  match List.rev comps with
+  | last :: prev :: _ -> prev ^ "." ^ last
+  | _ -> String.concat "." comps
+
+(* Generic helpers in the stdlib that compare their arguments with the
+   polymorphic equality/ordering internally — the call site is the only
+   place the element type is ever concrete. *)
+let builtin_carrier = function
+  | "List.mem" | "List.assoc" | "List.assoc_opt" | "List.mem_assoc" | "List.remove_assoc"
+  | "Array.mem" ->
+    true
+  | _ -> false
+
+(* {2 Type scans}
+
+   Deep containment tests over instantiated occurrence types: unlike
+   [Rules.mentions_float] (first argument only, known containers), these
+   look anywhere in the type — a carrier instantiated at
+   [(string * float) list -> bool] is hazardous wherever the float
+   hides. *)
+
+let rec scan_ty depth ty (pred : Types.type_desc -> bool) =
+  depth < 12
+  &&
+  let desc = Types.get_desc ty in
+  pred desc
+  ||
+  match desc with
+  | Types.Tconstr (_, args, _) -> List.exists (fun a -> scan_ty (depth + 1) a pred) args
+  | Types.Ttuple tys -> List.exists (fun a -> scan_ty (depth + 1) a pred) tys
+  | Types.Tarrow (_, a, b, _) -> scan_ty (depth + 1) a pred || scan_ty (depth + 1) b pred
+  | Types.Tpoly (a, _) -> scan_ty (depth + 1) a pred
+  | _ -> false
+
+let deep_float ty =
+  scan_ty 0 ty (function
+    | Types.Tconstr (p, _, _) -> Path.same p Predef.path_float
+    | _ -> false)
+
+let deep_tvar ty =
+  scan_ty 0 ty (function Types.Tvar _ | Types.Tunivar _ -> true | _ -> false)
+
+let flags_of ty = { at_float = deep_float ty; at_tvar = deep_tvar ty }
+
+(* {2 The scan} *)
+
+let source_name name =
+  if name = "Stdlib.Random" || String.starts_with ~prefix:"Stdlib.Random." name then
+    Some Finding.R2
+  else if name = "Stdlib.Hashtbl.iter" || name = "Stdlib.Hashtbl.fold" then Some Finding.R7
+  else None
+
+let record_ident t ~modname ~cur (loc : Location.t) path ty =
+  let raw = Path.name path in
+  if Rules.poly_compare_op raw then begin
+    match cur with
+    | Some key -> (
+      match SM.find_opt key t.defs with
+      | Some d when d.d_compare = None -> (
+        match Rules.first_arrow_arg ty with
+        | Some arg when deep_tvar arg -> d.d_compare <- Some (loc_of loc)
+        | _ -> ())
+      | _ -> ())
+    | None -> ()
+  end
+  else begin
+    (match source_name raw with
+    | Some rule -> (
+      match Option.bind cur (fun k -> SM.find_opt k t.defs) with
+      | Some d -> d.d_sources <- { s_rule = rule; s_loc = loc_of loc; s_name = raw } :: d.d_sources
+      | None -> ())
+    | None -> ());
+    let callee =
+      match path with
+      | Path.Pident id -> Some (modname ^ "." ^ Ident.name id)
+      | _ -> Some (normalize raw)
+    in
+    match callee with
+    | Some callee when not (loc.loc_ghost) ->
+      t.calls <-
+        {
+          callee;
+          caller = cur;
+          caller_mod = modname;
+          site = loc_of loc;
+          inst = flags_of ty;
+        }
+        :: t.calls
+    | _ -> ()
+  end
+
+let scan t ~modname (str : structure) =
+  let cur = ref None in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (path, _, _) -> record_ident t ~modname ~cur:!cur e.exp_loc path e.exp_type
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  let rec walk_items mod_comp items =
+    List.iter
+      (fun (si : structure_item) ->
+        match si.str_desc with
+        | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) -> Some (Ident.name id)
+                | Tpat_alias (_, id, _) -> Some (Ident.name id)
+                | _ -> None
+              in
+              match name with
+              | Some n ->
+                let key = mod_comp ^ "." ^ n in
+                if not (SM.mem key t.defs) then
+                  t.defs <-
+                    SM.add key
+                      {
+                        d_key = key;
+                        d_mod = mod_comp;
+                        d_loc = loc_of vb.vb_loc;
+                        d_compare = None;
+                        d_sources = [];
+                      }
+                      t.defs;
+                let saved = !cur in
+                cur := Some key;
+                it.expr it vb.vb_expr;
+                cur := saved
+              | None ->
+                let saved = !cur in
+                cur := None;
+                it.expr it vb.vb_expr;
+                cur := saved)
+            vbs
+        | Tstr_module mb -> walk_module mod_comp mb.mb_id mb.mb_expr
+        | Tstr_recmodule mbs ->
+          List.iter (fun mb -> walk_module mod_comp mb.mb_id mb.mb_expr) mbs
+        | Tstr_eval (e, _) ->
+          let saved = !cur in
+          cur := None;
+          it.expr it e;
+          cur := saved
+        | _ -> ())
+      items
+  and walk_module _outer id me =
+    let name = match id with Some id -> Ident.name id | None -> "_" in
+    match me.mod_desc with
+    | Tmod_structure s -> walk_items name s.str_items
+    | Tmod_constraint ({ mod_desc = Tmod_structure s; _ }, _, _, _) ->
+      walk_items name s.str_items
+    | _ -> ()
+  in
+  walk_items modname str.str_items

@@ -1,11 +1,21 @@
 (* Walk directories for the .cmt files dune leaves under [.*.objs/byte],
-   run the rule checks over each implementation, then apply suppression
-   comments from the corresponding sources. *)
+   run every pass over the implementations, then apply suppression
+   comments from the corresponding sources.
+
+   Pass order matters: the per-occurrence rules and the two
+   whole-program scans (call graph, lock discipline) all read the same
+   typed trees, so each cmt is read once and the structures shared.
+   Suppression is consulted twice — once to filter the per-occurrence
+   findings (and decide which nondeterminism sources are [Active] and
+   may taint their callers), then again over the interprocedural
+   findings, which carry their own locations and their own allow
+   comments. *)
 
 type report = {
   findings : Finding.t list;
   suppressed : int;
   units : int;
+  sup_used : (string * int) list;
 }
 
 let rec collect_cmts acc path =
@@ -17,24 +27,46 @@ let rec collect_cmts acc path =
       acc (Sys.readdir path)
   | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
 
-let check_cmt rules path =
+let read_unit path =
   match Cmt_format.read_cmt path with
   | exception (Sys_error _ | End_of_file | Failure _ | Cmi_format.Error _) ->
     (* Not a readable cmt for this compiler — stale artifact or foreign
        file; nothing to check. *)
-    false
-  | { cmt_annots = Cmt_format.Implementation str; _ } ->
-    Rules.check_structure rules str;
-    true
-  | _ -> false
+    None
+  | { cmt_annots = Cmt_format.Implementation str; cmt_modname; _ } ->
+    Some (Callgraph.normalize cmt_modname, str)
+  | _ -> None
+
+let dedupe findings =
+  let rec go = function
+    | (a : Finding.t) :: b :: rest ->
+      if a.rule = b.rule && a.file = b.file && a.line = b.line && a.col = b.col
+         && a.message = b.message
+      then go (a :: rest)
+      else a :: go (b :: rest)
+    | l -> l
+  in
+  go (List.sort Finding.compare_by_loc findings)
 
 let run ?(force_lib = false) ~source_root dirs =
   let cmts = List.sort String.compare (List.fold_left collect_cmts [] dirs) in
+  let units = List.filter_map read_unit cmts in
   let rules = Rules.create ~force_lib () in
-  let units = List.fold_left (fun n p -> if check_cmt rules p then n + 1 else n) 0 cmts in
+  let cg = Callgraph.create () in
+  let locks = Locks.create () in
+  List.iter
+    (fun (modname, (str : Typedtree.structure)) ->
+      Rules.check_structure rules str;
+      Callgraph.scan cg ~modname str;
+      Locks.scan_types locks ~modname str.str_items)
+    units;
+  List.iter
+    (fun (modname, (str : Typedtree.structure)) ->
+      Locks.scan_bodies locks ~modname str.str_items)
+    units;
   let sup = Suppress.create ~source_root in
   let suppressed = ref 0 in
-  let findings =
+  let apply_suppressions fs =
     List.filter_map
       (fun (f : Finding.t) ->
         match Suppress.verdict sup ~file:f.file ~line:f.line f.rule with
@@ -48,9 +80,23 @@ let run ?(force_lib = false) ~source_root dirs =
               f with
               message = f.message ^ " — suppression comment present but lacks a justification";
             })
-      (Rules.findings rules)
+      fs
   in
-  { findings; suppressed = !suppressed; units }
+  let occurrence = apply_suppressions (Rules.findings rules) in
+  (* A justified suppression on a source asserts the nondeterminism is
+     contained; only unsuppressed sources taint their callers. *)
+  let is_active rule (loc : Callgraph.loc) =
+    Suppress.verdict sup ~file:loc.l_file ~line:loc.l_line rule <> Suppress.Suppressed
+  in
+  let interproc =
+    apply_suppressions (Taint.findings cg ~is_active @ Locks.findings locks)
+  in
+  {
+    findings = dedupe (occurrence @ interproc);
+    suppressed = !suppressed;
+    units = List.length units;
+    sup_used = Suppress.used sup;
+  }
 
 let print_text ppf r =
   List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) r.findings;

@@ -1,9 +1,12 @@
-(** Linter driver: find .cmt files, check, apply suppressions, report. *)
+(** Linter driver: find .cmt files, run the per-occurrence rules and the
+    whole-program passes (interprocedural taint, lock discipline), apply
+    suppressions, report. *)
 
 type report = {
-  findings : Finding.t list;  (** unsuppressed, sorted by location *)
-  suppressed : int;           (** findings silenced by justified allow comments *)
-  units : int;                (** implementation units checked *)
+  findings : Finding.t list;       (** unsuppressed, sorted by location *)
+  suppressed : int;                (** findings silenced by justified allow comments *)
+  units : int;                     (** implementation units checked *)
+  sup_used : (string * int) list;  (** consulted allow-comment sites, for [--check-stale] *)
 }
 
 val run : ?force_lib:bool -> source_root:string -> string list -> report

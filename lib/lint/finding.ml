@@ -1,6 +1,6 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -12,6 +12,8 @@ let rule_id = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
+  | R11 -> "R11"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -23,6 +25,8 @@ let rule_of_id = function
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "R10" -> Some R10
+  | "R11" -> Some R11
   | _ -> None
 
 let rule_doc = function
@@ -35,6 +39,8 @@ let rule_doc = function
   | R7 -> "Hashtbl.iter/fold has unspecified iteration order"
   | R8 -> "raw Domain.spawn outside Parallel.Pool"
   | R9 -> "raw process control (fork/create_process/exit) outside Shard"
+  | R10 -> "mutex-guarded mutable state touched off the lock, or a lock acquired twice"
+  | R11 -> "wall-clock read (gettimeofday/Sys.time/Unix.time) outside Obs.Clock and Shard"
 
 let hint = function
   | R1 ->
@@ -54,6 +60,19 @@ let hint = function
   | R9 ->
     "route process lifecycle through Shard.Supervisor (supervised forks, reaping, exit \
      discipline) instead of ad-hoc fork/exit"
+  | R10 ->
+    "take the guarding mutex (Mutex.protect or the module's with_lock wrapper) around \
+     every read and write, keep a single global acquisition order, and never re-enter a \
+     held lock"
+  | R11 ->
+    "use Obs.Clock.now_ns (monotonic) for durations, or thread time in explicitly; \
+     wall-clock reads differ across runs and machines the same way Random does"
+
+(* A fix is a list of span edits inside [file]: replace the byte range
+   [start, stop) with [text] (zero-width ranges insert).  Offsets are the
+   compiler's [pos_cnum] values, i.e. positions in the file the .cmt was
+   built from. *)
+type edit = { start : int; stop : int; text : string }
 
 type t = {
   rule : rule;
@@ -61,6 +80,7 @@ type t = {
   line : int;
   col : int;
   message : string;
+  fix : edit list;
 }
 
 let compare_by_loc a b =
@@ -71,7 +91,10 @@ let compare_by_loc a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
 
 let pp ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s] %s@,    hint: %s" f.file f.line f.col (rule_id f.rule)
@@ -96,6 +119,13 @@ let json_escape s =
   Buffer.contents b
 
 let to_json f =
-  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s","hint":"%s"}|}
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s","hint":"%s","fixable":%b}|}
     (rule_id f.rule) (json_escape f.file) f.line f.col (json_escape f.message)
     (json_escape (hint f.rule))
+    (f.fix <> [])
+
+(* The baseline fingerprint deliberately omits the line/column so that
+   unrelated edits shifting code up or down do not resurface old
+   findings; rule + file + message is stable under motion. *)
+let fingerprint f = rule_id f.rule ^ "|" ^ f.file ^ "|" ^ f.message

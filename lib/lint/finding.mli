@@ -4,6 +4,8 @@
     numerical-safety conventions (see README "Static analysis"):
 
     - R1: polymorphic [=]/[<>]/[compare] at a float-containing type
+      (both per-occurrence and interprocedurally, through ['a]-generic
+      helpers instantiated at float)
     - R2: [Stdlib.Random] (only [Numerics.Rng] is deterministic)
     - R3: [Marshal] outside [Runtime.Checkpoint]
     - R4: exception-swallowing catch-all outside [Runtime.Guard]
@@ -11,14 +13,17 @@
     - R6: module-toplevel mutable state in library code
     - R7: [Hashtbl.iter]/[fold] (unspecified iteration order)
     - R8: raw [Domain.spawn] outside [Parallel.Pool]
-    - R9: raw process control ([fork]/[create_process]/[exit]) outside [Shard] *)
+    - R9: raw process control ([fork]/[create_process]/[exit]) outside [Shard]
+    - R10: lock discipline — mutex-guarded mutable state accessed off the
+      lock, double acquisition, lock-order cycles
+    - R11: wall-clock reads outside [Obs.Clock] and [lib/shard] *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R9"]. *)
+(** ["R1"] .. ["R11"]. *)
 
 val rule_of_id : string -> rule option
 
@@ -28,20 +33,33 @@ val rule_doc : rule -> string
 val hint : rule -> string
 (** One-line fix hint attached to every finding of the rule. *)
 
+type edit = { start : int; stop : int; text : string }
+(** A span edit inside the finding's file: replace bytes [start, stop)
+    with [text] (zero-width ranges insert).  Offsets are the compiler's
+    [pos_cnum] values. *)
+
 type t = {
   rule : rule;
   file : string;  (** path as recorded by the compiler, relative to the build root *)
   line : int;     (** 1-based *)
   col : int;      (** 0-based *)
   message : string;
+  fix : edit list;  (** mechanical rewrite, when one exists; [[]] otherwise *)
 }
 
 val compare_by_loc : t -> t -> int
-(** Order by (file, line, col, rule) for stable reports. *)
+(** Order by (file, line, col, rule, message) for stable reports. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val json_escape : string -> string
+
 val to_json : t -> string
-(** One finding as a JSON object (rule, file, line, col, message, hint). *)
+(** One finding as a JSON object (rule, file, line, col, message, hint,
+    fixable). *)
+
+val fingerprint : t -> string
+(** Stable identity for {!Baseline}: rule + file + message, no line, so
+    baselines survive unrelated code motion. *)

@@ -1,0 +1,21 @@
+(** R10 lock discipline.  Learns the tree's guarded shapes — record
+    types with a [Mutex.t] field plus mutable fields, and modules with a
+    toplevel mutex guarding toplevel mutable containers — then checks
+    every body for off-lock accesses, double acquisition, and global
+    lock-order cycles.  Two passes because wrapper classification and
+    type declarations must be global before any body is judged:
+    {!scan_types} over every unit first, then {!scan_bodies} over every
+    unit, then {!findings}. *)
+
+type t
+
+val create : unit -> t
+
+val scan_types : t -> modname:string -> Typedtree.structure_item list -> unit
+
+val scan_bodies : t -> modname:string -> Typedtree.structure_item list -> unit
+
+val findings : t -> Finding.t list
+(** Unsorted; the driver sorts.  Off-lock findings for defs whose every
+    call site runs under a lock are dropped by the locked-only
+    fixpoint. *)

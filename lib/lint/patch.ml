@@ -1,0 +1,162 @@
+(* The [--fix] backend: apply span-precise edits attached to findings,
+   and plant unjustified suppression stubs above everything the tool
+   cannot fix mechanically.
+
+   Span edits come straight from the typed tree's byte offsets, so they
+   are applied to the file contents bottom-up (descending start offset)
+   before any line-based work; none of the generated replacements
+   contain newlines, so line numbers survive and the stub pass can then
+   work in line space, also bottom-up.
+
+   Stubs are deliberately left without a justification: the comment
+   format requires a written reason, the tool has no way to know one,
+   and inventing text would defeat the point of requiring it.  A planted
+   stub therefore downgrades the finding to [Missing_justification] —
+   still reported, but now pointing a human at exactly the line where a
+   reason must be supplied.  Re-running [--fix] is a no-op: a line that
+   already carries a marker (on it or above it) is never stubbed
+   again. *)
+
+module SM = Map.Make (String)
+module IM = Map.Make (Int)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let tmp = path ^ ".robustlint-fix" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+(* {2 Span edits} *)
+
+(* Apply non-overlapping edits, highest offset first.  Overlapping or
+   out-of-range groups are dropped whole — a finding whose spans no
+   longer match the file (stale cmt) must not half-rewrite it. *)
+let apply_spans contents (groups : Finding.edit list list) =
+  let len = String.length contents in
+  let ok (g : Finding.edit list) =
+    List.for_all (fun (e : Finding.edit) -> 0 <= e.start && e.start <= e.stop && e.stop <= len) g
+  in
+  let edits =
+    List.concat (List.filter ok groups)
+    |> List.sort (fun (a : Finding.edit) b -> compare b.start a.start)
+  in
+  let rec disjoint = function
+    | (a : Finding.edit) :: (b :: _ as rest) -> b.stop <= a.start && disjoint rest
+    | _ -> true
+  in
+  if not (disjoint edits) then (contents, false)
+  else
+    ( List.fold_left
+        (fun acc (e : Finding.edit) ->
+          String.sub acc 0 e.start ^ e.text
+          ^ String.sub acc e.stop (String.length acc - e.stop))
+        contents edits,
+      edits <> [] )
+
+(* {2 Suppression stubs} *)
+
+let split_lines s =
+  (* keep this exact w.r.t. a trailing newline so rejoining is lossless *)
+  let n = String.length s in
+  let rec go acc start i =
+    if i >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '\n' then go (String.sub s start (i - start) :: acc) (i + 1) (i + 1)
+    else go acc start (i + 1)
+  in
+  go [] 0 0
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  String.sub line 0 (go 0)
+
+let has_marker line =
+  let rec find i =
+    i + 18 <= String.length line
+    && (String.sub line i 18 = "robustlint: allow " || find (i + 1))
+  in
+  find 0
+
+let plant_stubs contents (stubs : (int * Finding.rule) list) =
+  let lines = Array.of_list (split_lines contents) in
+  let n = Array.length lines in
+  (* one stub per line, lowest rule wins *)
+  let by_line =
+    List.fold_left
+      (fun m (line, rule) ->
+        IM.update line
+          (function
+            | Some r when Finding.rule_id r <= Finding.rule_id rule -> Some r
+            | _ -> Some rule)
+          m)
+      IM.empty stubs
+  in
+  let insertions =
+    IM.fold
+      (fun line rule acc ->
+        if line < 1 || line > n then acc
+        else if has_marker lines.(line - 1) then acc
+        else if line >= 2 && has_marker lines.(line - 2) then acc
+        else (line, rule) :: acc)
+      by_line []
+    (* descending line order so earlier insertions don't shift later ones *)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  if insertions = [] then (contents, false)
+  else begin
+    let out =
+      List.fold_left
+        (fun lines (line, rule) ->
+          let indent = indent_of (List.nth lines (line - 1)) in
+          let stub = indent ^ "(* robustlint: allow " ^ Finding.rule_id rule ^ " *)" in
+          let rec insert i = function
+            | [] -> [ stub ]
+            | l :: rest -> if i = line then stub :: l :: rest else l :: insert (i + 1) rest
+          in
+          insert 1 lines)
+        (Array.to_list lines) insertions
+    in
+    (String.concat "\n" out, true)
+  end
+
+(* {2 Entry point} *)
+
+let apply ~source_root (findings : Finding.t list) =
+  let by_file =
+    List.fold_left
+      (fun m (f : Finding.t) ->
+        SM.update f.file (function Some l -> Some (f :: l) | None -> Some [ f ]) m)
+      SM.empty findings
+  in
+  SM.fold
+    (fun file fs acc ->
+      let path = Filename.concat source_root file in
+      if not (Sys.file_exists path) then acc
+      else begin
+        let contents = read_file path in
+        let groups =
+          List.filter_map
+            (fun (f : Finding.t) -> if f.fix = [] then None else Some f.fix)
+            fs
+        in
+        let contents, changed_spans = apply_spans contents groups in
+        let stubs =
+          List.filter_map
+            (fun (f : Finding.t) -> if f.fix = [] then Some (f.line, f.rule) else None)
+            fs
+        in
+        let contents, changed_stubs = plant_stubs contents stubs in
+        if changed_spans || changed_stubs then begin
+          write_file path contents;
+          file :: acc
+        end
+        else acc
+      end)
+    by_file []
+  |> List.sort compare

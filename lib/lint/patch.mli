@@ -1,0 +1,15 @@
+(** The [--fix] backend.  Findings that carry span edits are rewritten
+    in place; findings without a mechanical fix get an *unjustified*
+    [(* robustlint: allow R<k> *)] stub planted above them — the tool
+    refuses to invent justifications, so those lines keep reporting
+    [Missing_justification] until a human writes the reason.  Applying
+    twice is a no-op: spans are only attached to un-fixed code and a
+    line already under a marker is never stubbed again. *)
+
+val apply : source_root:string -> Finding.t list -> string list
+(** Returns the repo-relative paths of files actually modified,
+    sorted. *)
+
+val has_marker : string -> bool
+(** Does this source line contain a suppression marker?  Exposed for
+    {!Stale} and the tests. *)

@@ -1,19 +1,25 @@
-(* The seven robustpath rules, as checks over the compiler's typed trees
-   (compiler-libs 5.1).  Working on typedtrees rather than source text is
-   what makes R1 precise: the instantiated type of every occurrence of
-   [Stdlib.(=)] is in the tree, so "polymorphic equality at float" is a
-   type test, not a regex guess. *)
+(* The per-occurrence robustpath rules, as checks over the compiler's
+   typed trees (compiler-libs 5.1).  Working on typedtrees rather than
+   source text is what makes R1 precise: the instantiated type of every
+   occurrence of [Stdlib.(=)] is in the tree, so "polymorphic equality at
+   float" is a type test, not a regex guess.
+
+   Interprocedural reasoning (R1 through generic helpers, R2/R7 taint,
+   R10 lock discipline) lives in [Callgraph]/[Taint]/[Locks]; this module
+   stays single-occurrence. *)
 
 open Typedtree
 
 type t = {
   force_lib : bool; (* treat every file as library code (fixture testing) *)
   mutable acc : Finding.t list;
+  (* Mechanical rewrites discovered at application sites, keyed by the
+     (file, line, col) of the operator occurrence the finding anchors to;
+     [findings] merges them in. *)
+  mutable fixes : ((string * int * int) * Finding.edit list) list;
 }
 
-let create ?(force_lib = false) () = { force_lib; acc = [] }
-
-let findings t = List.sort Finding.compare_by_loc t.acc
+let create ?(force_lib = false) () = { force_lib; acc = []; fixes = [] }
 
 let file_of (loc : Location.t) = loc.loc_start.pos_fname
 
@@ -21,7 +27,7 @@ let is_lib t loc = t.force_lib || String.starts_with ~prefix:"lib/" (file_of loc
 
 let in_module ~suffix loc = String.ends_with ~suffix (file_of loc)
 
-let add t rule (loc : Location.t) message =
+let add ?(fix = []) t rule (loc : Location.t) message =
   let p = loc.loc_start in
   t.acc <-
     {
@@ -30,8 +36,23 @@ let add t rule (loc : Location.t) message =
       line = p.pos_lnum;
       col = p.pos_cnum - p.pos_bol;
       message;
+      fix;
     }
     :: t.acc
+
+let record_fix t (loc : Location.t) edits =
+  let p = loc.loc_start in
+  t.fixes <- ((p.pos_fname, p.pos_lnum, p.pos_cnum - p.pos_bol), edits) :: t.fixes
+
+let findings t =
+  let with_fix (f : Finding.t) =
+    if f.fix <> [] then f
+    else
+      match List.assoc_opt (f.file, f.line, f.col) t.fixes with
+      | Some edits when f.rule = Finding.R1 -> { f with fix = edits }
+      | _ -> f
+  in
+  List.sort Finding.compare_by_loc (List.map with_fix t.acc)
 
 (* {2 R1 helpers} *)
 
@@ -59,6 +80,23 @@ let first_arrow_arg ty =
 
 let poly_compare_op name =
   match name with "Stdlib.=" | "Stdlib.<>" | "Stdlib.compare" -> true | _ -> false
+
+let is_exactly_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* [compare : float -> float -> int], i.e. a comparator that can be
+   swapped for [Float.compare] verbatim. *)
+let is_float_comparator ty =
+  match Types.get_desc ty with
+  | Tarrow (_, a, rest, _) -> (
+    is_exactly_float a
+    &&
+    match Types.get_desc rest with
+    | Tarrow (_, b, _, _) -> is_exactly_float b
+    | _ -> false)
+  | _ -> false
 
 (* {2 R4 helpers} *)
 
@@ -112,6 +150,20 @@ let process_control_name = function
     true
   | _ -> false
 
+(* {2 R11 helpers} *)
+
+let wall_clock_name = function
+  | "Unix.gettimeofday" | "UnixLabels.gettimeofday" | "Unix.time" | "UnixLabels.time"
+  | "Stdlib.Sys.time" ->
+    true
+  | _ -> false
+
+let wall_clock_allowed loc =
+  (* Obs.Clock owns the one sanctioned clock; the shard supervisor needs
+     real wall-clock deadlines to notice wedged workers. *)
+  in_module ~suffix:"obs/clock.ml" loc
+  || String.starts_with ~prefix:"lib/shard/" (file_of loc)
+
 (* {2 The iterator} *)
 
 let check_ident t loc name ty =
@@ -121,7 +173,25 @@ let check_ident t loc name ty =
   if poly_compare_op name then begin
     match first_arrow_arg ty with
     | Some arg when mentions_float 0 arg ->
-      add t Finding.R1 loc
+      let fix =
+        (* A bare [compare] at [float -> float -> int] is replaceable by
+           [Float.compare] token-for-token; [=]/[<>] application fixes are
+           recorded at the application site, where the argument spans are
+           known. *)
+        if
+          name = "Stdlib.compare" && is_float_comparator ty
+          && not (loc : Location.t).loc_ghost
+        then
+          [
+            {
+              Finding.start = loc.loc_start.pos_cnum;
+              stop = loc.loc_end.pos_cnum;
+              text = "Float.compare";
+            };
+          ]
+        else []
+      in
+      add ~fix t Finding.R1 loc
         (Printf.sprintf "polymorphic %s at a float-containing type"
            (match String.rindex_opt name '.' with
            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
@@ -154,11 +224,52 @@ let check_ident t loc name ty =
       (Printf.sprintf
          "raw %s: process lifecycle outside Shard escapes supervision (no reaping, no \
           restart, no exit discipline)"
-         name)
+         name);
+  if wall_clock_name name && not (wall_clock_allowed loc) then
+    add t Finding.R11 loc
+      (Printf.sprintf
+         "%s reads the wall clock: results depend on when and where the run happens" name)
+
+(* [a = b] / [a <> b] at exactly float rewrites mechanically to
+   [Float.equal]; record the span edits while the argument locations are
+   in hand.  The finding itself is anchored to the operator occurrence,
+   which [check_ident] reports when the iterator reaches it. *)
+let check_apply_fix t (e : expression) fn args =
+  match (fn.exp_desc, args) with
+  | ( Texp_ident (path, _, _),
+      [ (Asttypes.Nolabel, Some a); (Asttypes.Nolabel, Some b) ] )
+    when (Path.name path = "Stdlib.=" || Path.name path = "Stdlib.<>")
+         && is_exactly_float a.exp_type && is_exactly_float b.exp_type
+         && (not e.exp_loc.loc_ghost)
+         && (not fn.exp_loc.loc_ghost)
+         && file_of e.exp_loc = file_of fn.exp_loc ->
+    let app_s = e.exp_loc.loc_start.pos_cnum
+    and app_e = e.exp_loc.loc_end.pos_cnum
+    and a_s = a.exp_loc.loc_start.pos_cnum
+    and a_e = a.exp_loc.loc_end.pos_cnum
+    and b_s = b.exp_loc.loc_start.pos_cnum
+    and b_e = b.exp_loc.loc_end.pos_cnum in
+    if app_s <= a_s && a_s <= a_e && a_e <= b_s && b_s <= b_e && b_e <= app_e then begin
+      let neg = Path.name path = "Stdlib.<>" in
+      let edits =
+        [
+          {
+            Finding.start = app_s;
+            stop = a_s;
+            text = (if neg then "not (Float.equal (" else "Float.equal (");
+          };
+          { Finding.start = a_e; stop = b_s; text = ") (" };
+          { Finding.start = b_e; stop = app_e; text = (if neg then "))" else ")") };
+        ]
+      in
+      record_fix t fn.exp_loc edits
+    end
+  | _ -> ()
 
 let expr t sub (e : expression) =
   (match e.exp_desc with
   | Texp_ident (path, _, _) -> check_ident t e.exp_loc (Path.name path) e.exp_type
+  | Texp_apply (fn, args) -> check_apply_fix t e fn args
   | Texp_try (_, cases) when not (in_module ~suffix:"runtime/guard.ml" e.exp_loc) ->
     List.iter (check_handler t) cases
   | Texp_match (_, cases, _) when not (in_module ~suffix:"runtime/guard.ml" e.exp_loc) ->

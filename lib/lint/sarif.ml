@@ -1,0 +1,29 @@
+(* Minimal SARIF 2.1.0 emission, by hand — the subset CI viewers
+   actually read: tool name + rule metadata, and one result per finding
+   with a physical location.  Findings must already be sorted; the
+   emitter preserves order so the output is byte-stable. *)
+
+let esc = Finding.json_escape
+
+let rule_json r =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"},"help":{"text":"%s"}}|}
+    (Finding.rule_id r)
+    (esc (Finding.rule_doc r))
+    (esc (Finding.hint r))
+
+let result_json (f : Finding.t) =
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"error","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (Finding.rule_id f.rule) (esc f.message) (esc f.file) f.line (f.col + 1)
+
+let to_string findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"robustlint","informationUri":"README.md","rules":[|};
+  Buffer.add_string b (String.concat "," (List.map rule_json Finding.all_rules));
+  Buffer.add_string b {|]}},"results":[|};
+  Buffer.add_string b (String.concat "," (List.map result_json findings));
+  Buffer.add_string b {|]}]}|};
+  Buffer.add_char b '\n';
+  Buffer.contents b

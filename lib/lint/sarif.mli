@@ -1,0 +1,5 @@
+(** Minimal SARIF 2.1.0 export: one run, the rule table from
+    {!Finding.all_rules}, one result per finding.  Input order is
+    preserved, so sorted findings give byte-stable output. *)
+
+val to_string : Finding.t list -> string

@@ -1,0 +1,86 @@
+(* [--check-stale]: suppression comments are debt with a written IOU;
+   when the finding they silence stops firing, the comment should go too
+   — a stale allow is a license to reintroduce the bug silently.
+
+   The scan is textual: every [robustlint: allow R<k>] comment (with a
+   real rule id) in the linted source dirs, minus the (file, line) pairs
+   the suppression engine actually consulted for some finding this run.
+   What remains silences nothing. *)
+
+let marker = "robustlint: allow R"
+
+(* First marker on the line with a syntactically valid rule id, like
+   [Suppress.parse_line] — a marker with an unknown id suppresses
+   nothing and is reported by its own right here. *)
+let rule_on_line line =
+  let rec find from =
+    match String.index_from_opt line from 'r' with
+    | None -> None
+    | Some i ->
+      let n = String.length marker in
+      if i + n <= String.length line && String.sub line i n = marker then Some (i + n)
+      else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some digit_at ->
+    let len = String.length line in
+    let stop = ref digit_at in
+    while !stop < len && line.[!stop] >= '0' && line.[!stop] <= '9' do
+      incr stop
+    done;
+    let id = "R" ^ String.sub line digit_at (!stop - digit_at) in
+    (match Finding.rule_of_id id with Some _ -> Some id | None -> None)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && entry.[0] = '.' then []
+           else ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let comments_in path rel =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             match rule_on_line line with
+             | Some id -> acc := (rel, !lineno, id) :: !acc
+             | None -> ()
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+
+let scan ~source_root ~dirs ~used =
+  let all =
+    List.concat_map
+      (fun dir ->
+        let base = Filename.concat source_root dir in
+        if Sys.file_exists base then
+          ml_files base
+          |> List.concat_map (fun path ->
+                 (* rel must match the finding paths out of the cmts:
+                    dir-relative with forward slashes *)
+                 let rel =
+                   let prefix = source_root ^ Filename.dir_sep in
+                   if String.starts_with ~prefix path then
+                     String.sub path (String.length prefix)
+                       (String.length path - String.length prefix)
+                   else path
+                 in
+                 comments_in path rel)
+        else [])
+      dirs
+  in
+  List.filter (fun (file, line, _) -> not (List.mem (file, line) used)) all
+  |> List.sort compare

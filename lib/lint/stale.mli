@@ -1,0 +1,15 @@
+(** [--check-stale]: find suppression comments that no longer silence
+    anything.  Textual scan of the linted dirs for
+    [robustlint: allow R<k>] comments, minus the (file, line) pairs the
+    run's {!Suppress.used} set consulted. *)
+
+val scan :
+  source_root:string ->
+  dirs:string list ->
+  used:(string * int) list ->
+  (string * int * string) list
+(** [(file, line, rule id)] of stale allow comments, sorted. *)
+
+val rule_on_line : string -> string option
+(** The first valid allow-comment rule id on a source line, if any.
+    Exposed for tests. *)

@@ -1,10 +1,14 @@
 (* A suppression is a comment of the form
 
-     (* robustlint: allow R4 — supervisor catch-all: crashes are retried *)
+     (* robustlint: allow R<k> — why the rule is safe to break here *)
 
    on the offending line or the line directly above it.  The text after
    the rule id is the justification; it is mandatory — an allow without a
-   justification does not suppress (the driver reports it instead). *)
+   justification does not suppress (the driver reports it instead).
+
+   [verdict] also records which comment lines actually matched a
+   finding; [--check-stale] subtracts that set from the tree's allow
+   comments to flag suppressions whose finding no longer fires. *)
 
 type verdict = Active | Suppressed | Missing_justification
 
@@ -52,9 +56,12 @@ let parse_line line rule =
 type t = {
   source_root : string;
   mutable files : (string * string array option) list; (* path -> lines, once read *)
+  mutable used : (string * int) list; (* comment (file, line) pairs that matched *)
 }
 
-let create ~source_root = { source_root; files = [] }
+let create ~source_root = { source_root; files = []; used = [] }
+
+let used t = t.used
 
 let read_lines path =
   match open_in path with
@@ -86,8 +93,13 @@ let verdict t ~file ~line rule =
     let at i =
       if i >= 1 && i <= Array.length ls then parse_line ls.(i - 1) rule else None
     in
-    let combined = match at line with None -> at (line - 1) | v -> v in
+    let combined =
+      match at line with
+      | Some j -> Some (line, j)
+      | None -> ( match at (line - 1) with Some j -> Some (line - 1, j) | None -> None)
+    in
     (match combined with
     | None -> Active
-    | Some true -> Suppressed
-    | Some false -> Missing_justification)
+    | Some (cline, j) ->
+      if not (List.mem (file, cline) t.used) then t.used <- (file, cline) :: t.used;
+      if j then Suppressed else Missing_justification)

@@ -21,6 +21,10 @@ val create : source_root:string -> t
 val verdict : t -> file:string -> line:int -> Finding.rule -> verdict
 (** Unreadable files yield [Active] (never silently suppress). *)
 
+val used : t -> (string * int) list
+(** The (file, comment line) pairs whose allow comment matched at least
+    one finding so far — the complement feeds [--check-stale]. *)
+
 val parse_line : string -> Finding.rule -> bool option
 (** [parse_line line rule] is [None] when [line] has no allow comment for
     [rule], [Some justified] otherwise.  Exposed for tests. *)

@@ -1,0 +1,10 @@
+(** The interprocedural passes over {!Callgraph}: R1 across call
+    boundaries (generic compare carriers instantiated at float) and
+    R2/R7 nondeterminism flow from active sources into their transitive
+    cross-module callers. *)
+
+val findings :
+  Callgraph.t -> is_active:(Finding.rule -> Callgraph.loc -> bool) -> Finding.t list
+(** [is_active rule loc] must say whether the per-occurrence finding for
+    a source at [loc] survived suppression — suppressed sources carry a
+    written justification and do not propagate. *)

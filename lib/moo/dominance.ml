@@ -46,10 +46,14 @@ let non_dominated_objectives fs =
   let dominates_f a b = compare_objectives a b = Dominates in
   let keep f = not (List.exists (fun o -> o != f && dominates_f o f) fs) in
   let nd = List.filter keep fs in
+  (* Exact componentwise equality: Float.equal keeps the dedup
+     deterministic when an objective is NaN, where polymorphic [=] is
+     not reflexive. *)
+  let equal_f a b = Array.length a = Array.length b && Array.for_all2 Float.equal a b in
   let rec dedup acc = function
     | [] -> List.rev acc
     | f :: rest ->
-      if List.exists (fun o -> o = f) acc then dedup acc rest
+      if List.exists (equal_f f) acc then dedup acc rest
       else dedup (f :: acc) rest
   in
   dedup [] nd

@@ -111,8 +111,12 @@ let observe h v =
     Mutex.unlock h.h_lock
   end
 
+(* Deliberately lock-free accessors: a torn read of a single word cannot
+   occur in OCaml, and metric snapshots tolerate staleness. *)
+(* robustlint: allow R10 — lock-free accessor by design, staleness tolerated *)
 let histogram_count h = h.h_count
 
+(* robustlint: allow R10 — lock-free accessor by design, staleness tolerated *)
 let histogram_sum h = h.h_sum
 
 (* {1 Reset} *)

@@ -206,6 +206,9 @@ let shutdown t =
   t.stopped <- true;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.lock;
+  (* Joining under the lock would deadlock with workers blocked on it, and
+     t.workers is written once at creation. *)
+  (* robustlint: allow R10 — join must happen off-lock; workers array is write-once *)
   if not already then Array.iter Domain.join t.workers
 
 let run_inline ~n_tasks run =
@@ -222,6 +225,7 @@ let run_inline ~n_tasks run =
 let run_tasks ?(sequential = false) t ~n_tasks run =
   if n_tasks < 0 then invalid_arg "Pool.run_tasks: n_tasks must be >= 0";
   if n_tasks = 0 then ()
+  (* robustlint: allow R10 — deliberately racy fast-path read of stopped; a stale value only delays the inline fallback *)
   else if sequential || t.size = 1 || t.stopped || Domain.DLS.get in_task_key then
     run_inline ~n_tasks run
   else begin

@@ -1,0 +1,81 @@
+(* End-to-end check of [robustlint --fix], attached to `dune runtest`
+   through the lint-fix-check alias.
+
+   The fixture tree under [fix_fixtures/] is copied into a scratch
+   directory, compiled with [ocamlc -bin-annot], linted through the
+   driver API, fixed with {!Lint.Patch}, then the loop closes: the fixed
+   tree must recompile, re-lint to zero findings, and a second fix pass
+   must be a no-op (byte-identical files, no modifications reported). *)
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "fix-check FAIL: %s\n%!" name
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let scratch = "fix_scratch"
+let fixture_dir = "fix_fixtures"
+
+let reset_scratch () =
+  if Sys.file_exists scratch then
+    Array.iter (fun f -> Sys.remove (Filename.concat scratch f)) (Sys.readdir scratch)
+  else Sys.mkdir scratch 0o755
+
+let fixture_files () =
+  Sys.readdir fixture_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.sort String.compare
+
+let compile () =
+  let mls = fixture_files () |> List.map Filename.quote |> String.concat " " in
+  let cmd = Printf.sprintf "cd %s && ocamlc -bin-annot -c %s" (Filename.quote scratch) mls in
+  Sys.command cmd = 0
+
+let lint () = Lint.Driver.run ~source_root:scratch [ scratch ]
+
+let () =
+  reset_scratch ();
+  List.iter
+    (fun f ->
+      write_file (Filename.concat scratch f) (read_file (Filename.concat fixture_dir f)))
+    (fixture_files ());
+  check "fixture tree compiles before fixing" (compile ());
+
+  let before = lint () in
+  check "fixture tree has findings before fixing" (before.findings <> []);
+  check "every pre-fix finding carries a span fix"
+    (List.for_all (fun (f : Lint.Finding.t) -> f.fix <> []) before.findings);
+
+  let clean_before = read_file (Filename.concat scratch "clean.ml") in
+  let modified = Lint.Patch.apply ~source_root:scratch before.findings in
+  check "fix reports the violating files as modified"
+    (modified = [ "comparator.ml"; "float_eq.ml" ]);
+  check "fix leaves the clean file untouched"
+    (read_file (Filename.concat scratch "clean.ml") = clean_before);
+
+  check "fixed tree recompiles" (compile ());
+  let after = lint () in
+  check "fixed tree re-lints to zero findings" (after.findings = []);
+
+  let snapshot = List.map (fun f -> read_file (Filename.concat scratch f)) (fixture_files ()) in
+  let again = Lint.Patch.apply ~source_root:scratch after.findings in
+  check "second fix pass modifies nothing" (again = []);
+  let snapshot' = List.map (fun f -> read_file (Filename.concat scratch f)) (fixture_files ()) in
+  check "second fix pass is byte-identical" (snapshot = snapshot');
+
+  if !failures > 0 then exit 1;
+  print_endline "fix-check: ok"

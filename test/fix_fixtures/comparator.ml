@@ -1,0 +1,8 @@
+(* Fix fixture: a bare [compare] used at [float -> float -> int] must be
+   swapped for [Float.compare] token-for-token. *)
+let sorted (xs : float array) =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let ordered (xs : float list) = List.sort compare xs

@@ -1,0 +1,7 @@
+(* Fix fixture: float [=] / [<>] must be rewritten to [Float.equal]
+   forms by [robustlint --fix]. *)
+let same (a : float) (b : float) = a = b
+
+let differs (a : float) (b : float) = a <> b
+
+let near (x : float) = x = 0.5 || x <> 1.0

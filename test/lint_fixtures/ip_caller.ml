@@ -1,0 +1,12 @@
+(* Fixture: the interprocedural findings all land in this file.
+   [floats_deduped] instantiates ip_helper's generic compare at a float
+   type (R1 across modules); [has] hits a stdlib carrier at float;
+   [pick] calls into code that reaches Random (R2 flow); [quiet] calls a
+   suppressed source and must stay clean. *)
+let floats_deduped (xs : float array) = Ip_helper.dedup_sorted xs
+
+let has (x : float) (xs : float list) = List.mem x xs
+
+let pick (xs : int array) = Ip_source.choose xs
+
+let quiet () = Ip_source.seeded ()

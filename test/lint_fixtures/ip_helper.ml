@@ -1,0 +1,9 @@
+(* Fixture: a generic helper comparing at ['a] is harmless here — the
+   hazard appears only where a call site pins ['a] to a float type
+   (ip_caller.ml).  Per-occurrence R1 must NOT fire in this file. *)
+let dedup_sorted (xs : 'a array) =
+  let out = ref [] in
+  Array.iter
+    (fun x -> match !out with y :: _ when compare x y = 0 -> () | _ -> out := x :: !out)
+    xs;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,10 @@
+(* Fixture: an R2 source and an intermediate hop — the taint must travel
+   [roll] -> [choose] -> ip_caller.ml.  [seeded] is justified-suppressed
+   and must NOT taint its callers. *)
+let roll n = Random.int n
+
+let choose (xs : int array) = xs.(roll (Array.length xs))
+
+let seeded () =
+  (* robustlint: allow R2 — fixture: documented fixed-seed draw, reproducible by construction *)
+  Random.bits ()

@@ -1,0 +1,10 @@
+(* Fixture: R10 double acquisition (Stdlib.Mutex self-deadlocks) and a
+   guarded-global operation off the module's mutex. *)
+let lock = Mutex.create ()
+
+(* robustlint: allow R6 — fixture: the guarded-global shape under test needs a real global *)
+let total = ref 0
+
+let add n = Mutex.protect lock (fun () -> Mutex.protect lock (fun () -> total := !total + n))
+
+let sneak () = total := 0

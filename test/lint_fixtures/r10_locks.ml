@@ -1,0 +1,26 @@
+(* Fixture: R10 on a Cache.Memo-shaped guarded record.  [peek] reads a
+   mutable field off-lock and must be flagged; [bump]'s accesses run
+   under the learned wrapper and must not; [incr_hits] is only ever
+   called under the lock, so the locked-only fixpoint must exempt it. *)
+type t = { lock : Mutex.t; mutable hits : int; mutable size : int }
+
+let make () = { lock = Mutex.create (); hits = 0; size = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let incr_hits t = t.hits <- t.hits + 1
+
+let bump t =
+  with_lock t @@ fun () ->
+  incr_hits t;
+  t.size <- t.size + 1
+
+let peek t = t.size

@@ -1,0 +1,9 @@
+(* Fixture: R10 lock-order cycle — [a] then [b] in one path, [b] then
+   [a] in another deadlocks under contention. *)
+let a = Mutex.create ()
+
+let b = Mutex.create ()
+
+let forward f = Mutex.protect a (fun () -> Mutex.protect b f)
+
+let backward f = Mutex.protect b (fun () -> Mutex.protect a f)

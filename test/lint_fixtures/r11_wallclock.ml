@@ -1,0 +1,4 @@
+(* Fixture: R11 — wall-clock reads outside Obs.Clock and lib/shard. *)
+let stamp () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

@@ -1,0 +1,2 @@
+(* Fixture: a same-line marker on the very last line of the file. *)
+let nearly (a : float) (b : float) = a = b (* robustlint: allow R1 — fixture: final-line marker *)

@@ -1,0 +1,6 @@
+(* Fixture: a marker on its own line of a multiline block comment still
+   suppresses — suppression is line-based by design. *)
+let approx (a : float) (b : float) =
+  (* tolerated here because:
+     robustlint: allow R1 — fixture: marker inside a multiline comment *)
+  a = b

@@ -1,0 +1,13 @@
+(* Fixture: suppressions must resolve inside nested modules, and a
+   violation two modules deep must still be found. *)
+module Inner = struct
+  let exact (x : float) =
+    (* robustlint: allow R1 — fixture: sentinel equality inside a nested module *)
+    x = infinity
+end
+
+module Deeper = struct
+  module Core = struct
+    let bad (x : float) = x = 0.0
+  end
+end

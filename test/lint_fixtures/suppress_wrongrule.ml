@@ -1,0 +1,4 @@
+(* Fixture: an allow for the wrong rule must not mask a different rule. *)
+let close_enough (a : float) (b : float) =
+  (* robustlint: allow R2 — wrong rule on purpose: must not silence R1 *)
+  a = b

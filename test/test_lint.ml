@@ -1,8 +1,11 @@
 (* End-to-end tests of the robustlint static analyzer: the fixture
    library under lint_fixtures/ carries one deliberate violation per
-   rule, one justified suppression and one justification-less allow
-   comment; the linter must report exactly the violations, at the right
-   locations, and honour only the justified suppression.
+   rule, interprocedural chains (generic helper instantiated at float,
+   nondeterminism reaching an entry point through an intermediate), lock
+   discipline shapes (off-lock read, double acquisition, order cycle,
+   guarded global), and a spread of suppression-comment corner cases.
+   The linter must report exactly the violations, at the right
+   locations, and honour only the justified suppressions.
 
    The test executable runs in _build/default/test, so the fixture .cmt
    artifacts sit under lint_fixtures/... and compiled source paths
@@ -16,6 +19,11 @@ let findings_in file =
   List.filter
     (fun f -> Filename.basename f.Lint.Finding.file = file)
     (Lazy.force report).Lint.Driver.findings
+
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+  scan 0
 
 let check_single_finding ~rule ~file ~line () =
   match findings_in file with
@@ -37,17 +45,110 @@ let test_every_rule_fires () =
   check_single_finding ~rule:"R8" ~file:"r8_domain_spawn.ml" ~line:2 ();
   check_single_finding ~rule:"R9" ~file:"r9_fork.ml" ~line:2 ()
 
+let test_r11_wall_clock () =
+  match findings_in "r11_wallclock.ml" with
+  | [ a; b ] ->
+    Alcotest.(check string) "first is R11" "R11" (Lint.Finding.rule_id a.Lint.Finding.rule);
+    Alcotest.(check string) "second is R11" "R11" (Lint.Finding.rule_id b.Lint.Finding.rule);
+    Alcotest.(check (list int)) "lines" [ 2; 4 ] [ a.Lint.Finding.line; b.Lint.Finding.line ]
+  | fs -> Alcotest.failf "expected two R11 findings, got %d" (List.length fs)
+
 let test_no_extra_findings () =
-  (* 9 rule fixtures + 1 unjustified allow; the justified ones are silent. *)
-  Alcotest.(check int) "total findings" 10
+  Alcotest.(check int) "total findings" 22
     (List.length (Lazy.force report).Lint.Driver.findings)
 
+let test_units_counted () =
+  (* 24 fixture modules plus the library's generated alias module. *)
+  Alcotest.(check int) "units" 25 (Lazy.force report).Lint.Driver.units
+
+(* {1 Interprocedural R1: generic helpers instantiated at float} *)
+
+let test_interproc_r1 () =
+  let fs = findings_in "ip_caller.ml" in
+  Alcotest.(check int) "ip_caller has exactly 3 findings" 3 (List.length fs);
+  (match List.find_opt (fun f -> f.Lint.Finding.line = 6) fs with
+  | Some f ->
+    Alcotest.(check string) "helper call is R1" "R1" (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check bool) "message names the generic helper" true
+      (contains ~sub:"Ip_helper.dedup_sorted" f.Lint.Finding.message);
+    Alcotest.(check bool) "message points at the helper's definition" true
+      (contains ~sub:"ip_helper.ml" f.Lint.Finding.message)
+  | None -> Alcotest.fail "no finding at ip_caller.ml:6 (interproc R1 through helper)");
+  match List.find_opt (fun f -> f.Lint.Finding.line = 8) fs with
+  | Some f ->
+    Alcotest.(check string) "builtin carrier is R1" "R1"
+      (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check bool) "message names List.mem" true
+      (contains ~sub:"List.mem" f.Lint.Finding.message)
+  | None -> Alcotest.fail "no finding at ip_caller.ml:8 (List.mem at float)"
+
+let test_taint_flow () =
+  (* ip_caller.pick calls Ip_source.choose which reaches Random.int. *)
+  let fs = findings_in "ip_caller.ml" in
+  (match List.find_opt (fun f -> f.Lint.Finding.line = 10) fs with
+  | Some f ->
+    Alcotest.(check string) "flow finding is R2" "R2" (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check bool) "message shows the chain" true
+      (contains ~sub:"Ip_source.choose" f.Lint.Finding.message)
+  | None -> Alcotest.fail "no finding at ip_caller.ml:10 (R2 flow)");
+  (* quiet (line 12) calls nothing tainted: it must stay clean. *)
+  Alcotest.(check bool) "no finding on the clean call" true
+    (not (List.exists (fun f -> f.Lint.Finding.line = 12) fs));
+  (* the suppressed source in ip_source (justified allow on line 10's
+     Random.bits) must not leak taint: ip_source reports only the one
+     active source on line 4. *)
+  match findings_in "ip_source.ml" with
+  | [ f ] -> Alcotest.(check int) "only the active source reports" 4 f.Lint.Finding.line
+  | fs -> Alcotest.failf "ip_source.ml: expected one finding, got %d" (List.length fs)
+
+(* {1 R10 lock discipline} *)
+
+let test_r10_off_lock_read () =
+  match findings_in "r10_locks.ml" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "R10" (Lint.Finding.rule_id f.Lint.Finding.rule);
+    Alcotest.(check int) "line" 26 f.Lint.Finding.line;
+    Alcotest.(check bool) "message names the field and the lock" true
+      (contains ~sub:"t.size" f.Lint.Finding.message
+      && contains ~sub:"lock" f.Lint.Finding.message)
+  | fs -> Alcotest.failf "r10_locks.ml: expected one finding, got %d" (List.length fs)
+
+let test_r10_double_and_global () =
+  let fs = findings_in "r10_double.ml" in
+  Alcotest.(check int) "two findings" 2 (List.length fs);
+  (match List.find_opt (fun f -> f.Lint.Finding.line = 8) fs with
+  | Some f ->
+    Alcotest.(check bool) "double acquisition reported" true
+      (contains ~sub:"already held" f.Lint.Finding.message)
+  | None -> Alcotest.fail "no double-lock finding at line 8");
+  match List.find_opt (fun f -> f.Lint.Finding.line = 10) fs with
+  | Some f ->
+    Alcotest.(check bool) "guarded global reported" true
+      (contains ~sub:"mutex-guarded" f.Lint.Finding.message)
+  | None -> Alcotest.fail "no guarded-global finding at line 10"
+
+let test_r10_order_cycle () =
+  match findings_in "r10_order.ml" with
+  | [ f ] ->
+    Alcotest.(check int) "line" 7 f.Lint.Finding.line;
+    Alcotest.(check bool) "message reports the cycle" true
+      (contains ~sub:"both orders" f.Lint.Finding.message)
+  | fs -> Alcotest.failf "r10_order.ml: expected one finding, got %d" (List.length fs)
+
+(* {1 Suppression comments} *)
+
 let test_justified_suppression_silences () =
-  Alcotest.(check int) "suppressed_ok.ml has no finding" 0
-    (List.length (findings_in "suppressed_ok.ml"));
-  Alcotest.(check int) "r9_suppressed.ml has no finding" 0
-    (List.length (findings_in "r9_suppressed.ml"));
-  Alcotest.(check int) "two suppressions counted" 2
+  List.iter
+    (fun file ->
+      Alcotest.(check int) (file ^ " has no finding") 0 (List.length (findings_in file)))
+    [
+      "suppressed_ok.ml";
+      "r9_suppressed.ml";
+      "suppress_multiline.ml";
+      "suppress_lastline.ml";
+      "stale_allow.ml";
+    ];
+  Alcotest.(check int) "seven suppressions counted" 7
     (Lazy.force report).Lint.Driver.suppressed
 
 let test_unjustified_suppression_reports () =
@@ -55,23 +156,17 @@ let test_unjustified_suppression_reports () =
   | [ f ] ->
     Alcotest.(check string) "still R1" "R1" (Lint.Finding.rule_id f.Lint.Finding.rule);
     Alcotest.(check bool) "message flags the missing justification" true
-      (let msg = f.Lint.Finding.message in
-       let sub = "justification" in
-       let n = String.length msg and k = String.length sub in
-       let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
-       scan 0)
+      (contains ~sub:"justification" f.Lint.Finding.message)
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
-let test_units_counted () =
-  (* 12 fixture modules plus the library's generated alias module. *)
-  Alcotest.(check int) "units" 13 (Lazy.force report).Lint.Driver.units
+let test_wrong_rule_does_not_mask () =
+  (* an allow R2 comment sits right above a R1 violation: it must not
+     silence it. *)
+  check_single_finding ~rule:"R1" ~file:"suppress_wrongrule.ml" ~line:4 ()
 
-let test_missing_dir_yields_no_units () =
-  let r = Lint.Driver.run ~source_root:".." [ "no-such-dir" ] in
-  Alcotest.(check int) "no units" 0 r.Lint.Driver.units;
-  Alcotest.(check int) "no findings" 0 (List.length r.Lint.Driver.findings)
-
-(* {1 Suppression comment parsing} *)
+let test_nested_module_scoping () =
+  (* Inner.exact is suppressed; Deeper.Core.bad two modules down is not. *)
+  check_single_finding ~rule:"R1" ~file:"suppress_nested.ml" ~line:11 ()
 
 let test_parse_line () =
   let check name expected line rule =
@@ -94,7 +189,193 @@ let test_rule_ids_roundtrip () =
         true
         (Lint.Finding.rule_of_id (Lint.Finding.rule_id r) = Some r))
     Lint.Finding.all_rules;
-  Alcotest.(check bool) "unknown id rejected" true (Lint.Finding.rule_of_id "R10" = None)
+  Alcotest.(check bool) "unknown id rejected" true (Lint.Finding.rule_of_id "R12" = None)
+
+let test_missing_dir_yields_no_units () =
+  let r = Lint.Driver.run ~source_root:".." [ "no-such-dir" ] in
+  Alcotest.(check int) "no units" 0 r.Lint.Driver.units;
+  Alcotest.(check int) "no findings" 0 (List.length r.Lint.Driver.findings)
+
+(* {1 Machine-readable output} *)
+
+let test_findings_sorted () =
+  let fs = (Lazy.force report).Lint.Driver.findings in
+  Alcotest.(check bool) "sorted by (file, line, col)" true
+    (List.sort Lint.Finding.compare_by_loc fs = fs)
+
+let test_byte_stable_output () =
+  let render () = Format.asprintf "%a" Lint.Driver.print_text (Lazy.force report) in
+  Alcotest.(check string) "two renders are byte-identical" (render ()) (render ());
+  let sarif () = Lint.Sarif.to_string (Lazy.force report).Lint.Driver.findings in
+  Alcotest.(check string) "two SARIF renders are byte-identical" (sarif ()) (sarif ())
+
+let test_fingerprint_ignores_position () =
+  let f = List.hd (Lazy.force report).Lint.Driver.findings in
+  let moved = { f with Lint.Finding.line = f.Lint.Finding.line + 41; col = 0 } in
+  Alcotest.(check string) "code motion keeps the fingerprint"
+    (Lint.Finding.fingerprint f)
+    (Lint.Finding.fingerprint moved)
+
+let test_baseline_roundtrip () =
+  let fs = (Lazy.force report).Lint.Driver.findings in
+  let path = Filename.temp_file "robustlint" ".baseline" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lint.Baseline.save path fs;
+      let baseline = Lint.Baseline.load path in
+      Alcotest.(check int) "full baseline absorbs everything" 0
+        (List.length (Lint.Baseline.filter ~baseline fs));
+      (* dropping one entry lets exactly the matching finding through;
+         multiset semantics, so duplicates are absorbed one-for-one. *)
+      let short = List.tl baseline in
+      let escaped = Lint.Baseline.filter ~baseline:short fs in
+      Alcotest.(check int) "one escapes a shortened baseline" 1 (List.length escaped);
+      Alcotest.(check string) "and it is the dropped fingerprint"
+        (List.hd baseline)
+        (Lint.Finding.fingerprint (List.hd escaped)))
+
+let test_baseline_missing_file () =
+  Alcotest.check_raises "load on a missing path raises"
+    (Invalid_argument "baseline file no-such.baseline does not exist") (fun () ->
+      ignore (Lint.Baseline.load "no-such.baseline"))
+
+(* {1 SARIF schema} *)
+
+let rec validate ~path schema j =
+  let open Obs.Json in
+  match member "const" schema with
+  | Some c -> if j = c then [] else [ path ^ ": const mismatch" ]
+  | None -> (
+    match member "type" schema with
+    | Some (String "object") -> (
+      match j with
+      | Obj kvs ->
+        let required =
+          match member "required" schema with
+          | Some (List l) -> List.filter_map (function String s -> Some s | _ -> None) l
+          | _ -> []
+        in
+        let missing =
+          List.filter_map
+            (fun k ->
+              if List.mem_assoc k kvs then None else Some (path ^ ": missing key " ^ k))
+            required
+        in
+        let props = match member "properties" schema with Some (Obj p) -> p | _ -> [] in
+        let nested =
+          List.concat_map
+            (fun (k, sub) ->
+              match List.assoc_opt k kvs with
+              | Some v -> validate ~path:(path ^ "." ^ k) sub v
+              | None -> [])
+            props
+        in
+        missing @ nested
+      | _ -> [ path ^ ": not an object" ])
+    | Some (String "array") -> (
+      match j with
+      | List items -> (
+        match member "items" schema with
+        | Some sub ->
+          List.concat
+            (List.mapi
+               (fun i v -> validate ~path:(Printf.sprintf "%s[%d]" path i) sub v)
+               items)
+        | None -> [])
+      | _ -> [ path ^ ": not an array" ])
+    | Some (String "string") -> (
+      match j with String _ -> [] | _ -> [ path ^ ": not a string" ])
+    | Some (String "integer") -> (
+      match j with Int _ -> [] | _ -> [ path ^ ": not an integer" ])
+    | _ -> [])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_sarif_validates () =
+  let out = Lint.Sarif.to_string (Lazy.force report).Lint.Driver.findings in
+  let doc = Obs.Json.parse out in
+  let schema = Obs.Json.parse (read_file "sarif_schema.json") in
+  (match validate ~path:"$" schema doc with
+  | [] -> ()
+  | errs -> Alcotest.failf "SARIF schema violations:\n%s" (String.concat "\n" errs));
+  (* one result per finding, in report order *)
+  match Obs.Json.(member "runs" doc) with
+  | Some (Obs.Json.List [ run ]) -> (
+    match Obs.Json.member "results" run with
+    | Some (Obs.Json.List results) ->
+      Alcotest.(check int) "one result per finding"
+        (List.length (Lazy.force report).Lint.Driver.findings)
+        (List.length results)
+    | _ -> Alcotest.fail "no results array")
+  | _ -> Alcotest.fail "expected exactly one run"
+
+(* {1 Stale-suppression audit} *)
+
+let test_stale_scan () =
+  let r = Lazy.force report in
+  let stale =
+    Lint.Stale.scan ~source_root:".." ~dirs:[ "test/lint_fixtures" ]
+      ~used:r.Lint.Driver.sup_used
+  in
+  Alcotest.(check (list (triple string int string)))
+    "exactly the two dead allow comments"
+    [
+      ("test/lint_fixtures/stale_allow.ml", 4, "R1");
+      ("test/lint_fixtures/suppress_wrongrule.ml", 3, "R2");
+    ]
+    stale
+
+let test_rule_on_line () =
+  Alcotest.(check (option string)) "plain allow" (Some "R1")
+    (Lint.Stale.rule_on_line "(* robustlint: allow R1 — reason *)");
+  Alcotest.(check (option string)) "double digits" (Some "R11")
+    (Lint.Stale.rule_on_line "  (* robustlint: allow R11 — reason *)");
+  Alcotest.(check (option string)) "no digit is not a marker" None
+    (Lint.Stale.rule_on_line "(* robustlint: allow R<k> — doc example *)");
+  Alcotest.(check (option string)) "out-of-range rule rejected" None
+    (Lint.Stale.rule_on_line "(* robustlint: allow R12 — no such rule *)");
+  Alcotest.(check (option string)) "ordinary code" None (Lint.Stale.rule_on_line "let x = 1")
+
+(* {1 The stub planter} *)
+
+let test_stub_planting_idempotent () =
+  let path = Filename.temp_file "robustlint" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "let f () =\n  assert false\n";
+      close_out oc;
+      let finding =
+        {
+          Lint.Finding.rule = Lint.Finding.R5;
+          file = Filename.basename path;
+          line = 2;
+          col = 2;
+          message = "assert in library code";
+          fix = [];
+        }
+      in
+      let source_root = Filename.dirname path in
+      Alcotest.(check (list string)) "stub planted"
+        [ Filename.basename path ]
+        (Lint.Patch.apply ~source_root [ finding ]);
+      let planted = read_file path in
+      Alcotest.(check bool) "marker present with copied indent" true
+        (contains ~sub:"\n  (* robustlint: allow R5 *)\n  assert false" planted);
+      Alcotest.(check (list string)) "second pass plants nothing" []
+        (Lint.Patch.apply ~source_root [ finding ]);
+      Alcotest.(check string) "file unchanged" planted (read_file path))
+
+let test_has_marker () =
+  Alcotest.(check bool) "marker line" true
+    (Lint.Patch.has_marker "  (* robustlint: allow R1 — x *)");
+  Alcotest.(check bool) "plain line" false (Lint.Patch.has_marker "let x = compare")
 
 let () =
   Alcotest.run "lint"
@@ -102,18 +383,53 @@ let () =
       ( "fixtures",
         [
           Alcotest.test_case "every rule fires once" `Quick test_every_rule_fires;
+          Alcotest.test_case "R11 wall clock" `Quick test_r11_wall_clock;
           Alcotest.test_case "no extra findings" `Quick test_no_extra_findings;
-          Alcotest.test_case "justified suppression silences" `Quick
-            test_justified_suppression_silences;
-          Alcotest.test_case "unjustified suppression reports" `Quick
-            test_unjustified_suppression_reports;
           Alcotest.test_case "units counted" `Quick test_units_counted;
           Alcotest.test_case "missing dir yields no units" `Quick
             test_missing_dir_yields_no_units;
         ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "R1 through a generic helper" `Quick test_interproc_r1;
+          Alcotest.test_case "R2 taint flow" `Quick test_taint_flow;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "off-lock field read" `Quick test_r10_off_lock_read;
+          Alcotest.test_case "double lock and guarded global" `Quick
+            test_r10_double_and_global;
+          Alcotest.test_case "lock-order cycle" `Quick test_r10_order_cycle;
+        ] );
       ( "suppress",
         [
+          Alcotest.test_case "justified suppression silences" `Quick
+            test_justified_suppression_silences;
+          Alcotest.test_case "unjustified suppression reports" `Quick
+            test_unjustified_suppression_reports;
+          Alcotest.test_case "wrong rule does not mask" `Quick test_wrong_rule_does_not_mask;
+          Alcotest.test_case "nested module scoping" `Quick test_nested_module_scoping;
           Alcotest.test_case "comment parsing" `Quick test_parse_line;
           Alcotest.test_case "rule ids roundtrip" `Quick test_rule_ids_roundtrip;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+          Alcotest.test_case "byte-stable output" `Quick test_byte_stable_output;
+          Alcotest.test_case "fingerprint ignores position" `Quick
+            test_fingerprint_ignores_position;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "baseline missing file" `Quick test_baseline_missing_file;
+          Alcotest.test_case "SARIF validates" `Quick test_sarif_validates;
+        ] );
+      ( "stale",
+        [
+          Alcotest.test_case "stale scan" `Quick test_stale_scan;
+          Alcotest.test_case "rule_on_line" `Quick test_rule_on_line;
+        ] );
+      ( "fix",
+        [
+          Alcotest.test_case "stub planting idempotent" `Quick test_stub_planting_idempotent;
+          Alcotest.test_case "has_marker" `Quick test_has_marker;
         ] );
     ]
