@@ -170,15 +170,69 @@ let run_micro_benchmarks () =
 
    The obs layer promises that a disabled probe — [Span.with_span],
    [Metrics.incr], [Metrics.observe], [Metrics.set_gauge] — costs a
-   single atomic load, under 10 ns.  [bench-obs] measures the disabled
-   hot paths with Bechamel, records everything in BENCH_obs.json, and
-   exits non-zero if any disabled probe breaks the bound. *)
+   single atomic load, under 10 ns, and that the always-on flight
+   recorder records in under 50 ns.  [bench-obs] measures the disabled
+   hot paths and the ring with Bechamel, records everything in
+   BENCH_obs.json, and exits non-zero if any bound breaks.  In --quick
+   mode the same gates run on manual best-of loops (no Bechamel quota,
+   no JSON) so they can ride in @bench-smoke. *)
+
+let quick_mode = ref false
+
+let best_of_ns ?(reps = 5) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Obs.Clock.now_ns () in
+    f ();
+    let dt = float_of_int (Obs.Clock.now_ns () - t0) in
+    if dt < !best then best := dt
+  done;
+  !best
 
 let obs_threshold_ns = 10.
+let ring_threshold_ns = 50.
 
-let run_obs_benchmarks () =
-  Printf.printf "== Observability overhead (disabled probes must stay < %g ns) ==\n%!"
-    obs_threshold_ns;
+let run_obs_benchmarks_quick () =
+  Obs.Span.set_enabled false;
+  Obs.Metrics.set_enabled false;
+  let c = Obs.Metrics.counter "bench.obs.counter" in
+  let h = Obs.Metrics.histogram ~buckets:Obs.Metrics.default_ms_buckets "bench.obs.hist" in
+  let g = Obs.Metrics.gauge "bench.obs.gauge" in
+  let rp = Obs.Ring.probe "bench.obs.ring" in
+  let n = 200_000 in
+  let per_call f =
+    best_of_ns (fun () ->
+        for _ = 1 to n do
+          f ()
+        done)
+    /. float_of_int n
+  in
+  let disabled =
+    [
+      ( "obs-disabled/span-overhead",
+        per_call (fun () -> Obs.Span.with_span "bench" (fun () -> ())) );
+      ("obs-disabled/metrics-overhead/incr", per_call (fun () -> Obs.Metrics.incr c));
+      ("obs-disabled/metrics-overhead/observe", per_call (fun () -> Obs.Metrics.observe h 1.));
+      ("obs-disabled/metrics-overhead/gauge", per_call (fun () -> Obs.Metrics.set_gauge g 1.));
+    ]
+  in
+  let ring = ("ring-record", per_call (fun () -> Obs.Ring.record rp Obs.Ring.Count 1)) in
+  Obs.Ring.reset ();
+  List.iter
+    (fun (k, ns) -> Printf.printf "   %-38s %10.1f ns/run (best of 5)\n" k ns)
+    (disabled @ [ ring ]);
+  let ok limit (_, ns) = Float.is_finite ns && ns < limit in
+  Printf.printf "   smoke mode: gates checked, BENCH_obs.json not written\n%!";
+  if not (List.for_all (ok obs_threshold_ns) disabled) then begin
+    Printf.eprintf "bench-obs: a disabled probe exceeds %g ns\n" obs_threshold_ns;
+    exit 1
+  end;
+  if not (ok ring_threshold_ns ring) then begin
+    Printf.eprintf "bench-obs: ring record exceeds %g ns\n" ring_threshold_ns;
+    exit 1
+  end
+
+let run_obs_benchmarks_full () =
   Obs.Span.set_enabled false;
   Obs.Metrics.set_enabled false;
   let c = Obs.Metrics.counter "bench.obs.counter" in
@@ -225,8 +279,22 @@ let run_obs_benchmarks () =
   in
   Printf.printf "   %-38s %10.1f ns/run (manual loop)\n" "obs-enabled/span-recording"
     span_enabled_ns;
+  (* The always-on flight recorder: its record path must stay lock-free
+     and allocation-free, bounded at [ring_threshold_ns]. *)
+  let rp = Obs.Ring.probe "bench.obs.ring" in
+  let ring_rows =
+    measure_rows
+      (Test.make_grouped ~name:"ring"
+         [
+           Test.make ~name:"record"
+             (Staged.stage (fun () -> Obs.Ring.record rp Obs.Ring.Count 1));
+         ])
+  in
+  Obs.Ring.reset ();
+  print_rows ring_rows;
   let pass =
     List.for_all (fun (_, ns) -> Float.is_finite ns && ns < obs_threshold_ns) disabled
+    && List.for_all (fun (_, ns) -> Float.is_finite ns && ns < ring_threshold_ns) ring_rows
   in
   let json_rows rows = Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) rows) in
   let doc =
@@ -234,9 +302,11 @@ let run_obs_benchmarks () =
       [
         ("benchmark", Obs.Json.String "observability probe overhead (ns per call)");
         ("threshold_ns", Obs.Json.Float obs_threshold_ns);
+        ("ring_threshold_ns", Obs.Json.Float ring_threshold_ns);
         ("disabled", json_rows disabled);
         ( "enabled",
           json_rows (enabled @ [ ("obs-enabled/span-recording", span_enabled_ns) ]) );
+        ("ring", json_rows ring_rows);
         ("pass", Obs.Json.Bool pass);
       ]
   in
@@ -246,9 +316,16 @@ let run_obs_benchmarks () =
   close_out oc;
   Printf.printf "   wrote BENCH_obs.json (pass: %b)\n" pass;
   if not pass then begin
-    Printf.eprintf "bench-obs: a disabled probe exceeds %g ns\n" obs_threshold_ns;
+    Printf.eprintf "bench-obs: a probe exceeds its bound (disabled %g ns, ring %g ns)\n"
+      obs_threshold_ns ring_threshold_ns;
     exit 1
   end
+
+let run_obs_benchmarks () =
+  Printf.printf
+    "== Observability overhead (disabled probes < %g ns, ring record < %g ns) ==\n%!"
+    obs_threshold_ns ring_threshold_ns;
+  if !quick_mode then run_obs_benchmarks_quick () else run_obs_benchmarks_full ()
 
 (* {1 Parallel pool speedup}
 
@@ -262,18 +339,6 @@ let run_obs_benchmarks () =
    or 0.8x-linear at the machine's core count, whichever is lower — a
    1-core container therefore passes at >= 0.8x with 1 domain (the pool
    must not cost more than 25% over the sequential loop). *)
-
-let quick_mode = ref false
-
-let best_of_ns ?(reps = 5) f =
-  let best = ref infinity in
-  for _ = 1 to reps do
-    let t0 = Obs.Clock.now_ns () in
-    f ();
-    let dt = float_of_int (Obs.Clock.now_ns () - t0) in
-    if dt < !best then best := dt
-  done;
-  !best
 
 type pkernel = {
   pk_name : string;

@@ -72,17 +72,70 @@ let metrics_arg =
         ~doc:
           "Record counters, gauges and histograms (ODE steps, simplex pivots, guard \
            faults, per-epoch hypervolume) and append one JSON snapshot line per \
-           migration epoch to $(docv).")
+           migration epoch to $(docv).  On sharded runs each snapshot already folds in \
+           every committed worker contribution.")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-interval" ] ~docv:"SEC"
+        ~doc:
+          "Also flush a metrics snapshot (label \"interval\") at least every $(docv) \
+           seconds, so a run killed mid-epoch still leaves recent data.  Requires \
+           --metrics.  On sharded runs the flush rides the supervisor tick loop and \
+           reflects worker roll-ups as of the last committed phase; in-process it is \
+           checked at epoch boundaries.")
+
+let flight_recorder_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"PREFIX"
+        ~doc:
+          "Map each process's always-on flight recorder (last 256 events) to sidecar \
+           files under $(docv): PREFIX.ring in-process, or PREFIX.supervisor.ring plus \
+           PREFIX.shardN.incM.ring per worker incarnation when sharded.  The files \
+           survive SIGKILL; render one with $(b,robustpath inspect).")
+
+(* Periodic JSONL flushing for --metrics-interval.  Timed on the
+   monotonic clock; called from the supervisor tick loop (sharded) or at
+   epoch boundaries (in-process). *)
+let interval_tick ~metrics_oc ~interval =
+  match (metrics_oc, interval) with
+  | Some oc, Some sec ->
+    if not (sec > 0.) then invalid_arg "--metrics-interval must be > 0";
+    let period_ns = int_of_float (sec *. 1e9) in
+    let next = ref (Obs.Clock.now_ns () + period_ns) in
+    Some
+      (fun () ->
+        let now = Obs.Clock.now_ns () in
+        if now >= !next then begin
+          next := now + period_ns;
+          Obs.Metrics.write_snapshot ~label:"interval" oc
+        end)
+  | None, Some _ -> invalid_arg "--metrics-interval requires --metrics"
+  | _, None -> None
 
 (* Enable the requested probes around [f], hand it the per-epoch observer
-   (one JSONL snapshot per epoch when --metrics is given), and flush the
-   trace/metrics files afterwards — including on error paths, so a crashed
-   run still leaves a usable trace. *)
-let with_observability ~trace ~metrics f =
+   (one JSONL snapshot per epoch when --metrics is given) plus the
+   periodic interval tick, and flush the trace/metrics files afterwards —
+   including on error paths, so a crashed run still leaves a usable
+   trace. *)
+let with_observability ~trace ~metrics ?metrics_interval f =
   if Option.is_some trace then Obs.Span.set_enabled true;
   let metrics_oc = Option.map open_out metrics in
   if Option.is_some metrics_oc then Obs.Metrics.set_enabled true;
-  let observer = Option.map (fun oc -> Pmo2.Archipelago.jsonl_observer oc) metrics_oc in
+  let tick = interval_tick ~metrics_oc ~interval:metrics_interval in
+  let observer =
+    Option.map
+      (fun oc ->
+        let jsonl = Pmo2.Archipelago.jsonl_observer oc in
+        fun r ->
+          jsonl r;
+          match tick with Some t -> t () | None -> ())
+      metrics_oc
+  in
   Fun.protect
     ~finally:(fun () ->
       (match trace with
@@ -97,7 +150,7 @@ let with_observability ~trace ~metrics f =
         close_out_noerr oc;
         Printf.printf "metrics: snapshots written to %s\n" (Option.get metrics)
       | None -> ())
-    (fun () -> f ~observer)
+    (fun () -> f ~observer ~tick)
 
 (* Parallelism flag, shared by the optimization subcommands: size the
    process-wide persistent pool and hand back the pool for the config's
@@ -159,7 +212,14 @@ let report_shard_stats ~metrics st =
       "shards: %d used of %d requested, %d spawns, %d restarts, %d kills, %d lost, %.1f ms backoff\n"
       s.Shard.Supervisor.shards_used s.Shard.Supervisor.shards_requested
       s.Shard.Supervisor.spawns s.Shard.Supervisor.restarts s.Shard.Supervisor.kills
-      s.Shard.Supervisor.lost s.Shard.Supervisor.backoff_ms
+      s.Shard.Supervisor.lost s.Shard.Supervisor.backoff_ms;
+    (match List.sort Float.compare s.Shard.Supervisor.restart_ms with
+    | [] -> ()
+    | sorted ->
+      let a = Array.of_list sorted in
+      let q p = a.(Stdlib.min (Array.length a - 1) (int_of_float (float_of_int (Array.length a) *. p))) in
+      Printf.printf "restart latency ms: p50 %.2f  p90 %.2f  p99 %.2f\n" (q 0.5) (q 0.9)
+        (q 0.99))
   | _ -> ()
 
 (* Evaluation-cache flag, shared by the optimization subcommands. *)
@@ -236,12 +296,15 @@ let env_of ~ci ~export =
 
 let photo_cmd =
   let run ci export generations pop seed domains cache_size shards shard_retry kill_spec
-      checkpoint checkpoint_every keep resume trace metrics =
+      checkpoint checkpoint_every keep resume trace metrics metrics_interval flight =
     with_user_errors @@ fun () ->
     let env = env_of ~ci ~export in
     let problem = Photo.Leaf.problem env in
     let natural = Moo.Solution.evaluate problem (Array.make Photo.Enzyme.count 1.) in
     let sharded = shards > 0 in
+    (match flight with
+    | Some prefix when not sharded -> Obs.Ring.attach ~path:(prefix ^ ".ring") ~lane:0
+    | _ -> ());
     let pool = if sharded then None else Some (pool_of_domains domains) in
     let cfg =
       {
@@ -254,7 +317,7 @@ let photo_cmd =
       }
     in
     let r, shard_stats =
-      with_observability ~trace ~metrics @@ fun ~observer ->
+      with_observability ~trace ~metrics ?metrics_interval @@ fun ~observer ~tick ->
       if sharded then
         let config =
           {
@@ -262,6 +325,8 @@ let photo_cmd =
             Shard.Supervisor.shards;
             retry_budget = shard_retry;
             fault = Option.map Runtime.Fault.parse_kill_spec kill_spec;
+            ring_prefix = flight;
+            tick;
           }
         in
         let r, st =
@@ -307,19 +372,23 @@ let photo_cmd =
     Term.(
       const run $ ci $ export $ generations $ pop $ seed $ domains_arg $ cache_size_arg
       $ shards_arg $ shard_retry_arg $ fault_kill_shard_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ checkpoint_every_arg $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg
+      $ metrics_interval_arg $ flight_recorder_arg)
 
 (* {1 geobacter} *)
 
 let geobacter_cmd =
   let run generations pop seed domains cache_size shards shard_retry kill_spec checkpoint
-      checkpoint_every keep resume trace metrics =
+      checkpoint_every keep resume trace metrics metrics_interval flight =
     with_user_errors @@ fun () ->
     let g = Fba.Geobacter.build () in
     let problem = Fba.Moo_problem.problem g in
     let seeds = Fba.Moo_problem.seeds g ~levels:[ 0.283; 0.292; 0.301 ] in
     let vary = Fba.Moo_problem.flux_variation g () in
     let sharded = shards > 0 in
+    (match flight with
+    | Some prefix when not sharded -> Obs.Ring.attach ~path:(prefix ^ ".ring") ~lane:0
+    | _ -> ());
     let pool = if sharded then None else Some (pool_of_domains domains) in
     let cfg =
       {
@@ -332,7 +401,7 @@ let geobacter_cmd =
       }
     in
     let r, shard_stats =
-      with_observability ~trace ~metrics @@ fun ~observer ->
+      with_observability ~trace ~metrics ?metrics_interval @@ fun ~observer ~tick ->
       if sharded then
         let config =
           {
@@ -340,6 +409,8 @@ let geobacter_cmd =
             Shard.Supervisor.shards;
             retry_budget = shard_retry;
             fault = Option.map Runtime.Fault.parse_kill_spec kill_spec;
+            ring_prefix = flight;
+            tick;
           }
         in
         let r, st =
@@ -377,37 +448,42 @@ let geobacter_cmd =
     Term.(
       const run $ generations $ pop $ seed $ domains_arg $ cache_size_arg $ shards_arg
       $ shard_retry_arg $ fault_kill_shard_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ keep_checkpoints_arg $ resume_arg $ trace_arg $ metrics_arg $ metrics_interval_arg
+      $ flight_recorder_arg)
 
 (* {1 inspect} *)
 
 let inspect_cmd =
   let run path =
     with_user_errors @@ fun () ->
-    Format.printf "%a@?" Pmo2.Archipelago.pp_info (Pmo2.Archipelago.inspect path)
+    if Obs.Ring.is_ring_file ~path then Format.printf "%a@?" Obs.Ring.pp (Obs.Ring.read ~path)
+    else Format.printf "%a@?" Pmo2.Archipelago.pp_info (Pmo2.Archipelago.inspect path)
   in
-  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT") in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:
          "Print a checkpoint's metadata (problem, progress, per-island telemetry) without \
-          resuming it.  Exits 2 on a missing or corrupt file.")
+          resuming it, or render a flight-recorder dump left by --flight-recorder (the \
+          last 256 events of a process, SIGKILL included).  Dispatches on the file \
+          magic.  Exits 2 on a missing or corrupt file.")
     Term.(const run $ path)
 
 (* {1 trace-summary} *)
 
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let trace_summary_cmd =
-  let run path top =
+  let run path top by_process =
     with_user_errors @@ fun () ->
-    let contents =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Obs.Span.events_of_chrome (Obs.Json.parse contents) with
+    match Obs.Span.events_of_chrome (Obs.Json.parse (read_whole_file path)) with
     | [] -> print_endline "no spans recorded"
-    | events -> Format.printf "%a@?" (Obs.Span.pp_summary ~top) (Obs.Span.summarize events)
+    | events ->
+      Format.printf "%a@?" (Obs.Span.pp_summary ~top) (Obs.Span.summarize ~by_process events)
   in
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json") in
   let top =
@@ -415,12 +491,67 @@ let trace_summary_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) spans with the most self time.")
   in
+  let by_process =
+    Arg.(
+      value & flag
+      & info [ "by-process" ]
+          ~doc:
+            "Group the table by (process, span name) instead of span name alone — the \
+             per-lane view of a merged multi-shard trace.")
+  in
   Cmd.v
     (Cmd.info "trace-summary"
        ~doc:
          "Summarize a Chrome trace written by --trace: top spans by self time (total \
-          minus time in child spans).  Exits 2 on a missing or unparsable file.")
-    Term.(const run $ path $ top)
+          minus time in child spans, attributed within each process lane) with \
+          p50/p90/p99 durations.  Exits 2 on a missing or unparsable file.")
+    Term.(const run $ path $ top $ by_process)
+
+(* {1 report} *)
+
+let report_cmd =
+  let run trace metrics checkpoint =
+    with_user_errors @@ fun () ->
+    if trace = None && metrics = None && checkpoint = None then begin
+      Printf.eprintf "robustpath: report needs at least one of --trace, --metrics, --checkpoint\n";
+      exit 2
+    end;
+    (match checkpoint with
+    | Some path ->
+      Format.printf "== checkpoint ==@\n%a" Pmo2.Archipelago.pp_info
+        (Pmo2.Archipelago.inspect path)
+    | None -> ());
+    let events =
+      Option.map (fun path -> Obs.Span.events_of_chrome (Obs.Json.parse (read_whole_file path))) trace
+    in
+    let mf = Option.map (fun path -> Obs.Report.read_metrics ~path) metrics in
+    Format.printf "%a@?" (fun ppf () -> Obs.Report.pp ?trace:events ?metrics:mf ppf ()) ()
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json" ~doc:"Chrome trace written by --trace.")
+  in
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE.jsonl" ~doc:"Metrics JSONL written by --metrics.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Checkpoint written by --checkpoint.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Join a run's trace, metrics and checkpoint into one summary: per-process \
+          self-time table, shard restart/kill/backoff timeline with restart-latency \
+          quantiles, cache hit rates, ODE solver-tier breakdown and the hypervolume \
+          trajectory.  Sections without data are omitted; at least one input is \
+          required.  Torn metric lines (e.g. from a killed run) are skipped with a \
+          warning.")
+    Term.(const run $ trace $ metrics $ checkpoint)
 
 (* {1 robust} *)
 
@@ -497,7 +628,7 @@ let experiment_cmd =
 let list_cmd =
   let run () =
     print_endline
-      "subcommands: photo, geobacter, robust, inspect, trace-summary, experiment, list";
+      "subcommands: photo, geobacter, robust, inspect, trace-summary, report, experiment, list";
     print_endline
       "experiments: fig1 fig2 table1 table2 fig3 fig4 local control zhu-check \
        temperature ablate-migration ablate-algorithms ablate-operators ablate-penalty"
@@ -518,6 +649,7 @@ let () =
             robust_cmd;
             inspect_cmd;
             trace_summary_cmd;
+            report_cmd;
             experiment_cmd;
             list_cmd;
           ]))

@@ -164,7 +164,13 @@ let parse_number c =
       | Some f -> Float f
       | None -> fail start "bad number %S" s)
 
-let rec parse_value c =
+(* Recursive descent consumes native stack per nesting level; cap the
+   depth so hostile/corrupt input fails with [Parse_error] rather than
+   [Stack_overflow]. *)
+let max_depth = 512
+
+let rec parse_value depth c =
+  if depth > max_depth then fail c.pos "nesting deeper than %d" max_depth;
   skip_ws c;
   match peek c with
   | None -> fail c.pos "unexpected end of input"
@@ -179,7 +185,7 @@ let rec parse_value c =
         let k = parse_string c in
         skip_ws c;
         expect c ':';
-        let v = parse_value c in
+        let v = parse_value (depth + 1) c in
         skip_ws c;
         match peek c with
         | Some ',' -> c.pos <- c.pos + 1; members ((k, v) :: acc)
@@ -194,7 +200,7 @@ let rec parse_value c =
     if peek c = Some ']' then (c.pos <- c.pos + 1; List [])
     else begin
       let rec items acc =
-        let v = parse_value c in
+        let v = parse_value (depth + 1) c in
         skip_ws c;
         match peek c with
         | Some ',' -> c.pos <- c.pos + 1; items (v :: acc)
@@ -211,7 +217,7 @@ let rec parse_value c =
 
 let parse s =
   let c = { src = s; pos = 0 } in
-  let v = parse_value c in
+  let v = parse_value 0 c in
   skip_ws c;
   if c.pos <> String.length s then fail c.pos "trailing garbage";
   v

@@ -1,0 +1,27 @@
+(* Cross-process observability aggregation.
+
+   A shard worker cannot write the trace or metrics files itself — it
+   may be SIGKILLed at any phase boundary, and the supervisor owns the
+   output.  Instead each worker packages its observability state as a
+   [flush] (drained spans tagged with the worker's lane + the cumulative
+   metric delta since fork) and ships it inside its phase replies; the
+   supervisor absorbs every flush it actually commits, so replayed
+   epochs after a kill never double-count. *)
+
+type flush = {
+  f_spans : Span.event list;
+  f_metrics : Metrics.delta;
+}
+
+let capture ~pid () =
+  { f_spans = Span.drain ~pid (); f_metrics = Metrics.delta () }
+
+let capture_if_enabled ~pid () =
+  if Span.enabled () || Metrics.enabled () then Some (capture ~pid ()) else None
+
+let absorb ~key f =
+  Span.ingest f.f_spans;
+  Metrics.set_contribution ~key f.f_metrics
+
+let max_span_id f =
+  List.fold_left (fun acc (e : Span.event) -> Stdlib.max acc e.id) (-1) f.f_spans

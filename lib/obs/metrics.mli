@@ -21,8 +21,9 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val reset : unit -> unit
-(** Zero every registered metric and restart the snapshot sequence
-    (registrations themselves persist for the process lifetime). *)
+(** Zero every registered metric, drop stored contributions and restart
+    the snapshot sequence (registrations themselves persist for the
+    process lifetime). *)
 
 (** {2 Counters} *)
 
@@ -62,13 +63,60 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile (0 ≤ q ≤ 1) of the
+    observed values by linear interpolation inside the bucket holding
+    the rank.  Values in the [+inf] bucket are reported as the last
+    finite bound (an underestimate).  NaN when the histogram is empty;
+    raises [Invalid_argument] when [q] is outside [0, 1]. *)
+
+val quantile_of : le:float array -> counts:int array -> float -> float
+(** Same estimator over raw bucket data (as found in a JSONL snapshot's
+    ["le"]/["counts"] arrays) — used by [trace-summary] and [report] on
+    persisted metrics. *)
+
+(** {2 Cross-process deltas}
+
+    A shard worker ships its metric state to the supervisor as a
+    {!delta}; the supervisor stores each worker's latest delta under a
+    per-spawn {e contribution key} and {!snapshot} folds contributions
+    into the local values.  A worker's delta is cumulative since its
+    fork, so replace-on-flush plus sum-across-keys keeps merged counters
+    exact across kills, restarts and degradation. *)
+
+type hist_data = {
+  hd_le : float array;
+  hd_counts : int array;
+  hd_count : int;
+  hd_sum : float;
+}
+
+type delta = {
+  d_counters : (string * int) list;   (** sorted by name, zeros included *)
+  d_gauges : (string * float) list;   (** sorted by name, NaN (unset) omitted *)
+  d_histograms : (string * hist_data) list;  (** sorted by name *)
+}
+
+val delta : unit -> delta
+(** The process's current metric state as plain marshalable data. *)
+
+val set_contribution : key:int -> delta -> unit
+(** Store (replacing) the delta contributed under [key]. *)
+
+val clear_contributions : unit -> unit
+(** Drop all contributions (forked workers must call this, with
+    {!reset}, so inherited supervisor state is not double-counted). *)
+
 (** {2 Snapshots} *)
 
 val snapshot : ?label:string -> unit -> Json.t
 (** One JSON object:
     [{"seq":N,"label":...,"counters":{...},"gauges":{...},
       "histograms":{name:{"le":[...],"counts":[...],"count":N,"sum":S}}}]
-    with names sorted.  Each call advances the sequence number. *)
+    with names sorted.  Local values are folded with all stored
+    contributions: counters sum, gauges prefer the local value (falling
+    back to the highest-keyed contributor), histograms with identical
+    bounds sum elementwise.  Each call advances the sequence number. *)
 
 val write_snapshot : ?label:string -> out_channel -> unit
 (** Append {!snapshot} as one JSONL line and flush. *)

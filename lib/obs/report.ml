@@ -1,0 +1,191 @@
+(* Run reports: join a run's trace and metrics JSONL into one summary.
+
+   The checkpoint half of [robustpath report] lives in the CLI (obs
+   cannot depend on the archipelago); this module owns everything
+   derivable from the observability artifacts alone. *)
+
+type metrics_file = { snapshots : Json.t list; torn : int }
+
+let read_metrics ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop snaps torn =
+        match input_line ic with
+        | exception End_of_file -> { snapshots = List.rev snaps; torn }
+        | "" -> loop snaps torn
+        | line -> (
+          match Json.parse line with
+          | snap -> loop (snap :: snaps) torn
+          | exception Json.Parse_error _ ->
+            (* A kill mid-write leaves a torn last line; skip, count,
+               keep the rest of the stream. *)
+            loop snaps (torn + 1))
+      in
+      loop [] 0)
+
+(* {1 Snapshot accessors} *)
+
+let counter_of snap name =
+  match Option.bind (Json.member "counters" snap) (Json.member name) with
+  | Some (Json.Int i) -> Some i
+  | _ -> None
+
+let gauge_of snap name =
+  Option.bind (Json.member "gauges" snap) (fun o -> Option.bind (Json.member name o) Json.number)
+
+let float_array = function
+  | Json.List xs ->
+    Some (Array.of_list (List.filter_map Json.number xs))
+  | _ -> None
+
+let hist_of snap name =
+  match Option.bind (Json.member "histograms" snap) (Json.member name) with
+  | Some h -> (
+    match (Option.bind (Json.member "le" h) float_array,
+           Option.bind (Json.member "counts" h) float_array,
+           Option.bind (Json.member "sum" h) Json.number) with
+    | Some le, Some counts, Some sum ->
+      Some (le, Array.map int_of_float counts, sum)
+    | _ -> None)
+  | None -> None
+
+let label_of snap =
+  match Json.member "label" snap with Some (Json.String l) -> l | _ -> ""
+
+(* {1 Sections} *)
+
+let section ppf title = Format.fprintf ppf "@\n== %s ==@\n" title
+
+let pp_self_time ppf events =
+  section ppf "self time by (process, span)";
+  Span.pp_summary ~top:15 ppf (Span.summarize ~by_process:true events)
+
+let delta_row prev snap name =
+  let v s = Option.value ~default:0 (counter_of s name) in
+  match prev with Some p -> v snap - v p | None -> v snap
+
+let pp_shard_timeline ppf snapshots =
+  let has_shard = List.exists (fun s -> counter_of s "shard.spawns" <> None) snapshots in
+  if has_shard then begin
+    section ppf "shard restart/kill timeline";
+    Format.fprintf ppf "%-16s %7s %8s %5s %4s %7s %12s@\n" "snapshot" "spawns" "restarts"
+      "kills" "lost" "active" "backoff ms";
+    ignore
+      (List.fold_left
+         (fun prev snap ->
+           let spawns = delta_row prev snap "shard.spawns" in
+           let restarts = delta_row prev snap "shard.restarts" in
+           let kills = delta_row prev snap "shard.kills" in
+           let lost = delta_row prev snap "shard.lost" in
+           let backoff =
+             let sum s =
+               match hist_of s "shard.backoff_ms" with Some (_, _, sum) -> sum | None -> 0.
+             in
+             sum snap -. (match prev with Some p -> sum p | None -> 0.)
+           in
+           if spawns + restarts + kills + lost > 0 || backoff > 0. then
+             Format.fprintf ppf "%-16s %7d %8d %5d %4d %7.0f %12.2f@\n" (label_of snap)
+               spawns restarts kills lost
+               (Option.value ~default:Float.nan (gauge_of snap "shard.active"))
+               backoff;
+           Some snap)
+         None snapshots);
+    match List.rev snapshots with
+    | last :: _ -> (
+      match hist_of last "shard.restart_ms" with
+      | Some (le, counts, _) when Array.fold_left ( + ) 0 counts > 0 ->
+        Format.fprintf ppf "restart latency ms: p50 %.2f  p90 %.2f  p99 %.2f (%d restart(s))@\n"
+          (Metrics.quantile_of ~le ~counts 0.50)
+          (Metrics.quantile_of ~le ~counts 0.90)
+          (Metrics.quantile_of ~le ~counts 0.99)
+          (Array.fold_left ( + ) 0 counts)
+      | _ -> ())
+    | [] -> ()
+  end
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then Float.nan else 100. *. float_of_int hits /. float_of_int total
+
+let pp_caches ppf last =
+  let c name = Option.value ~default:0 (counter_of last name) in
+  if c "cache.hits" + c "cache.misses" + c "cache.warm_hits" + c "cache.warm_misses" > 0
+  then begin
+    section ppf "cache hit rates";
+    Format.fprintf ppf "memo:  %d/%d hits (%.1f%%), %d evictions, %d dedup hits@\n"
+      (c "cache.hits")
+      (c "cache.hits" + c "cache.misses")
+      (rate (c "cache.hits") (c "cache.misses"))
+      (c "cache.evictions") (c "cache.dedup_hits");
+    if c "cache.warm_hits" + c "cache.warm_misses" > 0 then
+      Format.fprintf ppf "warm:  %d/%d hits (%.1f%%)@\n" (c "cache.warm_hits")
+        (c "cache.warm_hits" + c "cache.warm_misses")
+        (rate (c "cache.warm_hits") (c "cache.warm_misses"))
+  end
+
+let pp_ode ppf last =
+  let c name = Option.value ~default:0 (counter_of last name) in
+  let integrations = c "ode.integrations" in
+  if integrations > 0 then begin
+    section ppf "ODE solver tiers";
+    let tier name label =
+      let n = c name in
+      Format.fprintf ppf "%-16s %8d (%.1f%%)@\n" label n
+        (100. *. float_of_int n /. float_of_int integrations)
+    in
+    Format.fprintf ppf "%-16s %8d@\n" "integrations" integrations;
+    tier "ode.tier.adaptive" "adaptive";
+    tier "ode.tier.adaptive_tight" "adaptive tight";
+    tier "ode.tier.stiff" "stiff";
+    Format.fprintf ppf "rhs evals %d, steps %d (%d rejected), warm starts %d (%d fallbacks)@\n"
+      (c "ode.rhs_evals") (c "ode.steps") (c "ode.rejected") (c "ode.warm_starts")
+      (c "ode.warm_fallbacks")
+  end
+
+let pp_hypervolume ppf snapshots =
+  let rows =
+    List.filter_map
+      (fun s ->
+        match gauge_of s "arch.hypervolume" with
+        | Some hv when Float.is_finite hv ->
+          Some (label_of s, hv, Option.value ~default:Float.nan (gauge_of s "arch.evaluations"))
+        | _ -> None)
+      snapshots
+  in
+  match rows with
+  | [] -> ()
+  | rows ->
+    section ppf "hypervolume trajectory";
+    Format.fprintf ppf "%-16s %18s %14s@\n" "snapshot" "hypervolume" "evaluations";
+    List.iter
+      (fun (label, hv, evals) ->
+        Format.fprintf ppf "%-16s %18.8g %14.0f@\n" label hv evals)
+      rows
+
+let pp_guard ppf last =
+  let c name = Option.value ~default:0 (counter_of last name) in
+  if c "guard.evaluations" > 0 then begin
+    section ppf "guarded evaluations";
+    Format.fprintf ppf "%d evaluation(s): %d exception(s), %d non-finite@\n"
+      (c "guard.evaluations") (c "guard.exceptions") (c "guard.non_finite")
+  end
+
+let pp ?trace ?metrics ppf () =
+  (match trace with
+  | Some events when events <> [] -> pp_self_time ppf events
+  | _ -> ());
+  match metrics with
+  | Some { snapshots; torn } ->
+    if torn > 0 then
+      Format.fprintf ppf "@\nwarning: skipped %d torn/unparseable JSONL line(s)@\n" torn;
+    (match List.rev snapshots with
+    | [] -> ()
+    | last :: _ ->
+      pp_shard_timeline ppf snapshots;
+      pp_guard ppf last;
+      pp_caches ppf last;
+      pp_ode ppf last;
+      pp_hypervolume ppf snapshots)
+  | None -> ()

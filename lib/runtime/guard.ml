@@ -24,6 +24,12 @@ let m_evaluations = Obs.Metrics.counter "guard.evaluations"
 let m_exceptions = Obs.Metrics.counter "guard.exceptions"
 let m_non_finite = Obs.Metrics.counter "guard.non_finite"
 
+(* Flight-recorder probes.  Only absorbed faults go to the ring — never
+   per-evaluation events, which would flush its 256 slots in
+   microseconds; the value is the guard's running failure count. *)
+let rp_exception = Obs.Ring.probe "guard.exception"
+let rp_non_finite = Obs.Ring.probe "guard.non_finite"
+
 let create ?(penalty = 1e12) () =
   if not (Float.is_finite penalty) then invalid_arg "Guard.create: penalty must be finite";
   {
@@ -67,6 +73,7 @@ let wrap t ~n_obj f x =
   | exception e when not (fatal e) ->
     Atomic.incr t.exceptions;
     Obs.Metrics.incr m_exceptions;
+    Obs.Ring.record rp_exception Obs.Ring.Fault (Atomic.get t.exceptions);
     Log.debug (fun m -> m "objective raised %s; penalized" (Printexc.to_string e));
     Array.make n_obj t.penalty
   | fv ->
@@ -74,6 +81,7 @@ let wrap t ~n_obj f x =
     else begin
       Atomic.incr t.non_finite;
       Obs.Metrics.incr m_non_finite;
+      Obs.Ring.record rp_non_finite Obs.Ring.Fault (Atomic.get t.non_finite);
       Array.map (fun v -> if Float.is_finite v then v else t.penalty) fv
     end
 
@@ -82,12 +90,14 @@ let wrap_scalar t f x =
   | exception e when not (fatal e) ->
     Atomic.incr t.exceptions;
     Obs.Metrics.incr m_exceptions;
+    Obs.Ring.record rp_exception Obs.Ring.Fault (Atomic.get t.exceptions);
     t.penalty
   | v ->
     if Float.is_finite v then v
     else begin
       Atomic.incr t.non_finite;
       Obs.Metrics.incr m_non_finite;
+      Obs.Ring.record rp_non_finite Obs.Ring.Fault (Atomic.get t.non_finite);
       t.penalty
     end
 

@@ -40,6 +40,10 @@ let h_restart_ms = Obs.Metrics.histogram "shard.restart_ms"
 let h_backoff_ms = Obs.Metrics.histogram "shard.backoff_ms"
 let g_shards = Obs.Metrics.gauge "shard.active"
 
+let rp_kill = Obs.Ring.probe "supervisor.kill"
+let rp_respawn = Obs.Ring.probe "supervisor.respawn"
+let rp_epoch = Obs.Ring.probe "supervisor.epoch"
+
 type config = {
   shards : int;
   retry_budget : int;
@@ -48,6 +52,8 @@ type config = {
   backoff_base : float;
   backoff_cap : float;
   fault : Runtime.Fault.process_fault option;
+  ring_prefix : string option;
+  tick : (unit -> unit) option;
 }
 
 let default =
@@ -59,6 +65,8 @@ let default =
     backoff_base = 0.02;
     backoff_cap = 0.5;
     fault = None;
+    ring_prefix = None;
+    tick = None;
   }
 
 let validate cfg =
@@ -91,6 +99,7 @@ type worker = {
   mutable w_restarts : int;
   mutable w_last_seen : float;
   mutable w_alive : bool;
+  mutable w_key : int; (* metric contribution key, fresh per spawn *)
 }
 
 type ctx = {
@@ -101,6 +110,8 @@ type ctx = {
   migrants : int;
   mutable workers : worker array; (* [||] = fully degraded, step in-process *)
   latest_cache : Cache.Memo.stats option array; (* per island, worker-reported *)
+  mutable spawn_seq : int; (* next metric contribution key *)
+  lane_base : int array; (* per-shard span-id watermark (next safe id) *)
   mutable c_spawns : int;
   mutable c_restarts : int;
   mutable c_kills : int;
@@ -151,7 +162,8 @@ let spawn_raw ctx ~shard ~islands_idx ~incarnation =
        Unix.close rep_r;
        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) inherited;
        Worker.run ~state:ctx.st ~shard ~incarnation ~local:islands_idx ~migrants:ctx.migrants
-         ~fault:ctx.scfg.fault ~input:req_r ~output:rep_w;
+         ~fault:ctx.scfg.fault ~span_base:ctx.lane_base.(shard)
+         ~ring_prefix:ctx.scfg.ring_prefix ~input:req_r ~output:rep_w;
        Unix._exit 0
      (* robustlint: allow R4 — a forked child must die here, never resume the supervisor's stack *)
      with _ -> Unix._exit 3)
@@ -192,9 +204,31 @@ let reap ?(grace = 2.0) w =
 let preempt ctx w ~reason =
   ctx.c_kills <- ctx.c_kills + 1;
   Obs.Metrics.incr m_kills;
+  Obs.Ring.record rp_kill Obs.Ring.Mark w.w_shard;
   Log.warn (fun m -> m "shard %d (pid %d): hard preemption (%s)" w.w_shard w.w_pid reason);
+  (match ctx.scfg.ring_prefix with
+  | Some prefix ->
+    Log.warn (fun m ->
+        m "shard %d: flight recorder at %s" w.w_shard
+          (Worker.ring_path ~prefix ~shard:w.w_shard ~incarnation:w.w_incarnation))
+  | None -> ());
   (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
   reap w
+
+(* Absorb a worker's observability flush: ingest its spans, replace its
+   metric contribution, and advance the lane's span-id watermark so the
+   next spawn of this shard starts past every id already merged. *)
+let absorb_obs ctx w = function
+  | None -> ()
+  | Some f ->
+    Obs.Merge.absorb ~key:w.w_key f;
+    let next = Obs.Merge.max_span_id f + 1 in
+    if next > ctx.lane_base.(w.w_shard) then ctx.lane_base.(w.w_shard) <- next
+
+let fresh_key ctx =
+  let k = ctx.spawn_seq in
+  ctx.spawn_seq <- k + 1;
+  k
 
 let spawn_partition ctx ~shards =
   let n_islands = Array.length (A.islands ctx.st) in
@@ -214,6 +248,7 @@ let spawn_partition ctx ~shards =
              w_restarts = 0;
              w_last_seen = Unix.gettimeofday ();
              w_alive = true;
+             w_key = fresh_key ctx;
            })
          blocks);
   Obs.Metrics.set_gauge g_shards (float_of_int (Array.length ctx.workers))
@@ -236,6 +271,7 @@ let respawn ctx w =
   let t0 = Unix.gettimeofday () in
   ctx.c_restarts <- ctx.c_restarts + 1;
   Obs.Metrics.incr m_restarts;
+  Obs.Ring.record rp_respawn Obs.Ring.Mark w.w_shard;
   let backoff =
     Float.min ctx.scfg.backoff_cap (ctx.scfg.backoff_base *. (2. ** float_of_int w.w_restarts))
   in
@@ -252,6 +288,7 @@ let respawn ctx w =
   w.w_from <- w_from;
   w.w_alive <- true;
   w.w_last_seen <- Unix.gettimeofday ();
+  w.w_key <- fresh_key ctx;
   let ms = (Unix.gettimeofday () -. t0) *. 1000. in
   ctx.c_restart_ms <- ms :: ctx.c_restart_ms;
   Obs.Metrics.observe h_restart_ms ms
@@ -321,8 +358,15 @@ let collect_phase ctx ~epoch ~label ~resend ~on_terminal =
         preempt ctx ctx.workers.(i) ~reason:(Printf.sprintf "no frames during %s" label);
         if fail i ~reason:"deadline" then pump () else Repartitioned
       | [] -> (
+        (* The periodic tick (e.g. --metrics-interval flushing) must run
+           even while we sit in select waiting on workers: cap the wait
+           and call it every pass. *)
+        (match ctx.scfg.tick with Some f -> f () | None -> ());
         let wake = List.fold_left (fun acc i -> Float.min acc (deadline_of i)) infinity pending in
         let timeout = Float.max 0. (wake -. now) in
+        let timeout =
+          match ctx.scfg.tick with Some _ -> Float.min timeout 0.25 | None -> timeout
+        in
         let fds = List.map (fun i -> ctx.workers.(i).w_from) pending in
         match Unix.select fds [] [] timeout with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
@@ -421,8 +465,8 @@ let rec run_epoch ctx ~epoch ~fire =
         let islands = A.islands ctx.st in
         let failures = ref 0 in
         let emigrant_tbl = Hashtbl.create 16 in
-        Array.iter
-          (function
+        Array.iteri
+          (fun wi -> function
             | None -> invalid_arg "Supervisor: step phase committed with a missing reply"
             | Some (r : Wire.stepped) ->
               List.iter (fun (i, snap) -> Pmo2.Island.restore islands.(i) snap) r.Wire.sd_snapshots;
@@ -432,7 +476,11 @@ let rec run_epoch ctx ~epoch ~fire =
                 (fun (i, cs) ->
                   if i < Array.length ctx.latest_cache then ctx.latest_cache.(i) <- Some cs)
                 r.Wire.sd_caches;
-              List.iter (fun (edge, sols) -> Hashtbl.replace emigrant_tbl edge sols) r.Wire.sd_emigrants)
+              List.iter (fun (edge, sols) -> Hashtbl.replace emigrant_tbl edge sols) r.Wire.sd_emigrants;
+              (* Obs flushes are absorbed only here, at commit: flushes
+                 in discarded replies (repartitions, kills) never merge,
+                 so replayed epochs cannot double-count. *)
+              absorb_obs ctx ctx.workers.(wi) r.Wire.sd_obs)
           replies;
         A.note_failures ctx.st !failures;
         let deliveries =
@@ -454,9 +502,14 @@ let rec run_epoch ctx ~epoch ~fire =
             w.w_last_seen <- Unix.gettimeofday ();
             try Wire.send_request w.w_to inj with Wire.Closed -> ())
           ctx.workers;
-        let on_terminal _i = function
-          | Wire.Injected { in_epoch } when in_epoch = epoch -> Ok ()
-          | Wire.Injected { in_epoch } ->
+        let on_terminal i = function
+          | Wire.Injected { in_epoch; in_obs } when in_epoch = epoch ->
+            (* Safe to absorb immediately: inject applies no evaluations,
+               and a worker that dies after acking is simply respawned
+               from the post-inject canonical state. *)
+            absorb_obs ctx ctx.workers.(i) in_obs;
+            Ok ()
+          | Wire.Injected { in_epoch; _ } ->
             Error (Printf.sprintf "inject ack for epoch %d during epoch %d" in_epoch epoch)
           | Wire.Stepped _ -> Error "stepped reply during inject phase"
           | Wire.Heartbeat _ -> Ok ()
@@ -511,6 +564,8 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?re
       migrants = acfg.A.migrants;
       workers = [||];
       latest_cache = Array.make n_islands None;
+      spawn_seq = 0;
+      lane_base = Array.make shards 0;
       c_spawns = 0;
       c_restarts = 0;
       c_kills = 0;
@@ -535,6 +590,16 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?re
       | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
       | None -> ())
   @@ fun () ->
+  (* One Perfetto process row per logical lane: 0 = supervisor, s+1 =
+     shard s.  Logical lanes, not OS pids — pids would break the
+     byte-determinism of the merged trace. *)
+  Obs.Span.set_process_label 0 "supervisor";
+  for s = 0 to shards - 1 do
+    Obs.Span.set_process_label (s + 1) (Printf.sprintf "shard %d" s)
+  done;
+  (match config.ring_prefix with
+  | Some prefix -> Obs.Ring.attach ~path:(prefix ^ ".supervisor.ring") ~lane:0
+  | None -> ());
   spawn_partition ctx ~shards;
   let save_epoch e =
     match keep_checkpoints, checkpoint with
@@ -547,6 +612,8 @@ let run ?seed ?initial ?checkpoint ?(checkpoint_every = 1) ?keep_checkpoints ?re
   let epochs = (generations + ctx.period - 1) / ctx.period in
   let done_epochs = A.generations_done st / ctx.period in
   for e = done_epochs + 1 to epochs do
+    Obs.Ring.record rp_epoch Obs.Ring.Mark e;
+    (match config.tick with Some f -> f () | None -> ());
     Obs.Span.with_span "shard.epoch" @@ fun () ->
     (* The migration stream is consumed here and only here: one draw per
        edge, in edge order, exactly like the in-process driver. *)

@@ -33,11 +33,22 @@ type config = {
   backoff_cap : float;      (** backoff ceiling, seconds *)
   fault : Runtime.Fault.process_fault option;
       (** injected process fault ([--fault-kill-shard]); [None] in production *)
+  ring_prefix : string option;
+      (** when set, the supervisor's flight recorder is mapped to
+          [PREFIX.supervisor.ring] and each worker incarnation's to
+          [PREFIX.shardN.incM.ring] — a SIGKILLed shard leaves a
+          post-mortem that [robustpath inspect] renders *)
+  tick : (unit -> unit) option;
+      (** called periodically (at least every 0.25 s while waiting on
+          workers, and at each epoch boundary) on the supervisor —
+          carries [--metrics-interval] flushing.  Must be fast and must
+          not touch the wire. *)
 }
 
 val default : config
 (** 2 shards, 2 restarts per shard, 10 s heartbeat, 120 s phase deadline,
-    20 ms backoff doubling to 0.5 s, no fault. *)
+    20 ms backoff doubling to 0.5 s, no fault, no flight-recorder files,
+    no tick. *)
 
 type stats = {
   shards_requested : int;
@@ -66,7 +77,14 @@ val run :
   Pmo2.Archipelago.result * stats
 (** Sharded equivalent of {!Pmo2.Archipelago.run}: same optional
     arguments, same semantics, same result — plus the supervision
-    {!stats}.  Raises [Invalid_argument] on a malformed config. *)
+    {!stats}.  Raises [Invalid_argument] on a malformed config.
+
+    Observability spans the process tree: workers ship their spans and
+    metric deltas inside committed phase replies (DESIGN §14), so
+    [--trace]/[--metrics] on a sharded run produce one merged trace
+    (lane 0 = supervisor, lane [s+1] = shard [s]) and roll-ups equal to
+    the in-process run's, exactly as committed — replayed epochs after a
+    kill never double-count. *)
 
 val log_src : Logs.src
 (** Log source ["shard.supervisor"]: spawns, preemptions, restarts,

@@ -11,7 +11,10 @@
 exception Closed
 exception Timeout
 
-let magic = Runtime.Checkpoint.versioned_magic ~base:"robustpath-shard-wire" ~version:1
+(* v2 added the [Obs] flush payload on terminal replies (sd_obs/in_obs).
+   The version bump makes a v1 peer fail loudly on the magic line rather
+   than misparse the marshalled record. *)
+let magic = Runtime.Checkpoint.versioned_magic ~base:"robustpath-shard-wire" ~version:2
 
 (* Frames larger than this are a protocol error, not a payload. *)
 let max_frame = 1 lsl 30
@@ -31,12 +34,13 @@ type stepped = {
   sd_failures : int;
   sd_guards : (int * Runtime.Guard.stats) list;
   sd_caches : (int * Cache.Memo.stats) list;
+  sd_obs : Obs.Merge.flush option;
 }
 
 type reply =
   | Heartbeat of { hb_epoch : int; hb_island : int }
   | Stepped of stepped
-  | Injected of { in_epoch : int }
+  | Injected of { in_epoch : int; in_obs : Obs.Merge.flush option }
 
 (* {1 Encoding} *)
 

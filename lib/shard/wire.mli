@@ -14,7 +14,13 @@
     [Stepped] with post-step snapshots and the emigrants of firing edges
     whose source it owns, in global edge order.  [Inject] broadcasts the
     assembled deliveries; workers apply those addressed to their islands
-    and ack with [Injected]. *)
+    and ack with [Injected].
+
+    Both terminal replies optionally carry an {!Obs.Merge.flush} — the
+    worker's drained trace spans and cumulative metric delta.  Flushes
+    ride only terminal replies (never heartbeats): the supervisor
+    absorbs a flush exactly when it commits the phase it answered, so a
+    killed worker's replayed epoch cannot double-count (DESIGN §14). *)
 
 exception Closed
 (** Peer closed the pipe at a frame boundary (clean EOF or EPIPE). *)
@@ -24,8 +30,9 @@ exception Timeout
     signal that triggers hard preemption. *)
 
 val magic : string
-(** ["robustpath-shard-wire v1"], built with
-    {!Runtime.Checkpoint.versioned_magic}. *)
+(** ["robustpath-shard-wire v2"], built with
+    {!Runtime.Checkpoint.versioned_magic} (v2 added the obs flush
+    payloads). *)
 
 type request =
   | Step of { epoch : int; period : int; fire : (int * int) list }
@@ -40,13 +47,16 @@ type stepped = {
   sd_failures : int;  (** island crashes absorbed this epoch *)
   sd_guards : (int * Runtime.Guard.stats) list;
   sd_caches : (int * Cache.Memo.stats) list;
+  sd_obs : Obs.Merge.flush option;
+      (** worker observability flush; [None] when tracing and metrics
+          are both disabled *)
 }
 
 type reply =
   | Heartbeat of { hb_epoch : int; hb_island : int }
       (** liveness tick; [hb_island = -1] right after [Step] receipt *)
   | Stepped of stepped
-  | Injected of { in_epoch : int }
+  | Injected of { in_epoch : int; in_obs : Obs.Merge.flush option }
 
 val send_request : Unix.file_descr -> request -> unit
 val send_reply : Unix.file_descr -> reply -> unit

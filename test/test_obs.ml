@@ -79,6 +79,42 @@ let test_json_parse_errors () =
   (* trailing garbage *)
   rejects "\"unterminated"
 
+let test_json_depth_limit () =
+  (* Recursion is capped so corrupt/hostile input raises Parse_error,
+     never Stack_overflow. *)
+  let deep n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  Alcotest.(check bool) "100 deep parses" true (Obs.Json.parse (deep 100) <> Obs.Json.Null);
+  match Obs.Json.parse (deep 513) with
+  | exception Obs.Json.Parse_error msg ->
+    Alcotest.(check bool) "mentions nesting" true (contains_substring ~sub:"nesting" msg)
+  | _ -> Alcotest.fail "accepted 513-deep nesting"
+
+let test_json_rejects_nonfinite_literals () =
+  (* JSON has no NaN/Infinity tokens; the parser must not grow them. *)
+  let rejects s =
+    match Obs.Json.parse s with
+    | exception Obs.Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  List.iter rejects [ "NaN"; "nan"; "Infinity"; "-Infinity"; "[1, NaN]"; {| {"a": Infinity} |} ]
+
+let test_json_string_escapes () =
+  (* Control characters round-trip through \uXXXX; named escapes and
+     UTF-8 \u decoding also hold. *)
+  let ctl = String.init 0x20 Char.chr in
+  (match roundtrip (Obs.Json.String ctl) with
+  | Obs.Json.String s -> Alcotest.(check string) "control chars" ctl s
+  | _ -> Alcotest.fail "expected string");
+  Alcotest.(check bool) "named escapes decode" true
+    (Obs.Json.parse {| "A\n\t\"\\\/" |} = Obs.Json.String "A\n\t\"\\/");
+  Alcotest.(check bool) "2-byte utf8 from \\u" true
+    (Obs.Json.parse {| "\u00e9" |} = Obs.Json.String "\xc3\xa9");
+  Alcotest.(check bool) "3-byte utf8 from \\u" true
+    (Obs.Json.parse {| "\u20ac" |} = Obs.Json.String "\xe2\x82\xac");
+  match Obs.Json.parse {| "\u00g1" |} with
+  | exception Obs.Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "accepted bad hex escape"
+
 let test_json_member_number () =
   let doc = Obs.Json.parse {| {"x": 3, "y": 4.5} |} in
   let num k = Option.bind (Obs.Json.member k doc) Obs.Json.number in
@@ -166,7 +202,7 @@ let test_span_summarize_self_time () =
   (* Synthetic events so the arithmetic is exact: parent 0 spans 1000 ns
      and its two "child" spans cover 600, leaving 400 self. *)
   let ev id parent name start_ns dur_ns =
-    { Obs.Span.id; parent; name; domain = 0; start_ns; dur_ns; args = [] }
+    { Obs.Span.id; parent; name; domain = 0; pid = 0; start_ns; dur_ns; args = [] }
   in
   let rows =
     Obs.Span.summarize
@@ -186,7 +222,7 @@ let test_span_summarize_self_time () =
 
 let test_span_pp_summary () =
   let ev id parent name start_ns dur_ns =
-    { Obs.Span.id; parent; name; domain = 0; start_ns; dur_ns; args = [] }
+    { Obs.Span.id; parent; name; domain = 0; pid = 0; start_ns; dur_ns; args = [] }
   in
   let rows = Obs.Span.summarize [ ev 0 (-1) "only" 0 2_000_000 ] in
   let s = Format.asprintf "%a" (Obs.Span.pp_summary ~top:5) rows in
@@ -319,6 +355,250 @@ let test_metrics_write_snapshot_jsonl () =
             (mem "label" doc = Obs.Json.String (if i = 0 then "a" else "b")))
         lines)
 
+let test_metrics_quantiles () =
+  (* counts has one slot per finite bound plus the +inf overflow bucket. *)
+  let q le counts p = Obs.Metrics.quantile_of ~le ~counts p in
+  let le = [| 10.; 20. |] in
+  (* Empty histogram: no answer, not a crash. *)
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (q le [| 0; 0; 0 |] 0.5));
+  (* All mass in the first bucket interpolates linearly from 0. *)
+  check_float "median of first bucket" 5. (q le [| 4; 0; 0 |] 0.5);
+  check_float "p100 of first bucket" 10. (q le [| 4; 0; 0 |] 1.0);
+  (* Mass split across buckets: rank lands mid-second-bucket. *)
+  check_float "interpolated" 15. (q le [| 0; 2; 2 |] 0.25);
+  (* The +inf bucket has no upper bound; report the last finite one. *)
+  check_float "overflow clamps" 20. (q le [| 0; 2; 2 |] 1.0);
+  List.iter
+    (fun bad ->
+      match q le [| 1; 0; 0 |] bad with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "q=%g accepted -> %g" bad v)
+    [ -0.1; 1.5; Float.nan ];
+  (* The registry-level accessor agrees with the raw computation. *)
+  with_metrics @@ fun () ->
+  let h = Obs.Metrics.histogram ~buckets:le "t.quant" in
+  List.iter (Obs.Metrics.observe h) [ 1.; 2.; 3.; 4. ];
+  check_float "histogram quantile" 5. (Obs.Metrics.quantile h 0.5)
+
+let test_metrics_contribution_fold () =
+  with_metrics @@ fun () ->
+  (* Worker side: some activity, shipped as a delta. *)
+  let c = Obs.Metrics.counter "t.agg.c" in
+  let g = Obs.Metrics.gauge "t.agg.g" in
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 2. |] "t.agg.h" in
+  Obs.Metrics.add c 3;
+  Obs.Metrics.set_gauge g 7.5;
+  Obs.Metrics.observe h 0.5;
+  let d = Obs.Metrics.delta () in
+  Alcotest.(check bool) "delta includes zero counters" true
+    (List.mem_assoc "t.agg.c" d.Obs.Metrics.d_counters);
+  (* Supervisor side: fresh local state plus the stored contribution. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.add c 2;
+  Obs.Metrics.observe h 1.5;
+  Obs.Metrics.set_contribution ~key:1 d;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "counters sum" true
+    (mem "t.agg.c" (mem "counters" snap) = Obs.Json.Int 5);
+  (* Gauge unset locally after reset: the contribution's value shows. *)
+  (match mem "t.agg.g" (mem "gauges" snap) with
+  | Obs.Json.Float v -> check_float "contributed gauge" 7.5 v
+  | j -> Alcotest.failf "gauge json %s" (Obs.Json.to_string j));
+  (* Histograms merge elementwise when the bounds agree. *)
+  (match mem "counts" (mem "t.agg.h" (mem "histograms" snap)) with
+  | Obs.Json.List l ->
+    Alcotest.(check bool) "hist counts elementwise" true
+      (l = [ Obs.Json.Int 1; Obs.Json.Int 1; Obs.Json.Int 0 ])
+  | j -> Alcotest.failf "hist json %s" (Obs.Json.to_string j));
+  (* A locally set gauge wins over the contribution. *)
+  Obs.Metrics.set_gauge g 1.25;
+  (match mem "t.agg.g" (mem "gauges" (Obs.Metrics.snapshot ())) with
+  | Obs.Json.Float v -> check_float "local gauge wins" 1.25 v
+  | j -> Alcotest.failf "gauge json %s" (Obs.Json.to_string j));
+  (* Replace semantics: re-shipping the same key does not double count. *)
+  Obs.Metrics.set_contribution ~key:1 d;
+  Alcotest.(check bool) "replace, not accumulate" true
+    (mem "t.agg.c" (mem "counters" (Obs.Metrics.snapshot ())) = Obs.Json.Int 5);
+  (* A second key does accumulate. *)
+  Obs.Metrics.set_contribution ~key:2 d;
+  Alcotest.(check bool) "second key adds" true
+    (mem "t.agg.c" (mem "counters" (Obs.Metrics.snapshot ())) = Obs.Json.Int 8)
+
+(* {1 Ring} *)
+
+let with_ring f =
+  Obs.Ring.reset ();
+  Fun.protect ~finally:Obs.Ring.reset f
+
+let test_ring_wraparound () =
+  with_ring @@ fun () ->
+  let p = Obs.Ring.probe "t.ring.wrap" in
+  for i = 0 to 299 do
+    Obs.Ring.record p Obs.Ring.Count i
+  done;
+  let es = Obs.Ring.entries () in
+  Alcotest.(check int) "capacity retained" Obs.Ring.capacity (List.length es);
+  (* The oldest 44 events were overwritten; the survivors are the last
+     256 in sequence order, values tracking sequence. *)
+  let seqs = List.map (fun e -> e.Obs.Ring.e_seq) es in
+  Alcotest.(check (list int)) "sequences 44..299" (List.init 256 (fun i -> 44 + i)) seqs;
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "value = seq" e.Obs.Ring.e_seq e.Obs.Ring.e_value;
+      Alcotest.(check string) "probe name" "t.ring.wrap" e.Obs.Ring.e_name;
+      Alcotest.(check bool) "kind" true (e.Obs.Ring.e_kind = Obs.Ring.Count))
+    es
+
+let test_ring_attach_read () =
+  with_ring @@ fun () ->
+  let path = Filename.temp_file "obs_ring" ".ring" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Probes interned before attach must survive into the file header. *)
+      let early = Obs.Ring.probe "t.ring.early" in
+      Obs.Ring.attach ~path ~lane:3;
+      let late = Obs.Ring.probe "t.ring.late" in
+      Obs.Ring.record early Obs.Ring.Mark 11;
+      Obs.Ring.record late Obs.Ring.Fault 22;
+      (* No flush step: the mmap IS the persistence (SIGKILL-proof). *)
+      Alcotest.(check bool) "magic recognized" true (Obs.Ring.is_ring_file ~path);
+      let d = Obs.Ring.read ~path in
+      Alcotest.(check int) "lane" 3 d.Obs.Ring.d_lane;
+      match d.Obs.Ring.d_entries with
+      | [ a; b ] ->
+        Alcotest.(check string) "early name" "t.ring.early" a.Obs.Ring.e_name;
+        Alcotest.(check int) "early value" 11 a.Obs.Ring.e_value;
+        Alcotest.(check string) "late name" "t.ring.late" b.Obs.Ring.e_name;
+        Alcotest.(check bool) "fault kind" true (b.Obs.Ring.e_kind = Obs.Ring.Fault);
+        let s = Format.asprintf "%a" Obs.Ring.pp d in
+        Alcotest.(check bool) "pp mentions probe" true
+          (contains_substring ~sub:"t.ring.early" s)
+      | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+let test_ring_read_rejects_garbage () =
+  let path = Filename.temp_file "obs_ring" ".not" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "definitely not a flight recorder";
+      close_out oc;
+      Alcotest.(check bool) "magic rejected" false (Obs.Ring.is_ring_file ~path);
+      match Obs.Ring.read ~path with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "read accepted garbage")
+
+(* {1 Cross-process span merging} *)
+
+let test_span_drain_ingest () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_span "local" (fun () -> ());
+  let drained = Obs.Span.drain ~pid:2 () in
+  Alcotest.(check int) "drained one" 1 (List.length drained);
+  Alcotest.(check int) "tagged with lane" 2 (List.hd drained).Obs.Span.pid;
+  Alcotest.(check int) "local events removed" 0 (List.length (Obs.Span.events ()));
+  (* Draining does not restart ids: the next span continues the line. *)
+  Obs.Span.with_span "next" (fun () -> ());
+  Obs.Span.ingest drained;
+  match Obs.Span.events () with
+  | [ a; b ] ->
+    (* (pid, id) order: lane 0 first. *)
+    Alcotest.(check string) "lane 0 first" "next" a.Obs.Span.name;
+    Alcotest.(check int) "id continues" 1 a.Obs.Span.id;
+    Alcotest.(check string) "ingested after" "local" b.Obs.Span.name;
+    Alcotest.(check int) "ingested keeps id" 0 b.Obs.Span.id
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_on_fork_watermark () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_span "parent-side" (fun () -> ());
+  (* A forked worker drops inherited events and restarts ids at the
+     supervisor-issued watermark. *)
+  Obs.Span.on_fork ~next_id:40;
+  Alcotest.(check int) "inherited events dropped" 0 (List.length (Obs.Span.events ()));
+  Obs.Span.with_span "child-side" (fun () -> ());
+  match Obs.Span.events () with
+  | [ e ] -> Alcotest.(check int) "ids restart at watermark" 40 e.Obs.Span.id
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_span_summarize_cross_pid () =
+  (* Two lanes sharing span ids: lane 1's child (parent=0) must not be
+     subtracted from lane 0's span 0 — children are per (pid, parent). *)
+  let ev pid id parent name start_ns dur_ns =
+    { Obs.Span.id; parent; name; domain = 0; pid; start_ns; dur_ns; args = [] }
+  in
+  let events =
+    [
+      ev 0 0 (-1) "root" 0 1000;
+      ev 1 0 (-1) "root" 0 800;
+      ev 1 1 0 "leaf" 100 300;
+    ]
+  in
+  (match Obs.Span.summarize events with
+  | [ a; b ] ->
+    Alcotest.(check string) "root aggregates lanes" "root" a.Obs.Span.row_name;
+    Alcotest.(check int) "aggregated row has no pid" (-1) a.Obs.Span.row_pid;
+    Alcotest.(check int) "root calls" 2 a.Obs.Span.calls;
+    (* Only lane 1's root loses its own child's 300; lane 0 keeps 1000. *)
+    Alcotest.(check int) "self subtracts per-lane only" 1500 a.Obs.Span.self_ns;
+    Alcotest.(check string) "leaf row" "leaf" b.Obs.Span.row_name
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  match Obs.Span.summarize ~by_process:true events with
+  | [ r1000; r500; leaf ] ->
+    Alcotest.(check int) "lane 0 root alone" 0 r1000.Obs.Span.row_pid;
+    Alcotest.(check int) "lane 0 self" 1000 r1000.Obs.Span.self_ns;
+    Alcotest.(check int) "lane 1 root alone" 1 r500.Obs.Span.row_pid;
+    Alcotest.(check int) "lane 1 self" 500 r500.Obs.Span.self_ns;
+    Alcotest.(check int) "leaf lane" 1 leaf.Obs.Span.row_pid;
+    (* Duration quantiles are per-row, nearest rank. *)
+    Alcotest.(check int) "leaf p50" 300 leaf.Obs.Span.p50_ns
+  | rows -> Alcotest.failf "expected 3 rows, got %d" (List.length rows)
+
+(* {1 Report} *)
+
+let test_report_torn_jsonl () =
+  with_metrics @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "t.report.c");
+  let path = Filename.temp_file "obs_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Metrics.write_snapshot ~label:"epoch 1" oc;
+      (* A kill mid-write tears the final line; blank lines also happen. *)
+      output_string oc "\n";
+      output_string oc "{\"label\": \"epoch 2\", \"counters\": {\"t.report";
+      close_out oc;
+      let mf = Obs.Report.read_metrics ~path in
+      Alcotest.(check int) "parsed snapshots" 1 (List.length mf.Obs.Report.snapshots);
+      Alcotest.(check int) "torn lines counted" 1 mf.Obs.Report.torn;
+      let s = Format.asprintf "%a" (fun ppf () -> Obs.Report.pp ~metrics:mf ppf ()) () in
+      Alcotest.(check bool) "report warns about torn lines" true
+        (contains_substring ~sub:"torn" s))
+
+let test_report_sections () =
+  (* A report fed shard counters renders the restart timeline with
+     latency quantiles from the shard.restart_ms histogram. *)
+  with_metrics @@ fun () ->
+  Obs.Metrics.add (Obs.Metrics.counter "shard.spawns") 3;
+  Obs.Metrics.add (Obs.Metrics.counter "shard.restarts") 1;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~buckets:Obs.Metrics.default_ms_buckets "shard.restart_ms")
+    4.2;
+  let path = Filename.temp_file "obs_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Metrics.write_snapshot ~label:"epoch 1" oc;
+      close_out oc;
+      let mf = Obs.Report.read_metrics ~path in
+      let s = Format.asprintf "%a" (fun ppf () -> Obs.Report.pp ~metrics:mf ppf ()) () in
+      Alcotest.(check bool) "timeline section" true
+        (contains_substring ~sub:"restart" s);
+      Alcotest.(check bool) "latency quantiles" true (contains_substring ~sub:"p99" s))
+
 let () =
   Alcotest.run "obs"
     [
@@ -329,6 +609,10 @@ let () =
           Alcotest.test_case "non-finite to null" `Quick test_json_nonfinite_is_null;
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
+          Alcotest.test_case "rejects NaN/Infinity literals" `Quick
+            test_json_rejects_nonfinite_literals;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
           Alcotest.test_case "member and number" `Quick test_json_member_number;
         ] );
       ( "span",
@@ -354,5 +638,24 @@ let () =
           Alcotest.test_case "snapshot deterministic" `Quick
             test_metrics_snapshot_deterministic;
           Alcotest.test_case "jsonl writer" `Quick test_metrics_write_snapshot_jsonl;
+          Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
+          Alcotest.test_case "contribution fold" `Quick test_metrics_contribution_fold;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound keeps last 256" `Quick test_ring_wraparound;
+          Alcotest.test_case "attach and read back" `Quick test_ring_attach_read;
+          Alcotest.test_case "read rejects garbage" `Quick test_ring_read_rejects_garbage;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "drain and ingest" `Quick test_span_drain_ingest;
+          Alcotest.test_case "on_fork watermark" `Quick test_span_on_fork_watermark;
+          Alcotest.test_case "summarize across lanes" `Quick test_span_summarize_cross_pid;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "torn jsonl tolerated" `Quick test_report_torn_jsonl;
+          Alcotest.test_case "shard timeline section" `Quick test_report_sections;
         ] );
     ]

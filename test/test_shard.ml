@@ -86,7 +86,7 @@ let test_frame_roundtrip () =
    boundary; every prefix must read back as a clean close (nothing sent)
    or a detected corruption — never a misparse. *)
 let test_wire_torn_at_every_byte () =
-  let reply = Shard.Wire.Injected { in_epoch = 7 } in
+  let reply = Shard.Wire.Injected { in_epoch = 7; in_obs = None } in
   let bytes = Shard.Wire.to_bytes reply in
   let n = String.length bytes in
   for cut = 0 to n - 1 do
@@ -254,6 +254,124 @@ let test_guard_stats_exact_across_shards () =
   Alcotest.(check bool) "front bit-identical under guarded faults" true
     (front_key r = front_key baseline)
 
+(* {1 Merged observability: one trace, exact roll-ups, flight recorder} *)
+
+let with_obs f =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Span.set_enabled true;
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Metrics.set_enabled false;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ())
+    f
+
+(* The current counters, minus the shard.* supervision family (which has
+   no in-process counterpart by construction). *)
+let counters_sans_shard () =
+  match Obs.Json.member "counters" (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Json.Obj kvs) ->
+    List.filter (fun (k, _) -> not (String.starts_with ~prefix:"shard." k)) kvs
+  | _ -> []
+
+let test_merged_rollups_and_trace () =
+  let make_problem () =
+    Runtime.Fault.wrap_problem
+      { Runtime.Fault.default with Runtime.Fault.fraction = 0.1; modes = [ Runtime.Fault.Raise ] }
+      (zdt1 6)
+  in
+  let cfg = { quad_config with A.guard_penalty = Some 1e9 } in
+  let baseline =
+    with_obs (fun () ->
+        let _ = A.run ~seed:41 ~generations:12 (make_problem ()) cfg in
+        counters_sans_shard ())
+  in
+  let sharded, events =
+    with_obs (fun () ->
+        (* A kill forces a replayed epoch: only committed flushes may be
+           absorbed, or the replay double-counts. *)
+        let fault = Runtime.Fault.parse_kill_spec "1:2:1:kill" in
+        let _r, stats =
+          Sup.run ~seed:41
+            ~config:{ sup_config with Sup.shards = 2; fault = Some fault }
+            ~generations:12 (make_problem ()) cfg
+        in
+        Alcotest.(check bool) "kill replayed" true (stats.Sup.restarts >= 1);
+        (counters_sans_shard (), Obs.Span.events ()))
+  in
+  Alcotest.(check bool) "baseline saw guarded work" true
+    (List.exists (fun (k, v) -> k = "guard.evaluations" && v <> Obs.Json.Int 0) baseline);
+  Alcotest.(check bool) "counters exact modulo shard.*, kill included" true
+    (sharded = baseline);
+  (* One Perfetto lane per process: supervisor plus both shards. *)
+  let pids =
+    List.sort_uniq compare (List.map (fun (e : Obs.Span.event) -> e.Obs.Span.pid) events)
+  in
+  Alcotest.(check (list int)) "one lane per process" [ 0; 1; 2 ] pids;
+  List.iter
+    (fun p ->
+      let ids =
+        List.filter_map
+          (fun (e : Obs.Span.event) -> if e.Obs.Span.pid = p then Some e.Obs.Span.id else None)
+          events
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d span ids unique and ordered" p)
+        true
+        (List.sort_uniq compare ids = ids))
+    pids;
+  Alcotest.(check bool) "worker lanes carry worker.step spans" true
+    (List.exists
+       (fun (e : Obs.Span.event) -> e.Obs.Span.pid > 0 && e.Obs.Span.name = "worker.step")
+       events)
+
+let test_flight_recorder_survives_kill () =
+  let problem = zdt1 6 in
+  let prefix = Filename.temp_file "robustpath" ".flight" in
+  let candidates =
+    (prefix ^ ".supervisor.ring")
+    :: List.concat_map
+         (fun shard ->
+           List.map
+             (fun incarnation -> Shard.Worker.ring_path ~prefix ~shard ~incarnation)
+             [ 0; 1; 2 ])
+         [ 0; 1 ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Ring.reset ();
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (prefix :: candidates))
+    (fun () ->
+      let fault = Runtime.Fault.parse_kill_spec "1:2:1:kill" in
+      let _r, stats =
+        Sup.run ~seed:43
+          ~config:
+            { sup_config with Sup.shards = 2; fault = Some fault; ring_prefix = Some prefix }
+          ~generations:12 problem quad_config
+      in
+      Alcotest.(check bool) "restart happened" true (stats.Sup.restarts >= 1);
+      (* The SIGKILLed incarnation (shard 1, incarnation 0) wrote its
+         events through the mmap as they happened: the file on disk IS
+         the post-mortem, no exit handler involved. *)
+      let path = Shard.Worker.ring_path ~prefix ~shard:1 ~incarnation:0 in
+      Alcotest.(check bool) "ring file recognized" true (Obs.Ring.is_ring_file ~path);
+      let d = Obs.Ring.read ~path in
+      Alcotest.(check int) "lane of shard 1" 2 d.Obs.Ring.d_lane;
+      Alcotest.(check bool) "dying act on record: the injected fault" true
+        (List.exists
+           (fun e -> e.Obs.Ring.e_name = "worker.fault" && e.Obs.Ring.e_kind = Obs.Ring.Mark)
+           d.Obs.Ring.d_entries);
+      (* The supervisor's own ring logged the respawn. *)
+      let sup = Obs.Ring.read ~path:(prefix ^ ".supervisor.ring") in
+      Alcotest.(check int) "supervisor lane" 0 sup.Obs.Ring.d_lane;
+      Alcotest.(check bool) "respawn recorded" true
+        (List.exists
+           (fun e -> e.Obs.Ring.e_name = "supervisor.respawn")
+           sup.Obs.Ring.d_entries))
+
 (* {1 Checkpoint interchange: sharded <-> in-process} *)
 
 let test_checkpoint_interchange () =
@@ -349,7 +467,7 @@ let test_info_version_roundtrip () =
                 10 (A.generations_done st))
             [ (v2path, 2); (v1path, 1) ];
           (* The wire format shares the same versioned-magic grammar. *)
-          Alcotest.(check (option int)) "wire magic dispatches" (Some 1)
+          Alcotest.(check (option int)) "wire magic dispatches" (Some 2)
             (Runtime.Checkpoint.version_of_magic ~base:"robustpath-shard-wire" Shard.Wire.magic)))
 
 let () =
@@ -373,6 +491,13 @@ let () =
           Alcotest.test_case "shards clamped to islands" `Quick test_shards_clamped_to_islands;
           Alcotest.test_case "guard stats exact across shards" `Quick
             test_guard_stats_exact_across_shards;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "merged roll-ups and trace lanes" `Quick
+            test_merged_rollups_and_trace;
+          Alcotest.test_case "flight recorder survives SIGKILL" `Quick
+            test_flight_recorder_survives_kill;
         ] );
       ( "supervision",
         [

@@ -159,4 +159,79 @@ let () =
     | Some hv -> fail "final hypervolume not finite: %g" hv
     | None -> fail "final snapshot has no hypervolume gauge")
   | [] -> fail "no metric lines");
+
+  (* {2 Sharded: one merged trace with per-process lanes} *)
+  let run_sharded () =
+    Obs.Span.reset ();
+    Obs.Metrics.reset ();
+    Obs.Span.set_enabled true;
+    Obs.Metrics.set_enabled true;
+    let _r, _stats =
+      Shard.Supervisor.run ~seed:7
+        ~config:{ Shard.Supervisor.default with Shard.Supervisor.shards = 2 }
+        ~generations:4 ode_problem cfg
+    in
+    Obs.Span.set_enabled false;
+    Obs.Metrics.set_enabled false;
+    let doc = Obs.Span.export_chrome () in
+    Obs.Span.reset ();
+    Obs.Metrics.reset ();
+    doc
+  in
+  let sharded = run_sharded () in
+  (* Same Chrome schema as the in-process trace. *)
+  let sharded_events =
+    match mem "traceEvents" sharded with
+    | Obs.Json.List l -> l
+    | _ -> fail "sharded trace has no traceEvents array"
+  in
+  let process_labels = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match mem "ph" e with
+      | Obs.Json.String "X" -> ()
+      | Obs.Json.String "M" ->
+        if mem "name" e = Obs.Json.String "process_name" then
+          Hashtbl.replace process_labels (mem "name" (mem "args" e)) ()
+      | _ -> fail "sharded trace has a non-X/M event")
+    sharded_events;
+  List.iter
+    (fun label ->
+      if not (Hashtbl.mem process_labels (Obs.Json.String label)) then
+        fail "sharded trace has no %S process lane" label)
+    [ "supervisor"; "shard 0"; "shard 1" ];
+  let evs = Obs.Span.events_of_chrome sharded in
+  let pids = List.sort_uniq compare (List.map (fun (e : Obs.Span.event) -> e.Obs.Span.pid) evs) in
+  if pids <> [ 0; 1; 2 ] then
+    fail "sharded trace pid lanes are %s, want [0;1;2]"
+      (String.concat ";" (List.map string_of_int pids));
+  (* Events listed in (pid, id) order with unique ids per lane. *)
+  let keys = List.map (fun (e : Obs.Span.event) -> (e.Obs.Span.pid, e.Obs.Span.id)) evs in
+  if List.sort_uniq compare keys <> keys then fail "sharded trace events not in (pid, id) order";
+  if
+    not
+      (List.exists
+         (fun (e : Obs.Span.event) -> e.Obs.Span.pid > 0 && e.Obs.Span.name = "worker.step")
+         evs)
+  then fail "worker lanes carry no worker.step spans";
+  if
+    not
+      (List.exists
+         (fun (e : Obs.Span.event) -> e.Obs.Span.pid = 0 && e.Obs.Span.name = "shard.epoch")
+         evs)
+  then fail "supervisor lane carries no shard.epoch spans";
+
+  (* {2 Sharded: trace byte-deterministic modulo timestamps} *)
+  let normalize doc =
+    let strip_time = function
+      | Obs.Json.Obj fields ->
+        Obs.Json.Obj (List.filter (fun (k, _) -> k <> "ts" && k <> "dur") fields)
+      | j -> j
+    in
+    match mem "traceEvents" doc with
+    | Obs.Json.List l -> Obs.Json.to_string (Obs.Json.List (List.map strip_time l))
+    | _ -> fail "trace has no traceEvents array"
+  in
+  if normalize (run_sharded ()) <> normalize sharded then
+    fail "sharded trace not deterministic modulo ts/dur";
   print_endline "trace-check: ok"
