@@ -829,6 +829,181 @@ let run_shard_benchmarks () =
     Printf.printf "   wrote BENCH_shard.json (pass: true)\n"
   end
 
+(* {1 LP & ODE kernels}
+
+   [bench-simplex] pits the two interchangeable simplex kernels against
+   each other on the Geobacter model (608 reactions) and the two Jacobian
+   strategies against each other on a stiff tridiagonal system, and
+   writes BENCH_simplex.json:
+
+   - simplex/sparse-vs-dense: the same FBA spec solved with the default
+     sparse factorized basis (eta file over sparse LU) and with the dense
+     basis-matrix oracle — objectives must agree to 1e-6, and in full
+     mode the sparse kernel must win on wall-clock (quick CI boxes are
+     too noisy to gate on time);
+   - simplex/warm-start: the sparse kernel re-solving from its own
+     returned basis must spend strictly fewer pivots than the cold solve;
+   - ode/banded-jacobian: the stiff implicit tier integrating the same
+     tridiagonal system with dense finite-difference Jacobians vs the
+     declared [Band {ml = 1; mu = 1}] structure — identical trajectories
+     to 1e-6, strictly fewer rhs evaluations banded.
+
+   In --quick mode the ODE system shrinks, the wall-clock gate is
+   skipped, every other gate still applies, and no JSON is written. *)
+
+let simplex_fail fmt =
+  Printf.ksprintf (fun m -> Printf.eprintf "bench-simplex: %s\n" m; exit 1) fmt
+
+(* [counter_delta] for several counters over one run of [f]. *)
+let counters_delta names f =
+  Obs.Metrics.set_enabled true;
+  let cs = List.map Obs.Metrics.counter names in
+  let before = List.map Obs.Metrics.counter_value cs in
+  let r = f () in
+  let deltas = List.map2 (fun c b -> Obs.Metrics.counter_value c - b) cs before in
+  Obs.Metrics.set_enabled false;
+  (r, deltas)
+
+let bench_simplex_kernels ~quick =
+  let g = Lazy.force geobacter in
+  let t = g.Fba.Geobacter.net in
+  let obj = Array.make (Fba.Network.n_reactions t) 0. in
+  obj.(g.Fba.Geobacter.ep) <- 1.;
+  obj.(g.Fba.Geobacter.bp) <- 0.3;
+  let spec = Fba.Analysis.spec_of ~t ~obj in
+  let objective_of = function
+    | Lp.Simplex.Optimal { objective; _ } -> objective
+    | Lp.Simplex.Infeasible -> simplex_fail "Geobacter FBA reported infeasible"
+    | Lp.Simplex.Unbounded -> simplex_fail "Geobacter FBA reported unbounded"
+  in
+  (* Pivot/refactor accounting for the cold sparse solve, then a warm
+     re-solve from the basis it returned. *)
+  let (cold_out, basis), counts =
+    counters_delta [ "simplex.pivots"; "simplex.refactors" ] (fun () ->
+        Lp.Simplex.solve_basis spec)
+  in
+  let cold_pivots, cold_refactors =
+    match counts with [ p; r ] -> (p, r) | _ -> assert false
+  in
+  let warm_out, warm_pivots =
+    counter_delta "simplex.pivots" (fun () -> Lp.Simplex.solve ?basis spec)
+  in
+  let sparse_obj = objective_of cold_out in
+  if Float.abs (sparse_obj -. objective_of warm_out) > 1e-6 *. (1. +. Float.abs sparse_obj)
+  then simplex_fail "warm sparse solve diverges from cold";
+  if warm_pivots >= cold_pivots then
+    simplex_fail "warm start did not save pivots (%d warm >= %d cold)" warm_pivots
+      cold_pivots;
+  (* Dense oracle: same spec, same answer, and (full mode) slower. *)
+  let dense_out = Lp.Simplex.solve ~kernel:`Dense spec in
+  let dense_obj = objective_of dense_out in
+  if Float.abs (sparse_obj -. dense_obj) > 1e-6 *. (1. +. Float.abs sparse_obj) then
+    simplex_fail "sparse and dense kernels disagree (%.9g vs %.9g)" sparse_obj dense_obj;
+  let reps = if quick then 1 else 3 in
+  let best kernel =
+    let ns = ref infinity in
+    for _ = 1 to reps do
+      let _, dt = wall_ns (fun () -> Lp.Simplex.solve ~kernel spec) in
+      if dt < !ns then ns := dt
+    done;
+    !ns
+  in
+  let sparse_ns = best `Sparse in
+  let dense_ns = best `Dense in
+  let speedup = dense_ns /. sparse_ns in
+  if (not quick) && sparse_ns >= dense_ns then
+    simplex_fail "sparse kernel not faster than dense on Geobacter (%.1f ms vs %.1f ms)"
+      (sparse_ns /. 1e6) (dense_ns /. 1e6);
+  Printf.printf
+    "   simplex/sparse-vs-dense  obj %.6f  %d pivots (%d refactors) cold -> %d warm; %5.2fx vs dense%s\n%!"
+    sparse_obj cold_pivots cold_refactors warm_pivots speedup
+    (if quick then " (wall-clock gate skipped in --quick)" else "");
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "simplex/sparse-vs-dense");
+      ("objective", Obs.Json.Float sparse_obj);
+      ("pivots_cold", Obs.Json.Float (float_of_int cold_pivots));
+      ("pivots_warm", Obs.Json.Float (float_of_int warm_pivots));
+      ("refactors", Obs.Json.Float (float_of_int cold_refactors));
+      ("sparse_ms", Obs.Json.Float (sparse_ns /. 1e6));
+      ("dense_ms", Obs.Json.Float (dense_ns /. 1e6));
+      ("speedup_vs_dense", Obs.Json.Float speedup);
+    ]
+
+let bench_simplex_jacobian ~quick =
+  let n = if quick then 24 else 240 in
+  (* Stiff tridiagonal reaction-diffusion chain: component [i] couples
+     only to its neighbors, so the Jacobian is exactly Band {1, 1}. *)
+  let f _t y =
+    Array.init n (fun i ->
+        let left = if i > 0 then y.(i - 1) else 0. in
+        let right = if i < n - 1 then y.(i + 1) else 0. in
+        (-40. *. y.(i)) +. (18. *. (left +. right)) +. (0.1 *. sin y.(i)))
+  in
+  let y0 = Array.init n (fun i -> 1. +. (0.01 *. float_of_int (i mod 7))) in
+  let run jac () = Numerics.Ode.implicit_euler ~jac ~f ~t0:0. ~t1:0.5 ~y0 () in
+  let dense_r, dense_counts =
+    counters_delta [ "ode.rhs_evals"; "ode.jacobian_cols" ] (run Numerics.Ode.Dense)
+  in
+  let band_r, band_counts =
+    counters_delta [ "ode.rhs_evals"; "ode.jacobian_cols" ]
+      (run (Numerics.Ode.Band { ml = 1; mu = 1 }))
+  in
+  let dense_evals, dense_cols =
+    match dense_counts with [ e; c ] -> (e, c) | _ -> assert false
+  in
+  let band_evals, band_cols =
+    match band_counts with [ e; c ] -> (e, c) | _ -> assert false
+  in
+  let dist =
+    sqrt
+      (Array.fold_left ( +. ) 0.
+         (Array.mapi (fun i yi -> (yi -. band_r.Numerics.Ode.y.(i)) ** 2.) dense_r.Numerics.Ode.y))
+  in
+  if dist > 1e-6 then
+    simplex_fail "banded-Jacobian trajectory diverges from dense (dist %.3g)" dist;
+  if band_evals >= dense_evals then
+    simplex_fail "banded Jacobian did not save rhs evaluations (%d banded >= %d dense)"
+      band_evals dense_evals;
+  Printf.printf
+    "   ode/banded-jacobian      n=%-4d %6d rhs evals dense -> %6d banded (%d -> %d Jacobian cols)\n%!"
+    n dense_evals band_evals dense_cols band_cols;
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "ode/banded-jacobian");
+      ("n", Obs.Json.Float (float_of_int n));
+      ("rhs_evals_dense", Obs.Json.Float (float_of_int dense_evals));
+      ("rhs_evals_banded", Obs.Json.Float (float_of_int band_evals));
+      ("jacobian_cols_dense", Obs.Json.Float (float_of_int dense_cols));
+      ("jacobian_cols_banded", Obs.Json.Float (float_of_int band_cols));
+    ]
+
+let run_simplex_benchmarks () =
+  let quick = !quick_mode in
+  Printf.printf
+    "== LP & ODE kernels (gates: kernels agree to 1e-6, warm/banded strictly cheaper%s) ==\n%!"
+    (if quick then "" else ", sparse faster than dense");
+  let lp = bench_simplex_kernels ~quick in
+  let jac = bench_simplex_jacobian ~quick in
+  if quick then Printf.printf "   smoke mode: gates checked, BENCH_simplex.json not written\n%!"
+  else begin
+    let doc =
+      Obs.Json.Obj
+        [
+          ( "benchmark",
+            Obs.Json.String
+              "simplex kernel comparison (sparse factorized basis vs dense) + banded Jacobian" );
+          ("kernels", Obs.Json.List [ lp; jac ]);
+          ("pass", Obs.Json.Bool true);
+        ]
+    in
+    let oc = open_out "BENCH_simplex.json" in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "   wrote BENCH_simplex.json (pass: true)\n"
+  end
+
 (* {1 Dispatch} *)
 
 let experiments =
@@ -856,6 +1031,7 @@ let experiments =
     ("bench-parallel", run_parallel_benchmarks);
     ("bench-cache", run_cache_benchmarks);
     ("bench-shard", run_shard_benchmarks);
+    ("bench-simplex", run_simplex_benchmarks);
   ]
 
 let run_one name =

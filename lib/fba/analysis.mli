@@ -5,6 +5,12 @@ type solution = { objective : float; fluxes : float array }
 
 exception Infeasible_model of string
 
+val spec_of : t:Network.t -> obj:float array -> Lp.Simplex.spec
+(** The raw LP behind {!fba}: steady state [S·v = 0] with the network's
+    bounds and a dense objective vector over reactions.  Exposed so
+    harnesses (the [bench-simplex] kernel comparison in particular) can
+    drive {!Lp.Simplex.solve} directly with an explicit [~kernel]. *)
+
 val fba : t:Network.t -> objective:int -> solution
 (** Maximize the flux through reaction [objective] subject to [S·v = 0]
     and the network's bounds. *)

@@ -1,64 +1,6 @@
-type t = {
-  r : int;
-  c : int;
-  cols : (int, float) Hashtbl.t array; (* per column: row -> value *)
-}
+(* The sparse-matrix kernels were promoted to [Numerics.Sparse] so the
+   LP basis factorization and the Jacobian coloring can share them; this
+   alias keeps every [Fba.Sparse] call site and the [Network] API
+   unchanged.  New code should depend on [Numerics.Sparse] directly. *)
 
-let create ~rows ~cols =
-  if not (rows > 0 && cols > 0) then invalid_arg "Fba.Sparse.create: dimensions must be positive";
-  { r = rows; c = cols; cols = Array.init cols (fun _ -> Hashtbl.create 4) }
-
-let rows m = m.r
-let cols m = m.c
-
-let set m i j v =
-  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
-    invalid_arg "Fba.Sparse.set: index out of range";
-  (* robustlint: allow R1 — exactly-zero entries are deleted so nnz stays tight *)
-  if v = 0. then Hashtbl.remove m.cols.(j) i else Hashtbl.replace m.cols.(j) i v
-
-let get m i j =
-  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
-    invalid_arg "Fba.Sparse.get: index out of range";
-  match Hashtbl.find_opt m.cols.(j) i with Some v -> v | None -> 0.
-
-let nnz m = Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 m.cols
-
-let column m j =
-  (* robustlint: allow R7 — fold only collects bindings; the sort below fixes the order *)
-  Hashtbl.fold (fun i v acc -> (i, v) :: acc) m.cols.(j) []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-
-let iter_col m j f = List.iter (fun (i, v) -> f i v) (column m j)
-
-let mv m x =
-  if Array.length x <> m.c then invalid_arg "Fba.Sparse.mv: vector length mismatch";
-  let out = Array.make m.r 0. in
-  for j = 0 to m.c - 1 do
-    let xj = x.(j) in
-    (* robustlint: allow R1 — exact-zero sparsity skip *)
-    if xj <> 0. then
-      (* robustlint: allow R7 — each binding updates a distinct out.(i), so order is immaterial *)
-      Hashtbl.iter (fun i v -> out.(i) <- out.(i) +. (v *. xj)) m.cols.(j)
-  done;
-  out
-
-let tmv m x =
-  if Array.length x <> m.r then invalid_arg "Fba.Sparse.tmv: vector length mismatch";
-  (* Sum in sorted row order so the result is reproducible across runs. *)
-  Array.init m.c (fun j ->
-      List.fold_left (fun acc (i, v) -> acc +. (v *. x.(i))) 0. (column m j))
-
-let to_dense m =
-  let d = Numerics.Matrix.zeros m.r m.c in
-  for j = 0 to m.c - 1 do
-    (* robustlint: allow R7 — each binding writes a distinct dense cell, so order is immaterial *)
-    Hashtbl.iter (fun i v -> Numerics.Matrix.set d i j v) m.cols.(j)
-  done;
-  d
-
-let residual_norm2 m x =
-  let r = mv m x in
-  let acc = ref 0. in
-  Array.iter (fun v -> acc := !acc +. (v *. v)) r;
-  sqrt !acc
+include Numerics.Sparse

@@ -1,32 +1,8 @@
-(** Sparse matrices in column-major triplet form, sized for stoichiometric
-    matrices (hundreds of rows, hundreds of columns, ~1% fill). *)
+(** Alias of {!Numerics.Sparse}, kept so existing [Fba.Sparse] call
+    sites (and the [Network] stoichiometric-matrix API) are unaffected
+    by the kernel move.  The types are equal: an [Fba.Sparse.t] {e is} a
+    [Numerics.Sparse.t]. *)
 
-type t
-
-val create : rows:int -> cols:int -> t
-val rows : t -> int
-val cols : t -> int
-
-val set : t -> int -> int -> float -> unit
-(** [set m i j v] — setting a previously set entry overwrites it;
-    setting [0.] removes it. *)
-
-val get : t -> int -> int -> float
-
-val nnz : t -> int
-
-val column : t -> int -> (int * float) list
-(** Non-zero entries of a column as [(row, value)] pairs. *)
-
-val iter_col : t -> int -> (int -> float -> unit) -> unit
-
-val mv : t -> float array -> float array
-(** [m · x]. *)
-
-val tmv : t -> float array -> float array
-(** [mᵀ · x]. *)
-
-val to_dense : t -> Numerics.Matrix.t
-
-val residual_norm2 : t -> float array -> float
-(** [‖m · x‖₂] without materializing intermediate structures. *)
+include module type of struct
+  include Numerics.Sparse
+end

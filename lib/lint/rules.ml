@@ -49,7 +49,7 @@ let findings t =
     if f.fix <> [] then f
     else
       match List.assoc_opt (f.file, f.line, f.col) t.fixes with
-      | Some edits when f.rule = Finding.R1 -> { f with fix = edits }
+      | Some edits when f.rule = Finding.R1 || f.rule = Finding.R7 -> { f with fix = edits }
       | _ -> f
   in
   List.sort Finding.compare_by_loc (List.map with_fix t.acc)
@@ -230,19 +230,46 @@ let check_ident t loc name ty =
       (Printf.sprintf
          "%s reads the wall clock: results depend on when and where the run happens" name)
 
+(* The deterministic replacement for a full [Hashtbl.iter f tbl]
+   application: visit the keys in sorted order (deduplicated — multiple
+   bindings of a key are then visited through [find_all], newest first,
+   exactly the per-key order [iter] uses).  The collecting [fold] is
+   itself order-insensitive, which is precisely the justification its
+   generated same-line suppression states.  One line, no newlines, so
+   the span edits stay layout-preserving ({!Patch.apply_spans}). *)
+let r7_body =
+  (* The suppression marker is spliced from two literals so the textual
+     stale-suppression scanner does not mistake this line of the linter's
+     own source for an allow comment. *)
+  "List.iter (fun __rl_k -> List.iter (__rl_f __rl_k) (Stdlib.Hashtbl.find_all __rl_t \
+   __rl_k)) (List.sort_uniq compare (Stdlib.Hashtbl.fold (fun __rl_k _ __rl_ks -> __rl_k \
+   :: __rl_ks) __rl_t [])) (* robust" ^ "lint: allow R7 — rewritten by --fix: keys are \
+                                         sorted before any visit, so iteration order is \
+                                         total *)"
+
 (* [a = b] / [a <> b] at exactly float rewrites mechanically to
-   [Float.equal]; record the span edits while the argument locations are
-   in hand.  The finding itself is anchored to the operator occurrence,
-   which [check_ident] reports when the iterator reaches it. *)
+   [Float.equal], and a whole [Hashtbl.iter f tbl] application to a
+   sorted-key traversal; record the span edits while the argument
+   locations are in hand.  The findings themselves are anchored to the
+   operator/ident occurrence, which [check_ident] reports when the
+   iterator reaches it.  Both rewrites keep the original argument
+   expressions in place (possibly spanning lines) and only replace the
+   text around them. *)
 let check_apply_fix t (e : expression) fn args =
+  let sane (x : expression) (y : expression) =
+    (not e.exp_loc.loc_ghost)
+    && (not fn.exp_loc.loc_ghost)
+    && (not x.exp_loc.loc_ghost)
+    && (not y.exp_loc.loc_ghost)
+    && file_of e.exp_loc = file_of fn.exp_loc
+    && file_of e.exp_loc = file_of x.exp_loc
+    && file_of e.exp_loc = file_of y.exp_loc
+  in
   match (fn.exp_desc, args) with
   | ( Texp_ident (path, _, _),
       [ (Asttypes.Nolabel, Some a); (Asttypes.Nolabel, Some b) ] )
     when (Path.name path = "Stdlib.=" || Path.name path = "Stdlib.<>")
-         && is_exactly_float a.exp_type && is_exactly_float b.exp_type
-         && (not e.exp_loc.loc_ghost)
-         && (not fn.exp_loc.loc_ghost)
-         && file_of e.exp_loc = file_of fn.exp_loc ->
+         && is_exactly_float a.exp_type && is_exactly_float b.exp_type && sane a b ->
     let app_s = e.exp_loc.loc_start.pos_cnum
     and app_e = e.exp_loc.loc_end.pos_cnum
     and a_s = a.exp_loc.loc_start.pos_cnum
@@ -260,6 +287,29 @@ let check_apply_fix t (e : expression) fn args =
           };
           { Finding.start = a_e; stop = b_s; text = ") (" };
           { Finding.start = b_e; stop = app_e; text = (if neg then "))" else ")") };
+        ]
+      in
+      record_fix t fn.exp_loc edits
+    end
+  | ( Texp_ident (path, _, _),
+      [ (Asttypes.Nolabel, Some f); (Asttypes.Nolabel, Some tbl) ] )
+    when Path.name path = "Stdlib.Hashtbl.iter" && is_lib t fn.exp_loc && sane f tbl ->
+    let app_s = e.exp_loc.loc_start.pos_cnum
+    and app_e = e.exp_loc.loc_end.pos_cnum
+    and f_s = f.exp_loc.loc_start.pos_cnum
+    and f_e = f.exp_loc.loc_end.pos_cnum
+    and t_s = tbl.exp_loc.loc_start.pos_cnum
+    and t_e = tbl.exp_loc.loc_end.pos_cnum in
+    if app_s <= f_s && f_s <= f_e && f_e <= t_s && t_s <= t_e && t_e <= app_e then begin
+      let edits =
+        [
+          {
+            Finding.start = app_s;
+            stop = f_s;
+            text = "(fun __rl_f __rl_t -> " ^ r7_body ^ ") (";
+          };
+          { Finding.start = f_e; stop = t_s; text = ") (" };
+          { Finding.start = t_e; stop = app_e; text = ")" };
         ]
       in
       record_fix t fn.exp_loc edits

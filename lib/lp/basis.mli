@@ -1,0 +1,48 @@
+(** Factorized simplex basis: sparse Markowitz LU plus a product-form
+    eta file.
+
+    {!factor} builds the LU of the basis columns; after each pivot the
+    caller records the computed direction [w = B⁻¹a] with {!update}
+    (an O(nnz w) product-form eta) instead of refactorizing.  {!ftran}
+    and {!btran} then solve [B x = b] and [Bᵀ y = c] through the LU and
+    the eta file; both walk fixed, position-sorted entry arrays, so the
+    solves are bit-for-bit deterministic.
+
+    The eta file makes solves gradually more expensive;
+    {!should_refactor} triggers when its accumulated nonzeros rival the
+    base factors (or after ~2√m updates), and the caller — who owns the
+    current basis columns — answers with {!refactor}.  The eta-file
+    length is exported as the [simplex.eta_len] gauge. *)
+
+type t
+
+val factor : (int * float) list array -> t
+(** Factor basis columns (index = basis position, entries = sparse
+    [(row, value)]).  Raises {!Numerics.Sparse_lu.Singular} on a
+    rank-deficient basis. *)
+
+val refactor : t -> (int * float) list array -> unit
+(** Replace the factorization with a fresh LU of the given columns and
+    clear the eta file. *)
+
+val update : t -> row:int -> float array -> unit
+(** [update b ~row w] records the basis change that made the column with
+    ftran image [w] basic at position [row].  [w] must be the full
+    [B⁻¹a] vector of the {e current} basis (the ratio-test direction). *)
+
+val ftran : t -> float array -> float array
+(** Solve [B x = rhs] (dense right-hand side, indexed by row); the
+    result is indexed by basis position. *)
+
+val ftran_col : t -> (int * float) list -> float array
+(** {!ftran} of a sparse column — the pricing-column extraction path. *)
+
+val btran : t -> float array -> float array
+(** Solve [Bᵀ y = c] ([c] indexed by basis position); the result is
+    indexed by row — the simplex multipliers. *)
+
+val eta_len : t -> int
+
+val should_refactor : t -> bool
+(** True once the eta file is long or dense enough that refactorizing is
+    cheaper than carrying it further. *)

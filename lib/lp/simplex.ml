@@ -16,11 +16,20 @@ type outcome =
 
 type status = Basic | At_lower | At_upper | Free_nb
 
+type kernel = [ `Sparse | `Dense ]
+
 (* Numerical tolerances: [tol_d] for reduced costs, [tol_p] for pivots,
    [tol_f] for feasibility of the phase-1 objective. *)
 let tol_d = 1e-9
 let tol_p = 1e-10
 let tol_f = 1e-7
+
+(* A pivot whose step is below [tol_degen] makes no progress; a streak of
+   [bland_streak] of them in a row switches pricing to Bland's rule until
+   the objective moves again, so a cycling-prone vertex costs a bounded
+   number of stalled iterations instead of the whole [max_iter] budget. *)
+let tol_degen = 1e-10
+let bland_streak = 40
 
 (* Observability probes: single-atomic-load no-ops until metrics are
    enabled.  Pivots are counted at both basis changes and bound flips —
@@ -32,10 +41,15 @@ let m_phase1_ns = Obs.Metrics.counter "simplex.phase1_ns"
 let m_phase2_ns = Obs.Metrics.counter "simplex.phase2_ns"
 let m_warm_starts = Obs.Metrics.counter "simplex.warm_starts"
 let m_warm_rejects = Obs.Metrics.counter "simplex.warm_rejects"
+let m_bland = Obs.Metrics.counter "simplex.bland_activations"
 
 let h_pivots =
   Obs.Metrics.histogram "simplex.pivots_per_solve"
     ~buckets:[| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+
+let h_refactor_ns =
+  Obs.Metrics.histogram "simplex.refactor_ns"
+    ~buckets:[| 1e3; 3e3; 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 1e8 |]
 
 (* Run [f] and charge its wall time to counter [c] (whole nanoseconds).
    The clock is only read when metrics are on. *)
@@ -48,6 +62,24 @@ let timed c f =
   end
   else f ()
 
+let timed_hist h f =
+  if Obs.Metrics.enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    Obs.Metrics.observe h (float_of_int (Obs.Clock.now_ns () - t0));
+    r
+  end
+  else f ()
+
+(* The factorized representation of the basis matrix.  [F_sparse] is the
+   default revised-simplex kernel: a Markowitz LU plus a product-form
+   eta file ({!Basis}).  [F_dense] keeps the explicit dense inverse
+   updated by eta row operations — O(m²) per pivot — as the oracle and
+   bench baseline the sparse kernel is measured against. *)
+type factor =
+  | F_sparse of Basis.t
+  | F_dense of Numerics.Matrix.t
+
 type state = {
   m : int;                    (* rows *)
   n_total : int;              (* structural + artificial variables *)
@@ -57,25 +89,50 @@ type state = {
   up : float array;
   status : status array;
   basis : int array;          (* basis.(i) = variable basic in row i *)
-  binv : Numerics.Matrix.t;   (* dense basis inverse *)
+  fac : factor;
   x : float array;            (* current values of all variables *)
 }
 
-(* Apply B⁻¹ to a sparse column. *)
-let binv_times_col st col =
-  let w = Array.make st.m 0. in
-  List.iter
-    (fun (i, v) ->
-      (* robustlint: allow R1 — exact-zero sparsity skip over stored coefficients *)
-      if v <> 0. then
-        for r = 0 to st.m - 1 do
-          w.(r) <- w.(r) +. (Numerics.Matrix.get st.binv r i *. v)
-        done)
-    col;
-  w
+let basis_columns st = Array.init st.m (fun r -> st.cols.(st.basis.(r)))
+
+(* w = B⁻¹ a for a sparse column [a] (the ftran of the entering column). *)
+let ftran_col st col =
+  match st.fac with
+  | F_sparse b -> Basis.ftran_col b col
+  | F_dense binv ->
+    let w = Array.make st.m 0. in
+    List.iter
+      (fun (i, v) ->
+        (* robustlint: allow R1 — exact-zero sparsity skip over stored coefficients *)
+        if v <> 0. then
+          for r = 0 to st.m - 1 do
+            w.(r) <- w.(r) +. (Numerics.Matrix.get binv r i *. v)
+          done)
+      col;
+    w
+
+(* x_B = B⁻¹ rhs for a dense right-hand side. *)
+let ftran_dense st rhs =
+  match st.fac with
+  | F_sparse b -> Basis.ftran b rhs
+  | F_dense binv ->
+    Array.init st.m (fun r ->
+        let acc = ref 0. in
+        for i = 0 to st.m - 1 do
+          acc := !acc +. (Numerics.Matrix.get binv r i *. rhs.(i))
+        done;
+        !acc)
+
+(* Simplex multipliers y = B⁻ᵀ c_B. *)
+let multipliers st c =
+  let cb = Array.init st.m (fun r -> c.(st.basis.(r))) in
+  match st.fac with
+  | F_sparse b -> Basis.btran b cb
+  | F_dense binv -> Numerics.Matrix.tmv binv cb
 
 (* Recompute the values of the basic variables from the nonbasic ones:
-   x_B = B⁻¹ (b − N x_N). *)
+   x_B = B⁻¹ (b − N x_N).  Pivots update x incrementally; this exact
+   recomputation runs after every refactorization to wash out drift. *)
 let recompute_basics st =
   let resid = Array.copy st.rhs in
   for j = 0 to st.n_total - 1 do
@@ -86,27 +143,55 @@ let recompute_basics st =
       (* robustlint: allow R1 — exact-zero sparsity skip *)
       if xj <> 0. then List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. xj)) st.cols.(j)
   done;
+  let xb = ftran_dense st resid in
   for r = 0 to st.m - 1 do
-    let acc = ref 0. in
-    for i = 0 to st.m - 1 do
-      acc := !acc +. (Numerics.Matrix.get st.binv r i *. resid.(i))
-    done;
-    st.x.(st.basis.(r)) <- !acc
+    st.x.(st.basis.(r)) <- xb.(r)
   done
 
-(* Rebuild B⁻¹ from scratch (numerical refresh). *)
+(* Rebuild the factorization from scratch (numerical refresh; for the
+   sparse kernel also the answer to a full eta file). *)
 let refactor st =
   Obs.Metrics.incr m_refactors;
-  let b = Numerics.Matrix.zeros st.m st.m in
-  Array.iteri
-    (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) st.cols.(j))
-    st.basis;
-  let inv = Numerics.Lu.inverse (Numerics.Lu.factor b) in
-  for i = 0 to st.m - 1 do
-    for j = 0 to st.m - 1 do
-      Numerics.Matrix.set st.binv i j (Numerics.Matrix.get inv i j)
+  timed_hist h_refactor_ns @@ fun () ->
+  match st.fac with
+  | F_sparse b -> Basis.refactor b (basis_columns st)
+  | F_dense binv ->
+    let b = Numerics.Matrix.zeros st.m st.m in
+    Array.iteri
+      (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) st.cols.(j))
+      st.basis;
+    let inv = Numerics.Lu.inverse (Numerics.Lu.factor b) in
+    for i = 0 to st.m - 1 do
+      for j = 0 to st.m - 1 do
+        Numerics.Matrix.set binv i j (Numerics.Matrix.get inv i j)
+      done
     done
-  done
+
+let needs_refactor st iter =
+  match st.fac with
+  | F_sparse b -> Basis.should_refactor b
+  | F_dense _ -> iter mod 128 = 0
+
+(* Record the basis change at row position [r] with ftran image [w]. *)
+let update_factor st r w =
+  match st.fac with
+  | F_sparse b -> Basis.update b ~row:r w
+  | F_dense binv ->
+    let wr = w.(r) in
+    for i = 0 to st.m - 1 do
+      (* robustlint: allow R1 — exact-zero sparsity skip in the pivot update *)
+      if i <> r && w.(i) <> 0. then begin
+        let factor = w.(i) /. wr in
+        for cidx = 0 to st.m - 1 do
+          Numerics.Matrix.set binv i cidx
+            (Numerics.Matrix.get binv i cidx
+            -. (factor *. Numerics.Matrix.get binv r cidx))
+        done
+      end
+    done;
+    for cidx = 0 to st.m - 1 do
+      Numerics.Matrix.set binv r cidx (Numerics.Matrix.get binv r cidx /. wr)
+    done
 
 (* Reduced cost of variable [j] given simplex multipliers [y]. *)
 let reduced_cost st c y j =
@@ -114,27 +199,25 @@ let reduced_cost st c y j =
   List.iter (fun (i, v) -> d := !d -. (y.(i) *. v)) st.cols.(j);
   !d
 
-let multipliers st c =
-  let cb = Array.init st.m (fun r -> c.(st.basis.(r))) in
-  Numerics.Matrix.tmv st.binv cb
-
 (* One phase of the simplex loop with objective [c] (maximization).
    Returns [`Optimal] or [`Unbounded]. *)
 let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
   let iter = ref 0 in
-  let stall = ref 0 in
+  let degen = ref 0 in
+  let bland_on = ref false in
   let last_obj = ref neg_infinity in
   let result = ref None in
   while !result = None do
     incr iter;
     if !iter > max_iter then failwith "Simplex.optimize: iteration limit exceeded";
-    if !iter mod 128 = 0 then begin
+    if needs_refactor st !iter then begin
       refactor st;
       recompute_basics st
     end;
     let y = multipliers st c in
-    (* Entering variable: Dantzig pricing, Bland's rule once stalled. *)
-    let bland = !stall > 256 in
+    (* Entering variable: Dantzig pricing; Bland's rule once a streak of
+       degenerate pivots marks the vertex as cycling-prone. *)
+    let bland = !bland_on in
     let entering = ref (-1) in
     let best = ref tol_d in
     (try
@@ -166,7 +249,7 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
     if !entering < 0 then result := Some `Optimal
     else begin
       let j = !entering in
-      let dj = reduced_cost st c (multipliers st c) j in
+      let dj = reduced_cost st c y j in
       let dir =
         match st.status.(j) with
         | At_lower -> 1.
@@ -174,7 +257,7 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
         | Free_nb -> if dj > 0. then 1. else -1.
         | Basic -> assert false
       in
-      let w = binv_times_col st st.cols.(j) in
+      let w = ftran_col st st.cols.(j) in
       (* Ratio test: the entering variable moves by [dir * t], t >= 0. *)
       let t_flip =
         if st.lo.(j) > neg_infinity && st.up.(j) < infinity then st.up.(j) -. st.lo.(j)
@@ -214,48 +297,47 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
         let t = !t_best in
         incr pivots;
         Obs.Metrics.incr m_pivots;
+        (* Move the basic variables along the direction, then place the
+           entering/leaving variables exactly. *)
+        let step = dir *. t in
+        (* robustlint: allow R1 — a degenerate step moves nothing, exactly *)
+        if step <> 0. then
+          for r = 0 to st.m - 1 do
+            let k = st.basis.(r) in
+            st.x.(k) <- st.x.(k) -. (step *. w.(r))
+          done;
         if !leave_row < 0 then begin
           (* Bound flip: the entering variable runs to its opposite bound. *)
           st.x.(j) <- (if dir > 0. then st.up.(j) else st.lo.(j));
-          st.status.(j) <- (if dir > 0. then At_upper else At_lower);
-          recompute_basics st
+          st.status.(j) <- (if dir > 0. then At_upper else At_lower)
         end
         else begin
           let r = !leave_row in
           let k = st.basis.(r) in
-          (* Update the basis inverse by the eta pivot on row r. *)
-          let wr = w.(r) in
-          for i = 0 to st.m - 1 do
-            (* robustlint: allow R1 — exact-zero sparsity skip in the pivot update *)
-            if i <> r && w.(i) <> 0. then begin
-              let factor = w.(i) /. wr in
-              for cidx = 0 to st.m - 1 do
-                Numerics.Matrix.set st.binv i cidx
-                  (Numerics.Matrix.get st.binv i cidx
-                  -. (factor *. Numerics.Matrix.get st.binv r cidx))
-              done
-            end
-          done;
-          for cidx = 0 to st.m - 1 do
-            Numerics.Matrix.set st.binv r cidx (Numerics.Matrix.get st.binv r cidx /. wr)
-          done;
+          update_factor st r w;
           st.basis.(r) <- j;
           st.status.(j) <- Basic;
-          st.x.(j) <- st.x.(j) +. (dir *. t);
+          st.x.(j) <- st.x.(j) +. step;
           st.status.(k) <- (if !leave_to_upper then At_upper else At_lower);
-          st.x.(k) <- (if !leave_to_upper then st.up.(k) else st.lo.(k));
-          recompute_basics st
+          st.x.(k) <- (if !leave_to_upper then st.up.(k) else st.lo.(k))
         end;
-        (* Stall detection for the Bland fallback. *)
+        (* Degenerate-streak bookkeeping for the Bland fallback. *)
         let obj = ref 0. in
         for v = 0 to st.n_total - 1 do
           obj := !obj +. (c.(v) *. st.x.(v))
         done;
         if !obj > !last_obj +. 1e-12 then begin
           last_obj := !obj;
-          stall := 0
+          degen := 0;
+          bland_on := false
         end
-        else incr stall
+        else if t <= tol_degen then begin
+          incr degen;
+          if (not !bland_on) && !degen >= bland_streak then begin
+            bland_on := true;
+            Obs.Metrics.incr m_bland
+          end
+        end
       end
     end
   done;
@@ -263,16 +345,33 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
 
 type basis = { b_status : status array; b_rows : int array }
 
+(* Build the factorization of the m columns basic in rows 0..m-1.
+   [None] on a singular basis matrix. *)
+let factor_basis ~kernel ~m cols_of =
+  match kernel with
+  | `Sparse -> (
+    match Basis.factor (Array.init m cols_of) with
+    | exception Numerics.Sparse_lu.Singular -> None
+    | b -> Some (F_sparse b))
+  | `Dense -> (
+    let b = Numerics.Matrix.zeros m m in
+    Array.iteri (fun r col -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) col)
+      (Array.init m cols_of);
+    match Numerics.Lu.factor b with
+    | exception Numerics.Lu.Singular -> None
+    | lu -> Some (F_dense (Numerics.Lu.inverse lu)))
+
 (* Reconstruct a full simplex state from a previously optimal basis:
    statuses for the structural variables plus the basic variable of each
    row.  Artificials are re-created pinned at zero (lo = up = 0,
-   nonbasic), the basis matrix is refactored from scratch, and the basic
-   values are recomputed against the {e new} rhs/bounds — so a basis
-   carried over from a neighboring LP yields an exact vertex of the new
-   LP, not an approximation.  Returns [None] (reject, caller goes cold)
-   when the basis is structurally inconsistent with the spec, the basis
-   matrix is singular, or the implied vertex is primal-infeasible. *)
-let warm_state spec basis =
+   nonbasic), the basis matrix is refactorized from scratch through the
+   selected kernel, and the basic values are recomputed against the
+   {e new} rhs/bounds — so a basis carried over from a neighboring LP
+   yields an exact vertex of the new LP, not an approximation.  Returns
+   [None] (reject, caller goes cold) when the basis is structurally
+   inconsistent with the spec, the basis matrix is singular, or the
+   implied vertex is primal-infeasible. *)
+let warm_state ~kernel spec basis =
   let m = spec.n_rows in
   let n = Array.length spec.cols in
   if Array.length basis.b_status <> n || Array.length basis.b_rows <> m then None
@@ -313,17 +412,12 @@ let warm_state spec basis =
       let cols =
         Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, 1.) ]))
       in
-      let b = Numerics.Matrix.zeros m m in
-      Array.iteri
-        (fun r j -> List.iter (fun (i, v) -> Numerics.Matrix.set b i r v) spec.cols.(j))
-        basis.b_rows;
-      match Numerics.Lu.factor b with
-      | exception Numerics.Lu.Singular -> None
-      | lu ->
-        let binv = Numerics.Lu.inverse lu in
+      match factor_basis ~kernel ~m (fun r -> spec.cols.(basis.b_rows.(r))) with
+      | None -> None
+      | Some fac ->
         let st =
           { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status;
-            basis = Array.copy basis.b_rows; binv; x }
+            basis = Array.copy basis.b_rows; fac; x }
         in
         recompute_basics st;
         let feasible = ref true in
@@ -343,7 +437,83 @@ let basis_of st n =
   if Array.exists (fun j -> j >= n) st.basis then None
   else Some { b_status = Array.sub st.status 0 n; b_rows = Array.copy st.basis }
 
-let rec solve_basis ?(max_iter = 50_000) ?basis spec =
+let cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2 =
+  let m = spec.n_rows in
+  let n = Array.length spec.cols in
+  let n_total = n + m in
+  let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
+  let up = Array.append (Array.copy spec.up) (Array.make m infinity) in
+  let status = Array.make n_total At_lower in
+  let x = Array.make n_total 0. in
+  (* Start every structural variable at its bound nearest zero. *)
+  for j = 0 to n - 1 do
+    if not (lo.(j) <= up.(j)) then invalid_arg "Simplex.solve: empty variable bound";
+    if lo.(j) > neg_infinity && 0. <= lo.(j) then begin
+      x.(j) <- lo.(j);
+      status.(j) <- At_lower
+    end
+    else if up.(j) < infinity && 0. >= up.(j) then begin
+      x.(j) <- up.(j);
+      status.(j) <- At_upper
+    end
+    else if lo.(j) > neg_infinity then begin
+      x.(j) <- lo.(j);
+      status.(j) <- At_lower
+    end
+    else if up.(j) < infinity then begin
+      x.(j) <- up.(j);
+      status.(j) <- At_upper
+    end
+    else begin
+      x.(j) <- 0.;
+      status.(j) <- Free_nb
+    end
+  done;
+  (* Residual determines the artificial columns' signs. *)
+  let resid = Array.copy spec.rhs in
+  for j = 0 to n - 1 do
+    (* robustlint: allow R1 — exact-zero sparsity skip while building the residual *)
+    if x.(j) <> 0. then
+      List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. x.(j))) spec.cols.(j)
+  done;
+  let art_sign = Array.map (fun r -> if r >= 0. then 1. else -1.) resid in
+  let cols =
+    Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, art_sign.(i)) ]))
+  in
+  let basis = Array.init m (fun i -> n + i) in
+  let fac =
+    match factor_basis ~kernel ~m (fun i -> [ (i, art_sign.(i)) ]) with
+    | Some f -> f
+    | None -> invalid_arg "Simplex.solve: artificial basis cannot be singular"
+  in
+  for i = 0 to m - 1 do
+    status.(n + i) <- Basic;
+    x.(n + i) <- Float.abs resid.(i)
+  done;
+  let st = { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status; basis; fac; x } in
+  (* Phase 1: minimize the sum of artificials. *)
+  let c1 = Array.init n_total (fun j -> if j >= n then -1. else 0.) in
+  (match timed m_phase1_ns (fun () -> optimize ~max_iter ~pivots st c1) with
+   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+   | `Optimal -> ());
+  let infeas = ref 0. in
+  for i = 0 to m - 1 do
+    infeas := !infeas +. x.(n + i)
+  done;
+  if !infeas > tol_f then finish st Infeasible
+  else begin
+    (* Pin the artificials at zero for phase 2. *)
+    for i = 0 to m - 1 do
+      st.up.(n + i) <- 0.;
+      if st.status.(n + i) <> Basic then begin
+        st.status.(n + i) <- At_lower;
+        st.x.(n + i) <- 0.
+      end
+    done;
+    finish st (phase2 st)
+  end
+
+let solve_basis ?(max_iter = 50_000) ?(kernel = `Sparse) ?basis spec =
   Obs.Metrics.incr m_solves;
   Obs.Span.with_span "simplex.solve" @@ fun () ->
   let pivots = ref 0 in
@@ -370,12 +540,12 @@ let rec solve_basis ?(max_iter = 50_000) ?basis spec =
       Optimal { x = xs; objective = !objective }
   in
   let cold () =
-    cold_solve spec ~max_iter ~pivots ~finish ~phase2
+    cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2
   in
   match basis with
   | None -> cold ()
   | Some b -> (
-    match warm_state spec b with
+    match warm_state ~kernel spec b with
     | None ->
       Obs.Metrics.incr m_warm_rejects;
       cold ()
@@ -389,80 +559,4 @@ let rec solve_basis ?(max_iter = 50_000) ?basis spec =
         Obs.Metrics.incr m_warm_rejects;
         cold ()))
 
-and cold_solve spec ~max_iter ~pivots ~finish ~phase2 =
-  let m = spec.n_rows in
-  let n = Array.length spec.cols in
-  let n_total = n + m in
-  let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
-  let up = Array.append (Array.copy spec.up) (Array.make m infinity) in
-  let status = Array.make n_total At_lower in
-  let x = Array.make n_total 0. in
-  (* Start every structural variable at its bound nearest zero. *)
-  for j = 0 to n - 1 do
-    if not (lo.(j) <= up.(j)) then invalid_arg "Simplex.solve: empty variable bound";
-    if lo.(j) > neg_infinity && 0. <= lo.(j) then begin
-      x.(j) <- lo.(j);
-      status.(j) <- At_lower
-    end
-    else if up.(j) < infinity && 0. >= up.(j) then begin
-      x.(j) <- up.(j);
-      status.(j) <- At_upper
-    end
-    else if lo.(j) > neg_infinity then begin
-      (* lo < 0 <= up, start at zero?  Pick a bound so the variable is
-         properly nonbasic: use the lower bound when finite. *)
-      x.(j) <- lo.(j);
-      status.(j) <- At_lower
-    end
-    else if up.(j) < infinity then begin
-      x.(j) <- up.(j);
-      status.(j) <- At_upper
-    end
-    else begin
-      x.(j) <- 0.;
-      status.(j) <- Free_nb
-    end
-  done;
-  (* Residual determines the artificial columns' signs. *)
-  let resid = Array.copy spec.rhs in
-  for j = 0 to n - 1 do
-    (* robustlint: allow R1 — exact-zero sparsity skip while building the residual *)
-    if x.(j) <> 0. then
-      List.iter (fun (i, v) -> resid.(i) <- resid.(i) -. (v *. x.(j))) spec.cols.(j)
-  done;
-  let art_sign = Array.map (fun r -> if r >= 0. then 1. else -1.) resid in
-  let cols =
-    Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, art_sign.(i)) ]))
-  in
-  let basis = Array.init m (fun i -> n + i) in
-  let binv =
-    Numerics.Matrix.init m m (fun i j -> if i = j then art_sign.(i) else 0.)
-  in
-  for i = 0 to m - 1 do
-    status.(n + i) <- Basic;
-    x.(n + i) <- Float.abs resid.(i)
-  done;
-  let st = { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status; basis; binv; x } in
-  (* Phase 1: minimize the sum of artificials. *)
-  let c1 = Array.init n_total (fun j -> if j >= n then -1. else 0.) in
-  (match timed m_phase1_ns (fun () -> optimize ~max_iter ~pivots st c1) with
-   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
-   | `Optimal -> ());
-  let infeas = ref 0. in
-  for i = 0 to m - 1 do
-    infeas := !infeas +. x.(n + i)
-  done;
-  if !infeas > tol_f then finish st Infeasible
-  else begin
-    (* Pin the artificials at zero for phase 2. *)
-    for i = 0 to m - 1 do
-      st.up.(n + i) <- 0.;
-      if st.status.(n + i) <> Basic then begin
-        st.status.(n + i) <- At_lower;
-        st.x.(n + i) <- 0.
-      end
-    done;
-    finish st (phase2 st)
-  end
-
-let solve ?max_iter ?basis spec = fst (solve_basis ?max_iter ?basis spec)
+let solve ?max_iter ?kernel ?basis spec = fst (solve_basis ?max_iter ?kernel ?basis spec)

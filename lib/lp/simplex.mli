@@ -1,10 +1,10 @@
 (** Bounded-variable revised simplex over equality constraints.
 
     Solves:  maximize c·x  subject to  A x = b,  lo ≤ x ≤ up
-    where bounds may be infinite.  The implementation keeps an explicit
-    dense basis inverse updated by eta pivots, uses Dantzig pricing with a
-    Bland's-rule fallback against cycling, and a two-phase start with
-    artificial variables. *)
+    where bounds may be infinite.  The implementation is a revised
+    simplex over a pluggable basis factorization (see {!kernel}), uses
+    Dantzig pricing with a degenerate-streak Bland's-rule fallback
+    against cycling, and a two-phase start with artificial variables. *)
 
 type column = (int * float) list
 (** Sparse column: [(row index, coefficient)] pairs. *)
@@ -26,29 +26,44 @@ type outcome =
 type status = Basic | At_lower | At_upper | Free_nb
 (** Simplex status of a structural variable at a vertex. *)
 
+type kernel = [ `Sparse | `Dense ]
+(** Basis-factorization kernel.  [`Sparse] (the default) keeps a sparse
+    Markowitz LU of the basis maintained across pivots by a product-form
+    eta file ({!Basis}) — pivot cost scales with the nonzeros touched,
+    not with [m²].  [`Dense] keeps the explicit dense basis inverse
+    updated by eta row operations; it is retained as the oracle and
+    benchmark baseline.  Both kernels are bit-for-bit deterministic
+    functions of the spec (and warm basis), but they are {e different}
+    functions — compare results across kernels with tolerances, within a
+    kernel exactly. *)
+
 type basis = { b_status : status array; b_rows : int array }
 (** A restartable optimal basis: per-structural-variable statuses plus
     the structural variable basic in each row.  Purely structural — no
     numerical state — so a basis from one LP can warm-start any other LP
     with the same shape (same columns, possibly different rhs, bounds or
     objective), which is exactly the situation in FVA sweeps,
-    ε-constraint scans and knockout screens. *)
+    ε-constraint scans and knockout screens.  Structural also means
+    kernel-independent: a basis obtained under one kernel can warm-start
+    a solve under the other. *)
 
-val solve : ?max_iter:int -> ?basis:basis -> spec -> outcome
+val solve : ?max_iter:int -> ?kernel:kernel -> ?basis:basis -> spec -> outcome
 (** Solve the LP. [max_iter] bounds total pivots (default [50_000]);
     exceeding it raises [Failure].
 
     [basis] warm-starts the solve from a previously returned basis: the
-    basis matrix is refactored against the new spec, basic values are
-    recomputed, and — when the implied vertex is primal-feasible — phase
-    1 is skipped entirely.  A basis that does not fit (wrong shape,
-    singular, infeasible vertex, or the warm phase 2 exhausts
-    [max_iter]) is rejected and the solver silently falls back to the
-    cold two-phase path, so the result is the same [outcome] either way
-    — only the pivot count changes ([simplex.warm_starts] /
-    [simplex.warm_rejects] metrics record which path ran). *)
+    basis matrix is refactored against the new spec (through the
+    selected kernel), basic values are recomputed, and — when the
+    implied vertex is primal-feasible — phase 1 is skipped entirely.  A
+    basis that does not fit (wrong shape, singular, infeasible vertex,
+    or the warm phase 2 exhausts [max_iter]) is rejected and the solver
+    silently falls back to the cold two-phase path, so the result is the
+    same [outcome] either way — only the pivot count changes
+    ([simplex.warm_starts] / [simplex.warm_rejects] metrics record which
+    path ran). *)
 
-val solve_basis : ?max_iter:int -> ?basis:basis -> spec -> outcome * basis option
+val solve_basis :
+  ?max_iter:int -> ?kernel:kernel -> ?basis:basis -> spec -> outcome * basis option
 (** Like {!solve}, additionally returning the optimal basis for reuse in
     a subsequent warm start.  [None] unless the outcome is [Optimal]
     with an all-structural basis (a vertex whose basis still contains an

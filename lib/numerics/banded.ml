@@ -1,0 +1,139 @@
+(* Banded square matrices in LAPACK-style band storage and an
+   unblocked gbtrf-style LU with partial pivoting.
+
+   A matrix with [ml] sub- and [mu] superdiagonals is stored
+   column-major with leading dimension [ldab = 2*ml + mu + 1]: entry
+   (i, j) lives at [data.(j*ldab + ml + mu + i - j)].  The extra [ml]
+   top rows absorb the fill-in that row swaps push above the original
+   superdiagonals, so factorization happens in place.  All loops run
+   over fixed index ranges in a fixed order — the factorization and
+   solves are bit-for-bit deterministic functions of the input. *)
+
+type mat = {
+  n : int;
+  ml : int;
+  mu : int;
+  data : float array;  (* ldab × n, column-major *)
+}
+
+type t = {
+  f_mat : mat;          (* factors in place: L below, U on/above diagonal *)
+  ipiv : int array;     (* row swapped with row j at elimination step j *)
+}
+
+exception Singular
+
+let pivot_tolerance = 1e-13
+
+let ldab m = (2 * m.ml) + m.mu + 1
+
+let create ~n ~ml ~mu =
+  if n <= 0 then invalid_arg "Banded.create: need n > 0";
+  if ml < 0 || mu < 0 || ml >= n || mu >= n then
+    invalid_arg "Banded.create: bandwidths out of range";
+  { n; ml; mu; data = Array.make (((2 * ml) + mu + 1) * n) 0. }
+
+let rows m = m.n
+let bands m = (m.ml, m.mu)
+
+(* Index of (i, j); caller guarantees j - (ml + mu) <= i <= j + ml. *)
+let idx m i j = (j * ldab m) + m.ml + m.mu + i - j
+
+let in_band m i j = i - j <= m.ml && j - i <= m.mu
+
+let set m i j v =
+  if not (0 <= i && i < m.n && 0 <= j && j < m.n) then
+    invalid_arg "Banded.set: index out of range";
+  if in_band m i j then m.data.(idx m i j) <- v
+  else if
+    (* robustlint: allow R1 — storing an exact zero outside the band is a no-op *)
+    v <> 0.
+  then invalid_arg "Banded.set: entry outside the band"
+
+let get m i j =
+  if not (0 <= i && i < m.n && 0 <= j && j < m.n) then
+    invalid_arg "Banded.get: index out of range";
+  if in_band m i j then m.data.(idx m i j) else 0.
+
+(* Dense y = A x, for oracle tests and residual checks. *)
+let mv m x =
+  if Array.length x <> m.n then invalid_arg "Banded.mv: length mismatch";
+  let y = Array.make m.n 0. in
+  for j = 0 to m.n - 1 do
+    let xj = x.(j) in
+    for i = max 0 (j - m.mu) to min (m.n - 1) (j + m.ml) do
+      y.(i) <- y.(i) +. (m.data.(idx m i j) *. xj)
+    done
+  done;
+  y
+
+let factor src =
+  let n = src.n and ml = src.ml and mu = src.mu in
+  let m = { src with data = Array.copy src.data } in
+  let ipiv = Array.make n 0 in
+  for j = 0 to n - 1 do
+    (* Partial pivoting within the [ml] rows below the diagonal. *)
+    let i_max = min (n - 1) (j + ml) in
+    let p = ref j in
+    let best = ref (Float.abs m.data.(idx m j j)) in
+    for i = j + 1 to i_max do
+      let a = Float.abs m.data.(idx m i j) in
+      if a > !best then begin
+        best := a;
+        p := i
+      end
+    done;
+    if !best < pivot_tolerance then raise Singular;
+    ipiv.(j) <- !p;
+    let k_max = min (n - 1) (j + ml + mu) in
+    if !p <> j then
+      for k = j to k_max do
+        let a = idx m j k and b = idx m !p k in
+        let t = m.data.(a) in
+        m.data.(a) <- m.data.(b);
+        m.data.(b) <- t
+      done;
+    let piv = m.data.(idx m j j) in
+    for i = j + 1 to i_max do
+      let l = m.data.(idx m i j) /. piv in
+      m.data.(idx m i j) <- l;
+      (* robustlint: allow R1 — exact-zero multiplier skips the whole row update *)
+      if l <> 0. then
+        for k = j + 1 to k_max do
+          m.data.(idx m i k) <- m.data.(idx m i k) -. (l *. m.data.(idx m j k))
+        done
+    done
+  done;
+  { f_mat = m; ipiv }
+
+let solve f b =
+  let m = f.f_mat in
+  let n = m.n and ml = m.ml and mu = m.mu in
+  if Array.length b <> n then invalid_arg "Banded.solve: length mismatch";
+  let x = Array.copy b in
+  (* Forward: apply the recorded swaps and the L factors. *)
+  for j = 0 to n - 1 do
+    let p = f.ipiv.(j) in
+    if p <> j then begin
+      let t = x.(j) in
+      x.(j) <- x.(p);
+      x.(p) <- t
+    end;
+    let xj = x.(j) in
+    (* robustlint: allow R1 — exact-zero sparsity skip *)
+    if xj <> 0. then
+      for i = j + 1 to min (n - 1) (j + ml) do
+        x.(i) <- x.(i) -. (m.data.(idx m i j) *. xj)
+      done
+  done;
+  (* Backward: U has bandwidth ml + mu after fill-in. *)
+  for j = n - 1 downto 0 do
+    x.(j) <- x.(j) /. m.data.(idx m j j);
+    let xj = x.(j) in
+    (* robustlint: allow R1 — exact-zero sparsity skip *)
+    if xj <> 0. then
+      for i = max 0 (j - ml - mu) to j - 1 do
+        x.(i) <- x.(i) -. (m.data.(idx m i j) *. xj)
+      done
+  done;
+  x

@@ -1,0 +1,49 @@
+(** Banded square matrices and a banded LU with partial pivoting.
+
+    A matrix with [ml] subdiagonals and [mu] superdiagonals is held in
+    LAPACK-style band storage ([2·ml + mu + 1] rows), so {!factor} and
+    {!solve} cost O(n·ml·(ml+mu)) and O(n·(ml+mu)) — linear in [n] for
+    fixed bandwidth, against the dense solver's cubic.  Partial
+    pivoting swaps only within the band (fill-in stays inside the
+    reserved [ml] extra superdiagonals), and every loop runs a fixed
+    index range in a fixed order, so factorization and solve are
+    bit-for-bit deterministic.
+
+    This is the Newton-matrix kernel behind the banded Jacobian path of
+    {!Ode.implicit_euler}. *)
+
+type mat
+(** A mutable banded matrix (builder). *)
+
+type t
+(** A factorization [P·A = L·U] kept in band storage. *)
+
+exception Singular
+(** Raised by {!factor} when a pivot column has no entry above the
+    magnitude tolerance. *)
+
+val create : n:int -> ml:int -> mu:int -> mat
+(** Zero [n]×[n] matrix with [ml] sub- and [mu] superdiagonals.
+    Raises [Invalid_argument] unless [0 <= ml, mu < n]. *)
+
+val rows : mat -> int
+
+val bands : mat -> int * int
+(** [(ml, mu)]. *)
+
+val set : mat -> int -> int -> float -> unit
+(** [set m i j v] stores entry (i, j).  Raises [Invalid_argument] for a
+    nonzero value outside the band (storing zero there is a no-op). *)
+
+val get : mat -> int -> int -> float
+(** Entry (i, j); zero outside the band. *)
+
+val mv : mat -> float array -> float array
+(** [A x] — for residual checks and oracle tests. *)
+
+val factor : mat -> t
+(** Banded LU with partial pivoting.  The input matrix is not
+    modified.  Raises {!Singular} on (numerical) rank deficiency. *)
+
+val solve : t -> float array -> float array
+(** [solve f b] solves [A x = b]. *)

@@ -19,6 +19,7 @@ let m_jacobians = Obs.Metrics.counter "ode.jacobians"
 let m_underflows = Obs.Metrics.counter "ode.underflows"
 let m_deadlines = Obs.Metrics.counter "ode.deadlines"
 let m_jacobian_reuses = Obs.Metrics.counter "ode.jacobian_reuses"
+let m_jacobian_cols = Obs.Metrics.counter "ode.jacobian_cols"
 let m_warm_starts = Obs.Metrics.counter "ode.warm_starts"
 let m_warm_fallbacks = Obs.Metrics.counter "ode.warm_fallbacks"
 let m_integrations = Obs.Metrics.counter "ode.integrations"
@@ -151,19 +152,66 @@ let dopri5 ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   { t = !t; y = !y; stats = { steps = !accepted; rejected = !rejected; evals = !evals };
     h_last = !h }
 
+let fd_step yj = 1e-7 *. Float.max 1. (Float.abs yj)
+
 let numeric_jacobian f t y =
   Obs.Metrics.incr m_jacobians;
   let n = Array.length y in
+  Obs.Metrics.add m_jacobian_cols n;
   let f0 = f t y in
   let jac = Matrix.zeros n n in
   let yp = Array.copy y in
   for j = 0 to n - 1 do
-    let h = 1e-7 *. Float.max 1. (Float.abs y.(j)) in
+    let h = fd_step y.(j) in
     yp.(j) <- y.(j) +. h;
     let fj = f t yp in
     yp.(j) <- y.(j);
     for i = 0 to n - 1 do
       Matrix.set jac i j ((fj.(i) -. f0.(i)) /. h)
+    done
+  done;
+  jac
+
+(* Structural sparsity of the rhs: [Dense] evaluates one perturbed rhs
+   per state (n + 1 evaluations); [Band] declares that component [i] of
+   the rhs depends only on states [i - ml .. i + mu] — i.e. the Jacobian
+   has [ml] sub- and [mu] superdiagonals. *)
+type jac = Dense | Band of { ml : int; mu : int }
+
+(* Curtis–Powell–Reid column grouping for a banded Jacobian: columns
+   j ≡ p (mod g) with g = ml + mu + 1 touch disjoint row ranges, so one
+   rhs evaluation recovers a whole group of columns.  The total cost is
+   g + 1 evaluations — bandwidth-, not dimension-, bound.  Each entry is
+   the same forward difference the dense path computes (the other
+   perturbed columns of the group cannot reach row [i] when the rhs
+   really is banded), so on an exactly banded system the result is
+   bit-for-bit identical to {!numeric_jacobian}. *)
+let numeric_jacobian_banded f t y ~ml ~mu =
+  Obs.Metrics.incr m_jacobians;
+  let n = Array.length y in
+  if ml < 0 || mu < 0 || ml >= n || mu >= n then
+    invalid_arg "Ode.numeric_jacobian_banded: bandwidths out of range";
+  let g = min n (ml + mu + 1) in
+  Obs.Metrics.add m_jacobian_cols g;
+  let f0 = f t y in
+  let jac = Banded.create ~n ~ml ~mu in
+  let yp = Array.copy y in
+  for p = 0 to g - 1 do
+    let j = ref p in
+    while !j < n do
+      yp.(!j) <- y.(!j) +. fd_step y.(!j);
+      j := !j + g
+    done;
+    let fp = f t yp in
+    let j = ref p in
+    while !j < n do
+      let jj = !j in
+      yp.(jj) <- y.(jj);
+      let h = fd_step y.(jj) in
+      for i = max 0 (jj - mu) to min (n - 1) (jj + ml) do
+        Banded.set jac i jj ((fp.(i) -. f0.(i)) /. h)
+      done;
+      j := jj + g
     done
   done;
   jac
@@ -177,21 +225,44 @@ let numeric_jacobian f t y =
    dominates the step cost, so freezing it is the single biggest saving
    of the stiff tier — at the price of extra (cheap) iterations, never
    of accuracy: convergence is still declared on the true residual. *)
-let backward_euler_step f t y h =
+let backward_euler_step ?(jac = Dense) f t y h =
   let n = Array.length y in
   let ynext = Array.copy y in
   let max_newton = 12 in
   let frozen = ref None in
+  (* rhs evaluations a Jacobian refresh costs under the declared
+     structure: n + 1 dense, bandwidth + 1 banded. *)
+  let jac_evals =
+    match jac with
+    | Dense -> n + 1
+    | Band { ml; mu } -> min n (ml + mu + 1) + 1
+  in
   let refresh () =
-    let jac = numeric_jacobian f (t +. h) ynext in
-    let m = Matrix.init n n (fun i j -> (if i = j then 1. else 0.) -. (h *. Matrix.get jac i j)) in
-    match Lu.factor m with
-    | exception Lu.Singular ->
-      frozen := None;
-      false
-    | lu ->
-      frozen := Some lu;
-      true
+    let fac =
+      match jac with
+      | Dense -> (
+        let j = numeric_jacobian f (t +. h) ynext in
+        let m =
+          Matrix.init n n (fun i k -> (if i = k then 1. else 0.) -. (h *. Matrix.get j i k))
+        in
+        match Lu.factor m with
+        | exception Lu.Singular -> None
+        | lu -> Some (`Lu lu))
+      | Band { ml; mu } -> (
+        let j = numeric_jacobian_banded f (t +. h) ynext ~ml ~mu in
+        let m = Banded.create ~n ~ml ~mu in
+        for col = 0 to n - 1 do
+          for row = max 0 (col - mu) to min (n - 1) (col + ml) do
+            Banded.set m row col
+              ((if row = col then 1. else 0.) -. (h *. Banded.get j row col))
+          done
+        done;
+        match Banded.factor m with
+        | exception Banded.Singular -> None
+        | f -> Some (`Band f))
+    in
+    frozen := fac;
+    Option.is_some fac
   in
   let rec iterate it evals rprev =
     let fy = f (t +. h) ynext in
@@ -205,7 +276,7 @@ let backward_euler_step f t y h =
         match !frozen with None -> true | Some _ -> not (rnorm <= 0.5 *. rprev)
       in
       let extra_evals =
-        if need_refresh then n + 1
+        if need_refresh then jac_evals
         else begin
           Obs.Metrics.incr m_jacobian_reuses;
           0
@@ -215,8 +286,12 @@ let backward_euler_step f t y h =
       else
         match !frozen with
         | None -> None
-        | Some lu ->
-          let dy = Lu.solve lu residual in
+        | Some fac ->
+          let dy =
+            match fac with
+            | `Lu lu -> Lu.solve lu residual
+            | `Band f -> Banded.solve f residual
+          in
           for i = 0 to n - 1 do
             ynext.(i) <- ynext.(i) -. dy.(i)
           done;
@@ -226,7 +301,7 @@ let backward_euler_step f t y h =
   iterate 0 0 infinity
 
 let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
-    ?(max_steps = 200_000) ?deadline ~f ~t0 ~t1 ~y0 () =
+    ?(max_steps = 200_000) ?(jac = Dense) ?deadline ~f ~t0 ~t1 ~y0 () =
   let n = Array.length y0 in
   if not (t1 >= t0) then invalid_arg "Ode.implicit_euler: need t1 >= t0";
   let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
@@ -239,12 +314,12 @@ let implicit_euler ?(rtol = 1e-5) ?(atol = 1e-8) ?h0 ?(h_min = 1e-14)
     let h_cur = Float.min !h (t1 -. !t) in
     if h_cur < h_min then underflow !t;
     (* Error estimation by step doubling: one full step vs two half steps. *)
-    let full = backward_euler_step f !t !y h_cur in
+    let full = backward_euler_step ~jac f !t !y h_cur in
     let halves =
-      match backward_euler_step f !t !y (h_cur /. 2.) with
+      match backward_euler_step ~jac f !t !y (h_cur /. 2.) with
       | None -> None
       | Some (ymid, e1) -> (
-        match backward_euler_step f (!t +. (h_cur /. 2.)) ymid (h_cur /. 2.) with
+        match backward_euler_step ~jac f (!t +. (h_cur /. 2.)) ymid (h_cur /. 2.) with
         | None -> None
         | Some (yend, e2) -> Some (yend, e1 + e2))
     in
@@ -296,7 +371,7 @@ let tier_counter = function
   | Stiff -> m_tier_stiff
 
 let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
-    ?(max_steps = 1_000_000) ?deadline ~f ~t0 ~t1 ~y0 () =
+    ?(max_steps = 1_000_000) ?(jac = Dense) ?deadline ~f ~t0 ~t1 ~y0 () =
   Obs.Metrics.incr m_integrations;
   Obs.Span.with_span "ode.integrate" @@ fun () ->
   let span = t1 -. t0 in
@@ -322,11 +397,13 @@ let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
             dopri5 ~rtol ~atol ~h0:(span *. 1e-6) ~h_min:(h_min *. 1e-3)
               ~h_max:(span /. 10.) ~max_steps:(2 * max_steps) ?deadline ~f ~t0 ~t1
               ~y0 ()));
-      (* Tier 3: semi-implicit integrator for genuinely stiff regimes. *)
+      (* Tier 3: semi-implicit integrator for genuinely stiff regimes;
+         [jac] lets a caller with a banded rhs make its Newton matrices
+         bandwidth-priced. *)
       (fun () ->
         attempt Stiff (fun () ->
             implicit_euler ~rtol:(Float.max rtol 1e-6) ~atol ~h_min:(h_min *. 1e-3)
-              ?deadline ~f ~t0 ~t1 ~y0 ()));
+              ~jac ?deadline ~f ~t0 ~t1 ~y0 ()));
     ]
   in
   let rec try_tiers = function
@@ -336,7 +413,7 @@ let integrate_fallback ?(rtol = 1e-6) ?(atol = 1e-9) ?h0 ?(h_min = 1e-14) ?h_max
   try_tiers tiers
 
 let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
-    ?(t_max = 5000.) ?init ?h0 ?deadline ~f ~y0 () =
+    ?(t_max = 5000.) ?init ?h0 ?(jac = Dense) ?deadline ~f ~y0 () =
   Obs.Span.with_span "ode.steady_state" @@ fun () ->
   (match init with
   | Some g when Array.length g <> Array.length y0 ->
@@ -358,7 +435,7 @@ let steady_state ?(rtol = 1e-6) ?(atol = 1e-9) ?(window = 50.) ?(tol = 1e-7)
         match
           integrate_fallback ~rtol ~atol
             ?h0:(if first then h0 else None)
-            ?deadline ~f ~t0:t ~t1:(t +. window) ~y0:y ()
+            ~jac ?deadline ~f ~t0:t ~t1:(t +. window) ~y0:y ()
         with
         | res, _tier -> advance false res.t res.y
         | exception Step_underflow _ -> Error y

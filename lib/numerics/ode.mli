@@ -61,12 +61,25 @@ val dopri5 :
     absolute {!Obs.Clock.now_ns} timestamp past which {!Deadline} is
     raised. *)
 
+type jac =
+  | Dense                             (** no structure assumed: n + 1 rhs evaluations *)
+  | Band of { ml : int; mu : int }
+      (** rhs component [i] depends only on states [i-ml .. i+mu]; the
+          Jacobian is banded, costs [ml + mu + 2] rhs evaluations, and the
+          Newton matrix gets a banded LU ({!Banded}). *)
+(** Declared structural sparsity of a rhs Jacobian, used by the stiff
+    integrator tier.  The default everywhere is [Dense], which keeps the
+    historical (bit-for-bit) behavior; [Band] is an optimization a
+    caller opts into, priced by the [ode.jacobian_cols] counter (columns
+    ≍ rhs evaluations spent on Jacobians). *)
+
 val implicit_euler :
   ?rtol:float ->
   ?atol:float ->
   ?h0:float ->
   ?h_min:float ->
   ?max_steps:int ->
+  ?jac:jac ->
   ?deadline:int ->
   f:rhs ->
   t0:float ->
@@ -76,14 +89,29 @@ val implicit_euler :
   result
 (** Adaptive backward Euler with step-doubling error estimation; intended
     for stiff systems where {!dopri5} needs prohibitively small steps.
-    The Newton iteration freezes its Jacobian LU while the residual keeps
-    contracting and refactors only on stall (counted by the
-    [ode.jacobian_reuses] metric), which never loosens the convergence
-    test — it is always the true residual that must fall below
-    tolerance. *)
+    The Newton iteration freezes its Jacobian factorization while the
+    residual keeps contracting and refactors only on stall (counted by
+    the [ode.jacobian_reuses] metric), which never loosens the
+    convergence test — it is always the true residual that must fall
+    below tolerance.  [jac] (default [Dense]) declares the rhs Jacobian
+    structure: [Band] prices each refresh at bandwidth-many rhs
+    evaluations and a banded factorization instead of n-many and a dense
+    one. *)
 
 val numeric_jacobian : rhs -> float -> Vec.t -> Matrix.t
-(** Forward-difference Jacobian of the rhs at [(t, y)]. *)
+(** Forward-difference Jacobian of the rhs at [(t, y)];
+    n + 1 rhs evaluations. *)
+
+val numeric_jacobian_banded : rhs -> float -> Vec.t -> ml:int -> mu:int -> Banded.mat
+(** Forward-difference Jacobian of a rhs whose Jacobian is banded with
+    [ml] sub- and [mu] superdiagonals, via Curtis–Powell–Reid column
+    grouping: columns [j ≡ p (mod ml+mu+1)] are perturbed together, so
+    the cost is [ml + mu + 2] rhs evaluations regardless of dimension.
+    On a rhs that truly has the declared band structure the entries are
+    bit-for-bit identical to the dense {!numeric_jacobian}; dependencies
+    outside the declared band are silently misattributed — the caller
+    owns the structure claim.  Raises [Invalid_argument] unless
+    [0 <= ml, mu < n]. *)
 
 type tier =
   | Adaptive        (** {!dopri5} with the caller's settings *)
@@ -100,6 +128,7 @@ val integrate_fallback :
   ?h_min:float ->
   ?h_max:float ->
   ?max_steps:int ->
+  ?jac:jac ->
   ?deadline:int ->
   f:rhs ->
   t0:float ->
@@ -113,8 +142,10 @@ val integrate_fallback :
     then {!implicit_euler}.  A tier that raises {!Step_underflow} or
     returns a non-finite state hands over to the next; the returned
     {!tier} reports which one succeeded.  Raises {!Step_underflow} only
-    when every tier fails.  {!Deadline} (from [?deadline]) is {e not}
-    absorbed by the chain — an expired budget aborts all tiers. *)
+    when every tier fails.  [jac] reaches the stiff tier (the explicit
+    tiers never form a Jacobian).  {!Deadline} (from [?deadline]) is
+    {e not} absorbed by the chain — an expired budget aborts all
+    tiers. *)
 
 val steady_state :
   ?rtol:float ->
@@ -124,6 +155,7 @@ val steady_state :
   ?t_max:float ->
   ?init:Vec.t ->
   ?h0:float ->
+  ?jac:jac ->
   ?deadline:int ->
   f:rhs ->
   y0:Vec.t ->

@@ -1,0 +1,134 @@
+type t = {
+  r : int;
+  c : int;
+  cols : (int, float) Hashtbl.t array; (* per column: row -> value *)
+}
+
+let create ~rows ~cols =
+  if not (rows > 0 && cols > 0) then invalid_arg "Numerics.Sparse.create: dimensions must be positive";
+  { r = rows; c = cols; cols = Array.init cols (fun _ -> Hashtbl.create 4) }
+
+let rows m = m.r
+let cols m = m.c
+
+let set m i j v =
+  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
+    invalid_arg "Numerics.Sparse.set: index out of range";
+  (* robustlint: allow R1 — exactly-zero entries are deleted so nnz stays tight *)
+  if v = 0. then Hashtbl.remove m.cols.(j) i else Hashtbl.replace m.cols.(j) i v
+
+let get m i j =
+  if not (0 <= i && i < m.r && 0 <= j && j < m.c) then
+    invalid_arg "Numerics.Sparse.get: index out of range";
+  match Hashtbl.find_opt m.cols.(j) i with Some v -> v | None -> 0.
+
+let nnz m = Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 m.cols
+
+let column m j =
+  (* robustlint: allow R7 — fold only collects bindings; the sort below fixes the order *)
+  Hashtbl.fold (fun i v acc -> (i, v) :: acc) m.cols.(j) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter_col m j f = List.iter (fun (i, v) -> f i v) (column m j)
+
+let mv m x =
+  if Array.length x <> m.c then invalid_arg "Numerics.Sparse.mv: vector length mismatch";
+  let out = Array.make m.r 0. in
+  for j = 0 to m.c - 1 do
+    let xj = x.(j) in
+    (* robustlint: allow R1 — exact-zero sparsity skip *)
+    if xj <> 0. then
+      (* robustlint: allow R7 — each binding updates a distinct out.(i), so order is immaterial *)
+      Hashtbl.iter (fun i v -> out.(i) <- out.(i) +. (v *. xj)) m.cols.(j)
+  done;
+  out
+
+let tmv m x =
+  if Array.length x <> m.r then invalid_arg "Numerics.Sparse.tmv: vector length mismatch";
+  (* Sum in sorted row order so the result is reproducible across runs. *)
+  Array.init m.c (fun j ->
+      List.fold_left (fun acc (i, v) -> acc +. (v *. x.(i))) 0. (column m j))
+
+let to_dense m =
+  let d = Matrix.zeros m.r m.c in
+  for j = 0 to m.c - 1 do
+    (* robustlint: allow R7 — each binding writes a distinct dense cell, so order is immaterial *)
+    Hashtbl.iter (fun i v -> Matrix.set d i j v) m.cols.(j)
+  done;
+  d
+
+let residual_norm2 m x =
+  let r = mv m x in
+  let acc = ref 0. in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) r;
+  sqrt !acc
+
+(* {1 Compressed columns} *)
+
+type csc = {
+  cs_rows : int;
+  cs_cols : int;
+  col_ptr : int array;   (* length cols+1 *)
+  row_idx : int array;   (* length nnz, sorted within each column *)
+  values : float array;  (* length nnz *)
+}
+
+let compress m =
+  let n = nnz m in
+  let col_ptr = Array.make (m.c + 1) 0 in
+  let row_idx = Array.make (max 1 n) 0 in
+  let values = Array.make (max 1 n) 0. in
+  let k = ref 0 in
+  for j = 0 to m.c - 1 do
+    col_ptr.(j) <- !k;
+    List.iter
+      (fun (i, v) ->
+        row_idx.(!k) <- i;
+        values.(!k) <- v;
+        incr k)
+      (column m j)
+  done;
+  col_ptr.(m.c) <- !k;
+  { cs_rows = m.r; cs_cols = m.c; col_ptr; row_idx; values }
+
+let csc_rows c = c.cs_rows
+let csc_cols c = c.cs_cols
+let csc_nnz c = c.col_ptr.(c.cs_cols)
+
+let csc_column c j =
+  if not (0 <= j && j < c.cs_cols) then invalid_arg "Numerics.Sparse.csc_column: out of range";
+  let acc = ref [] in
+  for k = c.col_ptr.(j + 1) - 1 downto c.col_ptr.(j) do
+    acc := (c.row_idx.(k), c.values.(k)) :: !acc
+  done;
+  !acc
+
+let csc_iter_col c j f =
+  if not (0 <= j && j < c.cs_cols) then invalid_arg "Numerics.Sparse.csc_iter_col: out of range";
+  for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+    f c.row_idx.(k) c.values.(k)
+  done
+
+let csc_mv c x =
+  if Array.length x <> c.cs_cols then invalid_arg "Numerics.Sparse.csc_mv: vector length mismatch";
+  let out = Array.make c.cs_rows 0. in
+  for j = 0 to c.cs_cols - 1 do
+    let xj = x.(j) in
+    (* robustlint: allow R1 — exact-zero sparsity skip *)
+    if xj <> 0. then
+      for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+        out.(c.row_idx.(k)) <- out.(c.row_idx.(k)) +. (c.values.(k) *. xj)
+      done
+  done;
+  out
+
+let csc_tmv c x =
+  if Array.length x <> c.cs_rows then invalid_arg "Numerics.Sparse.csc_tmv: vector length mismatch";
+  (* Entries are stored row-sorted within each column, so this fold is
+     the same sorted-order accumulation [tmv] promises. *)
+  Array.init c.cs_cols (fun j ->
+      let acc = ref 0. in
+      for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+        acc := !acc +. (c.values.(k) *. x.(c.row_idx.(k)))
+      done;
+      !acc)

@@ -1,0 +1,53 @@
+(** Sparse matrices in column-major triplet form, sized for stoichiometric
+    matrices and LP bases (hundreds of rows, hundreds of columns, ~1%
+    fill).  The mutable builder type {!t} is hash-backed; {!compress}
+    freezes it into an immutable CSC form whose kernels iterate in
+    sorted row order, so every accumulation is reproducible bit-for-bit
+    across runs, domains and processes. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+val rows : t -> int
+val cols : t -> int
+
+val set : t -> int -> int -> float -> unit
+(** [set m i j v] — setting a previously set entry overwrites it;
+    setting [0.] removes it. *)
+
+val get : t -> int -> int -> float
+
+val nnz : t -> int
+
+val column : t -> int -> (int * float) list
+(** Non-zero entries of a column as [(row, value)] pairs, sorted by row. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+
+val mv : t -> float array -> float array
+(** [m · x]. *)
+
+val tmv : t -> float array -> float array
+(** [mᵀ · x], accumulated in sorted row order (deterministic). *)
+
+val to_dense : t -> Matrix.t
+
+val residual_norm2 : t -> float array -> float
+(** [‖m · x‖₂] without materializing intermediate structures. *)
+
+(** {1 Compressed sparse columns}
+
+    An immutable snapshot with O(1) column slicing and allocation-free
+    column iteration — the form the LP and Jacobian kernels consume. *)
+
+type csc
+
+val compress : t -> csc
+val csc_rows : csc -> int
+val csc_cols : csc -> int
+val csc_nnz : csc -> int
+
+val csc_column : csc -> int -> (int * float) list
+val csc_iter_col : csc -> int -> (int -> float -> unit) -> unit
+val csc_mv : csc -> float array -> float array
+val csc_tmv : csc -> float array -> float array

@@ -141,7 +141,40 @@ let pp_ode ppf last =
     tier "ode.tier.stiff" "stiff";
     Format.fprintf ppf "rhs evals %d, steps %d (%d rejected), warm starts %d (%d fallbacks)@\n"
       (c "ode.rhs_evals") (c "ode.steps") (c "ode.rejected") (c "ode.warm_starts")
-      (c "ode.warm_fallbacks")
+      (c "ode.warm_fallbacks");
+    if c "ode.jacobians" > 0 then
+      Format.fprintf ppf "jacobians %d (%d frozen reuses, %d FD columns priced)@\n"
+        (c "ode.jacobians") (c "ode.jacobian_reuses") (c "ode.jacobian_cols")
+  end
+
+(* Health of the factorized-basis simplex: pivot/refactorization volume,
+   warm-start economy, anti-cycling activations, eta-file pressure and
+   refactorization latency. *)
+let pp_lp ppf last =
+  let c name = Option.value ~default:0 (counter_of last name) in
+  if c "simplex.solves" > 0 then begin
+    section ppf "LP kernel health";
+    Format.fprintf ppf
+      "%d solve(s): %d pivot(s), %d refactorization(s), %d Bland activation(s)@\n"
+      (c "simplex.solves") (c "simplex.pivots") (c "simplex.refactors")
+      (c "simplex.bland_activations");
+    if c "simplex.warm_starts" + c "simplex.warm_rejects" > 0 then
+      Format.fprintf ppf "warm starts: %d accepted, %d rejected (%.1f%%)@\n"
+        (c "simplex.warm_starts") (c "simplex.warm_rejects")
+        (rate (c "simplex.warm_starts") (c "simplex.warm_rejects"));
+    (match gauge_of last "simplex.eta_len" with
+    | Some eta -> Format.fprintf ppf "eta file length at snapshot: %.0f@\n" eta
+    | None -> ());
+    match hist_of last "simplex.refactor_ns" with
+    | Some (le, counts, sum) when Array.fold_left ( + ) 0 counts > 0 ->
+      let n = Array.fold_left ( + ) 0 counts in
+      Format.fprintf ppf
+        "refactor time µs: p50 %.1f  p90 %.1f  mean %.1f over %d refactorization(s)@\n"
+        (Metrics.quantile_of ~le ~counts 0.50 /. 1e3)
+        (Metrics.quantile_of ~le ~counts 0.90 /. 1e3)
+        (sum /. float_of_int n /. 1e3)
+        n
+    | _ -> ()
   end
 
 let pp_hypervolume ppf snapshots =
@@ -186,6 +219,7 @@ let pp ?trace ?metrics ppf () =
       pp_shard_timeline ppf snapshots;
       pp_guard ppf last;
       pp_caches ppf last;
+      pp_lp ppf last;
       pp_ode ppf last;
       pp_hypervolume ppf snapshots)
   | None -> ()

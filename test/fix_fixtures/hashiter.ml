@@ -1,0 +1,19 @@
+(* Fix fixture: [Hashtbl.iter] in library code must be rewritten by
+   [robustlint --fix] to a sorted-key traversal (with a justified
+   suppression on the collecting fold it generates).  The second walk
+   spreads its arguments over several lines — the span edits must keep
+   the argument expressions in place and only replace the text around
+   them. *)
+let render (tbl : (string, int) Hashtbl.t) =
+  let out = Buffer.create 64 in
+  Hashtbl.iter (fun k v -> Buffer.add_string out (k ^ "=" ^ string_of_int v ^ ";")) tbl;
+  Buffer.contents out
+
+let total (tbl : (string, float) Hashtbl.t) =
+  let sum = ref 0.0 in
+  Hashtbl.iter
+    (fun _k v ->
+      let scaled = v *. 2.0 in
+      sum := !sum +. scaled)
+    tbl;
+  !sum

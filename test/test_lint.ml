@@ -372,6 +372,23 @@ let test_stub_planting_idempotent () =
         (Lint.Patch.apply ~source_root [ finding ]);
       Alcotest.(check string) "file unchanged" planted (read_file path))
 
+let test_r7_fix_recorded () =
+  match findings_in "r7_hashtbl_iter.ml" with
+  | [ f ] ->
+    Alcotest.(check bool) "R7 finding carries span edits" true (f.Lint.Finding.fix <> []);
+    let texts =
+      String.concat "" (List.map (fun (e : Lint.Finding.edit) -> e.text) f.Lint.Finding.fix)
+    in
+    Alcotest.(check bool) "rewrite sorts the keys" true
+      (contains ~sub:"List.sort_uniq compare" texts);
+    Alcotest.(check bool) "generated fold carries a justified suppression" true
+      (contains ~sub:"robustlint: allow R7" texts);
+    Alcotest.(check bool) "replacements stay newline-free" true
+      (List.for_all
+         (fun (e : Lint.Finding.edit) -> not (String.contains e.text '\n'))
+         f.Lint.Finding.fix)
+  | fs -> Alcotest.failf "expected one R7 finding, got %d" (List.length fs)
+
 let test_has_marker () =
   Alcotest.(check bool) "marker line" true
     (Lint.Patch.has_marker "  (* robustlint: allow R1 — x *)");
@@ -430,6 +447,7 @@ let () =
       ( "fix",
         [
           Alcotest.test_case "stub planting idempotent" `Quick test_stub_planting_idempotent;
+          Alcotest.test_case "R7 fix recorded" `Quick test_r7_fix_recorded;
           Alcotest.test_case "has_marker" `Quick test_has_marker;
         ] );
     ]

@@ -186,6 +186,182 @@ let prop_simplex_weak_duality =
       | Lp.Problem.Optimal { objective; _ } -> objective >= -1e-9
       | _ -> false)
 
+(* {1 Kernel oracle: sparse factorized basis vs dense inverse} *)
+
+(* Random bounded LP in raw spec form: n structural variables with
+   random sparse columns plus one slack per row, so x = 0, s = rhs is
+   always feasible and the objective (supported on the bounded
+   structurals only) is always bounded. *)
+let random_spec rng =
+  let n = 3 + Numerics.Rng.int rng 6 in
+  let m = 2 + Numerics.Rng.int rng 4 in
+  let cols =
+    Array.init (n + m) (fun j ->
+        if j >= n then [ (j - n, 1.) ]
+        else
+          List.init m Fun.id
+          |> List.filter_map (fun i ->
+                 if Numerics.Rng.uniform rng 0. 1. < 0.6 then
+                   Some (i, Numerics.Rng.uniform rng (-1.) 2.)
+                 else None))
+  in
+  let rhs = Array.init m (fun _ -> Numerics.Rng.uniform rng 0.5 8.) in
+  let lo = Array.make (n + m) 0. in
+  let up = Array.init (n + m) (fun j -> if j < n then 6. else infinity) in
+  let obj =
+    Array.init (n + m) (fun j -> if j < n then Numerics.Rng.uniform rng (-1.) 2. else 0.)
+  in
+  { Lp.Simplex.n_rows = m; cols; rhs; obj; lo; up }
+
+let test_sparse_vs_dense_oracle () =
+  let rng = Numerics.Rng.create 2024 in
+  for _ = 1 to 40 do
+    let spec = random_spec rng in
+    match
+      ( Lp.Simplex.solve ~kernel:`Sparse spec,
+        Lp.Simplex.solve ~kernel:`Dense spec )
+    with
+    | Lp.Simplex.Optimal s, Lp.Simplex.Optimal d ->
+      check_float ~tol:1e-6 "kernels agree on the optimum" d.objective s.objective
+    | s, d ->
+      Alcotest.failf "outcome mismatch: sparse %s, dense %s"
+        (match s with
+        | Lp.Simplex.Optimal _ -> "optimal"
+        | Lp.Simplex.Infeasible -> "infeasible"
+        | Lp.Simplex.Unbounded -> "unbounded")
+        (match d with
+        | Lp.Simplex.Optimal _ -> "optimal"
+        | Lp.Simplex.Infeasible -> "infeasible"
+        | Lp.Simplex.Unbounded -> "unbounded")
+  done
+
+let test_cross_kernel_warm_start () =
+  (* A basis is purely structural, so one kernel's optimal basis must
+     warm-start the other kernel to the same optimum. *)
+  let rng = Numerics.Rng.create 555 in
+  for _ = 1 to 10 do
+    let spec = random_spec rng in
+    let obj_of = function
+      | Lp.Simplex.Optimal { objective; _ } -> objective
+      | _ -> Alcotest.fail "expected optimal"
+    in
+    let od, bd = Lp.Simplex.solve_basis ~kernel:`Dense spec in
+    let os, bs = Lp.Simplex.solve_basis ~kernel:`Sparse spec in
+    (match bd with
+    | Some b ->
+      let warm = Lp.Simplex.solve ~kernel:`Sparse ~basis:b spec in
+      check_float ~tol:1e-6 "dense basis warms sparse solve" (obj_of od) (obj_of warm)
+    | None -> ());
+    match bs with
+    | Some b ->
+      let warm = Lp.Simplex.solve ~kernel:`Dense ~basis:b spec in
+      check_float ~tol:1e-6 "sparse basis warms dense solve" (obj_of os) (obj_of warm)
+    | None -> ()
+  done
+
+let test_sparse_deterministic () =
+  (* The sparse kernel must be a bit-for-bit deterministic function of
+     the spec: identical runs give identical solution vectors. *)
+  let rng = Numerics.Rng.create 909 in
+  for _ = 1 to 10 do
+    let spec = random_spec rng in
+    match Lp.Simplex.solve ~kernel:`Sparse spec, Lp.Simplex.solve ~kernel:`Sparse spec with
+    | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+      if a.x <> b.x then Alcotest.fail "identical solves must return identical bits";
+      if not (Float.equal a.objective b.objective) then
+        Alcotest.fail "identical solves must return identical objectives"
+    | _ -> Alcotest.fail "expected optimal"
+  done
+
+(* {1 Torn and degenerate inputs} *)
+
+let test_empty_column () =
+  (* A variable with an all-zero column only moves between its own
+     bounds (a bound flip in the ratio test).  With positive reduced
+     cost it must land on its upper bound. *)
+  let spec =
+    {
+      Lp.Simplex.n_rows = 1;
+      cols = [| []; [ (0, 1.) ]; [ (0, 1.) ] |];
+      rhs = [| 4. |];
+      obj = [| 2.; 1.; 0. |];
+      lo = [| 0.; 0.; 0. |];
+      up = [| 3.; infinity; infinity |];
+    }
+  in
+  match Lp.Simplex.solve spec with
+  | Lp.Simplex.Optimal { x; objective } ->
+    check_float "empty column at its upper bound" 3. x.(0);
+    check_float "objective" 10. objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duplicate_rows () =
+  (* Byte-identical duplicated rows make every basis containing both
+     slacks singular; the solver must still reach the optimum. *)
+  let p = Lp.Problem.make ~n_vars:2 () in
+  Lp.Problem.set_bounds p 0 0. infinity;
+  Lp.Problem.set_bounds p 1 0. infinity;
+  Lp.Problem.set_objective p 0 3.;
+  Lp.Problem.set_objective p 1 2.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 4.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 1.) ] Lp.Problem.Le 4.;
+  Lp.Problem.add_row p [ (0, 1.); (1, 3.) ] Lp.Problem.Le 6.;
+  let _rx, robj = solve_expect_optimal p in
+  check_float "objective with duplicate rows" 12. robj
+
+let test_infeasible_after_warm_reject () =
+  (* A basis from a neighboring LP whose vertex is infeasible under the
+     new data must be rejected (counted), and the cold fallback must
+     still prove infeasibility. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let spec rhs =
+        {
+          Lp.Simplex.n_rows = 1;
+          cols = [| [ (0, 1.) ] |];
+          rhs = [| rhs |];
+          obj = [| 1. |];
+          lo = [| 0. |];
+          up = [| 5. |];
+        }
+      in
+      let basis =
+        match Lp.Simplex.solve_basis (spec 1.) with
+        | Lp.Simplex.Optimal _, Some b -> b
+        | _ -> Alcotest.fail "seed solve must be optimal with a basis"
+      in
+      let rejects = Obs.Metrics.counter "simplex.warm_rejects" in
+      let before = Obs.Metrics.counter_value rejects in
+      (match Lp.Simplex.solve ~basis (spec 10.) with
+      | Lp.Simplex.Infeasible -> ()
+      | _ -> Alcotest.fail "x = 10 with up = 5 must be infeasible");
+      Alcotest.(check int) "warm start rejected" (before + 1)
+        (Obs.Metrics.counter_value rejects))
+
+let test_beale_cycling () =
+  (* Beale's classic cycling example: Dantzig pricing with naive
+     tie-breaks can loop on this degenerate LP forever.  The
+     degenerate-streak Bland fallback must terminate it at the true
+     optimum 1/20. *)
+  let p = Lp.Problem.make ~n_vars:4 () in
+  for j = 0 to 3 do
+    Lp.Problem.set_bounds p j 0. infinity
+  done;
+  Lp.Problem.set_objective p 0 0.75;
+  Lp.Problem.set_objective p 1 (-150.);
+  Lp.Problem.set_objective p 2 0.02;
+  Lp.Problem.set_objective p 3 (-6.);
+  Lp.Problem.add_row p [ (0, 0.25); (1, -60.); (2, -0.04); (3, 9.) ] Lp.Problem.Le 0.;
+  Lp.Problem.add_row p [ (0, 0.5); (1, -90.); (2, -0.02); (3, 3.) ] Lp.Problem.Le 0.;
+  Lp.Problem.add_row p [ (2, 1.) ] Lp.Problem.Le 1.;
+  let _rx, robj = solve_expect_optimal p in
+  check_float ~tol:1e-9 "Beale optimum" 0.05 robj
+
 let test_solve_telemetry () =
   (* With metrics on, a solve shows up in the simplex.* series: solve and
      pivot counters move and the per-solve pivot histogram records one
@@ -234,6 +410,17 @@ let () =
           Alcotest.test_case "diet problem" `Quick test_diet_problem;
           Alcotest.test_case "random LPs stay feasible" `Quick test_larger_random_consistency;
           Alcotest.test_case "solve telemetry" `Quick test_solve_telemetry;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "sparse vs dense oracle" `Quick test_sparse_vs_dense_oracle;
+          Alcotest.test_case "cross-kernel warm start" `Quick test_cross_kernel_warm_start;
+          Alcotest.test_case "sparse deterministic" `Quick test_sparse_deterministic;
+          Alcotest.test_case "empty column" `Quick test_empty_column;
+          Alcotest.test_case "duplicate rows" `Quick test_duplicate_rows;
+          Alcotest.test_case "infeasible after warm reject" `Quick
+            test_infeasible_after_warm_reject;
+          Alcotest.test_case "Beale anti-cycling" `Quick test_beale_cycling;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_simplex_weak_duality ]);
     ]

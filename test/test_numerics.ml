@@ -454,6 +454,221 @@ let prop_shuffle_preserves_multiset =
       Array.sort compare sb;
       sa = sb)
 
+(* {1 Sparse LU} *)
+
+(* Random sparse nonsingular matrix as columns: a permuted diagonal
+   backbone (guarantees structural full rank) plus a few off-diagonal
+   entries. *)
+let random_sparse_cols rng n =
+  let diag_row = Array.init n (fun i -> i) in
+  Numerics.Rng.shuffle rng diag_row;
+  Array.init n (fun j ->
+      let extras =
+        List.init (Numerics.Rng.int rng 3) (fun _ ->
+            (Numerics.Rng.int rng n, Numerics.Rng.uniform rng (-1.) 1.))
+        |> List.filter (fun (i, _) -> i <> diag_row.(j))
+        |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+      in
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        ((diag_row.(j), 2. +. Numerics.Rng.uniform rng 0. 2.) :: extras))
+
+let dense_of_cols n cols =
+  let d = Numerics.Matrix.zeros n n in
+  Array.iteri (fun j col -> List.iter (fun (i, v) -> Numerics.Matrix.set d i j v) col) cols;
+  d
+
+let test_sparse_lu_solve () =
+  let rng = Numerics.Rng.create 4242 in
+  for _ = 1 to 25 do
+    let n = 2 + Numerics.Rng.int rng 20 in
+    let cols = random_sparse_cols rng n in
+    let f = Numerics.Sparse_lu.factor cols in
+    let dense = dense_of_cols n cols in
+    let b = Array.init n (fun _ -> Numerics.Rng.uniform rng (-5.) 5.) in
+    let x = Numerics.Sparse_lu.solve f b in
+    let r = Numerics.Matrix.mv dense x in
+    Array.iteri
+      (fun i bi ->
+        if Float.abs (r.(i) -. bi) > 1e-8 then
+          Alcotest.failf "sparse ftran residual %g at row %d (n=%d)" (r.(i) -. bi) i n)
+      b
+  done
+
+let test_sparse_lu_solve_t () =
+  let rng = Numerics.Rng.create 777 in
+  for _ = 1 to 25 do
+    let n = 2 + Numerics.Rng.int rng 20 in
+    let cols = random_sparse_cols rng n in
+    let f = Numerics.Sparse_lu.factor cols in
+    let dense = dense_of_cols n cols in
+    let c = Array.init n (fun _ -> Numerics.Rng.uniform rng (-5.) 5.) in
+    let y = Numerics.Sparse_lu.solve_t f c in
+    (* Aᵀ y = c  ⇔  y·A_col_j = c_j *)
+    let r = Numerics.Matrix.tmv dense y in
+    Array.iteri
+      (fun j cj ->
+        if Float.abs (r.(j) -. cj) > 1e-8 then
+          Alcotest.failf "sparse btran residual %g at col %d (n=%d)" (r.(j) -. cj) j n)
+      c
+  done
+
+let test_sparse_lu_deterministic () =
+  let rng = Numerics.Rng.create 99 in
+  let cols = random_sparse_cols rng 15 in
+  let b = Array.init 15 (fun i -> float_of_int (i - 7)) in
+  let x1 = Numerics.Sparse_lu.solve (Numerics.Sparse_lu.factor cols) b in
+  let x2 = Numerics.Sparse_lu.solve (Numerics.Sparse_lu.factor cols) b in
+  if x1 <> x2 then Alcotest.fail "same input must factor and solve bit-identically"
+
+let test_sparse_lu_singular () =
+  (* A column of zeros is rank deficient. *)
+  let cols = [| [ (0, 1.) ]; []; [ (2, 1.) ] |] in
+  (match Numerics.Sparse_lu.factor cols with
+  | exception Numerics.Sparse_lu.Singular -> ()
+  | _ -> Alcotest.fail "singular matrix must raise");
+  (* Duplicate columns likewise. *)
+  let dup = [| [ (0, 1.); (1, 2.) ]; [ (0, 1.); (1, 2.) ]; [ (2, 1.) ] |] in
+  match Numerics.Sparse_lu.factor dup with
+  | exception Numerics.Sparse_lu.Singular -> ()
+  | _ -> Alcotest.fail "duplicate columns must raise"
+
+(* {1 Banded LU} *)
+
+let random_banded rng n ml mu =
+  let m = Numerics.Banded.create ~n ~ml ~mu in
+  for j = 0 to n - 1 do
+    for i = max 0 (j - mu) to min (n - 1) (j + ml) do
+      let v =
+        if i = j then 3. +. Numerics.Rng.uniform rng 0. 2.
+        else Numerics.Rng.uniform rng (-1.) 1.
+      in
+      Numerics.Banded.set m i j v
+    done
+  done;
+  m
+
+let test_banded_solve () =
+  let rng = Numerics.Rng.create 515 in
+  for _ = 1 to 25 do
+    let n = 2 + Numerics.Rng.int rng 25 in
+    let ml = Numerics.Rng.int rng (min n 4) in
+    let mu = Numerics.Rng.int rng (min n 4) in
+    let m = random_banded rng n ml mu in
+    let b = Array.init n (fun _ -> Numerics.Rng.uniform rng (-5.) 5.) in
+    let x = Numerics.Banded.solve (Numerics.Banded.factor m) b in
+    let r = Numerics.Banded.mv m x in
+    Array.iteri
+      (fun i bi ->
+        if Float.abs (r.(i) -. bi) > 1e-8 then
+          Alcotest.failf "banded residual %g at row %d (n=%d ml=%d mu=%d)" (r.(i) -. bi) i n
+            ml mu)
+      b
+  done
+
+let test_banded_matches_dense () =
+  let rng = Numerics.Rng.create 616 in
+  for _ = 1 to 15 do
+    let n = 3 + Numerics.Rng.int rng 12 in
+    let ml = Numerics.Rng.int rng (min n 3) in
+    let mu = Numerics.Rng.int rng (min n 3) in
+    let m = random_banded rng n ml mu in
+    let dense =
+      Numerics.Matrix.init n n (fun i j -> Numerics.Banded.get m i j)
+    in
+    let b = Array.init n (fun _ -> Numerics.Rng.uniform rng (-3.) 3.) in
+    let xb = Numerics.Banded.solve (Numerics.Banded.factor m) b in
+    let xd = Numerics.Lu.solve_matrix dense b in
+    if Numerics.Vec.dist2 xb xd > 1e-7 then
+      Alcotest.failf "banded and dense solutions diverge (n=%d ml=%d mu=%d)" n ml mu
+  done
+
+let test_banded_deterministic () =
+  let rng = Numerics.Rng.create 717 in
+  let m = random_banded rng 20 2 1 in
+  let b = Array.init 20 (fun i -> float_of_int (i - 9) /. 3.) in
+  let x1 = Numerics.Banded.solve (Numerics.Banded.factor m) b in
+  let x2 = Numerics.Banded.solve (Numerics.Banded.factor m) b in
+  if x1 <> x2 then Alcotest.fail "banded factor+solve must be bit-identical"
+
+let test_banded_singular () =
+  let m = Numerics.Banded.create ~n:3 ~ml:1 ~mu:1 in
+  Numerics.Banded.set m 0 0 1.;
+  Numerics.Banded.set m 2 2 1.;
+  (* column 1 left entirely zero *)
+  (match Numerics.Banded.factor m with
+  | exception Numerics.Banded.Singular -> ()
+  | _ -> Alcotest.fail "zero column must raise Singular");
+  match Numerics.Banded.set m 0 2 5. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "nonzero entry outside the band must be rejected"
+
+(* {1 Banded finite-difference Jacobian} *)
+
+(* A nonlinear tridiagonal rhs: component i depends exactly on
+   y_{i-1}, y_i, y_{i+1} — Jacobian bandwidths ml = mu = 1. *)
+let tridiag_rhs _t (y : float array) =
+  let n = Array.length y in
+  Array.init n (fun i ->
+      let left = if i > 0 then y.(i - 1) else 0. in
+      let right = if i < n - 1 then y.(i + 1) else 0. in
+      (-2. *. y.(i)) +. left +. right +. (0.1 *. sin y.(i)) +. (0.05 *. left *. right))
+
+let test_banded_jacobian_bitwise () =
+  (* On a rhs that truly has the declared band structure, the colored
+     Jacobian must reproduce the dense forward differences bit for bit
+     (same perturbation, same arithmetic, unaffected columns contribute
+     exact zeros). *)
+  let n = 17 in
+  let y = Array.init n (fun i -> 0.3 +. (0.1 *. float_of_int (i mod 5))) in
+  let jd = Numerics.Ode.numeric_jacobian tridiag_rhs 0. y in
+  let jb = Numerics.Ode.numeric_jacobian_banded tridiag_rhs 0. y ~ml:1 ~mu:1 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d = Numerics.Matrix.get jd i j and b = Numerics.Banded.get jb i j in
+      if not (Float.equal d b) then
+        Alcotest.failf "J(%d,%d): dense %.17g vs banded %.17g" i j d b
+    done
+  done
+
+let test_implicit_euler_banded_jac () =
+  (* The stiff tier with a declared band structure must agree with the
+     dense-Jacobian path on the solution and spend fewer rhs evaluations
+     (Jacobian refreshes cost bandwidth + 1 instead of n + 1 evals). *)
+  let n = 30 in
+  let y0 = Array.init n (fun i -> if i = n / 2 then 1. else 0.) in
+  let run jac =
+    Numerics.Ode.implicit_euler ~jac ~f:tridiag_rhs ~t0:0. ~t1:1.0 ~y0 ()
+  in
+  let rd = run Numerics.Ode.Dense in
+  let rb = run (Numerics.Ode.Band { ml = 1; mu = 1 }) in
+  check_float ~tol:1e-8 "end time" rd.Numerics.Ode.t rb.Numerics.Ode.t;
+  Array.iteri
+    (fun i di -> check_float ~tol:1e-6 (Printf.sprintf "y(%d)" i) di rb.Numerics.Ode.y.(i))
+    rd.Numerics.Ode.y;
+  if rb.Numerics.Ode.stats.evals >= rd.Numerics.Ode.stats.evals then
+    Alcotest.failf "banded Jacobian should cost fewer rhs evals (banded %d, dense %d)"
+      rb.Numerics.Ode.stats.evals rd.Numerics.Ode.stats.evals
+
+let test_jacobian_cols_counter () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let cols = Obs.Metrics.counter "ode.jacobian_cols" in
+      let n = 12 in
+      let y = Array.make n 0.5 in
+      let (_ : Numerics.Matrix.t) = Numerics.Ode.numeric_jacobian tridiag_rhs 0. y in
+      Alcotest.(check int) "dense charges n columns" n (Obs.Metrics.counter_value cols);
+      let (_ : Numerics.Banded.mat) =
+        Numerics.Ode.numeric_jacobian_banded tridiag_rhs 0. y ~ml:1 ~mu:1
+      in
+      Alcotest.(check int) "banded adds only bandwidth-many columns" (n + 3)
+        (Obs.Metrics.counter_value cols))
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "numerics"
@@ -496,6 +711,23 @@ let () =
           Alcotest.test_case "inverse" `Quick test_lu_inverse;
           Alcotest.test_case "singular raises" `Quick test_lu_singular;
           Alcotest.test_case "iterative refinement" `Quick test_lu_refine;
+        ] );
+      ( "sparse-lu",
+        [
+          Alcotest.test_case "ftran random systems" `Quick test_sparse_lu_solve;
+          Alcotest.test_case "btran random systems" `Quick test_sparse_lu_solve_t;
+          Alcotest.test_case "deterministic" `Quick test_sparse_lu_deterministic;
+          Alcotest.test_case "singular raises" `Quick test_sparse_lu_singular;
+        ] );
+      ( "banded",
+        [
+          Alcotest.test_case "solve random systems" `Quick test_banded_solve;
+          Alcotest.test_case "matches dense LU" `Quick test_banded_matches_dense;
+          Alcotest.test_case "deterministic" `Quick test_banded_deterministic;
+          Alcotest.test_case "singular and out-of-band" `Quick test_banded_singular;
+          Alcotest.test_case "colored Jacobian bitwise" `Quick test_banded_jacobian_bitwise;
+          Alcotest.test_case "implicit euler banded" `Quick test_implicit_euler_banded_jac;
+          Alcotest.test_case "jacobian_cols counter" `Quick test_jacobian_cols_counter;
         ] );
       ( "qr",
         [

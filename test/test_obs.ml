@@ -599,6 +599,37 @@ let test_report_sections () =
         (contains_substring ~sub:"restart" s);
       Alcotest.(check bool) "latency quantiles" true (contains_substring ~sub:"p99" s))
 
+let test_report_lp_section () =
+  (* Simplex kernel counters render the LP kernel health section with
+     eta-file pressure and refactorization latency quantiles. *)
+  with_metrics @@ fun () ->
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.solves") 2;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.pivots") 31;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.refactors") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.bland_activations") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.warm_starts") 1;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge "simplex.eta_len") 7.;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~buckets:[| 1e3; 1e4; 1e5; 1e6 |] "simplex.refactor_ns")
+    42_000.;
+  let path = Filename.temp_file "obs_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Metrics.write_snapshot ~label:"epoch 1" oc;
+      close_out oc;
+      let mf = Obs.Report.read_metrics ~path in
+      let s = Format.asprintf "%a" (fun ppf () -> Obs.Report.pp ~metrics:mf ppf ()) () in
+      Alcotest.(check bool) "LP section present" true
+        (contains_substring ~sub:"LP kernel health" s);
+      Alcotest.(check bool) "Bland activations surfaced" true
+        (contains_substring ~sub:"1 Bland activation(s)" s);
+      Alcotest.(check bool) "eta length surfaced" true
+        (contains_substring ~sub:"eta file length at snapshot: 7" s);
+      Alcotest.(check bool) "refactor latency quantiles" true
+        (contains_substring ~sub:"refactor time" s))
+
 let () =
   Alcotest.run "obs"
     [
@@ -657,5 +688,6 @@ let () =
         [
           Alcotest.test_case "torn jsonl tolerated" `Quick test_report_torn_jsonl;
           Alcotest.test_case "shard timeline section" `Quick test_report_sections;
+          Alcotest.test_case "LP kernel health section" `Quick test_report_lp_section;
         ] );
     ]
