@@ -843,6 +843,12 @@ let run_shard_benchmarks () =
      too noisy to gate on time);
    - simplex/warm-start: the sparse kernel re-solving from its own
      returned basis must spend strictly fewer pivots than the cold solve;
+   - simplex/warm-sweep: the Geobacter FVA + knockout-screen workload
+     under every {eta | Forrest–Tomlin} × {dantzig | steepest-edge |
+     partial} × {primal | dual} combination — objective checksums must
+     agree to 1e-5, [ft/steepest-edge/dual] must beat the PR 9 baseline
+     [eta/dantzig/primal] on pivots (≥2× fewer, and faster wall-clock,
+     in full mode);
    - ode/banded-jacobian: the stiff implicit tier integrating the same
      tridiagonal system with dense finite-difference Jacobians vs the
      declared [Band {ml = 1; mu = 1}] structure — identical trajectories
@@ -978,12 +984,150 @@ let bench_simplex_jacobian ~quick =
       ("jacobian_cols_banded", Obs.Json.Float (float_of_int band_cols));
     ]
 
+(* Warm sweep: the FVA + knockout-screen workload that PR 9's eta-file
+   primal warm path served, re-run under every {basis update, pricing,
+   primal/dual} combination.  The first row reproduces the PR 9
+   configuration and is the baseline the dual+steepest-edge row must
+   beat: every combo must land on the same objective checksum, and
+   [ft/steepest-edge/dual] must spend at most half the baseline's total
+   pivots (and less wall-clock, full mode only). *)
+let bench_simplex_warm_sweep ~quick =
+  let g = Lazy.force geobacter in
+  let t = g.Fba.Geobacter.net in
+  let n = Fba.Network.n_reactions t in
+  let obj = Array.make n 0. in
+  obj.(g.Fba.Geobacter.ep) <- 1.;
+  obj.(g.Fba.Geobacter.bp) <- 0.3;
+  let spec = Fba.Analysis.spec_of ~t ~obj in
+  let n_total = Array.length spec.Lp.Simplex.obj in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let fva_reactions =
+    let all = List.init n Fun.id in
+    if quick then take 12 all else all
+  in
+  let ko_candidates =
+    List.init n Fun.id
+    |> List.filter (fun j -> j <> g.Fba.Geobacter.ep && j <> g.Fba.Geobacter.bp)
+    |> take (if quick then 12 else 200)
+  in
+  let combos =
+    [
+      ("eta/dantzig/primal", `Eta, `Dantzig, false);
+      ("ft/dantzig/primal", `ForrestTomlin, `Dantzig, false);
+      ("ft/steepest-edge/primal", `ForrestTomlin, `SteepestEdge, false);
+      ("ft/dantzig/dual", `ForrestTomlin, `Dantzig, true);
+      ("ft/steepest-edge/dual", `ForrestTomlin, `SteepestEdge, true);
+      ("ft/partial/dual", `ForrestTomlin, `Partial, true);
+    ]
+  in
+  let run_combo (label, update, pricing, dual) =
+    let warm basis spec =
+      if dual then Lp.Simplex.solve_dual_basis ?basis ~update ~pricing spec
+      else Lp.Simplex.solve_basis ?basis ~update ~pricing spec
+    in
+    let checksum = ref 0. in
+    let work () =
+      (* Wild-type FBA seeds both halves of the sweep. *)
+      let out0, b0 = Lp.Simplex.solve_basis ~update ~pricing spec in
+      (match out0 with
+      | Lp.Simplex.Optimal { objective; _ } -> checksum := !checksum +. objective
+      | _ -> simplex_fail "%s: wild-type FBA must be optimal" label);
+      (* FVA over the swept reactions: objective flips, every direction
+         warm from the wild-type parent basis (objective changes keep
+         the vertex primal feasible, so even the dual entry point lands
+         on warm phase 2). *)
+      List.iter
+        (fun r ->
+          List.iter
+            (fun sense ->
+              let o = Array.make n_total 0. in
+              o.(r) <- sense;
+              let out, _ = warm b0 { spec with Lp.Simplex.obj = o } in
+              match out with
+              | Lp.Simplex.Optimal { objective; _ } ->
+                checksum := !checksum +. (sense *. objective)
+              | Lp.Simplex.Unbounded -> ()
+              | Lp.Simplex.Infeasible -> simplex_fail "%s: FVA direction infeasible" label)
+            [ 1.; -1. ])
+        fva_reactions;
+      (* Knockout screen: bounds-only changes from the wild-type basis —
+         the dual simplex's home turf. *)
+      List.iter
+        (fun j ->
+          let lo = Array.copy spec.Lp.Simplex.lo in
+          let up = Array.copy spec.Lp.Simplex.up in
+          lo.(j) <- 0.;
+          up.(j) <- 0.;
+          let out, _ = warm b0 { spec with Lp.Simplex.lo = lo; up } in
+          match out with
+          | Lp.Simplex.Optimal { objective; _ } -> checksum := !checksum +. objective
+          | Lp.Simplex.Infeasible -> ()
+          | Lp.Simplex.Unbounded -> simplex_fail "%s: knockout LP unbounded" label)
+        ko_candidates
+    in
+    let wall = ref 0. in
+    let (), deltas =
+      counters_delta [ "simplex.pivots" ] (fun () ->
+          let (), dt = wall_ns work in
+          wall := dt)
+    in
+    let pivots = match deltas with [ p ] -> p | _ -> assert false in
+    Printf.printf "   warm-sweep %-24s %7d pivots  %8.1f ms  checksum %.6f\n%!" label
+      pivots (!wall /. 1e6) !checksum;
+    (label, pivots, !wall, !checksum)
+  in
+  let results = List.map run_combo combos in
+  let find l =
+    match List.find_opt (fun (lab, _, _, _) -> lab = l) results with
+    | Some r -> r
+    | None -> assert false
+  in
+  let _, base_pivots, base_wall, base_sum = find "eta/dantzig/primal" in
+  List.iter
+    (fun (label, _, _, sum) ->
+      if Float.abs (sum -. base_sum) > 1e-5 *. (1. +. Float.abs base_sum) then
+        simplex_fail "%s checksum diverges from baseline (%.9g vs %.9g)" label sum base_sum)
+    results;
+  let _, best_pivots, best_wall, _ = find "ft/steepest-edge/dual" in
+  if best_pivots >= base_pivots then
+    simplex_fail "dual+steepest-edge did not save pivots (%d vs %d baseline)" best_pivots
+      base_pivots;
+  if not quick then begin
+    if 2 * best_pivots > base_pivots then
+      simplex_fail "dual+steepest-edge pivot saving under 2x (%d vs %d baseline)" best_pivots
+        base_pivots;
+    if best_wall >= base_wall then
+      simplex_fail "dual+steepest-edge not faster than eta baseline (%.1f ms vs %.1f ms)"
+        (best_wall /. 1e6) (base_wall /. 1e6)
+  end;
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "simplex/warm-sweep");
+      ("fva_reactions", Obs.Json.Float (float_of_int (List.length fva_reactions)));
+      ("knockouts", Obs.Json.Float (float_of_int (List.length ko_candidates)));
+      ( "combos",
+        Obs.Json.List
+          (List.map
+             (fun (label, pivots, wall, sum) ->
+               Obs.Json.Obj
+                 [
+                   ("combo", Obs.Json.String label);
+                   ("pivots", Obs.Json.Float (float_of_int pivots));
+                   ("wall_ms", Obs.Json.Float (wall /. 1e6));
+                   ("checksum", Obs.Json.Float sum);
+                 ])
+             results) );
+      ( "pivot_saving_vs_eta",
+        Obs.Json.Float (float_of_int base_pivots /. float_of_int (max 1 best_pivots)) );
+    ]
+
 let run_simplex_benchmarks () =
   let quick = !quick_mode in
   Printf.printf
     "== LP & ODE kernels (gates: kernels agree to 1e-6, warm/banded strictly cheaper%s) ==\n%!"
     (if quick then "" else ", sparse faster than dense");
   let lp = bench_simplex_kernels ~quick in
+  let sweep = bench_simplex_warm_sweep ~quick in
   let jac = bench_simplex_jacobian ~quick in
   if quick then Printf.printf "   smoke mode: gates checked, BENCH_simplex.json not written\n%!"
   else begin
@@ -992,8 +1136,8 @@ let run_simplex_benchmarks () =
         [
           ( "benchmark",
             Obs.Json.String
-              "simplex kernel comparison (sparse factorized basis vs dense) + banded Jacobian" );
-          ("kernels", Obs.Json.List [ lp; jac ]);
+              "simplex kernel comparison (sparse factorized basis vs dense), FT/pricing/dual warm sweep + banded Jacobian" );
+          ("kernels", Obs.Json.List [ lp; sweep; jac ]);
           ("pass", Obs.Json.Bool true);
         ]
     in
@@ -1003,8 +1147,6 @@ let run_simplex_benchmarks () =
     close_out oc;
     Printf.printf "   wrote BENCH_simplex.json (pass: true)\n"
   end
-
-(* {1 Dispatch} *)
 
 let experiments =
   [

@@ -16,7 +16,18 @@ let spec_of ~t ~obj =
   { Lp.Simplex.n_rows = m; cols; rhs = Array.make m 0.; obj; lo; up }
 
 let solve_spec_basis ?basis spec =
-  match Lp.Simplex.solve_basis ?basis spec with
+  (* With a parent basis in hand, route through the dual simplex entry:
+     it subsumes the primal warm start (a dual-feasible vertex runs dual
+     iterations, a merely primal-feasible one runs warm phase 2, and
+     anything else rejects to the cold path), and the FBA warm-start
+     pattern — same network, perturbed bounds or objective — is exactly
+     the bounds-only regime the dual repair was built for. *)
+  let result =
+    match basis with
+    | None -> Lp.Simplex.solve_basis spec
+    | Some _ -> Lp.Simplex.solve_dual_basis ?basis spec
+  in
+  match result with
   | Lp.Simplex.Optimal { x; objective }, carry -> ({ objective; fluxes = x }, carry)
   | Lp.Simplex.Infeasible, _ -> raise (Infeasible_model "LP infeasible")
   | Lp.Simplex.Unbounded, _ -> raise (Infeasible_model "LP unbounded")
@@ -43,19 +54,24 @@ let fba ~t ~objective = fst (fba_with_basis ~t ~objective ())
 
 let fva ~t ~reactions =
   (* All 2·|reactions| LPs share the constraint matrix and bounds and
-     differ only in the objective, so each optimal basis remains a
-     feasible vertex of the next LP: thread it through as a warm start.
-     The fluxes/objectives are whatever the solver would also produce
-     cold — warm starting changes the pivot count, not the optimum. *)
-  let prev = ref None in
+     differ only in the objective, so any optimal basis remains a
+     feasible vertex of every other direction: warm-start each one from
+     a single parent basis (the first direction's optimum).  The parent
+     beats chaining the previous direction's basis because consecutive
+     FVA objectives point at unrelated corners — each chained hop walks
+     back across the polytope, while the parent vertex stays a central
+     few pivots from most single-coordinate optima.  The
+     fluxes/objectives are whatever the solver would also produce cold —
+     warm starting changes the pivot count, not the optimum. *)
+  let parent = ref None in
   List.map
     (fun j ->
       let n = Network.n_reactions t in
       let solve_dir sign =
         let obj = Array.make n 0. in
         obj.(j) <- sign;
-        let sol, carry = solve_spec_basis ?basis:!prev (spec_of ~t ~obj) in
-        (match carry with Some _ -> prev := carry | None -> ());
+        let sol, carry = solve_spec_basis ?basis:!parent (spec_of ~t ~obj) in
+        (match (!parent, carry) with None, Some _ -> parent := carry | _ -> ());
         sol.objective
       in
       let hi = solve_dir 1. in

@@ -27,9 +27,13 @@ val fba_with_basis :
 (** {!fba} with simplex warm-start plumbing: pass the basis returned by
     a previous structurally-identical solve (same network dimensions —
     bounds and objective may differ) to skip phase 1; receive this
-    solve's optimal basis for the next one.  The solution is identical
-    to the cold {!fba} — only the work to reach it changes.  An
-    unusable basis is rejected inside the solver, never an error. *)
+    solve's optimal basis for the next one.  Warm solves route through
+    {!Lp.Simplex.solve_dual_basis}: when only bounds changed since the
+    parent basis was optimal (knockouts, ε-constraint levels,
+    dynamic-FBA steps) the still-dual-feasible vertex is repaired by
+    dual iterations instead of a primal phase 2.  The solution is
+    identical to the cold {!fba} — only the work to reach it changes.
+    An unusable basis is rejected inside the solver, never an error. *)
 
 val fba_multi_with_basis :
   ?basis:Lp.Simplex.basis ->

@@ -27,7 +27,14 @@ val single :
   knockout list
 (** One-at-a-time knockouts of the candidates, sorted by decreasing
     target flux.  Lethal knockouts (biomass constraint infeasible) are
-    dropped.  The network's bounds are restored afterwards. *)
+    dropped.  The network's bounds are restored afterwards.
+
+    Each knockout LP warm-starts from the nearest previously solved
+    screen member (a {!Cache.Warm} store keyed by the bounds vector,
+    seeded with the wild-type optimum); since screen members differ only
+    in pinned bounds the seed stays dual-feasible and the solve runs as
+    a dual-simplex bound repair — the result is identical to solving
+    each LP cold. *)
 
 val pairs :
   t:Network.t ->
@@ -36,7 +43,10 @@ val pairs :
   min_biomass:float ->
   candidates:int list ->
   knockout list
-(** All unordered pairs from the candidates (O(k²) LP solves). *)
+(** All unordered pairs from the candidates (O(k²) LP solves).  The
+    singles are screened first purely to charge the warm store, so each
+    pair {i, j} starts one pinned reaction away from the stored basis of
+    {i} instead of two away from the wild type. *)
 
 type coupling = {
   removed_reactions : int list;

@@ -17,6 +17,8 @@ type outcome =
 type status = Basic | At_lower | At_upper | Free_nb
 
 type kernel = [ `Sparse | `Dense ]
+type update = Basis.update
+type pricing = [ `Dantzig | `SteepestEdge | `Partial ]
 
 (* Numerical tolerances: [tol_d] for reduced costs, [tol_p] for pivots,
    [tol_f] for feasibility of the phase-1 objective. *)
@@ -43,13 +45,59 @@ let m_warm_starts = Obs.Metrics.counter "simplex.warm_starts"
 let m_warm_rejects = Obs.Metrics.counter "simplex.warm_rejects"
 let m_bland = Obs.Metrics.counter "simplex.bland_activations"
 
-let h_pivots =
-  Obs.Metrics.histogram "simplex.pivots_per_solve"
-    ~buckets:[| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+(* Warm-start rejects, by reason — the cache-efficacy signal. *)
+let m_wr_shape = Obs.Metrics.counter "simplex.warm_rejects_shape"
+let m_wr_singular = Obs.Metrics.counter "simplex.warm_rejects_singular"
+let m_wr_primal = Obs.Metrics.counter "simplex.warm_rejects_primal_infeasible"
+let m_wr_dual = Obs.Metrics.counter "simplex.warm_rejects_dual_infeasible"
+let m_wr_limit = Obs.Metrics.counter "simplex.warm_rejects_limit"
+
+(* Dual-simplex accounting.  Dual pivots also count into the shared
+   [simplex.pivots], so "total pivots" reads one counter regardless of
+   which loop did the work. *)
+let m_dual_solves = Obs.Metrics.counter "simplex.dual_solves"
+let m_dual_pivots = Obs.Metrics.counter "simplex.dual_pivots"
+let m_dual_fallbacks = Obs.Metrics.counter "simplex.dual_fallbacks"
+let m_dual_ns = Obs.Metrics.counter "simplex.dual_ns"
+
+(* Per-pricing-rule pivot and pricing-time accounting. *)
+let m_pivots_dantzig = Obs.Metrics.counter "simplex.pivots_dantzig"
+let m_pivots_se = Obs.Metrics.counter "simplex.pivots_steepest_edge"
+let m_pivots_partial = Obs.Metrics.counter "simplex.pivots_partial"
+let m_price_dantzig_ns = Obs.Metrics.counter "simplex.price_dantzig_ns"
+let m_price_se_ns = Obs.Metrics.counter "simplex.price_steepest_edge_ns"
+let m_price_partial_ns = Obs.Metrics.counter "simplex.price_partial_ns"
+
+let pivot_buckets = [| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+let h_pivots = Obs.Metrics.histogram "simplex.pivots_per_solve" ~buckets:pivot_buckets
+
+let h_pivots_dantzig =
+  Obs.Metrics.histogram "simplex.pivots_per_solve_dantzig" ~buckets:pivot_buckets
+
+let h_pivots_se =
+  Obs.Metrics.histogram "simplex.pivots_per_solve_steepest_edge" ~buckets:pivot_buckets
+
+let h_pivots_partial =
+  Obs.Metrics.histogram "simplex.pivots_per_solve_partial" ~buckets:pivot_buckets
 
 let h_refactor_ns =
   Obs.Metrics.histogram "simplex.refactor_ns"
     ~buckets:[| 1e3; 3e3; 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 1e8 |]
+
+let rule_pivot_counter = function
+  | `Dantzig -> m_pivots_dantzig
+  | `SteepestEdge -> m_pivots_se
+  | `Partial -> m_pivots_partial
+
+let rule_price_ns = function
+  | `Dantzig -> m_price_dantzig_ns
+  | `SteepestEdge -> m_price_se_ns
+  | `Partial -> m_price_partial_ns
+
+let rule_hist = function
+  | `Dantzig -> h_pivots_dantzig
+  | `SteepestEdge -> h_pivots_se
+  | `Partial -> h_pivots_partial
 
 (* Run [f] and charge its wall time to counter [c] (whole nanoseconds).
    The clock is only read when metrics are on. *)
@@ -72,10 +120,11 @@ let timed_hist h f =
   else f ()
 
 (* The factorized representation of the basis matrix.  [F_sparse] is the
-   default revised-simplex kernel: a Markowitz LU plus a product-form
-   eta file ({!Basis}).  [F_dense] keeps the explicit dense inverse
-   updated by eta row operations — O(m²) per pivot — as the oracle and
-   bench baseline the sparse kernel is measured against. *)
+   default revised-simplex kernel: a Markowitz LU maintained by
+   Forrest–Tomlin updates or a product-form eta file ({!Basis}).
+   [F_dense] keeps the explicit dense inverse updated by eta row
+   operations — O(m²) per pivot — as the oracle and bench baseline the
+   sparse kernel is measured against. *)
 type factor =
   | F_sparse of Basis.t
   | F_dense of Numerics.Matrix.t
@@ -130,6 +179,16 @@ let multipliers st c =
   | F_sparse b -> Basis.btran b cb
   | F_dense binv -> Numerics.Matrix.tmv binv cb
 
+(* ρ = B⁻ᵀ e_r — row r of the basis inverse; the dual-simplex pricing
+   row and the devex projection vector. *)
+let btran_unit st r =
+  match st.fac with
+  | F_sparse b ->
+    let c = Array.make st.m 0. in
+    c.(r) <- 1.;
+    Basis.btran b c
+  | F_dense binv -> Array.init st.m (fun i -> Numerics.Matrix.get binv r i)
+
 (* Recompute the values of the basic variables from the nonbasic ones:
    x_B = B⁻¹ (b − N x_N).  Pivots update x incrementally; this exact
    recomputation runs after every refactorization to wash out drift. *)
@@ -149,7 +208,7 @@ let recompute_basics st =
   done
 
 (* Rebuild the factorization from scratch (numerical refresh; for the
-   sparse kernel also the answer to a full eta file). *)
+   sparse kernel also the answer to a full update file). *)
 let refactor st =
   Obs.Metrics.incr m_refactors;
   timed_hist h_refactor_ns @@ fun () ->
@@ -172,10 +231,11 @@ let needs_refactor st iter =
   | F_sparse b -> Basis.should_refactor b
   | F_dense _ -> iter mod 128 = 0
 
-(* Record the basis change at row position [r] with ftran image [w]. *)
-let update_factor st r w =
+(* Record the basis change at row position [r]: entering variable [j]
+   with ftran image [w]. *)
+let update_factor st r j w =
   match st.fac with
-  | F_sparse b -> Basis.update b ~row:r w
+  | F_sparse b -> Basis.update b ~row:r ~col:st.cols.(j) w
   | F_dense binv ->
     let wr = w.(r) in
     for i = 0 to st.m - 1 do
@@ -199,53 +259,118 @@ let reduced_cost st c y j =
   List.iter (fun (i, v) -> d := !d -. (y.(i) *. v)) st.cols.(j);
   !d
 
-(* One phase of the simplex loop with objective [c] (maximization).
-   Returns [`Optimal] or [`Unbounded]. *)
-let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
+(* One phase of the primal simplex loop with objective [c]
+   (maximization).  Returns [`Optimal] or [`Unbounded].
+
+   Pricing rules: [`Dantzig] scans every nonbasic column for the worst
+   reduced cost; [`SteepestEdge] is projected steepest edge with devex
+   reference weights (γ_j, reset to the reference framework on every
+   refactorization) scoring d_j²/γ_j; [`Partial] scans ~n/8-sized
+   sections cyclically, sticking with a section while it yields
+   candidates.  All rules fall back to Bland's rule (first eligible
+   index) during a degenerate streak. *)
+let optimize ?(max_iter = 50_000) ?(pivots = ref 0) ?(pricing = `Dantzig) st c =
   let iter = ref 0 in
   let degen = ref 0 in
   let bland_on = ref false in
   let last_obj = ref neg_infinity in
   let result = ref None in
+  let n_total = st.n_total in
+  let m_rule = rule_pivot_counter pricing in
+  let price_ns = rule_price_ns pricing in
+  (* Devex reference weights (steepest edge only). *)
+  let gamma =
+    match pricing with
+    | `SteepestEdge -> Array.make n_total 1.
+    | `Dantzig | `Partial -> [||]
+  in
+  let n_sections =
+    match pricing with
+    | `Partial -> max 1 (min 8 (n_total / 64))
+    | `Dantzig | `SteepestEdge -> 1
+  in
+  let section_len = (n_total + n_sections - 1) / n_sections in
+  let cursor = ref 0 in
   while !result = None do
     incr iter;
     if !iter > max_iter then failwith "Simplex.optimize: iteration limit exceeded";
     if needs_refactor st !iter then begin
       refactor st;
-      recompute_basics st
+      recompute_basics st;
+      (* Reference framework reset: fresh factors, fresh weights. *)
+      if Array.length gamma > 0 then Array.fill gamma 0 n_total 1.
     end;
     let y = multipliers st c in
-    (* Entering variable: Dantzig pricing; Bland's rule once a streak of
-       degenerate pivots marks the vertex as cycling-prone. *)
+    (* Eligible reduced-cost magnitude of column [j]; fixed variables
+       (lo = up) can never move and are skipped. *)
+    let viol_of j =
+      (* robustlint: allow R1 — fixed variables are pinned by exactly equal bounds *)
+      if st.lo.(j) = st.up.(j) then 0.
+      else
+        match st.status.(j) with
+        | Basic -> 0.
+        | At_lower ->
+          let d = reduced_cost st c y j in
+          if d > tol_d then d else 0.
+        | At_upper ->
+          let d = reduced_cost st c y j in
+          if d < -.tol_d then -.d else 0.
+        | Free_nb ->
+          let d = reduced_cost st c y j in
+          let a = Float.abs d in
+          if a > tol_d then a else 0.
+    in
     let bland = !bland_on in
     let entering = ref (-1) in
-    let best = ref tol_d in
-    (try
-       for j = 0 to st.n_total - 1 do
-         let viol =
-           match st.status.(j) with
-           | Basic -> 0.
-           | At_lower ->
-             let d = reduced_cost st c y j in
-             if d > tol_d then d else 0.
-           | At_upper ->
-             let d = reduced_cost st c y j in
-             if d < -.tol_d then -.d else 0.
-           | Free_nb ->
-             let d = reduced_cost st c y j in
-             Float.abs d |> fun a -> if a > tol_d then a else 0.
-         in
-         if viol > 0. then
-           if bland then begin
-             entering := j;
-             raise Exit
-           end
-           else if viol > !best then begin
-             best := viol;
-             entering := j
-           end
-       done
-     with Exit -> ());
+    timed price_ns (fun () ->
+        if bland then (
+          try
+            for j = 0 to n_total - 1 do
+              if viol_of j > 0. then begin
+                entering := j;
+                raise Exit
+              end
+            done
+          with Exit -> ())
+        else
+          match pricing with
+          | `Dantzig ->
+            let best = ref tol_d in
+            for j = 0 to n_total - 1 do
+              let v = viol_of j in
+              if v > !best then begin
+                best := v;
+                entering := j
+              end
+            done
+          | `SteepestEdge ->
+            let best = ref 0. in
+            for j = 0 to n_total - 1 do
+              let v = viol_of j in
+              if v > 0. then begin
+                let score = v *. v /. gamma.(j) in
+                if score > !best then begin
+                  best := score;
+                  entering := j
+                end
+              end
+            done
+          | `Partial ->
+            let tried = ref 0 in
+            while !entering < 0 && !tried < n_sections do
+              let s = (!cursor + !tried) mod n_sections in
+              let j1 = min n_total ((s + 1) * section_len) - 1 in
+              let best = ref tol_d in
+              for j = s * section_len to j1 do
+                let v = viol_of j in
+                if v > !best then begin
+                  best := v;
+                  entering := j
+                end
+              done;
+              if !entering >= 0 then cursor := s;
+              incr tried
+            done);
     if !entering < 0 then result := Some `Optimal
     else begin
       let j = !entering in
@@ -297,6 +422,7 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
         let t = !t_best in
         incr pivots;
         Obs.Metrics.incr m_pivots;
+        Obs.Metrics.incr m_rule;
         (* Move the basic variables along the direction, then place the
            entering/leaving variables exactly. *)
         let step = dir *. t in
@@ -307,14 +433,37 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
             st.x.(k) <- st.x.(k) -. (step *. w.(r))
           done;
         if !leave_row < 0 then begin
-          (* Bound flip: the entering variable runs to its opposite bound. *)
+          (* Bound flip: the entering variable runs to its opposite bound.
+             The basis is unchanged, so devex weights stay put. *)
           st.x.(j) <- (if dir > 0. then st.up.(j) else st.lo.(j));
           st.status.(j) <- (if dir > 0. then At_upper else At_lower)
         end
         else begin
           let r = !leave_row in
           let k = st.basis.(r) in
-          update_factor st r w;
+          if Array.length gamma > 0 then begin
+            (* Devex weight update against the {e old} basis (ρ must be
+               computed before the factor update): with α_q = ρ·a_q,
+               γ_q ← max(γ_q, (α_q/α_r)²·γ_e) for nonbasic q, and the
+               leaving variable re-enters the frame with
+               γ_k ← max(γ_e/α_r², 1). *)
+            let rho = btran_unit st r in
+            let alpha_r = w.(r) in
+            let ge = gamma.(j) in
+            for q = 0 to n_total - 1 do
+              (* robustlint: allow R1 — fixed variables are pinned by exactly equal bounds *)
+              if q <> j && st.status.(q) <> Basic && st.lo.(q) <> st.up.(q) then begin
+                let a = ref 0. in
+                List.iter (fun (i, v) -> a := !a +. (rho.(i) *. v)) st.cols.(q);
+                let ratio = !a /. alpha_r in
+                let cand = ratio *. ratio *. ge in
+                if cand > gamma.(q) then gamma.(q) <- cand
+              end
+            done;
+            gamma.(k) <- Float.max (ge /. (alpha_r *. alpha_r)) 1.;
+            gamma.(j) <- 1.
+          end;
+          update_factor st r j w;
           st.basis.(r) <- j;
           st.status.(j) <- Basic;
           st.x.(j) <- st.x.(j) +. step;
@@ -343,14 +492,176 @@ let optimize ?(max_iter = 50_000) ?(pivots = ref 0) st c =
   done;
   match !result with Some r -> r | None -> assert false
 
+(* Bounded-variable dual simplex (maximization), for warm starts whose
+   basis is dual-feasible but primal-infeasible — the bounds-only
+   change.  Each iteration picks the basic variable with the largest
+   bound violation as the leaving variable, prices the entering variable
+   by the dual ratio test on the btran row ρ = B⁻ᵀe_r (ties to the
+   largest pivot magnitude, Bland-style smallest index during a
+   degenerate streak), and pivots.  Returns [`Optimal] once primal
+   feasibility is restored (dual feasibility is invariant);
+   [`Infeasible] when no entering column exists on a freshly rebuilt
+   factorization and the violation clearly exceeds tolerance — the dual
+   ray is a trusted certificate of primal infeasibility; or
+   [`Dual_unbounded] when the certificate is within tolerance noise and
+   needs the cold primal to adjudicate. *)
+let optimize_dual ?(max_iter = 50_000) ?(pivots = ref 0) st c =
+  let iter = ref 0 in
+  let degen = ref 0 in
+  let bland_on = ref false in
+  (* Whether the factorization has been rebuilt since the last basis
+     change — the precondition for trusting an infeasibility
+     certificate. *)
+  let fresh = ref false in
+  let result = ref None in
+  while !result = None do
+    incr iter;
+    if !iter > max_iter then failwith "Simplex.optimize_dual: iteration limit exceeded";
+    if needs_refactor st !iter then begin
+      refactor st;
+      recompute_basics st;
+      fresh := true
+    end;
+    (* Leaving variable: worst primal bound violation among the basics. *)
+    let leave = ref (-1) in
+    let worst = ref 0. in
+    for i = 0 to st.m - 1 do
+      let k = st.basis.(i) in
+      let xk = st.x.(k) in
+      let slack = tol_f *. (1. +. Float.abs xk) in
+      let v =
+        if xk < st.lo.(k) -. slack then st.lo.(k) -. xk
+        else if xk > st.up.(k) +. slack then xk -. st.up.(k)
+        else 0.
+      in
+      if v > !worst then begin
+        worst := v;
+        leave := i
+      end
+    done;
+    if !leave < 0 then result := Some `Optimal
+    else begin
+      let r = !leave in
+      let k = st.basis.(r) in
+      let to_lower = st.x.(k) < st.lo.(k) in
+      let y = multipliers st c in
+      let rho = btran_unit st r in
+      (* With the leaving variable headed to its lower bound its basic
+         value must rise, so the pivot row is used as-is; headed to the
+         upper bound everything flips sign. *)
+      let s = if to_lower then 1. else -1. in
+      let entering = ref (-1) in
+      let best_ratio = ref infinity in
+      let best_alpha = ref 0. in
+      for q = 0 to st.n_total - 1 do
+        (* robustlint: allow R1 — fixed variables are pinned by exactly equal bounds *)
+        if st.status.(q) <> Basic && st.lo.(q) <> st.up.(q) then begin
+          let a = ref 0. in
+          List.iter (fun (i, v) -> a := !a +. (rho.(i) *. v)) st.cols.(q);
+          let alpha = s *. !a in
+          let eligible =
+            match st.status.(q) with
+            | At_lower -> alpha < -.tol_p
+            | At_upper -> alpha > tol_p
+            | Free_nb -> Float.abs alpha > tol_p
+            | Basic -> false
+          in
+          if eligible then begin
+            (* Dual ratio |d_q / α_q|; a free nonbasic column has d ≈ 0
+               and is always the cheapest move. *)
+            let ratio =
+              match st.status.(q) with
+              | Free_nb -> 0.
+              | _ -> Float.max 0. (reduced_cost st c y q /. alpha)
+            in
+            let take =
+              if !entering < 0 then true
+              else if ratio < !best_ratio -. 1e-12 then true
+              else if ratio > !best_ratio +. 1e-12 then false
+              else if !bland_on then false (* Bland: keep the smallest index *)
+              else Float.abs alpha > Float.abs !best_alpha
+            in
+            if take then begin
+              best_ratio := Float.min !best_ratio ratio;
+              entering := q;
+              best_alpha := alpha
+            end
+          end
+        end
+      done;
+      if !entering < 0 then begin
+        (* No entering column: row r certifies that x_k cannot reach its
+           bound over the nonbasic box — primal infeasibility.  The
+           certificate is only as good as the factors behind ρ, so it is
+           re-derived once on a fresh factorization; a clear violation
+           there is accepted as [`Infeasible] outright, while a
+           tolerance-sized one is left to the cold primal to adjudicate
+           ([`Dual_unbounded]). *)
+        if not !fresh then begin
+          refactor st;
+          recompute_basics st;
+          fresh := true
+        end
+        else if !worst > 1e3 *. tol_f *. (1. +. Float.abs st.x.(k)) then
+          result := Some `Infeasible
+        else result := Some `Dual_unbounded
+      end
+      else begin
+        let j = !entering in
+        let w = ftran_col st st.cols.(j) in
+        if Float.abs w.(r) <= tol_p then begin
+          (* The pricing row and the ftran column disagree about the
+             pivot magnitude — stale factors; refresh and retry. *)
+          refactor st;
+          recompute_basics st;
+          fresh := true
+        end
+        else begin
+          let bound = if to_lower then st.lo.(k) else st.up.(k) in
+          let t = (st.x.(k) -. bound) /. w.(r) in
+          incr pivots;
+          Obs.Metrics.incr m_pivots;
+          Obs.Metrics.incr m_dual_pivots;
+          (* robustlint: allow R1 — a degenerate step moves nothing, exactly *)
+          if t <> 0. then
+            for i = 0 to st.m - 1 do
+              let kb = st.basis.(i) in
+              st.x.(kb) <- st.x.(kb) -. (t *. w.(i))
+            done;
+          st.x.(j) <- st.x.(j) +. t;
+          update_factor st r j w;
+          fresh := false;
+          st.basis.(r) <- j;
+          st.status.(j) <- Basic;
+          st.status.(k) <- (if to_lower then At_lower else At_upper);
+          st.x.(k) <- bound;
+          (* Degenerate-streak bookkeeping: a stalled dual step switches
+             the entering tie-break to Bland's smallest-index rule. *)
+          if Float.abs t <= tol_degen then begin
+            incr degen;
+            if (not !bland_on) && !degen >= bland_streak then begin
+              bland_on := true;
+              Obs.Metrics.incr m_bland
+            end
+          end
+          else begin
+            degen := 0;
+            bland_on := false
+          end
+        end
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
 type basis = { b_status : status array; b_rows : int array }
 
 (* Build the factorization of the m columns basic in rows 0..m-1.
    [None] on a singular basis matrix. *)
-let factor_basis ~kernel ~m cols_of =
+let factor_basis ~kernel ~update ~m cols_of =
   match kernel with
   | `Sparse -> (
-    match Basis.factor (Array.init m cols_of) with
+    match Basis.factor ~update (Array.init m cols_of) with
     | exception Numerics.Sparse_lu.Singular -> None
     | b -> Some (F_sparse b))
   | `Dense -> (
@@ -368,13 +679,14 @@ let factor_basis ~kernel ~m cols_of =
    selected kernel, and the basic values are recomputed against the
    {e new} rhs/bounds — so a basis carried over from a neighboring LP
    yields an exact vertex of the new LP, not an approximation.  Returns
-   [None] (reject, caller goes cold) when the basis is structurally
-   inconsistent with the spec, the basis matrix is singular, or the
-   implied vertex is primal-infeasible. *)
-let warm_state ~kernel spec basis =
+   [Error `Shape] when the basis is structurally inconsistent with the
+   spec and [Error `Singular] on a singular basis matrix; feasibility of
+   the vertex is the caller's decision ({!primal_feasible},
+   {!dual_feasible}). *)
+let warm_state ~kernel ~update spec basis =
   let m = spec.n_rows in
   let n = Array.length spec.cols in
-  if Array.length basis.b_status <> n || Array.length basis.b_rows <> m then None
+  if Array.length basis.b_status <> n || Array.length basis.b_rows <> m then Error `Shape
   else begin
     let ok = ref true in
     let seen = Array.make n false in
@@ -395,7 +707,7 @@ let warm_state ~kernel spec basis =
         | Free_nb -> ())
       basis.b_status;
     Array.iteri (fun j l -> if not (l <= spec.up.(j)) then ok := false) spec.lo;
-    if (not !ok) || !basic_count <> m then None
+    if (not !ok) || !basic_count <> m then Error `Shape
     else begin
       let n_total = n + m in
       let lo = Array.append (Array.copy spec.lo) (Array.make m 0.) in
@@ -412,24 +724,50 @@ let warm_state ~kernel spec basis =
       let cols =
         Array.append (Array.copy spec.cols) (Array.init m (fun i -> [ (i, 1.) ]))
       in
-      match factor_basis ~kernel ~m (fun r -> spec.cols.(basis.b_rows.(r))) with
-      | None -> None
+      match factor_basis ~kernel ~update ~m (fun r -> spec.cols.(basis.b_rows.(r))) with
+      | None -> Error `Singular
       | Some fac ->
         let st =
           { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status;
             basis = Array.copy basis.b_rows; fac; x }
         in
         recompute_basics st;
-        let feasible = ref true in
-        for r = 0 to m - 1 do
-          let k = st.basis.(r) in
-          let slack = tol_f *. (1. +. Float.abs st.x.(k)) in
-          if not (st.x.(k) >= st.lo.(k) -. slack && st.x.(k) <= st.up.(k) +. slack)
-          then feasible := false
-        done;
-        if !feasible then Some st else None
+        Ok st
     end
   end
+
+(* Primal feasibility of the warm vertex: every basic variable within
+   its bounds (the nonbasics sit exactly on theirs by construction). *)
+let primal_feasible st =
+  let feasible = ref true in
+  for r = 0 to st.m - 1 do
+    let k = st.basis.(r) in
+    let slack = tol_f *. (1. +. Float.abs st.x.(k)) in
+    if not (st.x.(k) >= st.lo.(k) -. slack && st.x.(k) <= st.up.(k) +. slack) then
+      feasible := false
+  done;
+  !feasible
+
+(* Dual feasibility of the warm vertex under objective [c]: no nonbasic
+   column prices favorably (fixed variables are exempt — they can never
+   enter).  A dual-feasible basis lets {!optimize_dual} restore primal
+   feasibility without a phase 1. *)
+let dual_feasible st c =
+  let y = multipliers st c in
+  let ok = ref true in
+  for j = 0 to st.n_total - 1 do
+    (* robustlint: allow R1 — fixed variables are pinned by exactly equal bounds *)
+    if st.status.(j) <> Basic && st.lo.(j) <> st.up.(j) then begin
+      let d = reduced_cost st c y j in
+      let slack = tol_f *. (1. +. Float.abs c.(j)) in
+      match st.status.(j) with
+      | At_lower -> if d > slack then ok := false
+      | At_upper -> if d < -.slack then ok := false
+      | Free_nb -> if Float.abs d > slack then ok := false
+      | Basic -> ()
+    end
+  done;
+  !ok
 
 (* Extract the reusable part of a solved state: only structural-variable
    bases survive (a basic artificial would not transfer). *)
@@ -437,7 +775,29 @@ let basis_of st n =
   if Array.exists (fun j -> j >= n) st.basis then None
   else Some { b_status = Array.sub st.status 0 n; b_rows = Array.copy st.basis }
 
-let cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2 =
+let count_reject reason =
+  Obs.Metrics.incr m_warm_rejects;
+  Obs.Metrics.incr
+    (match reason with
+    | `Shape -> m_wr_shape
+    | `Singular -> m_wr_singular
+    | `Primal_infeasible -> m_wr_primal
+    | `Dual_infeasible -> m_wr_dual
+    | `Limit -> m_wr_limit)
+
+(* Final polish: refactorize from the terminal basis and recompute the
+   basic values before extracting the solution, so the reported
+   (x, objective) is a pure function of (final basis, statuses, spec) —
+   identical bits whichever update scheme or pricing rule reached that
+   basis.  A (numerically) singular terminal basis keeps the updated
+   factors instead. *)
+let polish st =
+  match refactor st with
+  | () -> recompute_basics st
+  | exception Numerics.Sparse_lu.Singular -> ()
+  | exception Numerics.Lu.Singular -> ()
+
+let cold_solve spec ~max_iter ~kernel ~update ~pricing ~pivots ~finish ~phase2 =
   let m = spec.n_rows in
   let n = Array.length spec.cols in
   let n_total = n + m in
@@ -482,7 +842,7 @@ let cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2 =
   in
   let basis = Array.init m (fun i -> n + i) in
   let fac =
-    match factor_basis ~kernel ~m (fun i -> [ (i, art_sign.(i)) ]) with
+    match factor_basis ~kernel ~update ~m (fun i -> [ (i, art_sign.(i)) ]) with
     | Some f -> f
     | None -> invalid_arg "Simplex.solve: artificial basis cannot be singular"
   in
@@ -493,9 +853,9 @@ let cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2 =
   let st = { m; n_total; cols; rhs = Array.copy spec.rhs; lo; up; status; basis; fac; x } in
   (* Phase 1: minimize the sum of artificials. *)
   let c1 = Array.init n_total (fun j -> if j >= n then -1. else 0.) in
-  (match timed m_phase1_ns (fun () -> optimize ~max_iter ~pivots st c1) with
-   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
-   | `Optimal -> ());
+  (match timed m_phase1_ns (fun () -> optimize ~max_iter ~pivots ~pricing st c1) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+  | `Optimal -> ());
   let infeas = ref 0. in
   for i = 0 to m - 1 do
     infeas := !infeas +. x.(n + i)
@@ -513,50 +873,101 @@ let cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2 =
     finish st (phase2 st)
   end
 
-let solve_basis ?(max_iter = 50_000) ?(kernel = `Sparse) ?basis spec =
-  Obs.Metrics.incr m_solves;
-  Obs.Span.with_span "simplex.solve" @@ fun () ->
-  let pivots = ref 0 in
+let validate spec =
   let m = spec.n_rows in
   let n = Array.length spec.cols in
   if Array.length spec.rhs <> m then invalid_arg "Simplex.solve: rhs length mismatch";
   if not (Array.length spec.obj = n && Array.length spec.lo = n && Array.length spec.up = n)
-  then invalid_arg "Simplex.solve: obj/lo/up length mismatch";
+  then invalid_arg "Simplex.solve: obj/lo/up length mismatch"
+
+let solve_core ~dual ~max_iter ~kernel ~update ~pricing ~basis spec =
+  Obs.Metrics.incr m_solves;
+  if dual then Obs.Metrics.incr m_dual_solves;
+  Obs.Span.with_span (if dual then "simplex.solve_dual" else "simplex.solve") @@ fun () ->
+  validate spec;
+  let n = Array.length spec.cols in
+  let pivots = ref 0 in
   let finish st outcome =
     Obs.Metrics.observe h_pivots (float_of_int !pivots);
+    Obs.Metrics.observe (rule_hist pricing) (float_of_int !pivots);
     let carry = match outcome with Optimal _ -> basis_of st n | _ -> None in
     (outcome, carry)
   in
+  let extract st =
+    let xs = Array.sub st.x 0 n in
+    let objective = ref 0. in
+    for j = 0 to n - 1 do
+      objective := !objective +. (spec.obj.(j) *. xs.(j))
+    done;
+    Optimal { x = xs; objective = !objective }
+  in
+  let full_obj st = Array.init st.n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
   let phase2 st =
-    let c2 = Array.init st.n_total (fun j -> if j < n then spec.obj.(j) else 0.) in
-    match timed m_phase2_ns (fun () -> optimize ~max_iter ~pivots st c2) with
+    match timed m_phase2_ns (fun () -> optimize ~max_iter ~pivots ~pricing st (full_obj st)) with
     | `Unbounded -> Unbounded
     | `Optimal ->
-      let xs = Array.sub st.x 0 n in
-      let objective = ref 0. in
-      for j = 0 to n - 1 do
-        objective := !objective +. (spec.obj.(j) *. xs.(j))
-      done;
-      Optimal { x = xs; objective = !objective }
+      polish st;
+      extract st
   in
-  let cold () =
-    cold_solve spec ~max_iter ~kernel ~pivots ~finish ~phase2
+  let cold () = cold_solve spec ~max_iter ~kernel ~update ~pricing ~pivots ~finish ~phase2 in
+  let warm_primal st =
+    Obs.Metrics.incr m_warm_starts;
+    match phase2 st with
+    | outcome -> finish st outcome
+    | exception Failure _ ->
+      (* Iteration-limit blowup from a degenerate warm vertex: charge it
+         as a reject and redo the honest two-phase solve. *)
+      count_reject `Limit;
+      cold ()
   in
   match basis with
   | None -> cold ()
   | Some b -> (
-    match warm_state ~kernel spec b with
-    | None ->
-      Obs.Metrics.incr m_warm_rejects;
+    match warm_state ~kernel ~update spec b with
+    | Error `Shape ->
+      count_reject `Shape;
       cold ()
-    | Some st -> (
-      Obs.Metrics.incr m_warm_starts;
-      match phase2 st with
-      | outcome -> finish st outcome
-      | exception Failure _ ->
-        (* Iteration-limit blowup from a degenerate warm vertex: charge
-           it as a reject and redo the honest two-phase solve. *)
-        Obs.Metrics.incr m_warm_rejects;
-        cold ()))
+    | Error `Singular ->
+      count_reject `Singular;
+      cold ()
+    | Ok st ->
+      let c2 = full_obj st in
+      if dual && dual_feasible st c2 then begin
+        Obs.Metrics.incr m_warm_starts;
+        match timed m_dual_ns (fun () -> optimize_dual ~max_iter ~pivots st c2) with
+        | `Optimal ->
+          polish st;
+          finish st (extract st)
+        | `Infeasible ->
+          (* The dual ray re-derived on fresh factors with a clear
+             violation: trusted infeasibility certificate, no cold
+             confirmation needed. *)
+          finish st Infeasible
+        | `Dual_unbounded ->
+          (* The certificate sits inside tolerance noise — confirm on
+             the honest cold path. *)
+          Obs.Metrics.incr m_dual_fallbacks;
+          cold ()
+        | exception Failure _ ->
+          count_reject `Limit;
+          cold ()
+      end
+      else if primal_feasible st then warm_primal st
+      else begin
+        count_reject (if dual then `Dual_infeasible else `Primal_infeasible);
+        cold ()
+      end)
 
-let solve ?max_iter ?kernel ?basis spec = fst (solve_basis ?max_iter ?kernel ?basis spec)
+let solve_basis ?(max_iter = 50_000) ?(kernel = `Sparse) ?(update = `ForrestTomlin)
+    ?(pricing = `Dantzig) ?basis spec =
+  solve_core ~dual:false ~max_iter ~kernel ~update ~pricing ~basis spec
+
+let solve_dual_basis ?(max_iter = 50_000) ?(kernel = `Sparse) ?(update = `ForrestTomlin)
+    ?(pricing = `Dantzig) ?basis spec =
+  solve_core ~dual:true ~max_iter ~kernel ~update ~pricing ~basis spec
+
+let solve ?max_iter ?kernel ?update ?pricing ?basis spec =
+  fst (solve_basis ?max_iter ?kernel ?update ?pricing ?basis spec)
+
+let solve_dual ?max_iter ?kernel ?update ?pricing ?basis spec =
+  fst (solve_dual_basis ?max_iter ?kernel ?update ?pricing ?basis spec)

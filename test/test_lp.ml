@@ -343,6 +343,314 @@ let test_infeasible_after_warm_reject () =
       Alcotest.(check int) "warm start rejected" (before + 1)
         (Obs.Metrics.counter_value rejects))
 
+(* {1 Forrest–Tomlin update oracle} *)
+
+(* Random nonsingular square sparse columns: a dominant diagonal entry
+   plus a few off-diagonal ones. *)
+let random_square_cols rng m =
+  Array.init m (fun k ->
+      let sign = if Numerics.Rng.uniform rng 0. 1. < 0.5 then 1. else -1. in
+      let d = sign *. (2. +. Numerics.Rng.uniform rng 0. 3.) in
+      let off =
+        List.init m Fun.id
+        |> List.filter_map (fun i ->
+               if i <> k && Numerics.Rng.uniform rng 0. 1. < 0.3 then
+                 Some (i, Numerics.Rng.uniform rng (-1.) 1.)
+               else None)
+      in
+      (k, d) :: off)
+
+let random_replacement_col rng m q =
+  let sign = if Numerics.Rng.uniform rng 0. 1. < 0.5 then 1. else -1. in
+  let d = sign *. (2. +. Numerics.Rng.uniform rng 0. 3.) in
+  let off =
+    List.init m Fun.id
+    |> List.filter_map (fun i ->
+           if i <> q && Numerics.Rng.uniform rng 0. 1. < 0.3 then
+             Some (i, Numerics.Rng.uniform rng (-1.) 1.)
+           else None)
+  in
+  (q, d) :: off
+
+let test_ft_vs_refactor_property () =
+  (* Long pivot sequences: after every FT update, ftran and btran must
+     agree with a fresh factorization of the current columns (and with
+     the product-form eta file maintained in parallel). *)
+  let rng = Numerics.Rng.create 4242 in
+  for _ = 1 to 6 do
+    let m = 5 + Numerics.Rng.int rng 8 in
+    let cols = random_square_cols rng m in
+    let ft = Lp.Basis.factor ~update:`ForrestTomlin (Array.copy cols) in
+    let eta = Lp.Basis.factor ~update:`Eta (Array.copy cols) in
+    for _ = 1 to 30 do
+      let q = Numerics.Rng.int rng m in
+      let newcol = random_replacement_col rng m q in
+      let w_ft = Lp.Basis.ftran_col ft newcol in
+      if Float.abs w_ft.(q) > 1e-6 then begin
+        let w_eta = Lp.Basis.ftran_col eta newcol in
+        Lp.Basis.update ft ~row:q ~col:newcol w_ft;
+        Lp.Basis.update eta ~row:q ~col:newcol w_eta;
+        cols.(q) <- newcol;
+        let fresh = Lp.Basis.factor (Array.copy cols) in
+        let rhs = Array.init m (fun _ -> Numerics.Rng.uniform rng (-2.) 2.) in
+        let xf = Lp.Basis.ftran ft rhs in
+        let xr = Lp.Basis.ftran fresh rhs in
+        let xe = Lp.Basis.ftran eta rhs in
+        Array.iteri (fun i v -> check_float ~tol:1e-6 "ftran FT vs fresh" v xf.(i)) xr;
+        Array.iteri (fun i v -> check_float ~tol:1e-6 "ftran FT vs eta" v xf.(i)) xe;
+        let cb = Array.init m (fun _ -> Numerics.Rng.uniform rng (-2.) 2.) in
+        let yf = Lp.Basis.btran ft cb in
+        let yr = Lp.Basis.btran fresh cb in
+        Array.iteri (fun i v -> check_float ~tol:1e-6 "btran FT vs fresh" v yf.(i)) yr
+      end
+    done;
+    (* The 30-update sequence blows through the 2√m cap, so the advisory
+       trigger must have fired along the way. *)
+    Alcotest.(check bool) "refactor advised after a long sequence" true
+      (Lp.Basis.should_refactor ft)
+  done
+
+let test_ft_vs_eta_objective_bits () =
+  (* The terminal polish refactorizes from the final basis before
+     extracting the solution, so FT and eta solves that walk the same
+     pivot path return bit-identical objectives — the FT-vs-refactorize
+     oracle at the solve level. *)
+  let rng = Numerics.Rng.create 808 in
+  for _ = 1 to 30 do
+    let spec = random_spec rng in
+    match
+      (Lp.Simplex.solve ~update:`ForrestTomlin spec, Lp.Simplex.solve ~update:`Eta spec)
+    with
+    | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+      if not (Float.equal a.objective b.objective) then
+        Alcotest.failf "FT %.17g <> eta %.17g" a.objective b.objective
+    | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible
+    | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> ()
+    | _ -> Alcotest.fail "FT and eta disagree on the outcome"
+  done
+
+let test_pricing_rules_agree () =
+  let rng = Numerics.Rng.create 606 in
+  for _ = 1 to 20 do
+    let spec = random_spec rng in
+    match
+      ( Lp.Simplex.solve ~pricing:`Dantzig spec,
+        Lp.Simplex.solve ~pricing:`SteepestEdge spec,
+        Lp.Simplex.solve ~pricing:`Partial spec )
+    with
+    | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b, Lp.Simplex.Optimal c ->
+      check_float ~tol:1e-6 "steepest-edge = dantzig" a.objective b.objective;
+      check_float ~tol:1e-6 "partial = dantzig" a.objective c.objective
+    | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible, Lp.Simplex.Infeasible
+    | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> ()
+    | _ -> Alcotest.fail "pricing rules disagree on the outcome"
+  done
+
+(* {1 Dual simplex: bound-flip warm starts} *)
+
+let test_dual_bound_flip_roundtrip () =
+  (* Tighten bounds below the optimum, repair with the dual simplex from
+     the parent basis, then relax back — both directions must match the
+     cold solve, and real dual pivots must have happened somewhere in
+     the battery. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let rng = Numerics.Rng.create 31337 in
+      let dual_pivots = Obs.Metrics.counter "simplex.dual_pivots" in
+      for _ = 1 to 25 do
+        let spec = random_spec rng in
+        match Lp.Simplex.solve_basis spec with
+        | Lp.Simplex.Optimal { x; objective = obj0 }, Some b ->
+          let up' = Array.copy spec.up in
+          let changed = ref false in
+          Array.iteri
+            (fun j xj ->
+              if xj > 1. && up'.(j) < infinity then begin
+                up'.(j) <- xj /. 2.;
+                changed := true
+              end)
+            x;
+          if !changed then begin
+            let spec' = { spec with Lp.Simplex.up = up' } in
+            let cold = Lp.Simplex.solve spec' in
+            let warm, b' = Lp.Simplex.solve_dual_basis ~basis:b spec' in
+            (match (cold, warm) with
+            | Lp.Simplex.Optimal c, Lp.Simplex.Optimal w ->
+              check_float ~tol:1e-6 "dual tighten = cold" c.objective w.objective
+            | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> ()
+            | _ -> Alcotest.fail "tightened outcome mismatch");
+            match b' with
+            | Some b2 -> (
+              match Lp.Simplex.solve_dual ~basis:b2 spec with
+              | Lp.Simplex.Optimal r ->
+                check_float ~tol:1e-6 "dual relax = original" obj0 r.objective
+              | _ -> Alcotest.fail "relaxing bounds cannot lose feasibility")
+            | None -> ()
+          end
+        | _ -> ()
+      done;
+      Alcotest.(check bool) "dual iterations actually ran" true
+        (Obs.Metrics.counter_value dual_pivots > 0))
+
+let test_dual_empty_and_degenerate () =
+  (* Empty column: only its own bounds move it; tightening the bound on
+     a nonbasic empty column must snap it and leave the rest alone. *)
+  let spec =
+    {
+      Lp.Simplex.n_rows = 1;
+      cols = [| []; [ (0, 1.) ]; [ (0, 1.) ] |];
+      rhs = [| 4. |];
+      obj = [| 2.; 1.; 0. |];
+      lo = [| 0.; 0.; 0. |];
+      up = [| 3.; infinity; infinity |];
+    }
+  in
+  (match Lp.Simplex.solve_basis spec with
+  | Lp.Simplex.Optimal { objective; _ }, Some b ->
+    check_float "empty-column optimum" 10. objective;
+    let spec' = { spec with Lp.Simplex.up = [| 1.; infinity; infinity |] } in
+    (match Lp.Simplex.solve_dual ~basis:b spec' with
+    | Lp.Simplex.Optimal o -> check_float "empty-column dual tighten" 6. o.objective
+    | _ -> Alcotest.fail "expected optimal")
+  | _ -> Alcotest.fail "expected optimal with a basis");
+  (* Degenerate vertex: two rows bind the same variable, so the repair
+     pivot is degenerate on one of them. *)
+  let spec2 =
+    {
+      Lp.Simplex.n_rows = 2;
+      cols = [| [ (0, 1.); (1, 1.) ]; [ (0, 1.) ]; [ (1, 1.) ] |];
+      rhs = [| 4.; 4. |];
+      obj = [| 1.; 0.; 0. |];
+      lo = [| 0.; 0.; 0. |];
+      up = [| 6.; infinity; infinity |];
+    }
+  in
+  match Lp.Simplex.solve_basis spec2 with
+  | Lp.Simplex.Optimal { objective; _ }, Some b2 ->
+    check_float "degenerate optimum" 4. objective;
+    let spec2' = { spec2 with Lp.Simplex.up = [| 2.; infinity; infinity |] } in
+    (match Lp.Simplex.solve_dual ~basis:b2 spec2' with
+    | Lp.Simplex.Optimal o -> check_float "degenerate dual tighten" 2. o.objective
+    | _ -> Alcotest.fail "expected optimal")
+  | _ -> Alcotest.fail "expected optimal with a basis"
+
+let test_dual_infeasible_fallback () =
+  (* A bounds-only change that empties the feasible region: the dual
+     loop derives the infeasibility certificate (dual ray) on fresh
+     factors and returns Infeasible directly — the clear violation needs
+     no cold-primal confirmation, so the fallback counter stays put. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let spec up =
+        {
+          Lp.Simplex.n_rows = 1;
+          cols = [| [ (0, 1.) ] |];
+          rhs = [| 1. |];
+          obj = [| 1. |];
+          lo = [| 0. |];
+          up = [| up |];
+        }
+      in
+      let b =
+        match Lp.Simplex.solve_basis (spec 5.) with
+        | Lp.Simplex.Optimal _, Some b -> b
+        | _ -> Alcotest.fail "seed solve must be optimal with a basis"
+      in
+      let fallbacks = Obs.Metrics.counter "simplex.dual_fallbacks" in
+      let dual_solves = Obs.Metrics.counter "simplex.dual_solves" in
+      let before_fb = Obs.Metrics.counter_value fallbacks in
+      let before_ds = Obs.Metrics.counter_value dual_solves in
+      (match Lp.Simplex.solve_dual ~basis:b (spec 0.5) with
+      | Lp.Simplex.Infeasible -> ()
+      | _ -> Alcotest.fail "x = 1 with up = 0.5 must be infeasible");
+      Alcotest.(check int) "the dual path ran" (before_ds + 1)
+        (Obs.Metrics.counter_value dual_solves);
+      Alcotest.(check int) "certified without a primal fallback" before_fb
+        (Obs.Metrics.counter_value fallbacks))
+
+let test_warm_reject_reasons () =
+  (* Every reject path must leave its reason in the per-reason counters. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let c name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+      let spec1 rhs =
+        {
+          Lp.Simplex.n_rows = 1;
+          cols = [| [ (0, 1.) ] |];
+          rhs = [| rhs |];
+          obj = [| 1. |];
+          lo = [| 0. |];
+          up = [| 5. |];
+        }
+      in
+      let b1 =
+        match Lp.Simplex.solve_basis (spec1 1.) with
+        | Lp.Simplex.Optimal _, Some b -> b
+        | _ -> Alcotest.fail "seed solve must be optimal with a basis"
+      in
+      (* Shape: basis from a 1-variable LP against a 2-variable LP. *)
+      let spec2 =
+        {
+          Lp.Simplex.n_rows = 1;
+          cols = [| [ (0, 1.) ]; [ (0, 1.) ] |];
+          rhs = [| 1. |];
+          obj = [| 1.; 0. |];
+          lo = [| 0.; 0. |];
+          up = [| 5.; 5. |];
+        }
+      in
+      (match Lp.Simplex.solve ~basis:b1 spec2 with
+      | Lp.Simplex.Optimal _ -> ()
+      | _ -> Alcotest.fail "cold fallback must still solve");
+      Alcotest.(check int) "shape reject reason" 1 (c "simplex.warm_rejects_shape");
+      (* Primal-infeasible vertex on the primal warm path. *)
+      (match Lp.Simplex.solve ~basis:b1 (spec1 10.) with
+      | Lp.Simplex.Infeasible -> ()
+      | _ -> Alcotest.fail "rhs = 10 must be infeasible");
+      Alcotest.(check int) "primal-infeasible reject reason" 1
+        (c "simplex.warm_rejects_primal_infeasible");
+      (* Dual-infeasible (and primal-infeasible) vertex on the dual path:
+         new objective makes a nonbasic price favorably, new rhs pushes
+         the basic out of its bounds. *)
+      let spec3 =
+        {
+          Lp.Simplex.n_rows = 1;
+          cols = [| [ (0, 1.) ]; [ (0, 1.) ] |];
+          rhs = [| 1. |];
+          obj = [| 1.; 0. |];
+          lo = [| 0.; 0. |];
+          up = [| 5.; 5. |];
+        }
+      in
+      let b3 =
+        match Lp.Simplex.solve_basis spec3 with
+        | Lp.Simplex.Optimal _, Some b -> b
+        | _ -> Alcotest.fail "seed solve must be optimal with a basis"
+      in
+      let spec3' = { spec3 with Lp.Simplex.rhs = [| 10. |]; obj = [| 1.; 2. |] } in
+      (match Lp.Simplex.solve_dual ~basis:b3 spec3' with
+      | Lp.Simplex.Optimal { objective; _ } ->
+        check_float ~tol:1e-6 "cold fallback optimum" 15. objective
+      | _ -> Alcotest.fail "x0 = x1 = 5 solves the fallback LP");
+      Alcotest.(check int) "dual-infeasible reject reason" 1
+        (c "simplex.warm_rejects_dual_infeasible");
+      Alcotest.(check int) "total rejects = sum of reasons" 3 (c "simplex.warm_rejects"))
+
 let test_beale_cycling () =
   (* Beale's classic cycling example: Dantzig pricing with naive
      tie-breaks can loop on this degenerate LP forever.  The
@@ -359,8 +667,15 @@ let test_beale_cycling () =
   Lp.Problem.add_row p [ (0, 0.25); (1, -60.); (2, -0.04); (3, 9.) ] Lp.Problem.Le 0.;
   Lp.Problem.add_row p [ (0, 0.5); (1, -90.); (2, -0.02); (3, 3.) ] Lp.Problem.Le 0.;
   Lp.Problem.add_row p [ (2, 1.) ] Lp.Problem.Le 1.;
-  let _rx, robj = solve_expect_optimal p in
-  check_float ~tol:1e-9 "Beale optimum" 0.05 robj
+  (* All three pricing rules must terminate at the true optimum — the
+     degenerate-streak Bland fallback backstops each of them. *)
+  List.iter
+    (fun pricing ->
+      match Lp.Problem.solve ~pricing p with
+      | Lp.Problem.Optimal { objective; _ } ->
+        check_float ~tol:1e-9 "Beale optimum" 0.05 objective
+      | _ -> Alcotest.fail "Beale must be optimal")
+    [ `Dantzig; `SteepestEdge; `Partial ]
 
 let test_solve_telemetry () =
   (* With metrics on, a solve shows up in the simplex.* series: solve and
@@ -420,7 +735,21 @@ let () =
           Alcotest.test_case "duplicate rows" `Quick test_duplicate_rows;
           Alcotest.test_case "infeasible after warm reject" `Quick
             test_infeasible_after_warm_reject;
-          Alcotest.test_case "Beale anti-cycling" `Quick test_beale_cycling;
+          Alcotest.test_case "Beale anti-cycling, all pricings" `Quick test_beale_cycling;
+          Alcotest.test_case "FT updates vs fresh refactorization" `Quick
+            test_ft_vs_refactor_property;
+          Alcotest.test_case "FT vs eta bit-identical objectives" `Quick
+            test_ft_vs_eta_objective_bits;
+          Alcotest.test_case "pricing rules agree" `Quick test_pricing_rules_agree;
+        ] );
+      ( "dual",
+        [
+          Alcotest.test_case "bound-flip round trips" `Quick test_dual_bound_flip_roundtrip;
+          Alcotest.test_case "empty column and degenerate rows" `Quick
+            test_dual_empty_and_degenerate;
+          Alcotest.test_case "infeasible certified by dual ray" `Quick
+            test_dual_infeasible_fallback;
+          Alcotest.test_case "warm reject reasons" `Quick test_warm_reject_reasons;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_simplex_weak_duality ]);
     ]

@@ -608,6 +608,13 @@ let test_report_lp_section () =
   Obs.Metrics.add (Obs.Metrics.counter "simplex.refactors") 1;
   Obs.Metrics.add (Obs.Metrics.counter "simplex.bland_activations") 1;
   Obs.Metrics.add (Obs.Metrics.counter "simplex.warm_starts") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.pivots_steepest_edge") 20;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.dual_solves") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.dual_pivots") 4;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.warm_rejects") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.warm_rejects_shape") 1;
+  Obs.Metrics.add (Obs.Metrics.counter "simplex.ft_updates") 9;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge "simplex.spike_growth") 3.5;
   Obs.Metrics.set_gauge (Obs.Metrics.gauge "simplex.eta_len") 7.;
   Obs.Metrics.observe
     (Obs.Metrics.histogram ~buckets:[| 1e3; 1e4; 1e5; 1e6 |] "simplex.refactor_ns")
@@ -625,8 +632,16 @@ let test_report_lp_section () =
         (contains_substring ~sub:"LP kernel health" s);
       Alcotest.(check bool) "Bland activations surfaced" true
         (contains_substring ~sub:"1 Bland activation(s)" s);
-      Alcotest.(check bool) "eta length surfaced" true
-        (contains_substring ~sub:"eta file length at snapshot: 7" s);
+      Alcotest.(check bool) "update count surfaced" true
+        (contains_substring ~sub:"basis updates since refactorization: 7" s);
+      Alcotest.(check bool) "per-rule pivots surfaced" true
+        (contains_substring ~sub:"steepest-edge:" s);
+      Alcotest.(check bool) "dual line surfaced" true
+        (contains_substring ~sub:"dual: 1 solve(s), 4 pivot(s)" s);
+      Alcotest.(check bool) "reject reasons surfaced" true
+        (contains_substring ~sub:"1 shape" s);
+      Alcotest.(check bool) "FT updates surfaced" true
+        (contains_substring ~sub:"FT updates: 9 (worst multiplier growth 3.5)" s);
       Alcotest.(check bool) "refactor latency quantiles" true
         (contains_substring ~sub:"refactor time" s))
 
